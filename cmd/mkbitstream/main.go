@@ -1,0 +1,129 @@
+// Command mkbitstream generates and inspects partial bitstream files
+// for the simulated Kintex-7's default reconfigurable partition —
+// the role Vivado's write_bitstream plays for the paper.
+//
+// Usage:
+//
+//	mkbitstream -module sobel -o sobel.bin            # raw stream
+//	mkbitstream -module median -bit -o median.bit     # .bit container
+//	mkbitstream -inspect sobel.bin                    # parse & summarise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/fpga"
+)
+
+func main() {
+	module := flag.String("module", "", "module name to generate a bitstream for")
+	out := flag.String("o", "", "output file (default <module>.bin)")
+	bit := flag.Bool("bit", false, "wrap in a .bit container with metadata")
+	pad := flag.Int("pad", bitstream.DefaultBitstreamBytes,
+		"pad the raw stream to this many bytes (0 = minimum size)")
+	compress := flag.Bool("z", false, "compress the stream (RT-ICAP-style RLE)")
+	inspect := flag.String("inspect", "", "parse an existing bitstream file and print a summary")
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectFile(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *module == "" {
+		fmt.Fprintln(os.Stderr, "mkbitstream: -module or -inspect required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	part, err := fpga.AddDefaultPartition(fab)
+	if err != nil {
+		fatal(err)
+	}
+	im, err := bitstream.Partial(fab.Dev, part, *module, bitstream.Options{PadToBytes: *pad})
+	if err != nil {
+		fatal(err)
+	}
+	data := im.Bytes()
+	if *compress {
+		data = bitstream.Compress(im.Words)
+	}
+	if *bit {
+		f := &bitstream.BitFile{
+			Design: fmt.Sprintf("%s_%s_partial", part.Name, *module),
+			Part:   "xc7k325tffg900-2",
+			Date:   "2021/03/15",
+			Time:   "12:00:00",
+			Data:   data,
+		}
+		data = f.MarshalBit()
+	}
+	name := *out
+	if name == "" {
+		ext := ".bin"
+		if *bit {
+			ext = ".bit"
+		}
+		name = *module + ext
+	}
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes, %d frames, signature %#016x\n",
+		name, len(data), im.Frames, im.Signature)
+}
+
+func inspectFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if f, err := bitstream.ParseBit(raw); err == nil {
+		fmt.Printf(".bit container: design=%q part=%q date=%s time=%s payload=%d bytes\n",
+			f.Design, f.Part, f.Date, f.Time, len(f.Data))
+		raw = f.Data
+	}
+	if bitstream.IsCompressed(raw) {
+		words, err := bitstream.Decompress(raw)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compressed: %d -> %d bytes (%.1f%%)\n",
+			len(raw), len(words)*4, 100*float64(len(raw))/float64(len(words)*4))
+		raw = bitstream.WordsToBytes(words)
+	}
+	words, err := bitstream.BytesToWords(raw)
+	if err != nil {
+		return err
+	}
+	s, err := bitstream.Parse(words)
+	if err != nil {
+		return err
+	}
+	var cmds []string
+	for _, c := range s.Commands {
+		cmds = append(cmds, fmt.Sprintf("%#x", c))
+	}
+	fmt.Printf("words: %d\nIDCODE: %#08x\nframe data words: %d (%d frames incl. pad)\n",
+		len(words), s.IDCode, s.FrameDataWords, s.FrameDataWords/fpga.FrameWords)
+	fmt.Printf("FAR writes: %d, CRC checks: %d (valid: %v), desync: %v\ncommands: %s\n",
+		len(s.FARWrites), len(s.CRCWords), s.CRCValid, s.Desynced, strings.Join(cmds, " "))
+	dev := fpga.NewKintex7()
+	if err := bitstream.Validate(words, dev); err != nil {
+		fmt.Printf("validation: FAILED: %v\n", err)
+	} else {
+		fmt.Printf("validation: OK for %s\n", dev.Name)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkbitstream:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command mkfat32 builds and inspects the FAT32 SD-card images the
+// simulated SoC boots from.
+//
+// Usage:
+//
+//	mkfat32 -o card.img -size 32 sobel.bin median.bin gaussian.bin
+//	mkfat32 -list card.img
+//	mkfat32 -extract SOBEL.BIN -from card.img -o sobel.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rvcap/internal/fat32"
+	"rvcap/internal/sim"
+)
+
+func main() {
+	out := flag.String("o", "card.img", "output image (or extracted file with -extract)")
+	sizeMiB := flag.Int("size", 32, "image size in MiB")
+	list := flag.String("list", "", "list the contents of an existing image")
+	extract := flag.String("extract", "", "file name to extract (with -from)")
+	from := flag.String("from", "", "image to extract from")
+	flag.Parse()
+
+	switch {
+	case *list != "":
+		if err := listImage(*list); err != nil {
+			fatal(err)
+		}
+	case *extract != "":
+		if err := extractFile(*from, *extract, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := build(*out, *sizeMiB, flag.Args()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// host runs fn on a throwaway kernel (RAM disks consume no simulated
+// time).
+func host(fn func(p *sim.Proc) error) error {
+	k := sim.NewKernel()
+	var err error
+	k.Go("host", func(p *sim.Proc) { err = fn(p) })
+	k.Run()
+	return err
+}
+
+func build(out string, sizeMiB int, files []string) error {
+	disk := fat32.NewRAMDisk(sizeMiB * 2048)
+	err := host(func(p *sim.Proc) error {
+		fs, err := fat32.Mkfs(p, disk, fat32.MkfsOptions{Label: "RVCAP"})
+		if err != nil {
+			return err
+		}
+		for _, path := range files {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			name := strings.ToUpper(filepath.Base(path))
+			if err := fs.WriteFile(p, name, data); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Printf("  added %-14s %10d bytes\n", name, len(data))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, disk.Image(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d MiB FAT32 image, %d file(s)\n", out, sizeMiB, len(files))
+	return nil
+}
+
+func listImage(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	disk, err := fat32.WrapRAMDisk(raw)
+	if err != nil {
+		return err
+	}
+	return host(func(p *sim.Proc) error {
+		fs, err := fat32.Mount(p, disk)
+		if err != nil {
+			return err
+		}
+		ents, err := fs.List(p)
+		if err != nil {
+			return err
+		}
+		free, err := fs.FreeClusters(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			fmt.Printf("%-14s %10d bytes  (cluster %d)\n", e.Name, e.Size, e.Cluster)
+		}
+		fmt.Printf("%d file(s), %d free clusters of %d bytes\n",
+			len(ents), free, fs.ClusterBytes())
+		return nil
+	})
+}
+
+func extractFile(image, name, out string) error {
+	if image == "" {
+		return fmt.Errorf("-extract requires -from <image>")
+	}
+	raw, err := os.ReadFile(image)
+	if err != nil {
+		return err
+	}
+	disk, err := fat32.WrapRAMDisk(raw)
+	if err != nil {
+		return err
+	}
+	return host(func(p *sim.Proc) error {
+		fs, err := fat32.Mount(p, disk)
+		if err != nil {
+			return err
+		}
+		data, err := fs.ReadFile(p, name)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d bytes\n", out, len(data))
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkfat32:", err)
+	os.Exit(1)
+}

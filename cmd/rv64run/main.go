@@ -1,0 +1,115 @@
+// Command rv64run assembles an RV64 program and executes it on the
+// instruction-set-simulated hart attached to the RV-CAP SoC. The
+// program sees the full SoC address map (UART, CLINT, PLIC, SPI/SD,
+// HWICAP, RV-CAP controller, DDR); its UART output and exit state are
+// reported on the host.
+//
+// Usage:
+//
+//	rv64run program.asm
+//	rv64run -stage-bitstream sobel -a0 auto program.asm
+//	rv64run -max 10000000 -regs program.asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/rvasm"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+func main() {
+	maxInstr := flag.Uint64("max", 50_000_000, "instruction budget (0 = unlimited)")
+	regs := flag.Bool("regs", false, "dump registers on exit")
+	stageModule := flag.String("stage-bitstream", "",
+		"generate this module's partial bitstream for the default RP, stage it in DDR, and pass address/size in a0/a1")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rv64run [flags] program.asm")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *maxInstr, *regs, *stageModule); err != nil {
+		fmt.Fprintln(os.Stderr, "rv64run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, maxInstr uint64, dumpRegs bool, stageModule string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := rvasm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assembled %s: %d bytes, entry %#x\n", path, len(prog.Code), prog.Entry)
+	if prog.Base < soc.BootBase || prog.Base+uint64(len(prog.Code)) > soc.BootBase+soc.BootSize {
+		return fmt.Errorf("program [%#x,%#x) outside boot memory [%#x,%#x); use .org 0x10000",
+			prog.Base, prog.Base+uint64(len(prog.Code)), soc.BootBase, soc.BootBase+soc.BootSize)
+	}
+
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{})
+	if err != nil {
+		return err
+	}
+	// Boot image placement: AttachCPU loads at boot offset 0; honour a
+	// program .org by offsetting within the BRAM.
+	image := make([]byte, prog.Base-soc.BootBase+uint64(len(prog.Code)))
+	copy(image[prog.Base-soc.BootBase:], prog.Code)
+	cpu := s.AttachCPU(image, prog.Entry)
+	cpu.SetMaxInstructions(maxInstr)
+
+	if stageModule != "" {
+		im, err := bitstream.Partial(s.Fabric.Dev, s.RP, stageModule,
+			bitstream.Options{PadToBytes: bitstream.DefaultBitstreamBytes})
+		if err != nil {
+			return err
+		}
+		bitstream.Register(s.Fabric, im)
+		const stageAddr = 0x0100_0000
+		staged := make([]byte, len(im.Words)*4)
+		for i, w := range im.Words {
+			staged[i*4] = byte(w)
+			staged[i*4+1] = byte(w >> 8)
+			staged[i*4+2] = byte(w >> 16)
+			staged[i*4+3] = byte(w >> 24)
+		}
+		s.DDR.Load(stageAddr, staged)
+		cpu.SetReg(10, soc.DDRBase+stageAddr)
+		cpu.SetReg(11, uint64(len(staged)))
+		fmt.Printf("staged %s bitstream: %d bytes at a0=%#x\n",
+			stageModule, len(staged), soc.DDRBase+stageAddr)
+	}
+
+	cpu.Start()
+	k.Run()
+
+	if out := s.UART.Output(); out != "" {
+		fmt.Printf("--- UART ---\n%s------------\n", out)
+	}
+	fmt.Printf("instructions: %d, simulated time: %.1f us\n",
+		cpu.Instret(), sim.Micros(k.Now()))
+	if dumpRegs {
+		for i := 0; i < 32; i += 4 {
+			for j := i; j < i+4; j++ {
+				fmt.Printf("x%-2d=%-18x ", j, cpu.Reg(j))
+			}
+			fmt.Println()
+		}
+	}
+	if s.RP != nil && s.RP.Active() != "" {
+		fmt.Printf("partition %s active module: %s\n", s.RP.Name, s.RP.Active())
+	}
+	if err := cpu.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("exit code: %d\n", cpu.HaltCode())
+	return nil
+}

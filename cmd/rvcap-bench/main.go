@@ -1,0 +1,127 @@
+// Command rvcap-bench regenerates the tables and figures of the RV-CAP
+// paper's evaluation on the simulated SoC.
+//
+// Usage:
+//
+//	rvcap-bench -experiment all
+//	rvcap-bench -experiment table1|reconfig|table2|table3|table4|fig3|ablations
+//	rvcap-bench -experiment fig3 -skip-hwicap   # fast RV-CAP-only sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvcap/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"which experiment to run: table1, reconfig, table2, table3, table4, fig3, fig4, ablations, all")
+	skipHWICAP := flag.Bool("skip-hwicap", false,
+		"omit the slow CPU-driven HWICAP series from fig3")
+	unroll := flag.Int("unroll", 16, "HWICAP store-loop unroll factor for fig3")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		r, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("reconfig", func() error {
+		r, err := experiments.ReconfigTimes()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable4(rows))
+		return nil
+	})
+	run("fig4", func() error {
+		r, err := experiments.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig4(r))
+		return nil
+	})
+	run("fig3", func() error {
+		points, err := experiments.Fig3(experiments.Fig3Options{
+			SkipHWICAP: *skipHWICAP,
+			Unroll:     *unroll,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig3(points))
+		return nil
+	})
+	run("ablations", func() error {
+		bp, err := experiments.BurstAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatBurstAblation(bp))
+		fp, err := experiments.FIFOAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFIFOAblation(fp))
+		cp, err := experiments.CompressionAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCompressionAblation(cp))
+		vr, err := experiments.ValidationAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatValidationAblation(vr))
+		return nil
+	})
+
+	switch *exp {
+	case "all", "table1", "reconfig", "table2", "table3", "table4", "fig3", "fig4", "ablations":
+	default:
+		fmt.Fprintf(os.Stderr, "rvcap-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

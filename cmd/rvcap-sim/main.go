@@ -1,0 +1,110 @@
+// Command rvcap-sim runs a single reconfiguration scenario on the
+// simulated SoC and prints the measured timeline.
+//
+// Usage:
+//
+//	rvcap-sim -controller rvcap -module sobel
+//	rvcap-sim -controller hwicap -module median -unroll 4
+//	rvcap-sim -controller rvcap -module gaussian -compute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvcap"
+	"rvcap/internal/trace"
+)
+
+func main() {
+	controller := flag.String("controller", "rvcap", "DPR controller: rvcap or hwicap")
+	module := flag.String("module", "sobel", "reconfigurable module: sobel, median, gaussian")
+	unroll := flag.Int("unroll", 16, "HWICAP store-loop unroll factor")
+	blocking := flag.Bool("blocking", false, "use DMA polling instead of the completion interrupt")
+	compute := flag.Bool("compute", false, "also run the 512x512 case-study image through the module")
+	unpadded := flag.Bool("unpadded", false, "use minimum-size bitstreams instead of the paper's 650892 B")
+	vcd := flag.String("vcd", "", "write a VCD waveform trace (decouple, mode, IRQs, counters) to this file")
+	flag.Parse()
+
+	var opts []rvcap.Option
+	if *unpadded {
+		opts = append(opts, rvcap.WithUnpaddedBitstreams())
+	}
+	sys, err := rvcap.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := sys.DefineFilterModule(*module)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("module %s: partial bitstream %d bytes\n", m.Name, m.BitstreamBytes())
+
+	var rec *trace.Recorder
+	if *vcd != "" {
+		rec = trace.NewRecorder(sys.HW().K)
+		trace.Probe(sys.HW(), rec, 500)
+	}
+
+	err = sys.Run(func(s *rvcap.Session) error {
+		var t rvcap.Timing
+		var err error
+		switch *controller {
+		case "rvcap":
+			if *blocking {
+				t, err = s.ReconfigureBlocking(m)
+			} else {
+				t, err = s.Reconfigure(m)
+			}
+		case "hwicap":
+			t, err = s.ReconfigureHWICAP(m, *unroll)
+		default:
+			return fmt.Errorf("unknown controller %q", *controller)
+		}
+		if err != nil {
+			return err
+		}
+		if t.DecisionMicros > 0 {
+			fmt.Printf("T_d (decision)        %10.1f us\n", t.DecisionMicros)
+		}
+		fmt.Printf("T_r (reconfiguration) %10.1f us  (%.2f MB/s)\n",
+			t.ReconfigMicros, t.ThroughputMBs())
+		fmt.Printf("active module: %s\n", sys.ActiveModule())
+
+		if *compute {
+			img := rvcap.TestPattern(512, 512)
+			out, ct, err := s.FilterImage(img)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("T_c (compute)         %10.1f us\n", ct.ComputeMicros)
+			ref, err := rvcap.ApplyReference(m.Name, img)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("output bit-exact vs software reference: %v\n", out.Equal(ref))
+			fmt.Printf("T_ex (total)          %10.1f us\n", t.Total()+ct.ComputeMicros)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if rec != nil {
+		f, err := os.Create(*vcd)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteVCD(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d value changes)\n", *vcd, rec.Changes())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvcap-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+# Bare-metal RV64 driver: partial reconfiguration through the
+# AXI_HWICAP from RISC-V machine code — the paper's Listing 2 as real
+# assembly, executed on the instruction-set simulator.
+#
+# Loader contract:
+#   a0 = DDR bus address of the staged bitstream (words in native order)
+#   a1 = bitstream size in bytes
+# On exit: a0 = 0 on success, s11 = elapsed mtime ticks (5 MHz).
+
+.equ UART_TX,     0x10000000
+.equ RVCAP_CTRL,  0x41000000
+.equ HWICAP_GIER, 0x4000001C
+.equ HWICAP_WF,   0x40000100
+.equ HWICAP_CR,   0x4000010C
+.equ HWICAP_WFV,  0x40000114
+.equ CLINT_MTIME, 0x0200BFF8
+.equ CR_WRITE,    1
+.equ CR_FIFOCLR,  4
+
+.org 0x10000
+_start:
+    mv   s0, a0            # source pointer
+    mv   s1, a1            # bytes remaining
+    la   a0, banner
+    call puts
+
+    li   s2, CLINT_MTIME
+    ld   s10, 0(s2)        # start timestamp
+
+    # decouple the RP (Listing 2: decouple_accel(1))
+    li   t0, RVCAP_CTRL
+    li   t1, 1
+    sw   t1, 0(t0)
+
+    # init_icap(): disable the global interrupt, clear the write FIFO
+    li   t0, HWICAP_GIER
+    sw   zero, 0(t0)
+    li   t0, HWICAP_CR
+    li   t1, CR_FIFOCLR
+    sw   t1, 0(t0)
+
+    li   s3, HWICAP_WF
+    li   s4, HWICAP_CR
+    li   s5, HWICAP_WFV
+
+chunk:                      # while (pbit_size) { ... }
+    beqz s1, finish
+    lw   t2, 0(s5)          # read_fifo_vac(): vacancy in words
+    slli t2, t2, 2          # -> bytes
+    bltu s1, t2, vac_ok
+    j    fill
+vac_ok:
+    mv   t2, s1
+fill:                       # t2 = bytes this chunk (multiple of 4)
+    # 4-unrolled keyhole store loop (the paper's optimisation against
+    # Ariane's non-speculative uncached stores)
+unrolled:
+    li   t3, 16
+    bltu t2, t3, tail
+    lw   t4, 0(s0)
+    sw   t4, 0(s3)
+    lw   t4, 4(s0)
+    sw   t4, 0(s3)
+    lw   t4, 8(s0)
+    sw   t4, 0(s3)
+    lw   t4, 12(s0)
+    sw   t4, 0(s3)
+    addi s0, s0, 16
+    addi s1, s1, -16
+    addi t2, t2, -16
+    j    unrolled
+tail:
+    beqz t2, flush
+    lw   t4, 0(s0)
+    sw   t4, 0(s3)
+    addi s0, s0, 4
+    addi s1, s1, -4
+    addi t2, t2, -4
+    j    tail
+flush:
+    # write_to_icap(): transfer the FIFO to the ICAPE primitive
+    li   t1, CR_WRITE
+    sw   t1, 0(s4)
+poll:                       # icap_done()
+    lw   t1, 0(s4)
+    andi t1, t1, CR_WRITE
+    bnez t1, poll
+    j    chunk
+
+finish:
+    # recouple (decouple_accel(0))
+    li   t0, RVCAP_CTRL
+    sw   zero, 0(t0)
+
+    ld   t0, 0(s2)
+    sub  s11, t0, s10      # elapsed mtime ticks
+
+    la   a0, donemsg       # "a terminal message informs that the
+    call puts              #  reconfiguration was successful" (§III-C)
+    li   a0, 0
+    ebreak
+
+# puts: write the NUL-terminated string at a0 to the UART.
+puts:
+    li   t0, UART_TX
+puts_loop:
+    lbu  t1, 0(a0)
+    beqz t1, puts_done
+    sw   t1, 0(t0)
+    addi a0, a0, 1
+    j    puts_loop
+puts_done:
+    ret
+
+banner:
+.asciz "rv64-bare: HWICAP reconfiguration from RISC-V machine code\n"
+donemsg:
+.asciz "reconfiguration successful\n"

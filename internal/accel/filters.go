@@ -1,0 +1,81 @@
+package accel
+
+import "sort"
+
+// Filter names, matching the reconfigurable-module identities used in
+// bitstreams and the fabric registry.
+const (
+	Sobel    = "sobel"
+	Median   = "median"
+	Gaussian = "gaussian"
+)
+
+// Filters lists the case study's three modules in the paper's Table IV
+// order.
+var Filters = []string{Gaussian, Median, Sobel}
+
+// kernel3x3 applies f to every 3x3 neighbourhood (edge-replicated).
+func kernel3x3(src *Image, f func(n *[9]byte) byte) *Image {
+	dst := NewImage(src.W, src.H)
+	var n [9]byte
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			n[0], n[1], n[2] = src.At(x-1, y-1), src.At(x, y-1), src.At(x+1, y-1)
+			n[3], n[4], n[5] = src.At(x-1, y), src.At(x, y), src.At(x+1, y)
+			n[6], n[7], n[8] = src.At(x-1, y+1), src.At(x, y+1), src.At(x+1, y+1)
+			dst.Set(x, y, f(&n))
+		}
+	}
+	return dst
+}
+
+// sobelPix computes |Gx| + |Gy| saturated to 255.
+func sobelPix(n *[9]byte) byte {
+	gx := -int(n[0]) + int(n[2]) - 2*int(n[3]) + 2*int(n[5]) - int(n[6]) + int(n[8])
+	gy := -int(n[0]) - 2*int(n[1]) - int(n[2]) + int(n[6]) + 2*int(n[7]) + int(n[8])
+	if gx < 0 {
+		gx = -gx
+	}
+	if gy < 0 {
+		gy = -gy
+	}
+	s := gx + gy
+	if s > 255 {
+		s = 255
+	}
+	return byte(s)
+}
+
+// medianPix selects the middle of the 9 neighbourhood values.
+func medianPix(n *[9]byte) byte {
+	var v [9]byte
+	copy(v[:], n[:])
+	sort.Slice(v[:], func(i, j int) bool { return v[i] < v[j] })
+	return v[4]
+}
+
+// gaussianPix applies the 3x3 binomial kernel (1 2 1; 2 4 2; 1 2 1)/16
+// with rounding.
+func gaussianPix(n *[9]byte) byte {
+	s := int(n[0]) + 2*int(n[1]) + int(n[2]) +
+		2*int(n[3]) + 4*int(n[4]) + 2*int(n[5]) +
+		int(n[6]) + 2*int(n[7]) + int(n[8])
+	return byte((s + 8) / 16)
+}
+
+// Apply runs the named filter's software reference implementation.
+func Apply(name string, src *Image) (*Image, error) {
+	switch name {
+	case Sobel:
+		return kernel3x3(src, sobelPix), nil
+	case Median:
+		return kernel3x3(src, medianPix), nil
+	case Gaussian:
+		return kernel3x3(src, gaussianPix), nil
+	}
+	return nil, errUnknownFilter(name)
+}
+
+type errUnknownFilter string
+
+func (e errUnknownFilter) Error() string { return "accel: unknown filter " + string(e) }

@@ -1,0 +1,87 @@
+// Package axi models the on-chip communication fabric of the RV-CAP SoC:
+// the 64-bit AXI-4 memory-mapped transaction layer, the crossbar, the
+// AXI4-Lite protocol and 64/32-bit data-width converters the paper inserts
+// in front of the DMA and HWICAP IPs, AXI-Stream channels with
+// back-pressure, the AXI-Stream switch that selects between
+// reconfiguration and acceleration mode, and the PR decoupling isolators.
+//
+// The model is transaction-level: a master calls Read/Write from inside a
+// sim.Proc, the call consumes simulated cycles (decode, handshake, data
+// beats) and moves real bytes. Contention appears where it does in
+// hardware — at shared slave ports — via sim.Resource arbitration inside
+// the slaves that need it (e.g. the DDR controller).
+package axi
+
+import (
+	"errors"
+	"fmt"
+
+	"rvcap/internal/sim"
+)
+
+// Slave is a memory-mapped AXI slave. Addresses are offsets from the
+// slave's base (the crossbar strips the base during decode). Read and
+// Write consume simulated time on the calling process and move len(buf)
+// bytes. Implementations return ErrSlave-wrapped errors for SLVERR
+// conditions.
+type Slave interface {
+	Read(p *sim.Proc, addr uint64, buf []byte) error
+	Write(p *sim.Proc, addr uint64, data []byte) error
+}
+
+// ErrDecode is returned when no crossbar region matches the address
+// (AXI DECERR).
+var ErrDecode = errors.New("axi: address decode error (DECERR)")
+
+// ErrSlave is the base error for slave-reported faults (AXI SLVERR).
+var ErrSlave = errors.New("axi: slave error (SLVERR)")
+
+// AccessError decorates a bus error with the failing operation.
+type AccessError struct {
+	Op   string // "read" or "write"
+	Addr uint64
+	Err  error
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("axi: %s at %#x: %v", e.Op, e.Addr, e.Err)
+}
+
+func (e *AccessError) Unwrap() error { return e.Err }
+
+// ReadU32 reads a little-endian 32-bit word.
+func ReadU32(p *sim.Proc, s Slave, addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := s.Read(p, addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteU32 writes a little-endian 32-bit word.
+func WriteU32(p *sim.Proc, s Slave, addr uint64, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return s.Write(p, addr, b[:])
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func ReadU64(p *sim.Proc, s Slave, addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(p, addr, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func WriteU64(p *sim.Proc, s Slave, addr uint64, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return s.Write(p, addr, b[:])
+}

@@ -1,0 +1,83 @@
+package axi
+
+import "rvcap/internal/sim"
+
+// WidthConverter models the AXI data-width converter the paper inserts
+// between the 64-bit main bus and 32-bit IPs (DMA control port, HWICAP).
+// Functionally transparent; it costs extra cycles because a 64-bit beat
+// is serialised into two 32-bit beats on the narrow side.
+type WidthConverter struct {
+	Next Slave
+	// WideBytes/NarrowBytes describe the conversion ratio (8 -> 4 for
+	// the paper's converters).
+	WideBytes   int
+	NarrowBytes int
+}
+
+// NewWidthConverter64To32 returns the paper's 64-to-32-bit converter.
+func NewWidthConverter64To32(next Slave) *WidthConverter {
+	return &WidthConverter{Next: next, WideBytes: 8, NarrowBytes: 4}
+}
+
+// extraBeats is the additional narrow-side beats a transfer of n bytes
+// needs beyond its wide-side beats.
+func (w *WidthConverter) extraBeats(n int) sim.Time {
+	wide := (n + w.WideBytes - 1) / w.WideBytes
+	narrow := (n + w.NarrowBytes - 1) / w.NarrowBytes
+	if narrow <= wide {
+		return 0
+	}
+	return sim.Time(narrow - wide)
+}
+
+func (w *WidthConverter) Read(p *sim.Proc, addr uint64, buf []byte) error {
+	p.Sleep(1 + w.extraBeats(len(buf)))
+	return w.Next.Read(p, addr, buf)
+}
+
+func (w *WidthConverter) Write(p *sim.Proc, addr uint64, data []byte) error {
+	p.Sleep(1 + w.extraBeats(len(data)))
+	return w.Next.Write(p, addr, data)
+}
+
+// LiteBridge models the AXI4 to AXI4-Lite protocol converter: bursts are
+// cracked into single-beat transactions, each with its own handshake.
+type LiteBridge struct {
+	Next Slave
+	// WordBytes is the Lite data width in bytes (4 for the paper's IPs).
+	WordBytes int
+	// HandshakeCycles is charged per cracked beat.
+	HandshakeCycles sim.Time
+}
+
+// NewLiteBridge returns a 32-bit AXI4-Lite protocol converter.
+func NewLiteBridge(next Slave) *LiteBridge {
+	return &LiteBridge{Next: next, WordBytes: 4, HandshakeCycles: 1}
+}
+
+func (b *LiteBridge) crack(p *sim.Proc, addr uint64, buf []byte, op func(uint64, []byte) error) error {
+	for off := 0; off < len(buf); off += b.WordBytes {
+		end := off + b.WordBytes
+		if end > len(buf) {
+			end = len(buf)
+		}
+		p.Sleep(b.HandshakeCycles)
+		if err := op(addr+uint64(off), buf[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *LiteBridge) Read(p *sim.Proc, addr uint64, buf []byte) error {
+	return b.crack(p, addr, buf, func(a uint64, s []byte) error { return b.Next.Read(p, a, s) })
+}
+
+func (b *LiteBridge) Write(p *sim.Proc, addr uint64, data []byte) error {
+	return b.crack(p, addr, data, func(a uint64, s []byte) error { return b.Next.Write(p, a, s) })
+}
+
+var (
+	_ Slave = (*WidthConverter)(nil)
+	_ Slave = (*LiteBridge)(nil)
+)

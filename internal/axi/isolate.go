@@ -1,0 +1,48 @@
+package axi
+
+import "rvcap/internal/sim"
+
+// Isolator is the memory-mapped side of a PR decoupler. While decoupled,
+// transactions toward the reconfigurable partition complete with SLVERR
+// instead of reaching logic that is being reconfigured. Reads return
+// zeroed data, mirroring the safe constants a hardware decoupler drives.
+type Isolator struct {
+	Next      Slave
+	decoupled bool
+	blocked   uint64
+}
+
+// NewIsolator returns a coupled (pass-through) isolator in front of next.
+func NewIsolator(next Slave) *Isolator {
+	return &Isolator{Next: next}
+}
+
+// SetDecoupled opens (true) or closes (false) the isolation gate.
+func (g *Isolator) SetDecoupled(d bool) { g.decoupled = d }
+
+// Decoupled reports the gate state.
+func (g *Isolator) Decoupled() bool { return g.decoupled }
+
+// Blocked returns how many transactions were refused while decoupled.
+func (g *Isolator) Blocked() uint64 { return g.blocked }
+
+func (g *Isolator) Read(p *sim.Proc, addr uint64, buf []byte) error {
+	if g.decoupled {
+		g.blocked++
+		for i := range buf {
+			buf[i] = 0
+		}
+		return &AccessError{Op: "read", Addr: addr, Err: ErrSlave}
+	}
+	return g.Next.Read(p, addr, buf)
+}
+
+func (g *Isolator) Write(p *sim.Proc, addr uint64, data []byte) error {
+	if g.decoupled {
+		g.blocked++
+		return &AccessError{Op: "write", Addr: addr, Err: ErrSlave}
+	}
+	return g.Next.Write(p, addr, data)
+}
+
+var _ Slave = (*Isolator)(nil)

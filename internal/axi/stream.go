@@ -1,0 +1,228 @@
+package axi
+
+import (
+	"fmt"
+
+	"rvcap/internal/sim"
+)
+
+// Beat is one 64-bit AXI-Stream transfer. Keep marks the valid byte lanes
+// (bit i = byte i valid); Last flags the end of a packet (TLAST).
+type Beat struct {
+	Data uint64
+	Keep uint8
+	Last bool
+}
+
+// FullKeep marks all eight byte lanes valid.
+const FullKeep uint8 = 0xFF
+
+// Stream is a point-to-point AXI-Stream channel: a bounded FIFO with
+// ready/valid back-pressure. Push blocks the producer while the FIFO is
+// full; Pop blocks the consumer while it is empty. Throughput pacing
+// (one beat per cycle on each side) is the responsibility of the attached
+// engines, matching how TVALID/TREADY gate real hardware.
+type Stream struct {
+	k        *sim.Kernel
+	name     string
+	capacity int
+	buf      []Beat
+	head     int
+	count    int
+	notEmpty *sim.Signal
+	notFull  *sim.Signal
+	pushed   uint64
+	popped   uint64
+}
+
+// NewStream returns a stream whose internal FIFO holds capacity beats
+// (the skid/packet buffers of the stream infrastructure).
+func NewStream(k *sim.Kernel, name string, capacity int) *Stream {
+	if capacity <= 0 {
+		panic("axi: stream capacity must be positive: " + name)
+	}
+	return &Stream{
+		k:        k,
+		name:     name,
+		capacity: capacity,
+		buf:      make([]Beat, capacity),
+		notEmpty: sim.NewSignal(k, name+".notEmpty"),
+		notFull:  sim.NewSignal(k, name+".notFull"),
+	}
+}
+
+// Name returns the channel name.
+func (s *Stream) Name() string { return s.name }
+
+// Len returns the number of buffered beats.
+func (s *Stream) Len() int { return s.count }
+
+// Cap returns the FIFO capacity in beats.
+func (s *Stream) Cap() int { return s.capacity }
+
+// Pushed returns the total number of beats ever accepted.
+func (s *Stream) Pushed() uint64 { return s.pushed }
+
+// Popped returns the total number of beats ever consumed.
+func (s *Stream) Popped() uint64 { return s.popped }
+
+// Push enqueues a beat, blocking while the FIFO is full (TREADY low).
+func (s *Stream) Push(p *sim.Proc, b Beat) {
+	for s.count == s.capacity {
+		p.Wait(s.notFull)
+	}
+	s.buf[(s.head+s.count)%s.capacity] = b
+	s.count++
+	s.pushed++
+	s.notEmpty.Fire()
+}
+
+// TryPush enqueues a beat if space is available, without blocking.
+func (s *Stream) TryPush(b Beat) bool {
+	if s.count == s.capacity {
+		return false
+	}
+	s.buf[(s.head+s.count)%s.capacity] = b
+	s.count++
+	s.pushed++
+	s.notEmpty.Fire()
+	return true
+}
+
+// Pop dequeues a beat, blocking while the FIFO is empty (TVALID low).
+func (s *Stream) Pop(p *sim.Proc) Beat {
+	for s.count == 0 {
+		p.Wait(s.notEmpty)
+	}
+	b := s.buf[s.head]
+	s.head = (s.head + 1) % s.capacity
+	s.count--
+	s.popped++
+	s.notFull.Fire()
+	return b
+}
+
+// TryPop dequeues a beat if one is buffered, without blocking.
+func (s *Stream) TryPop() (Beat, bool) {
+	if s.count == 0 {
+		return Beat{}, false
+	}
+	b := s.buf[s.head]
+	s.head = (s.head + 1) % s.capacity
+	s.count--
+	s.popped++
+	s.notFull.Fire()
+	return b, true
+}
+
+// StreamSink is anything beats can be pushed into: a Stream, the
+// StreamSwitch, or an isolator gate.
+type StreamSink interface {
+	Push(p *sim.Proc, b Beat)
+}
+
+// StreamSource is anything beats can be popped from.
+type StreamSource interface {
+	Pop(p *sim.Proc) Beat
+}
+
+var (
+	_ StreamSink   = (*Stream)(nil)
+	_ StreamSource = (*Stream)(nil)
+)
+
+// SwitchPort selects the active output of the AXI-Stream switch.
+type SwitchPort int
+
+// The RV-CAP stream switch has two targets (paper Fig. 2): the ICAP
+// converter (reconfiguration mode) and the reconfigurable module
+// (acceleration mode).
+const (
+	PortICAP SwitchPort = iota
+	PortRM
+)
+
+func (sp SwitchPort) String() string {
+	switch sp {
+	case PortICAP:
+		return "ICAP"
+	case PortRM:
+		return "RM"
+	}
+	return fmt.Sprintf("SwitchPort(%d)", int(sp))
+}
+
+// StreamSwitch routes the DMA's MM2S stream to either the AXIS2ICAP
+// converter or the reconfigurable module, selected by the select_ICAP
+// register bit (paper §III-B item 4). Switching while beats are buffered
+// in the downstream channel is a software protocol violation the hardware
+// does not protect against; the model exposes it via the Busy check.
+type StreamSwitch struct {
+	name string
+	outs map[SwitchPort]StreamSink
+	sel  SwitchPort
+}
+
+// NewStreamSwitch returns a switch with the given output ports, initially
+// selecting PortRM (acceleration mode, the reset default).
+func NewStreamSwitch(name string, icap, rm StreamSink) *StreamSwitch {
+	return &StreamSwitch{
+		name: name,
+		outs: map[SwitchPort]StreamSink{PortICAP: icap, PortRM: rm},
+		sel:  PortRM,
+	}
+}
+
+// Select steers subsequent beats to port.
+func (sw *StreamSwitch) Select(port SwitchPort) {
+	if _, ok := sw.outs[port]; !ok {
+		panic(fmt.Sprintf("axi: %s: no output on port %v", sw.name, port))
+	}
+	sw.sel = port
+}
+
+// Selected returns the currently selected port.
+func (sw *StreamSwitch) Selected() SwitchPort { return sw.sel }
+
+// Push forwards the beat to the selected output.
+func (sw *StreamSwitch) Push(p *sim.Proc, b Beat) {
+	sw.outs[sw.sel].Push(p, b)
+}
+
+var _ StreamSink = (*StreamSwitch)(nil)
+
+// StreamIsolator is the AXI-Stream side of a PR decoupler: while
+// decoupled, beats pushed toward the reconfigurable partition are
+// swallowed (the partition's logic is in an undefined state during
+// reconfiguration and must not see transactions; paper §III-A inserts
+// "AXI isolator components ... between the RPs and the main AXI-4 bus").
+type StreamIsolator struct {
+	Next      StreamSink
+	decoupled bool
+	dropped   uint64
+}
+
+// NewStreamIsolator returns a coupled (pass-through) isolator.
+func NewStreamIsolator(next StreamSink) *StreamIsolator {
+	return &StreamIsolator{Next: next}
+}
+
+// SetDecoupled opens (true) or closes (false) the isolation gate.
+func (g *StreamIsolator) SetDecoupled(d bool) { g.decoupled = d }
+
+// Decoupled reports the gate state.
+func (g *StreamIsolator) Decoupled() bool { return g.decoupled }
+
+// Dropped returns how many beats were swallowed while decoupled.
+func (g *StreamIsolator) Dropped() uint64 { return g.dropped }
+
+// Push forwards or swallows the beat depending on the gate state.
+func (g *StreamIsolator) Push(p *sim.Proc, b Beat) {
+	if g.decoupled {
+		g.dropped++
+		return
+	}
+	g.Next.Push(p, b)
+}
+
+var _ StreamSink = (*StreamIsolator)(nil)

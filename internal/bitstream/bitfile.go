@@ -1,0 +1,104 @@
+package bitstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// BitFile is the .bit container: a metadata header wrapping the raw
+// configuration stream, as produced for each reconfigurable module by
+// the implementation flow and stored on the SD card. The layout follows
+// the classic Xilinx .bit structure of tagged, length-prefixed fields:
+//
+//	field 'a': design name, 'b': part name, 'c': date, 'd': time,
+//	field 'e': 32-bit payload length followed by the raw stream.
+type BitFile struct {
+	Design string
+	Part   string
+	Date   string
+	Time   string
+	Data   []byte // raw big-endian configuration stream
+}
+
+// bitPreamble is the fixed 13-byte header real .bit files start with
+// (a length-9 field of zeros/ones and a 0x0001, then field tag 'a').
+var bitPreamble = []byte{0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x00, 0x00, 0x01}
+
+// MarshalBit serialises the container.
+func (f *BitFile) MarshalBit() []byte {
+	var b bytes.Buffer
+	b.Write(bitPreamble)
+	str := func(tag byte, s string) {
+		b.WriteByte(tag)
+		binary.Write(&b, binary.BigEndian, uint16(len(s)+1))
+		b.WriteString(s)
+		b.WriteByte(0)
+	}
+	str('a', f.Design)
+	str('b', f.Part)
+	str('c', f.Date)
+	str('d', f.Time)
+	b.WriteByte('e')
+	binary.Write(&b, binary.BigEndian, uint32(len(f.Data)))
+	b.Write(f.Data)
+	return b.Bytes()
+}
+
+// ParseBit parses a .bit container. It fails on malformed headers; use
+// StripHeader when the input may be either .bit or raw .bin.
+func ParseBit(data []byte) (*BitFile, error) {
+	if len(data) < len(bitPreamble)+1 || !bytes.Equal(data[:len(bitPreamble)], bitPreamble) {
+		return nil, fmt.Errorf("bitstream: missing .bit preamble")
+	}
+	f := &BitFile{}
+	i := len(bitPreamble)
+	for i < len(data) {
+		tag := data[i]
+		i++
+		if tag == 'e' {
+			if i+4 > len(data) {
+				return nil, fmt.Errorf("bitstream: truncated field 'e' length")
+			}
+			n := int(binary.BigEndian.Uint32(data[i:]))
+			i += 4
+			if i+n > len(data) {
+				return nil, fmt.Errorf("bitstream: field 'e' claims %d bytes, %d available", n, len(data)-i)
+			}
+			f.Data = data[i : i+n]
+			return f, nil
+		}
+		if i+2 > len(data) {
+			return nil, fmt.Errorf("bitstream: truncated field %q length", tag)
+		}
+		n := int(binary.BigEndian.Uint16(data[i:]))
+		i += 2
+		if i+n > len(data) || n == 0 {
+			return nil, fmt.Errorf("bitstream: truncated field %q", tag)
+		}
+		s := string(data[i : i+n-1]) // trailing NUL
+		i += n
+		switch tag {
+		case 'a':
+			f.Design = s
+		case 'b':
+			f.Part = s
+		case 'c':
+			f.Date = s
+		case 'd':
+			f.Time = s
+		default:
+			return nil, fmt.Errorf("bitstream: unknown .bit field %q", tag)
+		}
+	}
+	return nil, fmt.Errorf("bitstream: no payload field 'e'")
+}
+
+// StripHeader returns the raw configuration stream whether data is a
+// .bit container or already raw (.bin).
+func StripHeader(data []byte) []byte {
+	if f, err := ParseBit(data); err == nil {
+		return f.Data
+	}
+	return data
+}

@@ -1,0 +1,327 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rvcap/internal/fpga"
+)
+
+func defaultSetup(t *testing.T) (*fpga.Fabric, *fpga.Partition) {
+	t.Helper()
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	part, err := fpga.AddDefaultPartition(fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab, part
+}
+
+func TestPartialDefaultSizeMatchesPaper(t *testing.T) {
+	fab, part := defaultSetup(t)
+	im, err := Partial(fab.Dev, part, "sobel", Options{PadToBytes: DefaultBitstreamBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.SizeBytes() != DefaultBitstreamBytes {
+		t.Errorf("default image size = %d bytes, want %d", im.SizeBytes(), DefaultBitstreamBytes)
+	}
+	if im.Frames != part.NumFrames() {
+		t.Errorf("image frames = %d, want %d", im.Frames, part.NumFrames())
+	}
+}
+
+func TestPartialLoadsThroughICAP(t *testing.T) {
+	fab, part := defaultSetup(t)
+	ic := fpga.NewICAP(fab)
+	im, err := Partial(fab.Dev, part, "median", Options{PadToBytes: DefaultBitstreamBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Register(fab, im)
+	for _, w := range im.Words {
+		ic.WriteWord(w)
+	}
+	if ic.Err() != nil {
+		t.Fatalf("ICAP error: %v", ic.Err())
+	}
+	if part.Active() != "median" {
+		t.Fatalf("partition active = %q, want median", part.Active())
+	}
+	if ic.FramesWritten() != uint64(part.NumFrames()) {
+		t.Errorf("frames written = %d, want %d", ic.FramesWritten(), part.NumFrames())
+	}
+	if ic.StaticFrameWrites() != 0 {
+		t.Errorf("static frames touched: %d", ic.StaticFrameWrites())
+	}
+}
+
+func TestModuleSwapChangesActive(t *testing.T) {
+	fab, part := defaultSetup(t)
+	ic := fpga.NewICAP(fab)
+	for _, m := range []string{"sobel", "gaussian", "sobel"} {
+		im, err := Partial(fab.Dev, part, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		Register(fab, im)
+		for _, w := range im.Words {
+			ic.WriteWord(w)
+		}
+		if ic.Err() != nil {
+			t.Fatalf("load %s: %v", m, ic.Err())
+		}
+		if part.Active() != m {
+			t.Fatalf("after loading %s: active = %q", m, part.Active())
+		}
+	}
+	if part.Loads() != 3 {
+		t.Errorf("Loads = %d, want 3", part.Loads())
+	}
+}
+
+func TestDistinctModulesDistinctSignatures(t *testing.T) {
+	fab, part := defaultSetup(t)
+	a, _ := Partial(fab.Dev, part, "sobel", Options{})
+	b, _ := Partial(fab.Dev, part, "median", Options{})
+	if a.Signature == b.Signature {
+		t.Error("different modules share a signature")
+	}
+	// Same module is deterministic.
+	a2, _ := Partial(fab.Dev, part, "sobel", Options{})
+	if a.Signature != a2.Signature {
+		t.Error("same module, different signatures")
+	}
+	if len(a.Words) != len(a2.Words) {
+		t.Error("same module, different stream lengths")
+	}
+}
+
+func TestUnregisteredModuleStaysInactive(t *testing.T) {
+	fab, part := defaultSetup(t)
+	ic := fpga.NewICAP(fab)
+	im, _ := Partial(fab.Dev, part, "mystery", Options{})
+	// Deliberately not registered.
+	for _, w := range im.Words {
+		ic.WriteWord(w)
+	}
+	if part.Active() != "" {
+		t.Errorf("unregistered module activated as %q", part.Active())
+	}
+}
+
+func TestPadToBytesTooSmall(t *testing.T) {
+	fab, part := defaultSetup(t)
+	if _, err := Partial(fab.Dev, part, "x", Options{PadToBytes: 100}); err == nil {
+		t.Error("tiny PadToBytes accepted")
+	}
+}
+
+func TestParseSummary(t *testing.T) {
+	fab, part := defaultSetup(t)
+	im, _ := Partial(fab.Dev, part, "sobel", Options{PadToBytes: DefaultBitstreamBytes})
+	s, err := Parse(im.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Synced || !s.Desynced || !s.CRCValid {
+		t.Errorf("summary flags: synced=%v desynced=%v crc=%v", s.Synced, s.Desynced, s.CRCValid)
+	}
+	if s.IDCode != fab.Dev.IDCode {
+		t.Errorf("IDCode = %#x", s.IDCode)
+	}
+	wantWords := (part.NumFrames() + 2) * fpga.FrameWords // 2 runs -> 2 pad frames
+	if s.FrameDataWords != wantWords {
+		t.Errorf("FrameDataWords = %d, want %d", s.FrameDataWords, wantWords)
+	}
+	if len(s.FARWrites) != 2 {
+		t.Errorf("FARWrites = %d, want 2", len(s.FARWrites))
+	}
+	if len(s.CRCWords) != 1 {
+		t.Errorf("CRCWords = %d, want 1", len(s.CRCWords))
+	}
+}
+
+func TestParseNoSync(t *testing.T) {
+	if _, err := Parse([]uint32{fpga.DummyWord, fpga.DummyWord}); err == nil {
+		t.Error("stream without sync accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fab, part := defaultSetup(t)
+	im, _ := Partial(fab.Dev, part, "sobel", Options{})
+	if err := Validate(im.Words, fab.Dev); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+	// Flip one payload bit: CRC check must fail.
+	corrupt := append([]uint32(nil), im.Words...)
+	corrupt[len(corrupt)/2] ^= 1
+	if err := Validate(corrupt, fab.Dev); err == nil {
+		t.Error("corrupted stream validated")
+	}
+	// Wrong device.
+	other := fpga.NewDevice("other", 0x11111111, 1, []fpga.ColumnKind{fpga.ColCLB})
+	if err := Validate(im.Words, other); err == nil {
+		t.Error("wrong-device stream validated")
+	}
+	// Truncated stream: no DESYNC.
+	if err := Validate(im.Words[:len(im.Words)-8], fab.Dev); err == nil {
+		t.Error("truncated stream validated")
+	}
+}
+
+func TestWordsBytesRoundTrip(t *testing.T) {
+	f := func(words []uint32) bool {
+		b := WordsToBytes(words)
+		back, err := BytesToWords(b)
+		if err != nil || len(back) != len(words) {
+			return false
+		}
+		for i := range words {
+			if back[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := BytesToWords([]byte{1, 2, 3}); err == nil {
+		t.Error("unaligned bytes accepted")
+	}
+}
+
+func TestCompressRoundTripQuick(t *testing.T) {
+	f := func(words []uint32) bool {
+		back, err := Decompress(Compress(words))
+		if err != nil || len(back) != len(words) {
+			return false
+		}
+		for i := range words {
+			if back[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressRuns(t *testing.T) {
+	// A long constant run must compress dramatically.
+	words := make([]uint32, 10000)
+	c := Compress(words)
+	if len(c) > 500 {
+		t.Errorf("10000 zero words compressed to %d bytes", len(c))
+	}
+	back, err := Decompress(c)
+	if err != nil || len(back) != len(words) {
+		t.Fatalf("decompress: %v, %d words", err, len(back))
+	}
+}
+
+func TestCompressRealBitstream(t *testing.T) {
+	fab, part := defaultSetup(t)
+	im, _ := Partial(fab.Dev, part, "sobel", Options{PadToBytes: DefaultBitstreamBytes})
+	c := Compress(im.Words)
+	if len(c) >= im.SizeBytes() {
+		t.Errorf("compression grew the stream: %d -> %d", im.SizeBytes(), len(c))
+	}
+	back, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(im.Words) {
+		t.Fatalf("length changed: %d -> %d", len(im.Words), len(back))
+	}
+	for i := range back {
+		if back[i] != im.Words[i] {
+			t.Fatalf("word %d changed", i)
+		}
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte{1, 2, 3, 4, 5}); err != ErrNotCompressed {
+		t.Errorf("bad magic err = %v", err)
+	}
+	// Truncated literal payload.
+	bad := append([]byte("RVCZ"), 0x01, 0xAA, 0xBB)
+	if _, err := Decompress(bad); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if IsCompressed([]byte("RVCZ....")) != true || IsCompressed([]byte("nope")) {
+		t.Error("IsCompressed wrong")
+	}
+}
+
+func TestBitFileRoundTrip(t *testing.T) {
+	f := &BitFile{
+		Design: "rp0_sobel_partial",
+		Part:   "xc7k325tffg900-2",
+		Date:   "2021/03/15",
+		Time:   "12:00:00",
+		Data:   []byte{0xAA, 0x99, 0x55, 0x66, 1, 2, 3, 4},
+	}
+	raw := f.MarshalBit()
+	back, err := ParseBit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Design != f.Design || back.Part != f.Part || back.Date != f.Date || back.Time != f.Time {
+		t.Errorf("metadata round trip: %+v", back)
+	}
+	if !bytes.Equal(back.Data, f.Data) {
+		t.Error("payload round trip failed")
+	}
+}
+
+func TestStripHeader(t *testing.T) {
+	raw := []byte{0xAA, 0x99, 0x55, 0x66, 9, 9, 9, 9}
+	if !bytes.Equal(StripHeader(raw), raw) {
+		t.Error("raw stream modified")
+	}
+	f := &BitFile{Design: "d", Part: "p", Date: "c", Time: "t", Data: raw}
+	if !bytes.Equal(StripHeader(f.MarshalBit()), raw) {
+		t.Error(".bit payload not extracted")
+	}
+}
+
+func TestParseBitErrors(t *testing.T) {
+	if _, err := ParseBit([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	f := &BitFile{Design: "d", Part: "p", Date: "c", Time: "t", Data: []byte{1}}
+	raw := f.MarshalBit()
+	if _, err := ParseBit(raw[:len(raw)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestParseRandomWordsNeverPanics(t *testing.T) {
+	f := func(words []uint32) bool {
+		_, _ = Parse(words)
+		withSync := append([]uint32{fpga.SyncWord}, words...)
+		_, _ = Parse(withSync)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecompressRandomNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decompress(data)
+		_, _ = Decompress(append([]byte("RVCZ"), data...))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

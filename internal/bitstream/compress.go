@@ -1,0 +1,109 @@
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the word-oriented run-length compression used by
+// the RT-ICAP baseline (Pezzarossa et al. [15]: "features the capability
+// of partial bitstream compression before transferring it to the FPGA
+// configuration memory to reduce its size and therefore reduce the
+// reconfiguration time"). Configuration streams compress well because
+// pad frames, NOP padding and unused fabric are long runs of identical
+// words.
+//
+// Format: a 4-byte magic, then tokens. Each token is one header byte:
+//
+//	0x00..0x7F: literal run of (header+1) words, followed by the words
+//	0x80..0xFF: repeat run of (header-0x7F) copies of the following word
+//
+// Words are big-endian, matching WordsToBytes.
+
+// compressMagic identifies the compressed container.
+var compressMagic = []byte{'R', 'V', 'C', 'Z'}
+
+// ErrNotCompressed reports input without the compression magic.
+var ErrNotCompressed = errors.New("bitstream: not a compressed stream")
+
+const maxRun = 128
+
+// Compress encodes a configuration word stream.
+func Compress(words []uint32) []byte {
+	out := append([]byte(nil), compressMagic...)
+	emitWord := func(w uint32) {
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	i := 0
+	for i < len(words) {
+		// Measure the repeat run at i.
+		j := i + 1
+		for j < len(words) && words[j] == words[i] && j-i < maxRun {
+			j++
+		}
+		if j-i >= 2 {
+			out = append(out, byte(0x7F+(j-i)))
+			emitWord(words[i])
+			i = j
+			continue
+		}
+		// Literal run: until the next repeat of length >= 3 (a repeat of
+		// 2 codes no better than a literal) or maxRun.
+		start := i
+		for i < len(words) && i-start < maxRun {
+			if i+2 < len(words) && words[i] == words[i+1] && words[i] == words[i+2] {
+				break
+			}
+			i++
+		}
+		out = append(out, byte(i-start-1))
+		for _, w := range words[start:i] {
+			emitWord(w)
+		}
+	}
+	return out
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress(data []byte) ([]uint32, error) {
+	if len(data) < len(compressMagic) || string(data[:4]) != string(compressMagic) {
+		return nil, ErrNotCompressed
+	}
+	var words []uint32
+	i := 4
+	word := func() (uint32, error) {
+		if i+4 > len(data) {
+			return 0, fmt.Errorf("bitstream: truncated compressed stream at byte %d", i)
+		}
+		w := uint32(data[i])<<24 | uint32(data[i+1])<<16 | uint32(data[i+2])<<8 | uint32(data[i+3])
+		i += 4
+		return w, nil
+	}
+	for i < len(data) {
+		h := data[i]
+		i++
+		if h < 0x80 {
+			for n := 0; n <= int(h); n++ {
+				w, err := word()
+				if err != nil {
+					return nil, err
+				}
+				words = append(words, w)
+			}
+			continue
+		}
+		w, err := word()
+		if err != nil {
+			return nil, err
+		}
+		for n := 0; n < int(h)-0x7F; n++ {
+			words = append(words, w)
+		}
+	}
+	return words, nil
+}
+
+// IsCompressed reports whether data begins with the compression magic.
+func IsCompressed(data []byte) bool {
+	return len(data) >= 4 && string(data[:4]) == string(compressMagic)
+}

@@ -1,0 +1,137 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"rvcap/internal/fpga"
+)
+
+// Summary describes a parsed configuration stream, used by the
+// mkbitstream inspection tool and the validating ("safe DPR") transfer
+// modes.
+type Summary struct {
+	// Synced reports whether a sync word was found.
+	Synced bool
+	// IDCode is the IDCODE the stream asserts (0 when absent).
+	IDCode uint32
+	// FrameDataWords counts FDRI payload words (including pad frames).
+	FrameDataWords int
+	// FARWrites lists the frame addresses the stream seeks to.
+	FARWrites []uint32
+	// Commands lists CMD register writes in order.
+	Commands []uint32
+	// CRCWords lists the CRC check values present in the stream.
+	CRCWords []uint32
+	// CRCValid reports whether every CRC check word matches the running
+	// CRC at its position (vacuously true for streams without checks).
+	CRCValid bool
+	// Desynced reports whether the stream ends with a DESYNC command.
+	Desynced bool
+}
+
+// Parse statically analyses a configuration word stream without touching
+// a device. It implements the same packet grammar as the fpga.ICAP
+// engine and recomputes the configuration CRC, so it can vet a bitstream
+// before it is committed to the fabric (the Di Carlo-style "safe DPR"
+// mode of the paper's related work).
+func Parse(words []uint32) (*Summary, error) {
+	s := &Summary{CRCValid: true}
+	i := 0
+	// Pre-sync: skip until the sync word.
+	for ; i < len(words); i++ {
+		if words[i] == fpga.SyncWord {
+			s.Synced = true
+			i++
+			break
+		}
+	}
+	if !s.Synced {
+		return s, fmt.Errorf("bitstream: no sync word in %d-word stream", len(words))
+	}
+	var crc uint32
+	var lastReg uint32
+	consume := func(reg uint32, count int) error {
+		if i+count > len(words) {
+			return fmt.Errorf("bitstream: truncated payload for reg %#x at word %d", reg, i)
+		}
+		for n := 0; n < count; n++ {
+			w := words[i]
+			i++
+			switch reg {
+			case fpga.RegCRC:
+				s.CRCWords = append(s.CRCWords, w)
+				if w != crc {
+					s.CRCValid = false
+				}
+				crc = 0
+				continue
+			case fpga.RegFDRI:
+				s.FrameDataWords++
+			case fpga.RegFAR:
+				s.FARWrites = append(s.FARWrites, w)
+			case fpga.RegIDCODE:
+				s.IDCode = w
+			case fpga.RegCMD:
+				s.Commands = append(s.Commands, w&0x1F)
+				if w&0x1F == fpga.CmdRCRC {
+					crc = fpga.UpdateCRC(crc, reg, w)
+					crc = 0
+					continue
+				}
+				if w&0x1F == fpga.CmdDesync {
+					s.Desynced = true
+				}
+			}
+			crc = fpga.UpdateCRC(crc, reg, w)
+		}
+		return nil
+	}
+	for i < len(words) {
+		if s.Desynced {
+			// Post-desync trailer: anything goes.
+			i++
+			continue
+		}
+		h := words[i]
+		i++
+		switch h >> 29 {
+		case 1:
+			reg := h >> 13 & 0x3FFF
+			op := h >> 27 & 0x3
+			lastReg = reg
+			if op == 2 {
+				if err := consume(reg, int(h&0x7FF)); err != nil {
+					return s, err
+				}
+			}
+		case 2:
+			if err := consume(lastReg, int(h&0x7FFFFFF)); err != nil {
+				return s, err
+			}
+		default:
+			return s, fmt.Errorf("bitstream: bad packet header %#08x at word %d", h, i-1)
+		}
+	}
+	return s, nil
+}
+
+// Validate runs Parse and applies the checks a safe-DPR controller
+// performs before committing a bitstream: well-formed packets, matching
+// IDCODE, valid CRC, and a terminating DESYNC.
+func Validate(words []uint32, dev *fpga.Device) error {
+	s, err := Parse(words)
+	if err != nil {
+		return err
+	}
+	if s.IDCode != 0 && s.IDCode != dev.IDCode {
+		return fmt.Errorf("bitstream: IDCODE %#08x does not match device %s (%#08x)",
+			s.IDCode, dev.Name, dev.IDCode)
+	}
+	if !s.CRCValid {
+		return fmt.Errorf("bitstream: embedded CRC check fails")
+	}
+	if !s.Desynced {
+		return fmt.Errorf("bitstream: stream does not end with DESYNC")
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package clint models the RISC-V core-local interruptor of the Ariane
+// SoC: the msip software-interrupt register, the mtimecmp comparator and
+// the mtime real-time counter. The paper uses the CLINT as its
+// measurement instrument: "The reconfiguration time is measured by the
+// CLINT component with a clock timer frequency of 5 MHz" (§IV-B).
+package clint
+
+import (
+	"fmt"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+// Standard CLINT register offsets (hart 0).
+const (
+	MSIPOffset     = 0x0000
+	MTimeCmpOffset = 0x4000
+	MTimeOffset    = 0xBFF8
+	// Size is the address-window size of the CLINT.
+	Size = 0xC000
+)
+
+// TimerDivider converts system clock cycles to mtime ticks: the 100 MHz
+// fabric clock against the paper's 5 MHz timer.
+const TimerDivider = 20
+
+// TimerHz is the mtime tick rate.
+const TimerHz = sim.ClockHz / TimerDivider
+
+// CLINT is the core-local interruptor for a single hart.
+type CLINT struct {
+	k        *sim.Kernel
+	mtimecmp uint64
+	msip     bool
+	cmpGen   uint64 // invalidates stale comparator events
+
+	// OnTimerInterrupt, if set, is called whenever the machine timer
+	// interrupt pending state changes.
+	OnTimerInterrupt func(pending bool)
+	// OnSoftInterrupt, if set, is called when msip changes.
+	OnSoftInterrupt func(pending bool)
+
+	timerPending bool
+}
+
+// New returns a CLINT with the comparator at its reset maximum (no
+// timer interrupt pending).
+func New(k *sim.Kernel) *CLINT {
+	return &CLINT{k: k, mtimecmp: ^uint64(0)}
+}
+
+// MTime returns the current value of the real-time counter.
+func (c *CLINT) MTime() uint64 { return uint64(c.k.Now()) / TimerDivider }
+
+// TimerPending reports whether the machine timer interrupt is pending.
+func (c *CLINT) TimerPending() bool { return c.MTime() >= c.mtimecmp }
+
+// SoftPending reports whether the machine software interrupt is pending.
+func (c *CLINT) SoftPending() bool { return c.msip }
+
+func (c *CLINT) notifyTimer() {
+	pending := c.TimerPending()
+	if pending == c.timerPending {
+		return
+	}
+	c.timerPending = pending
+	if c.OnTimerInterrupt != nil {
+		c.OnTimerInterrupt(pending)
+	}
+}
+
+// setCmp updates the comparator and (re)schedules the expiry event.
+func (c *CLINT) setCmp(v uint64) {
+	c.mtimecmp = v
+	c.cmpGen++
+	gen := c.cmpGen
+	c.notifyTimer()
+	if c.TimerPending() {
+		return
+	}
+	// Schedule the pending-edge at the cycle mtime reaches mtimecmp.
+	target := v * TimerDivider
+	if target <= uint64(sim.Forever) {
+		delay := sim.Time(target) - c.k.Now()
+		c.k.Schedule(delay, func() {
+			if gen == c.cmpGen {
+				c.notifyTimer()
+			}
+		})
+	}
+}
+
+func (c *CLINT) setMSIP(v bool) {
+	if v == c.msip {
+		return
+	}
+	c.msip = v
+	if c.OnSoftInterrupt != nil {
+		c.OnSoftInterrupt(v)
+	}
+}
+
+// Read implements the AXI slave interface. mtime supports 4- and 8-byte
+// reads (RV64 software reads it with a single ld).
+func (c *CLINT) Read(p *sim.Proc, addr uint64, buf []byte) error {
+	p.Sleep(1)
+	var v uint64
+	switch {
+	case addr == MSIPOffset && len(buf) == 4:
+		if c.msip {
+			v = 1
+		}
+	case addr == MTimeCmpOffset && (len(buf) == 8 || len(buf) == 4):
+		v = c.mtimecmp
+	case addr == MTimeCmpOffset+4 && len(buf) == 4:
+		v = c.mtimecmp >> 32
+	case addr == MTimeOffset && (len(buf) == 8 || len(buf) == 4):
+		v = c.MTime()
+	case addr == MTimeOffset+4 && len(buf) == 4:
+		v = c.MTime() >> 32
+	default:
+		return &axi.AccessError{Op: "read", Addr: addr,
+			Err: fmt.Errorf("%w: unsupported CLINT access (%d bytes)", axi.ErrSlave, len(buf))}
+	}
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// Write implements the AXI slave interface.
+func (c *CLINT) Write(p *sim.Proc, addr uint64, data []byte) error {
+	p.Sleep(1)
+	var v uint64
+	for i := len(data) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(data[i])
+	}
+	switch {
+	case addr == MSIPOffset && len(data) == 4:
+		c.setMSIP(v&1 != 0)
+	case addr == MTimeCmpOffset && len(data) == 8:
+		c.setCmp(v)
+	case addr == MTimeCmpOffset && len(data) == 4:
+		c.setCmp(c.mtimecmp&^uint64(0xFFFFFFFF) | v)
+	case addr == MTimeCmpOffset+4 && len(data) == 4:
+		c.setCmp(c.mtimecmp&0xFFFFFFFF | v<<32)
+	default:
+		return &axi.AccessError{Op: "write", Addr: addr,
+			Err: fmt.Errorf("%w: unsupported CLINT access (%d bytes)", axi.ErrSlave, len(data))}
+	}
+	return nil
+}
+
+var _ axi.Slave = (*CLINT)(nil)

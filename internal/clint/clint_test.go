@@ -1,0 +1,157 @@
+package clint
+
+import (
+	"errors"
+	"testing"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+func TestMTimeTicksAt5MHz(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	k.Schedule(1000, func() {
+		if got := c.MTime(); got != 50 {
+			t.Errorf("MTime at cycle 1000 = %d, want 50 (divider %d)", got, TimerDivider)
+		}
+	})
+	k.Run()
+	if TimerHz != 5_000_000 {
+		t.Errorf("TimerHz = %d, want 5 MHz", TimerHz)
+	}
+}
+
+func TestMTimeMMIORead(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	k.Schedule(4000, func() {
+		k.Go("rd", func(p *sim.Proc) {
+			v, err := axi.ReadU64(p, c, MTimeOffset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 200 {
+				t.Errorf("mtime = %d, want 200", v)
+			}
+			// 32-bit halves.
+			lo, _ := axi.ReadU32(p, c, MTimeOffset)
+			hi, _ := axi.ReadU32(p, c, MTimeOffset+4)
+			if lo != 200 || hi != 0 {
+				t.Errorf("mtime halves = %d/%d", lo, hi)
+			}
+		})
+	})
+	k.Run()
+}
+
+func TestTimerInterruptFires(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	var edges []sim.Time
+	var states []bool
+	c.OnTimerInterrupt = func(p bool) {
+		edges = append(edges, k.Now())
+		states = append(states, p)
+	}
+	k.Go("m", func(p *sim.Proc) {
+		// Arm the comparator for mtime = 50 -> cycle 500.
+		if err := axi.WriteU64(p, c, MTimeCmpOffset, 50); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.Run()
+	if len(edges) != 1 || edges[0] != 1000 || !states[0] {
+		t.Fatalf("timer edges = %v / %v, want pending at cycle 1000", edges, states)
+	}
+	if !c.TimerPending() {
+		t.Error("TimerPending false after expiry")
+	}
+}
+
+func TestTimerRearmCancelsStaleEvent(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	var edges []sim.Time
+	c.OnTimerInterrupt = func(p bool) {
+		if p {
+			edges = append(edges, k.Now())
+		}
+	}
+	k.Go("m", func(p *sim.Proc) {
+		axi.WriteU64(p, c, MTimeCmpOffset, 10) // would fire at cycle 200
+		p.Sleep(40)
+		axi.WriteU64(p, c, MTimeCmpOffset, 100) // re-arm for cycle 2000
+	})
+	k.Run()
+	if len(edges) != 1 || edges[0] != 2000 {
+		t.Fatalf("edges = %v, want [2000] (stale event cancelled)", edges)
+	}
+}
+
+func TestTimerCmpInPastFiresImmediately(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	fired := false
+	c.OnTimerInterrupt = func(p bool) { fired = p }
+	k.Schedule(1000, func() {
+		k.Go("m", func(p *sim.Proc) {
+			axi.WriteU64(p, c, MTimeCmpOffset, 5) // already past
+		})
+	})
+	k.Run()
+	if !fired {
+		t.Error("comparator in the past did not assert immediately")
+	}
+}
+
+func TestMSIP(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	var soft []bool
+	c.OnSoftInterrupt = func(p bool) { soft = append(soft, p) }
+	k.Go("m", func(p *sim.Proc) {
+		axi.WriteU32(p, c, MSIPOffset, 1)
+		v, _ := axi.ReadU32(p, c, MSIPOffset)
+		if v != 1 {
+			t.Errorf("msip readback = %d", v)
+		}
+		axi.WriteU32(p, c, MSIPOffset, 0)
+	})
+	k.Run()
+	if len(soft) != 2 || !soft[0] || soft[1] {
+		t.Errorf("soft edges = %v", soft)
+	}
+	if c.SoftPending() {
+		t.Error("msip still pending")
+	}
+}
+
+func TestBadAccess(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	k.Go("m", func(p *sim.Proc) {
+		var b [4]byte
+		if err := c.Read(p, 0x123, b[:]); !errors.Is(err, axi.ErrSlave) {
+			t.Errorf("bad read err = %v", err)
+		}
+		if err := c.Write(p, MTimeOffset, b[:]); !errors.Is(err, axi.ErrSlave) {
+			t.Errorf("mtime write err = %v (mtime is read-only here)", err)
+		}
+	})
+	k.Run()
+}
+
+func TestMTimeCmp32BitHalves(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k)
+	k.Go("m", func(p *sim.Proc) {
+		axi.WriteU32(p, c, MTimeCmpOffset, 0xDDCCBBAA)
+		axi.WriteU32(p, c, MTimeCmpOffset+4, 0x11223344)
+		v, _ := axi.ReadU64(p, c, MTimeCmpOffset)
+		if v != 0x11223344DDCCBBAA {
+			t.Errorf("mtimecmp = %#x", v)
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/dma"
+	"rvcap/internal/fpga"
+	"rvcap/internal/mem"
+	"rvcap/internal/sim"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	fab  *fpga.Fabric
+	part *fpga.Partition
+	ddr  *mem.DDR
+	c    *Controller
+	rm   *axi.Stream // acceleration-mode destination
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	part, err := fpga.AddDefaultPartition(fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		k:    k,
+		fab:  fab,
+		part: part,
+		ddr:  mem.NewDDR(k, 4<<20),
+		c:    New(k, fpga.NewICAP(fab)),
+		rm:   axi.NewStream(k, "rm.in", 1024),
+	}
+	r.c.DMA.Mem = r.ddr
+	r.c.AccelOut.Next = r.rm
+	return r
+}
+
+// reconfigure drives the three-step Listing 1 flow from a raw process
+// (the driver package wraps this with hart timing).
+func (r *rig) reconfigure(t *testing.T, addr uint64, size uint32) sim.Time {
+	t.Helper()
+	var took sim.Time
+	r.k.Go("sw", func(p *sim.Proc) {
+		regs, d := r.c.Regs, r.c.DMA.Regs
+		axi.WriteU32(p, regs, RegControl, 1)               // decouple_accel(1)
+		axi.WriteU32(p, regs, RegStreamSel, SelectICAPBit) // select_ICAP(1)
+		start := p.Now()
+		axi.WriteU32(p, d, dma.MM2SDMACR, dma.CRRunStop) // dma_start()
+		axi.WriteU32(p, d, dma.MM2SSA, uint32(addr))
+		axi.WriteU32(p, d, dma.MM2SLength, size)
+		p.Wait(r.c.ICAPDone())
+		took = p.Now() - start
+		axi.WriteU32(p, regs, RegControl, 0) // decouple_accel(0)
+		axi.WriteU32(p, regs, RegStreamSel, 0)
+	})
+	r.k.Run()
+	return took
+}
+
+func TestReconfigurationEndToEnd(t *testing.T) {
+	r := newRig(t)
+	im, err := bitstream.Partial(r.fab.Dev, r.part, "sobel",
+		bitstream.Options{PadToBytes: bitstream.DefaultBitstreamBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(r.fab, im)
+	r.ddr.Load(0x100000, im.Bytes())
+
+	took := r.reconfigure(t, 0x100000, uint32(im.SizeBytes()))
+
+	if r.part.Active() != "sobel" {
+		t.Fatalf("module not active: %q", r.part.Active())
+	}
+	// Transfer is ICAP-bound: one word per cycle plus pipeline fill.
+	words := sim.Time(im.SizeBytes() / 4)
+	if took < words || took > words+200 {
+		t.Errorf("transfer took %d cycles, want ~%d (ICAP-bound)", took, words)
+	}
+	// Throughput within the paper's ballpark: ~398-400 MB/s data phase.
+	mbps := sim.MBPerSec(im.SizeBytes(), took)
+	if mbps < 395 || mbps > 400 {
+		t.Errorf("data-phase throughput = %.1f MB/s, want 395-400", mbps)
+	}
+}
+
+func TestReconfigureTwiceSwapsModules(t *testing.T) {
+	r := newRig(t)
+	for i, m := range []string{"gaussian", "median"} {
+		im, err := bitstream.Partial(r.fab.Dev, r.part, m, bitstream.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitstream.Register(r.fab, im)
+		addr := uint64(0x100000 + i*0x100000)
+		r.ddr.Load(addr, im.Bytes())
+		r.reconfigure(t, addr, uint32(im.SizeBytes()))
+		if r.part.Active() != m {
+			t.Fatalf("after load %d: active = %q, want %s", i, r.part.Active(), m)
+		}
+	}
+	if r.part.Loads() != 2 {
+		t.Errorf("Loads = %d", r.part.Loads())
+	}
+}
+
+func TestAccelerationModeRoutesToRM(t *testing.T) {
+	r := newRig(t)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	r.ddr.Load(0, payload)
+	r.k.Go("sw", func(p *sim.Proc) {
+		// Acceleration mode: coupled, switch at RM (reset default).
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SDMACR, dma.CRRunStop)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SSA, 0)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SLength, 256)
+	})
+	r.k.Run()
+	if got := int(r.rm.Pushed()); got != 32 {
+		t.Errorf("RM received %d beats, want 32", got)
+	}
+	if r.c.ICAPWordsDelivered() != 0 {
+		t.Error("beats leaked to ICAP in acceleration mode")
+	}
+}
+
+func TestDecoupledRPDropsBeats(t *testing.T) {
+	r := newRig(t)
+	r.ddr.Load(0, make([]byte, 64))
+	r.k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, r.c.Regs, RegControl, 1) // decouple, but leave switch at RM
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SDMACR, dma.CRRunStop)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SSA, 0)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SLength, 64)
+	})
+	r.k.Run()
+	if r.rm.Pushed() != 0 {
+		t.Errorf("decoupled RM received %d beats", r.rm.Pushed())
+	}
+	if r.c.AccelOut.Dropped() != 8 {
+		t.Errorf("decoupler dropped %d beats, want 8", r.c.AccelOut.Dropped())
+	}
+}
+
+func TestDecoupleCallbacksAndReadback(t *testing.T) {
+	r := newRig(t)
+	var calls []int
+	r.c.OnDecouple = append(r.c.OnDecouple, func(rp int, d bool) {
+		if d {
+			calls = append(calls, rp)
+		} else {
+			calls = append(calls, -rp-1)
+		}
+	})
+	r.k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, r.c.Regs, RegControl, 0b101)
+		if !r.c.Decoupled(0) || r.c.Decoupled(1) || !r.c.Decoupled(2) {
+			t.Error("Decoupled bits wrong")
+		}
+		v, _ := axi.ReadU32(p, r.c.Regs, RegControl)
+		if v != 0b101 {
+			t.Errorf("control readback = %#x", v)
+		}
+		axi.WriteU32(p, r.c.Regs, RegControl, 0)
+	})
+	r.k.Run()
+	want := []int{0, 2, -1, -3}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestStreamSelReadbackAndMode(t *testing.T) {
+	r := newRig(t)
+	r.k.Go("sw", func(p *sim.Proc) {
+		if r.c.ReconfigMode() {
+			t.Error("reset state is reconfiguration mode")
+		}
+		axi.WriteU32(p, r.c.Regs, RegStreamSel, SelectICAPBit)
+		if !r.c.ReconfigMode() {
+			t.Error("SelectICAPBit did not enter reconfiguration mode")
+		}
+		v, _ := axi.ReadU32(p, r.c.Regs, RegStreamSel)
+		if v != SelectICAPBit {
+			t.Errorf("sel readback = %#x", v)
+		}
+	})
+	r.k.Run()
+}
+
+func TestStatusRegister(t *testing.T) {
+	r := newRig(t)
+	r.k.Go("sw", func(p *sim.Proc) {
+		v, _ := axi.ReadU32(p, r.c.Regs, RegStatus)
+		if v != 0 {
+			t.Errorf("idle status = %#x", v)
+		}
+	})
+	r.k.Run()
+	// Force an ICAP error: feed garbage via a synced stream.
+	ic := fpga.NewICAP(r.fab)
+	c2 := New(r.k, ic)
+	ic.WriteWord(fpga.SyncWord)
+	ic.WriteWord(0xE0000000) // invalid packet type
+	r.k.Go("sw2", func(p *sim.Proc) {
+		v, _ := axi.ReadU32(p, c2.Regs, RegStatus)
+		if v&StatusICAPError == 0 {
+			t.Errorf("status = %#x, want ICAPError", v)
+		}
+	})
+	r.k.Run()
+}
+
+func TestRMControlStatusForwarding(t *testing.T) {
+	r := newRig(t)
+	var ctrl uint32
+	r.c.RMControl = func(v uint32) { ctrl = v }
+	r.c.RMStatus = func() uint32 { return 0x55AA }
+	r.k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, r.c.Regs, RegRMCtrl, 0x1234)
+		v, _ := axi.ReadU32(p, r.c.Regs, RegRMStatus)
+		if v != 0x55AA {
+			t.Errorf("RM status = %#x", v)
+		}
+	})
+	r.k.Run()
+	if ctrl != 0x1234 {
+		t.Errorf("RM control = %#x", ctrl)
+	}
+}
+
+func TestOddSizeBitstreamTailHandled(t *testing.T) {
+	// A stream whose byte count is 4-aligned but not 8-aligned ends in
+	// a half-valid beat; the converter must emit exactly one word for it.
+	r := newRig(t)
+	payload := bitstream.WordsToBytes([]uint32{fpga.DummyWord, fpga.DummyWord, fpga.DummyWord})
+	r.ddr.Load(0, payload) // 12 bytes = 1.5 beats
+	r.k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, r.c.Regs, RegStreamSel, SelectICAPBit)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SDMACR, dma.CRRunStop)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SSA, 0)
+		axi.WriteU32(p, r.c.DMA.Regs, dma.MM2SLength, 12)
+		p.Wait(r.c.ICAPDone())
+	})
+	r.k.Run()
+	if got := r.c.ICAPWordsDelivered(); got != 3 {
+		t.Errorf("ICAP words = %d, want 3", got)
+	}
+}

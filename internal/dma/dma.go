@@ -1,0 +1,270 @@
+// Package dma models the Xilinx AXI DMA IP in direct register mode, as
+// instantiated inside the RV-CAP controller (paper §III-B item 1): a
+// 64-bit memory-mapped master reading from / writing to the SoC DDR
+// through the additional crossbar, an MM2S read channel streaming onto
+// the AXI-Stream switch, an S2MM write channel absorbing result streams
+// from the reconfigurable module, an AXI4-Lite control interface, and
+// per-channel completion interrupts wired to the PLIC.
+package dma
+
+import (
+	"fmt"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+// Register offsets (Xilinx AXI DMA direct register mode, PG021).
+const (
+	MM2SDMACR   = 0x00
+	MM2SDMASR   = 0x04
+	MM2SSA      = 0x18
+	MM2SSAMSB   = 0x1C
+	MM2SLength  = 0x28
+	S2MMDMACR   = 0x30
+	S2MMDMASR   = 0x34
+	S2MMDA      = 0x48
+	S2MMDAMSB   = 0x4C
+	S2MMLength  = 0x58
+	RegFileSize = 0x60
+)
+
+// DMACR bits.
+const (
+	CRRunStop  = 1 << 0
+	CRReset    = 1 << 2
+	CRIOCIrqEn = 1 << 12
+)
+
+// DMASR bits.
+const (
+	SRHalted = 1 << 0
+	SRIdle   = 1 << 1
+	SRIOCIrq = 1 << 12
+)
+
+// DefaultBurstBeats is the paper's configuration: "The maximum AXI burst
+// size of the DMA controller is set to 16" (§IV-A), i.e. 16 beats of 8
+// bytes = 128-byte bursts.
+const DefaultBurstBeats = 16
+
+// channel holds the architectural state of one DMA direction.
+type channel struct {
+	name    string
+	cr      uint32
+	sr      uint32
+	addr    uint64
+	length  uint32
+	busy    bool
+	started uint64
+	bytes   uint64
+}
+
+func (c *channel) running() bool { return c.cr&CRRunStop != 0 }
+
+// DMA is the AXI DMA engine.
+type DMA struct {
+	k    *sim.Kernel
+	name string
+
+	// Regs is the AXI4-Lite programming interface (behind the width and
+	// protocol converters in the SoC wiring).
+	Regs *axi.RegFile
+	// Mem is the 64-bit master port toward DDR.
+	Mem axi.Slave
+	// MM2SOut receives the read channel's stream (the AXIS switch).
+	MM2SOut axi.StreamSink
+	// S2MMIn supplies the write channel's stream (from the RM).
+	S2MMIn axi.StreamSource
+
+	// OnMM2SIrq / OnS2MMIrq report interrupt line changes (wired to two
+	// PLIC sources).
+	OnMM2SIrq func(high bool)
+	OnS2MMIrq func(high bool)
+
+	// BurstBeats is the maximum burst length in 8-byte beats.
+	BurstBeats int
+
+	mm2s channel
+	s2mm channel
+}
+
+// New returns a DMA whose master port and stream endpoints are wired by
+// the caller before any transfer starts.
+func New(k *sim.Kernel, name string) *DMA {
+	d := &DMA{k: k, name: name, BurstBeats: DefaultBurstBeats}
+	d.mm2s = channel{name: name + ".mm2s", sr: SRHalted}
+	d.s2mm = channel{name: name + ".s2mm", sr: SRHalted}
+	d.Regs = axi.NewRegFile(name+".regs", RegFileSize)
+	d.wireRegs()
+	return d
+}
+
+func (d *DMA) wireRegs() {
+	r := d.Regs
+	r.OnWrite(MM2SDMACR, func(v uint32) { d.writeCR(&d.mm2s, v, d.OnMM2SIrq) })
+	r.OnRead(MM2SDMACR, func() uint32 { return d.mm2s.cr })
+	r.OnWrite(MM2SDMASR, func(v uint32) { d.writeSR(&d.mm2s, v, d.OnMM2SIrq) })
+	r.OnRead(MM2SDMASR, func() uint32 { return d.mm2s.sr })
+	r.OnWrite(MM2SSA, func(v uint32) { d.mm2s.addr = d.mm2s.addr&^uint64(0xFFFFFFFF) | uint64(v) })
+	r.OnWrite(MM2SSAMSB, func(v uint32) { d.mm2s.addr = d.mm2s.addr&0xFFFFFFFF | uint64(v)<<32 })
+	r.OnWrite(MM2SLength, func(v uint32) { d.startMM2S(v) })
+	r.OnRead(MM2SLength, func() uint32 { return d.mm2s.length })
+
+	r.OnWrite(S2MMDMACR, func(v uint32) { d.writeCR(&d.s2mm, v, d.OnS2MMIrq) })
+	r.OnRead(S2MMDMACR, func() uint32 { return d.s2mm.cr })
+	r.OnWrite(S2MMDMASR, func(v uint32) { d.writeSR(&d.s2mm, v, d.OnS2MMIrq) })
+	r.OnRead(S2MMDMASR, func() uint32 { return d.s2mm.sr })
+	r.OnWrite(S2MMDA, func(v uint32) { d.s2mm.addr = d.s2mm.addr&^uint64(0xFFFFFFFF) | uint64(v) })
+	r.OnWrite(S2MMDAMSB, func(v uint32) { d.s2mm.addr = d.s2mm.addr&0xFFFFFFFF | uint64(v)<<32 })
+	r.OnWrite(S2MMLength, func(v uint32) { d.startS2MM(v) })
+	r.OnRead(S2MMLength, func() uint32 { return d.s2mm.length })
+}
+
+func (d *DMA) writeCR(c *channel, v uint32, irq func(bool)) {
+	if v&CRReset != 0 {
+		// Soft reset: halt, clear status and pending interrupt.
+		c.cr = 0
+		hadIrq := c.sr&SRIOCIrq != 0
+		c.sr = SRHalted
+		if hadIrq && irq != nil {
+			irq(false)
+		}
+		return
+	}
+	c.cr = v &^ CRReset
+	if c.running() {
+		c.sr &^= SRHalted
+		if !c.busy {
+			c.sr |= SRIdle
+		}
+	} else {
+		c.sr |= SRHalted
+	}
+}
+
+func (d *DMA) writeSR(c *channel, v uint32, irq func(bool)) {
+	// Write-1-to-clear interrupt bits.
+	if v&SRIOCIrq != 0 && c.sr&SRIOCIrq != 0 {
+		c.sr &^= SRIOCIrq
+		if irq != nil {
+			irq(false)
+		}
+	}
+}
+
+func (d *DMA) complete(c *channel, irq func(bool)) {
+	c.busy = false
+	c.sr |= SRIdle
+	c.sr |= SRIOCIrq
+	if c.cr&CRIOCIrqEn != 0 && irq != nil {
+		irq(true)
+	}
+}
+
+// startMM2S launches the read channel: fetch length bytes from DDR in
+// bursts and push them as 64-bit beats into MM2SOut. Writing LENGTH
+// while halted or mid-transfer is ignored, as on the real IP.
+func (d *DMA) startMM2S(length uint32) {
+	c := &d.mm2s
+	if !c.running() || c.busy || length == 0 {
+		return
+	}
+	c.length = length
+	c.busy = true
+	c.sr &^= SRIdle
+	c.started++
+	addr := c.addr
+	d.k.Go(c.name, func(p *sim.Proc) {
+		burstBytes := d.BurstBeats * 8
+		remaining := int(length)
+		buf := make([]byte, burstBytes)
+		for remaining > 0 {
+			n := burstBytes
+			if n > remaining {
+				n = remaining
+			}
+			if err := d.Mem.Read(p, addr, buf[:n]); err != nil {
+				panic(fmt.Sprintf("dma: %s read %#x: %v", c.name, addr, err))
+			}
+			for off := 0; off < n; off += 8 {
+				var beat axi.Beat
+				for i := 0; i < 8 && off+i < n; i++ {
+					beat.Data |= uint64(buf[off+i]) << (8 * i)
+					beat.Keep |= 1 << i
+				}
+				beat.Last = remaining == n && off+8 >= n
+				d.MM2SOut.Push(p, beat)
+			}
+			addr += uint64(n)
+			remaining -= n
+			c.bytes += uint64(n)
+		}
+		d.complete(c, d.OnMM2SIrq)
+	})
+}
+
+// startS2MM launches the write channel: absorb beats from S2MMIn until
+// length bytes or TLAST, writing bursts to DDR. The LENGTH register is
+// updated with the actual byte count on completion, as on the real IP.
+func (d *DMA) startS2MM(length uint32) {
+	c := &d.s2mm
+	if !c.running() || c.busy || length == 0 {
+		return
+	}
+	c.length = length
+	c.busy = true
+	c.sr &^= SRIdle
+	c.started++
+	addr := c.addr
+	d.k.Go(c.name, func(p *sim.Proc) {
+		burstBytes := d.BurstBeats * 8
+		buf := make([]byte, 0, burstBytes)
+		total := 0
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			if err := d.Mem.Write(p, addr, buf); err != nil {
+				panic(fmt.Sprintf("dma: %s write %#x: %v", c.name, addr, err))
+			}
+			addr += uint64(len(buf))
+			c.bytes += uint64(len(buf))
+			buf = buf[:0]
+		}
+		for total < int(length) {
+			beat := d.S2MMIn.Pop(p)
+			for i := 0; i < 8 && total < int(length); i++ {
+				if beat.Keep&(1<<i) == 0 {
+					continue
+				}
+				buf = append(buf, byte(beat.Data>>(8*i)))
+				total++
+			}
+			if len(buf) >= burstBytes {
+				flush()
+			}
+			if beat.Last {
+				break
+			}
+		}
+		flush()
+		c.length = uint32(total)
+		d.complete(c, d.OnS2MMIrq)
+	})
+}
+
+// MM2SBusy reports whether the read channel has a transfer in flight.
+func (d *DMA) MM2SBusy() bool { return d.mm2s.busy }
+
+// S2MMBusy reports whether the write channel has a transfer in flight.
+func (d *DMA) S2MMBusy() bool { return d.s2mm.busy }
+
+// MM2SBytes returns the total bytes the read channel has moved.
+func (d *DMA) MM2SBytes() uint64 { return d.mm2s.bytes }
+
+// S2MMBytes returns the total bytes the write channel has moved.
+func (d *DMA) S2MMBytes() uint64 { return d.s2mm.bytes }
+
+// Transfers returns how many transfers each channel has started.
+func (d *DMA) Transfers() (mm2s, s2mm uint64) { return d.mm2s.started, d.s2mm.started }

@@ -1,0 +1,166 @@
+package driver
+
+import (
+	"fmt"
+
+	"rvcap/internal/dma"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// AccelResult is the timing of one acceleration-mode run (one image
+// through the active RM).
+type AccelResult struct {
+	// ComputeMicros is T_c: "the accelerator computation time to apply
+	// the filter on an image and write back the output to the memory"
+	// (paper §IV-D).
+	ComputeMicros float64
+	// Bytes is the input payload size.
+	Bytes int
+}
+
+// RunAccelerator streams nBytes from inAddr through the active RM and
+// writes the result to outAddr, using the RV-CAP controller in
+// acceleration mode ("The image input is stored in the DDR memory to be
+// loaded by the RV-CAP controller (in accelerator mode) after the
+// reconfiguration process", §IV-D). It returns the measured T_c.
+func (d *RVCAP) RunAccelerator(p *sim.Proc, inAddr, outAddr uint64, nBytes uint32) (AccelResult, error) {
+	t := NewTimer(d.S)
+	t0, err := d.StartAccelerator(p, inAddr, outAddr, nBytes)
+	if err != nil {
+		return AccelResult{}, err
+	}
+	// Completion: the S2MM channel has written the last output byte.
+	if d.Mode == NonBlocking {
+		if err := d.WaitAcceleratorDone(p); err != nil {
+			return AccelResult{}, err
+		}
+	} else {
+		if err := d.pollIdle(p, dma.S2MMDMASR); err != nil {
+			return AccelResult{}, err
+		}
+	}
+	t1, err := t.Now(p)
+	if err != nil {
+		return AccelResult{}, err
+	}
+	return AccelResult{
+		ComputeMicros: TicksToMicros(t1 - t0),
+		Bytes:         int(nBytes),
+	}, nil
+}
+
+// StartAccelerator programs both DMA channels for an acceleration-mode
+// pass and returns once the transfer is launched (the CLINT start
+// timestamp is returned for the caller's measurement). With Mode
+// NonBlocking, the S2MM completion interrupt is armed and the processor
+// is free for other work — the paper's motivation for routing the DMA
+// interrupts to the PLIC; reap with WaitAcceleratorDone.
+func (d *RVCAP) StartAccelerator(p *sim.Proc, inAddr, outAddr uint64, nBytes uint32) (uint64, error) {
+	if d.S.RP == nil || d.S.RP.Active() == "" {
+		return 0, ErrNoActiveModule
+	}
+	h := d.S.Hart
+	t := NewTimer(d.S)
+
+	// Ensure acceleration mode: coupled, switch to the RM.
+	if err := d.DecoupleAccel(p, false); err != nil {
+		return 0, err
+	}
+	if err := d.SelectICAP(p, false); err != nil {
+		return 0, err
+	}
+
+	t0, err := t.Now(p)
+	if err != nil {
+		return 0, err
+	}
+
+	// Arm the write-back channel first so no output beat is lost.
+	h.Exec(p, apiCallInstr)
+	s2mmCR := uint32(dma.CRRunStop)
+	if d.Mode == NonBlocking {
+		s2mmCR |= dma.CRIOCIrqEn
+	}
+	if err := h.Store32(p, soc.DMABase+dma.S2MMDMACR, s2mmCR); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.S2MMDMASR, dma.SRIOCIrq); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.S2MMDA, uint32(outAddr)); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.S2MMDAMSB, uint32(outAddr>>32)); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.S2MMLength, nBytes); err != nil {
+		return 0, err
+	}
+	// Launch the read channel feeding the filter.
+	if err := h.Store32(p, soc.DMABase+dma.MM2SDMACR, dma.CRRunStop); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.MM2SSA, uint32(inAddr)); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.MM2SSAMSB, uint32(inAddr>>32)); err != nil {
+		return 0, err
+	}
+	if err := h.Store32(p, soc.DMABase+dma.MM2SLength, nBytes); err != nil {
+		return 0, err
+	}
+	return t0, nil
+}
+
+// WaitAcceleratorDone rides the S2MM completion interrupt of a transfer
+// started with StartAccelerator in non-blocking mode.
+func (d *RVCAP) WaitAcceleratorDone(p *sim.Proc) error {
+	return d.waitChannelIRQ(p, dma.S2MMDMASR, soc.IRQDMAS2MM)
+}
+
+// waitChannelIRQ sleeps until the given DMA channel raises its
+// completion interrupt, then acknowledges channel and PLIC.
+func (d *RVCAP) waitChannelIRQ(p *sim.Proc, srOffset uint64, wantSrc uint32) error {
+	h := d.S.Hart
+	for {
+		sr, err := h.Load32(p, soc.DMABase+srOffset)
+		if err != nil {
+			return err
+		}
+		if sr&dma.SRIOCIrq != 0 {
+			break
+		}
+		h.WaitIRQ(p)
+		h.Exec(p, trapDispatchInstr)
+	}
+	h.Exec(p, apiCallInstr)
+	id, err := h.Load32(p, soc.PLICBase+plicClaimOffset)
+	if err != nil {
+		return err
+	}
+	if err := h.Store32(p, soc.DMABase+srOffset, dma.SRIOCIrq); err != nil {
+		return err
+	}
+	if err := h.Store32(p, soc.PLICBase+plicClaimOffset, id); err != nil {
+		return err
+	}
+	if id != wantSrc && id != 0 {
+		return fmt.Errorf("driver: unexpected interrupt source %d (want %d)", id, wantSrc)
+	}
+	return nil
+}
+
+func (d *RVCAP) pollIdle(p *sim.Proc, srOffset uint64) error {
+	h := d.S.Hart
+	for {
+		sr, err := h.Load32(p, soc.DMABase+srOffset)
+		if err != nil {
+			return err
+		}
+		h.BranchAfterMMIO(p)
+		if sr&dma.SRIdle != 0 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,542 @@
+package driver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/axi"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/fat32"
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// buildSoC returns a SoC with the three filter RMs registered.
+func buildSoC(t *testing.T, cfg soc.Config) *soc.SoC {
+	t.Helper()
+	k := sim.NewKernel()
+	s, err := soc.New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range accel.Filters {
+		name := f
+		s.RegisterRM(name, func(k *sim.Kernel) (*axi.Stream, *axi.Stream) {
+			e, err := accel.NewEngine(k, name, accel.DefaultWidth, accel.DefaultHeight)
+			if err != nil {
+				panic(err)
+			}
+			return e.In(), e.Out()
+		})
+	}
+	return s
+}
+
+// stage generates, registers and loads a module bitstream into DDR.
+func stage(t *testing.T, s *soc.SoC, module string, addr uint64, padded bool) *ReconfigModule {
+	t.Helper()
+	opts := bitstream.Options{}
+	if padded {
+		opts.PadToBytes = bitstream.DefaultBitstreamBytes
+	}
+	im, err := bitstream.Partial(s.Fabric.Dev, s.RP, module, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(addr, im.Bytes())
+	return &ReconfigModule{
+		BitstreamName: module + ".bin",
+		Function:      module,
+		StartAddress:  addr,
+		PbitSize:      uint32(im.SizeBytes()),
+	}
+}
+
+func TestReconfigMatchesPaperTiming(t *testing.T) {
+	// Paper §IV-B: T_d = 18 µs, T_r = 1651 µs for the 650 892-byte
+	// bitstream in interrupt (non-blocking) mode.
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	m := stage(t, s, accel.Sobel, 0x100000, true)
+	var res Result
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		res, err = d.InitReconfigProcess(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.RP.Active() != accel.Sobel {
+		t.Fatalf("module not active: %q", s.RP.Active())
+	}
+	if res.DecisionMicros < 17 || res.DecisionMicros > 19 {
+		t.Errorf("T_d = %.2f us, want 18 +/- 1 (paper)", res.DecisionMicros)
+	}
+	if res.ReconfigMicros < 1640 || res.ReconfigMicros > 1660 {
+		t.Errorf("T_r = %.2f us, want 1651 +/- 10 (paper)", res.ReconfigMicros)
+	}
+	if thr := res.ThroughputMBs(); thr < 390 || thr > 400 {
+		t.Errorf("throughput = %.1f MB/s, want 390-400", thr)
+	}
+}
+
+func TestReconfigBlockingMode(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	d.Mode = Blocking
+	m := stage(t, s, accel.Median, 0x100000, false)
+	s.Run("sw", func(p *sim.Proc) {
+		res, err := d.InitReconfigProcess(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ReconfigMicros <= 0 {
+			t.Error("no reconfig time measured")
+		}
+	})
+	if s.RP.Active() != accel.Median {
+		t.Fatalf("module not active in blocking mode: %q", s.RP.Active())
+	}
+}
+
+func TestModuleSwapSequence(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	mods := []*ReconfigModule{
+		stage(t, s, accel.Gaussian, 0x100000, false),
+		stage(t, s, accel.Median, 0x200000, false),
+		stage(t, s, accel.Sobel, 0x300000, false),
+	}
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range mods {
+			if _, err := d.InitReconfigProcess(p, m); err != nil {
+				t.Fatalf("swap %d: %v", i, err)
+			}
+			if s.RP.Active() != m.Function {
+				t.Fatalf("swap %d: active %q, want %s", i, s.RP.Active(), m.Function)
+			}
+		}
+	})
+	if s.RP.Loads() != 3 {
+		t.Errorf("Loads = %d", s.RP.Loads())
+	}
+}
+
+func TestHWICAPThroughputMatchesPaper(t *testing.T) {
+	// Paper §IV-B: 4.16 MB/s blocking loop (U=1), 8.23 MB/s at U=16,
+	// under 5 % further gain at U=32.
+	cases := []struct {
+		unroll   int
+		min, max float64
+	}{
+		{1, 4.0, 4.3},
+		{16, 8.0, 8.45},
+	}
+	var thr16, thr32 float64
+	for _, c := range cases {
+		s := buildSoC(t, soc.Config{})
+		hd := NewHWICAPDriver(s)
+		hd.Unroll = c.unroll
+		m := stage(t, s, accel.Sobel, 0x100000, false)
+		var res Result
+		s.Run("sw", func(p *sim.Proc) {
+			var err error
+			res, err = hd.InitReconfigProcess(p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if s.RP.Active() != accel.Sobel {
+			t.Fatalf("U=%d: module not active", c.unroll)
+		}
+		thr := res.ThroughputMBs()
+		if thr < c.min || thr > c.max {
+			t.Errorf("U=%d throughput = %.3f MB/s, want [%.2f, %.2f]", c.unroll, thr, c.min, c.max)
+		}
+		if c.unroll == 16 {
+			thr16 = thr
+		}
+	}
+	// "The expected further increase in throughput for a higher loop
+	// unroll factor is less than 5%".
+	s := buildSoC(t, soc.Config{})
+	hd := NewHWICAPDriver(s)
+	hd.Unroll = 32
+	m := stage(t, s, accel.Sobel, 0x100000, false)
+	s.Run("sw", func(p *sim.Proc) {
+		res, err := hd.InitReconfigProcess(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr32 = res.ThroughputMBs()
+	})
+	if gain := (thr32 - thr16) / thr16; gain >= 0.05 {
+		t.Errorf("U=32 gain over U=16 = %.1f%%, paper says < 5%%", gain*100)
+	}
+}
+
+func TestAcceleratorTableIV(t *testing.T) {
+	// Paper Table IV: T_c = 606 (Gaussian), 598 (Median), 588 (Sobel)
+	// µs on a 512x512 8-bit image; outputs must equal the references.
+	targets := map[string]float64{
+		accel.Gaussian: 606,
+		accel.Median:   598,
+		accel.Sobel:    588,
+	}
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	img := accel.TestPattern(accel.DefaultWidth, accel.DefaultHeight)
+	const inAddr, outAddr = 0x200000, 0x300000
+	s.DDR.Load(inAddr, img.Pix)
+
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range accel.Filters {
+			m := stage(t, s, f, uint64(0x400000+i*0x100000), true)
+			if _, err := d.InitReconfigProcess(p, m); err != nil {
+				t.Fatal(err)
+			}
+			d.Mode = Blocking // T_c is the pure accelerator time
+			res, err := d.RunAccelerator(p, inAddr, outAddr, uint32(len(img.Pix)))
+			d.Mode = NonBlocking
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			want := targets[f]
+			if res.ComputeMicros < want*0.98 || res.ComputeMicros > want*1.02 {
+				t.Errorf("%s T_c = %.1f us, want %.0f +/- 2%%", f, res.ComputeMicros, want)
+			}
+			ref, _ := accel.Apply(f, img)
+			got := s.DDR.Peek(outAddr, len(img.Pix))
+			if !bytes.Equal(got, ref.Pix) {
+				t.Errorf("%s output differs from software reference", f)
+			}
+		}
+	})
+}
+
+func TestAcceleratorWithoutModuleFails(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	s.Run("sw", func(p *sim.Proc) {
+		_, err := d.RunAccelerator(p, 0, 0x1000, 64)
+		if !errors.Is(err, ErrNoActiveModule) {
+			t.Errorf("err = %v, want ErrNoActiveModule", err)
+		}
+	})
+}
+
+func TestHWICAPOddSizeRejected(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	hd := NewHWICAPDriver(s)
+	s.Run("sw", func(p *sim.Proc) {
+		if err := hd.ReconfigureRP(p, 0, 13); err == nil {
+			t.Error("unaligned size accepted")
+		}
+	})
+}
+
+func TestTimerMatchesKernelTime(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	tm := NewTimer(s)
+	s.Run("sw", func(p *sim.Proc) {
+		t0, err := tm.Now(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.FromMicros(100))
+		t1, err := tm.Now(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el := TicksToMicros(t1 - t0)
+		if el < 99 || el > 101 {
+			t.Errorf("timer measured %.2f us for a 100 us sleep", el)
+		}
+	})
+}
+
+func TestSDFATBitstreamLoadPath(t *testing.T) {
+	// The full Listing 1 step 1: files on a FAT32 SD card, loaded over
+	// SPI into DDR by init_RModules.
+	disk := fat32.NewRAMDisk(64 * 1024) // 32 MiB card
+	var payload []byte
+	hostK := sim.NewKernel()
+	hostK.Go("host", func(p *sim.Proc) {
+		fs, err := fat32.Mkfs(p, disk, fat32.MkfsOptions{Label: "RVCAP"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = make([]byte, 48*1024)
+		for i := range payload {
+			payload[i] = byte(i * 131)
+		}
+		if err := fs.WriteFile(p, "PBIT.BIN", payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hostK.Run()
+
+	s := buildSoC(t, soc.Config{SDImage: disk.Image()})
+	sd := NewSD(s)
+	m := &ReconfigModule{BitstreamName: "PBIT.BIN", StartAddress: 0x500000}
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fat32.Mount(p, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := InitRModules(p, s, fs, []*ReconfigModule{m}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if m.PbitSize != uint32(len(payload)) {
+		t.Errorf("PbitSize = %d, want %d", m.PbitSize, len(payload))
+	}
+	if got := s.DDR.Peek(m.StartAddress, len(payload)); !bytes.Equal(got, payload) {
+		t.Error("DDR contents differ from the SD file")
+	}
+	if s.Card.Reads() == 0 {
+		t.Error("no SD block reads recorded")
+	}
+}
+
+func TestSDWriteBackThroughDriver(t *testing.T) {
+	// The FAT32 layer can also write via the SD driver (the paper's
+	// file functions support writing and overwriting).
+	disk := fat32.NewRAMDisk(32 * 1024)
+	hostK := sim.NewKernel()
+	hostK.Go("host", func(p *sim.Proc) {
+		if _, err := fat32.Mkfs(p, disk, fat32.MkfsOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hostK.Run()
+
+	s := buildSoC(t, soc.Config{SDImage: disk.Image()})
+	sd := NewSD(s)
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fat32.Mount(p, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile(p, "LOG.TXT", []byte("swap ok")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(p, "LOG.TXT")
+		if err != nil || string(got) != "swap ok" {
+			t.Errorf("read back %q, %v", got, err)
+		}
+	})
+	if s.Card.Writes() == 0 {
+		t.Error("no SD block writes recorded")
+	}
+}
+
+func TestSDInitWithoutCard(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	sd := NewSD(s)
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); !errors.Is(err, ErrNoCard) {
+			t.Errorf("err = %v, want ErrNoCard", err)
+		}
+		if err := sd.ReadBlock(p, 0, make([]byte, 512)); err == nil {
+			t.Error("read before init succeeded")
+		}
+	})
+}
+
+func TestInitRModulesMissingFile(t *testing.T) {
+	disk := fat32.NewRAMDisk(32 * 1024)
+	hostK := sim.NewKernel()
+	hostK.Go("host", func(p *sim.Proc) {
+		if _, err := fat32.Mkfs(p, disk, fat32.MkfsOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hostK.Run()
+	s := buildSoC(t, soc.Config{SDImage: disk.Image()})
+	sd := NewSD(s)
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fat32.Mount(p, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &ReconfigModule{BitstreamName: "GHOST.BIN", StartAddress: 0}
+		if err := InitRModules(p, s, fs, []*ReconfigModule{m}); !errors.Is(err, fat32.ErrNotFound) {
+			t.Errorf("err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestResultThroughputZeroTime(t *testing.T) {
+	if (Result{Bytes: 100}).ThroughputMBs() != 0 {
+		t.Error("zero-time throughput not zero")
+	}
+}
+
+func TestCorruptedBitstreamReported(t *testing.T) {
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	im, err := bitstream.Partial(s.Fabric.Dev, s.RP, "broken", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := im.Bytes()
+	raw[len(raw)/2] ^= 0xFF // corrupt a payload byte -> CRC check fails
+	s.DDR.Load(0x100000, raw)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(len(raw))}
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		_, err := d.InitReconfigProcess(p, m)
+		if err == nil {
+			t.Error("corrupted bitstream load reported success")
+		}
+	})
+	if s.RP.Active() != "" {
+		t.Errorf("corrupted load activated %q", s.RP.Active())
+	}
+}
+
+func ExampleResult_ThroughputMBs() {
+	r := Result{ReconfigMicros: 1651, Bytes: 650892}
+	fmt.Printf("%.1f MB/s\n", r.ThroughputMBs())
+	// Output: 394.2 MB/s
+}
+
+func TestStartThenWaitAcceleratorSplit(t *testing.T) {
+	// The split start/wait API used by the multi-rp overlap example.
+	s := buildSoC(t, soc.Config{})
+	d := NewRVCAP(s)
+	m := stage(t, s, accel.Sobel, 0x100000, false)
+	img := accel.TestPattern(accel.DefaultWidth, accel.DefaultHeight)
+	s.DDR.Load(0x200000, img.Pix)
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+		start, err := d.StartAccelerator(p, 0x200000, 0x300000, uint32(len(img.Pix)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start == 0 {
+			t.Error("start timestamp is zero")
+		}
+		// CPU does other work while the accelerator runs.
+		s.Hart.Exec(p, 1000)
+		if err := d.WaitAcceleratorDone(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ref, _ := accel.Apply(accel.Sobel, img)
+	if !bytes.Equal(s.DDR.Peek(0x300000, len(img.Pix)), ref.Pix) {
+		t.Error("overlapped accel output wrong")
+	}
+}
+
+func TestSDBlocksAccessor(t *testing.T) {
+	disk := fat32.NewRAMDisk(2048)
+	s := buildSoC(t, soc.Config{SDImage: disk.Image()})
+	sd := NewSD(s)
+	if sd.Blocks() != 2048 {
+		t.Errorf("Blocks = %d", sd.Blocks())
+	}
+	s2 := buildSoC(t, soc.Config{})
+	if NewSD(s2).Blocks() != 0 {
+		t.Error("Blocks without card != 0")
+	}
+}
+
+func TestPortabilityToArtix7(t *testing.T) {
+	// The paper's §V claim: "the proposed implementation can be ported
+	// to all Xilinx FPGA devices that support DPR". Run the complete
+	// RV-CAP flow unchanged on an Artix-7-class device: only the fabric
+	// geometry (and hence bitstream size) differs; the controller, the
+	// drivers and the throughput behaviour carry over.
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{
+		Device:               fpga.NewArtix7(),
+		SkipDefaultPartition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fabric.Dev.Name != "XC7A100T-sim" {
+		t.Fatalf("device = %s", s.Fabric.Dev.Name)
+	}
+	part, err := fpga.NewSpanPartition(s.Fabric, "RP0", 1, 2, 6, 20, fpga.DefaultRPReserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RP = part
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "portmod", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	d := NewRVCAP(s)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+	var res Result
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		res, err = d.InitReconfigProcess(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if part.Active() != "portmod" {
+		t.Fatalf("module not active on Artix-7: %q", part.Active())
+	}
+	// Same RP shape as the Kintex default (2 rows x 15 cols): identical
+	// frame count, near-identical timing — the data path is device-
+	// independent, as the portability claim requires.
+	if part.NumFrames() != 1544 {
+		t.Errorf("frames = %d, want 1544", part.NumFrames())
+	}
+	words := float64(im.SizeBytes()) / 4
+	expect := words / 100 // ICAP-bound: 1 word/cycle at 100 MHz, in us
+	if res.ReconfigMicros < expect || res.ReconfigMicros > expect+30 {
+		t.Errorf("T_r on Artix = %.1f us, want ~%.1f (device-independent)", res.ReconfigMicros, expect)
+	}
+	// A Kintex bitstream must NOT load on the Artix (IDCODE check).
+	kfab := fpga.NewFabric(fpga.NewKintex7())
+	kpart, _ := fpga.AddDefaultPartition(kfab)
+	kim, _ := bitstream.Partial(kfab.Dev, kpart, "alien", bitstream.Options{})
+	s.DDR.Load(0x300000, kim.Bytes())
+	s.Run("sw2", func(p *sim.Proc) {
+		s.ICAP.ClearError()
+		_, err := d.InitReconfigProcess(p, &ReconfigModule{StartAddress: 0x300000, PbitSize: uint32(kim.SizeBytes())})
+		if err == nil {
+			t.Error("foreign-device bitstream accepted")
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package driver
+
+import (
+	"fmt"
+
+	"rvcap/internal/hwicap"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// HWICAPDriver is the Listing 2 driver: the modified Xilinx AXI_HWICAP
+// driver that lets the RISC-V core perform partial reconfiguration
+// through the vendor IP. The processor itself moves every word — load
+// from DDR (cached), store to the keyhole write-FIFO register
+// (uncached) — which makes the transfer CPU-bound.
+//
+// Unroll is the store-loop unrolling factor. "Software access is
+// improved by unrolling the loop when writing to the HWICAP FIFO keyhole
+// register ... the Ariane core is not allowed to start speculative
+// memory access to the non-cacheable memory address area of the HWICAP"
+// (paper §IV-B): each loop back-edge after an uncached store stalls the
+// pipeline, and unrolling divides that stall across more stores.
+type HWICAPDriver struct {
+	S *soc.SoC
+	// Unroll is the fill-loop unrolling factor (paper evaluates 1..32;
+	// 16 is the shipped configuration).
+	Unroll int
+}
+
+// NewHWICAPDriver returns the driver with the paper's 16-unrolled loop.
+func NewHWICAPDriver(s *soc.SoC) *HWICAPDriver {
+	return &HWICAPDriver{S: s, Unroll: 16}
+}
+
+// InitICAP initialises the HWICAP "with the desired values and disables
+// the global interrupt signal" (Listing 2: init_icap).
+func (d *HWICAPDriver) InitICAP(p *sim.Proc) error {
+	h := d.S.Hart
+	h.Exec(p, apiCallInstr)
+	if err := h.Store32(p, soc.HWICAPBase+hwicap.GIER, 0); err != nil {
+		return err
+	}
+	return h.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRFIFOClear)
+}
+
+// cacheLineBytes is the Ariane L1D line: DDR words are fetched in line
+// units, amortising the memory latency across 16 words.
+const cacheLineBytes = 64
+
+// wordSource streams bitstream words from DDR with cache-line-granular
+// fetch timing.
+type wordSource struct {
+	s    *soc.SoC
+	addr uint64
+	end  uint64
+	buf  []byte
+	pos  int
+}
+
+func (w *wordSource) next(p *sim.Proc) (uint32, error) {
+	if w.pos >= len(w.buf) {
+		n := uint64(cacheLineBytes)
+		if w.addr+n > w.end {
+			n = w.end - w.addr
+		}
+		if cap(w.buf) < int(n) {
+			w.buf = make([]byte, n)
+		}
+		w.buf = w.buf[:n]
+		if err := w.s.Bus.Read(p, soc.DDRBase+w.addr, w.buf); err != nil {
+			return 0, err
+		}
+		w.addr += n
+		w.pos = 0
+	}
+	b := w.buf[w.pos : w.pos+4]
+	w.pos += 4
+	// Configuration words are big-endian in the staged image.
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// ReconfigureRP implements Listing 2's reconfigure_RP: fill the write
+// FIFO up to its vacancy, flush it to the ICAP, wait for completion, and
+// repeat until the whole bitstream has been transferred.
+func (d *HWICAPDriver) ReconfigureRP(p *sim.Proc, startAddr uint64, pbitSize uint32) error {
+	if pbitSize%4 != 0 {
+		return fmt.Errorf("driver: bitstream size %d not word-aligned", pbitSize)
+	}
+	h := d.S.Hart
+	h.Exec(p, apiCallInstr)
+	unroll := d.Unroll
+	if unroll < 1 {
+		unroll = 1
+	}
+	src := &wordSource{s: d.S, addr: startAddr, end: startAddr + uint64(pbitSize)}
+	remaining := int(pbitSize / 4)
+	for remaining > 0 {
+		// read_fifo_vac(): read the write FIFO vacancy.
+		vac, err := h.Load32(p, soc.HWICAPBase+hwicap.WFV)
+		if err != nil {
+			return err
+		}
+		h.Exec(p, 4)
+		n := int(vac)
+		if n > remaining {
+			n = remaining
+		}
+		// do { write_into_fifo(ICAP_WF, *data++) } while (fifo_is_not_full)
+		// — unrolled by the configured factor.
+		for j := 0; j < n; {
+			for u := 0; u < unroll && j < n; u++ {
+				w, err := src.next(p)
+				if err != nil {
+					return err
+				}
+				h.Exec(p, 3) // load word, address increment, bound check
+				if err := h.Store32(p, soc.HWICAPBase+hwicap.WF, w); err != nil {
+					return err
+				}
+				j++
+			}
+			// Loop back-edge: conditional jump right after an uncached
+			// store — the Ariane stall unrolling amortises.
+			h.BranchAfterMMIO(p)
+		}
+		remaining -= n
+		// write_to_icap(): transfer the FIFO contents to the ICAPE
+		// primitive.
+		if err := h.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRWrite); err != nil {
+			return err
+		}
+		// icap_done(): wait until the HWICAP is done.
+		for {
+			cr, err := h.Load32(p, soc.HWICAPBase+hwicap.CR)
+			if err != nil {
+				return err
+			}
+			h.Exec(p, 2)
+			if cr&hwicap.CRWrite == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// InitReconfigProcess runs the full Listing 2 sequence: decouple, init
+// the ICAP, transfer, recouple — measuring T_r "as the time required
+// from decoupling the RP till it is coupled again" (paper §IV-B).
+func (d *HWICAPDriver) InitReconfigProcess(p *sim.Proc, m *ReconfigModule) (Result, error) {
+	rv := NewRVCAP(d.S) // decouple_accel lives in the RP control interface
+	t := NewTimer(d.S)
+	t0, err := t.Now(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := rv.DecoupleAccel(p, true); err != nil {
+		return Result{}, err
+	}
+	if err := d.InitICAP(p); err != nil {
+		return Result{}, err
+	}
+	if err := d.ReconfigureRP(p, m.StartAddress, m.PbitSize); err != nil {
+		return Result{}, err
+	}
+	if err := rv.DecoupleAccel(p, false); err != nil {
+		return Result{}, err
+	}
+	t1, err := t.Now(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if d.S.ICAP.Err() != nil {
+		return Result{}, fmt.Errorf("driver: configuration failed: %w", d.S.ICAP.Err())
+	}
+	return Result{
+		ReconfigMicros: TicksToMicros(t1 - t0),
+		Bytes:          int(m.PbitSize),
+	}, nil
+}

@@ -1,0 +1,141 @@
+package driver
+
+import (
+	"fmt"
+
+	"rvcap/internal/fpga"
+	"rvcap/internal/hwicap"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// This file implements configuration readback, the second half of the
+// paper's §III-C claim: the RISC-V processor can "read and write the
+// FPGA configuration memory through the Internal Configuration Access
+// Port (ICAP)". The flow follows the Xilinx HWICAP driver: write the
+// readback command sequence (RCFG, FAR, FDRO read request) through the
+// keyhole, flush it, then pull SZ words out of the read FIFO.
+
+// keyholeWords pushes a short command sequence through the write FIFO
+// and flushes it to the ICAP.
+func (d *HWICAPDriver) keyholeWords(p *sim.Proc, words []uint32) error {
+	h := d.S.Hart
+	for _, w := range words {
+		h.Exec(p, 2)
+		if err := h.Store32(p, soc.HWICAPBase+hwicap.WF, w); err != nil {
+			return err
+		}
+	}
+	if err := h.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRWrite); err != nil {
+		return err
+	}
+	for {
+		cr, err := h.Load32(p, soc.HWICAPBase+hwicap.CR)
+		if err != nil {
+			return err
+		}
+		h.Exec(p, 2)
+		if cr&hwicap.CRWrite == 0 {
+			return nil
+		}
+	}
+}
+
+// ReadFrames reads nFrames configuration frames starting at the linear
+// frame index via ICAP readback and returns their words.
+func (d *HWICAPDriver) ReadFrames(p *sim.Proc, frameIdx, nFrames int) ([]uint32, error) {
+	h := d.S.Hart
+	dev := d.S.Fabric.Dev
+	far, err := dev.IndexToFAR(frameIdx)
+	if err != nil {
+		return nil, err
+	}
+	count := nFrames * fpga.FrameWords
+
+	// Command sequence: sync, FAR, RCFG, FDRO read request (the engine
+	// must be desynced on entry — every write sequence ends in DESYNC,
+	// and so does this reader). Large requests use a type-1/type-2 pair.
+	cmd := []uint32{
+		fpga.DummyWord, fpga.SyncWord, fpga.NoopWord,
+		fpga.Type1Write(fpga.RegFAR, 1), far,
+		fpga.Type1Write(fpga.RegCMD, 1), fpga.CmdRCFG,
+		fpga.NoopWord,
+	}
+	if count <= 0x7FF {
+		cmd = append(cmd, fpga.Type1Read(fpga.RegFDRO, count))
+	} else {
+		cmd = append(cmd, fpga.Type1Read(fpga.RegFDRO, 0), fpga.Type2Read(count))
+	}
+	if err := d.keyholeWords(p, cmd); err != nil {
+		return nil, err
+	}
+
+	// Program SZ and trigger the read engine.
+	h.Exec(p, apiCallInstr)
+	if err := h.Store32(p, soc.HWICAPBase+hwicap.SZ, uint32(count)); err != nil {
+		return nil, err
+	}
+	if err := h.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRRead); err != nil {
+		return nil, err
+	}
+	for {
+		cr, err := h.Load32(p, soc.HWICAPBase+hwicap.CR)
+		if err != nil {
+			return nil, err
+		}
+		h.Exec(p, 2)
+		if cr&hwicap.CRRead == 0 {
+			break
+		}
+	}
+
+	// Drain the read FIFO.
+	out := make([]uint32, 0, count)
+	for len(out) < count {
+		occ, err := h.Load32(p, soc.HWICAPBase+hwicap.RFO)
+		if err != nil {
+			return nil, err
+		}
+		if occ == 0 {
+			return nil, fmt.Errorf("driver: readback underrun at word %d of %d", len(out), count)
+		}
+		for n := uint32(0); n < occ && len(out) < count; n++ {
+			w, err := h.Load32(p, soc.HWICAPBase+hwicap.RF)
+			if err != nil {
+				return nil, err
+			}
+			h.Exec(p, 2)
+			out = append(out, w)
+		}
+	}
+
+	// Leave configuration mode cleanly.
+	if err := d.keyholeWords(p, []uint32{
+		fpga.Type1Write(fpga.RegCMD, 1), fpga.CmdDesync,
+		fpga.NoopWord, fpga.NoopWord,
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyPartition reads every frame of the partition back through the
+// ICAP and checks the content signature against the expected module.
+// This is the "safe DPR" post-load verification a mission-critical
+// deployment performs: a bit-exact match proves the configuration
+// memory holds exactly the module's bits.
+func (d *HWICAPDriver) VerifyPartition(p *sim.Proc, part *fpga.Partition, wantSig uint64) (bool, error) {
+	content := make(map[int][]uint32, part.NumFrames())
+	for _, run := range part.Runs() {
+		n := run[1] - run[0] + 1
+		words, err := d.ReadFrames(p, run[0], n)
+		if err != nil {
+			return false, err
+		}
+		for f := 0; f < n; f++ {
+			content[run[0]+f] = words[f*fpga.FrameWords : (f+1)*fpga.FrameWords]
+		}
+	}
+	sig := fpga.HashFrames(func(idx int) []uint32 { return content[idx] }, part.Frames())
+	return sig == wantSig, nil
+}

@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"testing"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/hwicap"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Fault-injection tests: interrupted and corrupted transfers must leave
+// the system recoverable, and recovery must restore full function.
+
+func TestTruncatedTransferThenRecovery(t *testing.T) {
+	s, part := smallSoC(t)
+	good, err := bitstream.Partial(s.Fabric.Dev, part, "good", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, good)
+	s.DDR.Load(0x100000, good.Bytes())
+	hd := NewHWICAPDriver(s)
+
+	s.Run("sw", func(p *sim.Proc) {
+		// Interrupt the transfer: push only the first third of the
+		// image (cuts mid-FDRI payload; no CRC check, no DESYNC).
+		cut := uint32(good.SizeBytes()/3) &^ 3
+		if err := hd.ReconfigureRP(p, 0x100000, cut); err != nil {
+			t.Fatal(err)
+		}
+		if part.Active() != "" {
+			t.Fatalf("partition active after truncated load: %q", part.Active())
+		}
+		if !s.ICAP.Synced() {
+			t.Fatal("engine should be stuck synced mid-packet after truncation")
+		}
+		// Recovery: the HWICAP abort sequence resets the packet engine.
+		if err := s.Hart.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRAbort); err != nil {
+			t.Fatal(err)
+		}
+		if s.ICAP.Synced() {
+			t.Fatal("abort did not desynchronise the engine")
+		}
+		// Full reload now succeeds.
+		m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(good.SizeBytes())}
+		if _, err := hd.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if part.Active() != "good" {
+		t.Fatalf("recovery reload failed: active = %q", part.Active())
+	}
+}
+
+func TestGarbageAfterTruncationIsContained(t *testing.T) {
+	// Without an abort, feeding a fresh bitstream into an engine stuck
+	// mid-payload corrupts the stream interpretation — but the CRC and
+	// signature machinery must prevent a bogus module from activating.
+	s, part := smallSoC(t)
+	good, err := bitstream.Partial(s.Fabric.Dev, part, "good", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, good)
+	s.DDR.Load(0x100000, good.Bytes())
+	hd := NewHWICAPDriver(s)
+
+	s.Run("sw", func(p *sim.Proc) {
+		cut := uint32(good.SizeBytes()/4) &^ 3
+		if err := hd.ReconfigureRP(p, 0x100000, cut); err != nil {
+			t.Fatal(err)
+		}
+		// Naive retry without abort: the first words are swallowed as
+		// leftover FDRI payload.
+		if err := hd.ReconfigureRP(p, 0x100000, uint32(good.SizeBytes())); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if part.Active() == "good" && s.ICAP.Err() == nil {
+		// Activation without error would mean the corrupted replay
+		// somehow produced a bit-exact image — impossible.
+		sig := s.Fabric.Signature(part)
+		if sig == good.Signature {
+			t.Fatal("corrupted replay produced the pristine image")
+		}
+	}
+}
+
+func TestDecoupleDuringComputeDropsCleanly(t *testing.T) {
+	// Decoupling while an acceleration stream is in flight must swallow
+	// the remaining input beats at the isolator, not wedge the DMA.
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DDR.Load(0, make([]byte, 4096))
+	d := NewRVCAP(s)
+	s.Run("sw", func(p *sim.Proc) {
+		h := s.Hart
+		// Start an acceleration-mode MM2S transfer with no RM attached
+		// and immediately decouple.
+		h.Store32(p, soc.DMABase+0x00, 1) // MM2S CR.RS
+		h.Store32(p, soc.DMABase+0x18, 0)
+		if err := d.DecoupleAccel(p, true); err != nil {
+			t.Fatal(err)
+		}
+		h.Store32(p, soc.DMABase+0x28, 4096) // LENGTH: go
+		// Give the transfer time to finish into the decoupler.
+		p.Sleep(sim.FromMicros(100))
+		if s.RVCAP.DMA.MM2SBusy() {
+			t.Fatal("MM2S wedged behind a decoupled partition")
+		}
+	})
+	if got := s.RVCAP.AccelOut.Dropped(); got != 4096/8 {
+		t.Errorf("isolator dropped %d beats, want 512", got)
+	}
+}
+
+func TestReconfigureWhileBusyIsIgnored(t *testing.T) {
+	// A second LENGTH write while the DMA is mid-transfer must not
+	// corrupt the first transfer (the IP ignores it while busy).
+	s, part := smallSoC(t)
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "solo", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	d := NewRVCAP(s)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DecoupleAccel(p, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SelectICAP(p, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReconfigureRP(p, m, NonBlocking); err != nil {
+			t.Fatal(err)
+		}
+		// Immediately try to start a second transfer at a bogus address.
+		bogus := &ReconfigModule{StartAddress: 0x500000, PbitSize: 4096}
+		if err := d.ReconfigureRP(p, bogus, NonBlocking); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WaitReconfigDone(p); err != nil {
+			t.Fatal(err)
+		}
+		d.DecoupleAccel(p, false)
+		d.SelectICAP(p, false)
+	})
+	if part.Active() != "solo" {
+		t.Fatalf("active = %q; busy-start corrupted the transfer", part.Active())
+	}
+	if mm2s, _ := s.RVCAP.DMA.Transfers(); mm2s != 1 {
+		t.Errorf("transfers started = %d, want 1 (second ignored)", mm2s)
+	}
+}

@@ -1,0 +1,86 @@
+package driver
+
+import (
+	"fmt"
+
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+)
+
+// Scrubber is the mission-critical extension the paper's related work
+// motivates (Di Carlo et al. [14]: "safe DPR for real-time and
+// mission-critical adaptive applications"): a software task on the
+// RISC-V core that periodically reads the partition's configuration
+// frames back through the ICAP, compares their signature against the
+// loaded module's golden value, and — on a mismatch (a single-event
+// upset, a partial overwrite) — repairs the partition by reloading its
+// bitstream through the RV-CAP controller.
+type Scrubber struct {
+	HW *HWICAPDriver // readback path
+	RV *RVCAP        // repair path
+
+	// Part is the scrubbed partition; Golden its expected content
+	// signature; Module the staged bitstream used for repair.
+	Part   *fpga.Partition
+	Golden uint64
+	Module *ReconfigModule
+
+	// IntervalMicros between scrub passes.
+	IntervalMicros float64
+
+	scrubs  uint64
+	upsets  uint64
+	repairs uint64
+}
+
+// NewScrubber builds a scrubber for the module currently loaded in part.
+func NewScrubber(hw *HWICAPDriver, rv *RVCAP, part *fpga.Partition, golden uint64, m *ReconfigModule) *Scrubber {
+	return &Scrubber{
+		HW: hw, RV: rv, Part: part, Golden: golden, Module: m,
+		IntervalMicros: 10_000,
+	}
+}
+
+// Stats returns (passes, upsets detected, repairs performed).
+func (s *Scrubber) Stats() (scrubs, upsets, repairs uint64) {
+	return s.scrubs, s.upsets, s.repairs
+}
+
+// ScrubOnce performs one verify pass and repairs on mismatch. It
+// reports whether an upset was found.
+func (s *Scrubber) ScrubOnce(p *sim.Proc) (bool, error) {
+	s.scrubs++
+	ok, err := s.HW.VerifyPartition(p, s.Part, s.Golden)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		return false, nil
+	}
+	s.upsets++
+	// Repair: full partial-bitstream reload through the fast path.
+	if _, err := s.RV.InitReconfigProcess(p, s.Module); err != nil {
+		return true, fmt.Errorf("driver: scrub repair failed: %w", err)
+	}
+	// Verify the repair took.
+	ok, err = s.HW.VerifyPartition(p, s.Part, s.Golden)
+	if err != nil {
+		return true, err
+	}
+	if !ok {
+		return true, fmt.Errorf("driver: partition still corrupt after repair")
+	}
+	s.repairs++
+	return true, nil
+}
+
+// Run scrubs forever at the configured interval (call from a dedicated
+// process; it returns only on error).
+func (s *Scrubber) Run(p *sim.Proc) error {
+	for {
+		if _, err := s.ScrubOnce(p); err != nil {
+			return err
+		}
+		p.Sleep(sim.FromMicros(s.IntervalMicros))
+	}
+}

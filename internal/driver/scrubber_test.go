@@ -1,0 +1,166 @@
+package driver
+
+import (
+	"testing"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/sim"
+)
+
+func TestScrubberDetectsAndRepairsSEU(t *testing.T) {
+	s, part := smallSoC(t)
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "payload", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	hw := NewHWICAPDriver(s)
+	rv := NewRVCAP(s)
+	m := &ReconfigModule{Function: "payload", StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+
+	s.Run("sw", func(p *sim.Proc) {
+		if err := rv.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rv.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+		scr := NewScrubber(hw, rv, part, im.Signature, m)
+
+		// Pass 1: clean.
+		upset, err := scr.ScrubOnce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upset {
+			t.Error("clean partition reported as upset")
+		}
+
+		// Inject a single-event upset into a configured frame.
+		idx := part.Frames()[7]
+		frame, _ := s.Fabric.Mem.ReadFrame(idx)
+		frame[33] ^= 1 << 12
+		if err := s.Fabric.Mem.WriteFrame(idx, frame); err != nil {
+			t.Fatal(err)
+		}
+
+		// Pass 2: detect and repair.
+		upset, err = scr.ScrubOnce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !upset {
+			t.Fatal("scrubber missed the injected upset")
+		}
+
+		// Pass 3: clean again.
+		upset, err = scr.ScrubOnce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upset {
+			t.Error("partition still upset after repair")
+		}
+		scrubs, upsets, repairs := scr.Stats()
+		if scrubs != 3 || upsets != 1 || repairs != 1 {
+			t.Errorf("stats = %d/%d/%d, want 3/1/1", scrubs, upsets, repairs)
+		}
+	})
+	if part.Active() != "payload" {
+		t.Errorf("active = %q after repair", part.Active())
+	}
+}
+
+func TestScrubberRepairRestoresExactContent(t *testing.T) {
+	s, part := smallSoC(t)
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "payload", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	hw := NewHWICAPDriver(s)
+	rv := NewRVCAP(s)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+
+	s.Run("sw", func(p *sim.Proc) {
+		if err := rv.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rv.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+		// Wreck several frames.
+		for _, fi := range []int{0, 3, 9} {
+			idx := part.Frames()[fi]
+			frame, _ := s.Fabric.Mem.ReadFrame(idx)
+			for w := range frame {
+				frame[w] = ^frame[w]
+			}
+			s.Fabric.Mem.WriteFrame(idx, frame)
+		}
+		scr := NewScrubber(hw, rv, part, im.Signature, m)
+		if _, err := scr.ScrubOnce(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Fabric.Signature(part); got != im.Signature {
+		t.Errorf("post-repair signature %#x, want %#x", got, im.Signature)
+	}
+}
+
+func TestScrubberRunLoopsUntilError(t *testing.T) {
+	s, part := smallSoC(t)
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "payload", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	hw := NewHWICAPDriver(s)
+	rv := NewRVCAP(s)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+
+	var scrubs uint64
+	s.Run("sw", func(p *sim.Proc) {
+		if err := rv.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rv.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+		scr := NewScrubber(hw, rv, part, im.Signature, m)
+		scr.IntervalMicros = 1000
+		// Run the periodic loop in its own process; stop it by
+		// sabotaging the repair source after a few passes, which makes
+		// the next detected upset unrepairable and errors the loop out.
+		done := make(chan error, 1)
+		p.Kernel().Go("scrubber", func(sp *sim.Proc) {
+			done <- scr.Run(sp)
+		})
+		// A full verify pass reads every frame back through the CPU
+		// (~16 ms for this partition); let one clean pass complete.
+		p.Sleep(sim.FromMicros(16500))
+		// Corrupt both the fabric and the staged bitstream in DDR.
+		idx := part.Frames()[0]
+		frame, _ := s.Fabric.Mem.ReadFrame(idx)
+		frame[0] ^= 1
+		s.Fabric.Mem.WriteFrame(idx, frame)
+		s.DDR.Load(m.StartAddress, make([]byte, 64)) // wreck the image header
+		p.Sleep(sim.FromMicros(200000))
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Error("Run returned nil after unrepairable upset")
+			}
+		default:
+			t.Error("Run still looping after unrepairable upset")
+		}
+		passes, _, _ := scr.Stats()
+		scrubs = passes
+	})
+	if scrubs < 2 {
+		t.Errorf("scrub passes = %d, want >= 2 (one clean, one failing)", scrubs)
+	}
+}

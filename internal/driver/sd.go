@@ -1,0 +1,266 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"rvcap/internal/fat32"
+	"rvcap/internal/sdcard"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+	"rvcap/internal/spi"
+)
+
+// SD is the SPI-mode SD-card block driver: it implements
+// fat32.BlockDevice on top of the SPI master's register interface,
+// performing the initialisation handshake and CMD17/CMD24 block
+// transfers the card model expects.
+type SD struct {
+	s     *soc.SoC
+	ready bool
+}
+
+// Errors from the SD driver.
+var (
+	ErrNoCard   = errors.New("driver: no SD card attached")
+	ErrCardInit = errors.New("driver: SD card initialisation failed")
+	ErrCardIO   = errors.New("driver: SD card transfer error")
+)
+
+// NewSD returns an uninitialised SD driver; Init must succeed before
+// block transfers.
+func NewSD(s *soc.SoC) *SD { return &SD{s: s} }
+
+func (d *SD) ctrl(p *sim.Proc, v uint32) error {
+	return d.s.Hart.Store32(p, soc.SPIBase+spi.RegControl, v)
+}
+
+// xfer exchanges one byte; the SCK shift time dominates the cost.
+func (d *SD) xfer(p *sim.Proc, tx byte) (byte, error) {
+	h := d.s.Hart
+	if err := h.Store32(p, soc.SPIBase+spi.RegData, uint32(tx)); err != nil {
+		return 0, err
+	}
+	p.Sleep(d.s.SPI.TransferCycles())
+	rx, err := h.Load32(p, soc.SPIBase+spi.RegData)
+	return byte(rx), err
+}
+
+// xferBulk exchanges n bytes of 0xFF, collecting responses, using the
+// controller FIFO (one programming access per burst, SCK-limited).
+func (d *SD) xferBulk(p *sim.Proc, out []byte) error {
+	h := d.s.Hart
+	// One register access pair per 16-byte FIFO burst.
+	for off := 0; off < len(out); off += 16 {
+		end := off + 16
+		if end > len(out) {
+			end = len(out)
+		}
+		h.Exec(p, 8)
+		for i := off; i < end; i++ {
+			// The byte still shifts on the wire at SCK rate.
+			out[i] = d.s.SPI.Dev.Exchange(0xFF, true)
+		}
+		p.Sleep(d.s.SPI.TransferCycles() * sim.Time(end-off))
+	}
+	return nil
+}
+
+func (d *SD) command(p *sim.Proc, cmd byte, arg uint32) (byte, error) {
+	frame := [6]byte{0x40 | cmd, byte(arg >> 24), byte(arg >> 16), byte(arg >> 8), byte(arg), 0x95}
+	for _, b := range frame {
+		if _, err := d.xfer(p, b); err != nil {
+			return 0xFF, err
+		}
+	}
+	for i := 0; i < 16; i++ {
+		r, err := d.xfer(p, 0xFF)
+		if err != nil {
+			return 0xFF, err
+		}
+		if r != 0xFF {
+			return r, nil
+		}
+	}
+	return 0xFF, fmt.Errorf("%w: CMD%d timed out", ErrCardIO, cmd)
+}
+
+// Init brings the card out of idle: CMD0, CMD8, ACMD41 loop, CMD58.
+func (d *SD) Init(p *sim.Proc) error {
+	if d.s.Card == nil {
+		return ErrNoCard
+	}
+	h := d.s.Hart
+	h.Exec(p, apiCallInstr)
+	if err := d.ctrl(p, spi.CtrlEnable); err != nil {
+		return err
+	}
+	// 80 warm-up clocks with CS high.
+	for i := 0; i < 10; i++ {
+		if _, err := d.xfer(p, 0xFF); err != nil {
+			return err
+		}
+	}
+	if err := d.ctrl(p, spi.CtrlEnable|spi.CtrlSelected); err != nil {
+		return err
+	}
+	if r, err := d.command(p, 0, 0); err != nil || r != 0x01 {
+		return fmt.Errorf("%w: CMD0 R1=%#x", ErrCardInit, r)
+	}
+	r, err := d.command(p, 8, 0x1AA)
+	if err != nil || r != 0x01 {
+		return fmt.Errorf("%w: CMD8 R1=%#x", ErrCardInit, r)
+	}
+	var echo [4]byte
+	if err := d.xferBulk(p, echo[:]); err != nil {
+		return err
+	}
+	if echo[3] != 0xAA {
+		return fmt.Errorf("%w: CMD8 pattern %#x", ErrCardInit, echo[3])
+	}
+	for i := 0; ; i++ {
+		if i > 100 {
+			return fmt.Errorf("%w: ACMD41 never ready", ErrCardInit)
+		}
+		if _, err := d.command(p, 55, 0); err != nil {
+			return err
+		}
+		r, err := d.command(p, 41, 1<<30)
+		if err != nil {
+			return err
+		}
+		if r == 0x00 {
+			break
+		}
+	}
+	if r, err := d.command(p, 58, 0); err != nil || r != 0 {
+		return fmt.Errorf("%w: CMD58 R1=%#x", ErrCardInit, r)
+	}
+	var ocr [4]byte
+	if err := d.xferBulk(p, ocr[:]); err != nil {
+		return err
+	}
+	if ocr[0]&0x40 == 0 {
+		return fmt.Errorf("%w: card is not SDHC (OCR %#x)", ErrCardInit, ocr[0])
+	}
+	d.ready = true
+	return nil
+}
+
+// ReadBlock implements fat32.BlockDevice.
+func (d *SD) ReadBlock(p *sim.Proc, lba uint32, buf []byte) error {
+	if !d.ready {
+		return ErrCardInit
+	}
+	r, err := d.command(p, 17, lba)
+	if err != nil {
+		return err
+	}
+	if r != 0 {
+		return fmt.Errorf("%w: CMD17 R1=%#x (lba %d)", ErrCardIO, r, lba)
+	}
+	// Clock until the start token.
+	for i := 0; ; i++ {
+		if i > 1000 {
+			return fmt.Errorf("%w: no data token", ErrCardIO)
+		}
+		t, err := d.xfer(p, 0xFF)
+		if err != nil {
+			return err
+		}
+		if t == sdcard.TokenStartBlock {
+			break
+		}
+	}
+	if err := d.xferBulk(p, buf[:sdcard.BlockSize]); err != nil {
+		return err
+	}
+	var crc [2]byte
+	return d.xferBulk(p, crc[:])
+}
+
+// WriteBlock implements fat32.BlockDevice.
+func (d *SD) WriteBlock(p *sim.Proc, lba uint32, data []byte) error {
+	if !d.ready {
+		return ErrCardInit
+	}
+	r, err := d.command(p, 24, lba)
+	if err != nil {
+		return err
+	}
+	if r != 0 {
+		return fmt.Errorf("%w: CMD24 R1=%#x (lba %d)", ErrCardIO, r, lba)
+	}
+	if _, err := d.xfer(p, 0xFF); err != nil {
+		return err
+	}
+	if _, err := d.xfer(p, sdcard.TokenStartBlock); err != nil {
+		return err
+	}
+	// Data phase through the controller FIFO (SCK-limited).
+	h := d.s.Hart
+	for off := 0; off < sdcard.BlockSize; off += 16 {
+		h.Exec(p, 8)
+		for i := off; i < off+16; i++ {
+			d.s.SPI.Dev.Exchange(data[i], true)
+		}
+		p.Sleep(d.s.SPI.TransferCycles() * 16)
+	}
+	// CRC + data response token.
+	if _, err := d.xfer(p, 0x00); err != nil {
+		return err
+	}
+	resp, err := d.xfer(p, 0x00)
+	if err != nil {
+		return err
+	}
+	if resp&0x1F != 0x05 {
+		return fmt.Errorf("%w: write rejected (%#x)", ErrCardIO, resp)
+	}
+	// Busy wait.
+	for i := 0; i < 1000; i++ {
+		b, err := d.xfer(p, 0xFF)
+		if err != nil {
+			return err
+		}
+		if b == 0xFF {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: card stuck busy", ErrCardIO)
+}
+
+// Blocks implements fat32.BlockDevice.
+func (d *SD) Blocks() uint32 {
+	if d.s.Card == nil {
+		return 0
+	}
+	return d.s.Card.Blocks()
+}
+
+var _ fat32.BlockDevice = (*SD)(nil)
+
+// InitRModules implements Listing 1's init_RModules: for each descriptor,
+// look the bitstream file up in the FAT32 partition and copy it from the
+// SD card to its DDR destination address, filling in PbitSize.
+func InitRModules(p *sim.Proc, s *soc.SoC, fs *fat32.FS, modules []*ReconfigModule) error {
+	for _, m := range modules {
+		ent, err := fs.Stat(p, m.BitstreamName)
+		if err != nil {
+			return fmt.Errorf("driver: init_RModules %s: %w", m.BitstreamName, err)
+		}
+		m.PbitSize = ent.Size
+		addr := m.StartAddress
+		err = fs.ReadFileFunc(p, m.BitstreamName, func(p *sim.Proc, chunk []byte) error {
+			if err := s.Bus.Write(p, soc.DDRBase+addr, chunk); err != nil {
+				return err
+			}
+			addr += uint64(len(chunk))
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("driver: init_RModules %s: %w", m.BitstreamName, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package driver
+
+import (
+	"rvcap/internal/clint"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Timer reads the CLINT real-time counter, the paper's measurement
+// instrument: "A set of software timer modules is created to access the
+// local interrupt controller (CLINT) of the SoC core and use it as a
+// real-time counter to measure the reconfiguration time" (§III-A). The
+// counter ticks at 5 MHz (§IV-B), so one tick is 0.2 µs.
+type Timer struct {
+	s *soc.SoC
+}
+
+// NewTimer returns a timer bound to the SoC's CLINT.
+func NewTimer(s *soc.SoC) *Timer { return &Timer{s: s} }
+
+// Now reads mtime through the bus (an uncached 64-bit load, like the
+// real driver's csr-less CLINT access).
+func (t *Timer) Now(p *sim.Proc) (uint64, error) {
+	return t.s.Hart.Load64(p, soc.CLINTBase+clint.MTimeOffset)
+}
+
+// TicksToMicros converts 5 MHz mtime ticks to microseconds.
+func TicksToMicros(ticks uint64) float64 {
+	return float64(ticks) / (clint.TimerHz / 1e6)
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated SoC. It is the single source of
+// truth shared by the rvcap-bench command and the repository's
+// benchmarks: each experiment builds a fresh SoC, runs the measurement
+// exactly as the corresponding section describes, and returns structured
+// rows plus a formatted rendering.
+package experiments
+
+import (
+	"fmt"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/axi"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/driver"
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// newSoC builds a SoC with the filter RMs registered.
+func newSoC(cfg soc.Config) (*soc.SoC, error) {
+	k := sim.NewKernel()
+	s, err := soc.New(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range accel.Filters {
+		name := f
+		s.RegisterRM(name, func(k *sim.Kernel) (*axi.Stream, *axi.Stream) {
+			e, err := accel.NewEngine(k, name, accel.DefaultWidth, accel.DefaultHeight)
+			if err != nil {
+				panic(err)
+			}
+			return e.In(), e.Out()
+		})
+	}
+	return s, nil
+}
+
+// stage generates and registers a bitstream for part/module and loads it
+// at addr, returning the module descriptor.
+func stage(s *soc.SoC, part *fpga.Partition, module string, addr uint64, padTo int) (*driver.ReconfigModule, error) {
+	im, err := bitstream.Partial(s.Fabric.Dev, part, module, bitstream.Options{PadToBytes: padTo})
+	if err != nil {
+		return nil, err
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(addr, im.Bytes())
+	return &driver.ReconfigModule{
+		BitstreamName: module + ".bin",
+		Function:      module,
+		StartAddress:  addr,
+		PbitSize:      uint32(im.SizeBytes()),
+	}, nil
+}
+
+// measureRVCAP runs one non-blocking RV-CAP reconfiguration of module on
+// a fresh default SoC and returns the driver-level result.
+func measureRVCAP(module string, padTo int) (driver.Result, error) {
+	s, err := newSoC(soc.Config{})
+	if err != nil {
+		return driver.Result{}, err
+	}
+	m, err := stage(s, s.RP, module, 0x100000, padTo)
+	if err != nil {
+		return driver.Result{}, err
+	}
+	d := driver.NewRVCAP(s)
+	var res driver.Result
+	var runErr error
+	s.Run("sw", func(p *sim.Proc) {
+		if runErr = d.SetupPLIC(p); runErr != nil {
+			return
+		}
+		res, runErr = d.InitReconfigProcess(p, m)
+	})
+	if runErr != nil {
+		return driver.Result{}, runErr
+	}
+	if s.RP.Active() != module {
+		return driver.Result{}, fmt.Errorf("experiments: module %s not active after load", module)
+	}
+	return res, nil
+}
+
+// measureRVCAPOnSpan measures a non-blocking RV-CAP reconfiguration of a
+// custom-sized partition (the Fig. 3 sweep points and the max-throughput
+// probe).
+func measureRVCAPOnSpan(span fpga.SweepSpan) (driver.Result, error) {
+	s, err := newSoC(soc.Config{SkipDefaultPartition: true})
+	if err != nil {
+		return driver.Result{}, err
+	}
+	part, err := fpga.AddSweepPartition(s.Fabric, span)
+	if err != nil {
+		return driver.Result{}, err
+	}
+	s.RP = part
+	m, err := stage(s, part, "sweep", 0x100000, 0)
+	if err != nil {
+		return driver.Result{}, err
+	}
+	d := driver.NewRVCAP(s)
+	var res driver.Result
+	var runErr error
+	s.Run("sw", func(p *sim.Proc) {
+		if runErr = d.SetupPLIC(p); runErr != nil {
+			return
+		}
+		res, runErr = d.InitReconfigProcess(p, m)
+	})
+	return res, runErr
+}
+
+// measureHWICAP runs one HWICAP (Listing 2) reconfiguration with the
+// given unroll factor; span selects the partition (nil = the default
+// RP), padTo the bitstream padding.
+func measureHWICAP(span *fpga.SweepSpan, unroll, padTo int) (driver.Result, error) {
+	cfg := soc.Config{}
+	if span != nil {
+		cfg.SkipDefaultPartition = true
+	}
+	s, err := newSoC(cfg)
+	if err != nil {
+		return driver.Result{}, err
+	}
+	part := s.RP
+	if span != nil {
+		part, err = fpga.AddSweepPartition(s.Fabric, *span)
+		if err != nil {
+			return driver.Result{}, err
+		}
+		s.RP = part
+	}
+	m, err := stage(s, part, "sweep", 0x100000, padTo)
+	if err != nil {
+		return driver.Result{}, err
+	}
+	hd := driver.NewHWICAPDriver(s)
+	hd.Unroll = unroll
+	var res driver.Result
+	var runErr error
+	s.Run("sw", func(p *sim.Proc) {
+		res, runErr = hd.InitReconfigProcess(p, m)
+	})
+	return res, runErr
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: RV-CAP 398.1 MB/s, AXI_HWICAP 8.23 MB/s.
+	if r.RVCAPMeasured < 395 || r.RVCAPMeasured > 400 {
+		t.Errorf("RV-CAP max = %.1f MB/s, want ~398.1", r.RVCAPMeasured)
+	}
+	if r.HWICAPMeasured < 8.0 || r.HWICAPMeasured > 8.45 {
+		t.Errorf("HWICAP = %.2f MB/s, want ~8.23", r.HWICAPMeasured)
+	}
+	if len(r.Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(r.Rows))
+	}
+	out := r.String()
+	if !strings.Contains(out, "RV-CAP") || !strings.Contains(out, "DMA Cntrl.") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestReconfigTimes(t *testing.T) {
+	r, err := ReconfigTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §IV-B: 156.45 ms blocking, 4.16 MB/s.
+	if r.HWICAPBlockingMillis < 150 || r.HWICAPBlockingMillis > 162 {
+		t.Errorf("blocking T_r = %.2f ms, want ~156.45", r.HWICAPBlockingMillis)
+	}
+	// Monotone throughput in the unroll factor, U=16 near 8.23 and
+	// under 5% further gain at 32.
+	for i := 1; i < len(r.UnrollThroughputs); i++ {
+		if r.UnrollThroughputs[i] <= r.UnrollThroughputs[i-1] {
+			t.Errorf("unroll sweep not monotone: %v", r.UnrollThroughputs)
+		}
+	}
+	var u16, u32 float64
+	for i, u := range r.UnrollFactors {
+		switch u {
+		case 16:
+			u16 = r.UnrollThroughputs[i]
+		case 32:
+			u32 = r.UnrollThroughputs[i]
+		}
+	}
+	if gain := (u32 - u16) / u16; gain >= 0.05 {
+		t.Errorf("U=32 gain = %.1f%%, paper says <5%%", 100*gain)
+	}
+	if r.RVCAPDecisionMicros < 17 || r.RVCAPDecisionMicros > 19 {
+		t.Errorf("T_d = %.2f us, want ~18", r.RVCAPDecisionMicros)
+	}
+	if r.RVCAPReconfigMicros < 1640 || r.RVCAPReconfigMicros > 1660 {
+		t.Errorf("T_r = %.2f us, want ~1651", r.RVCAPReconfigMicros)
+	}
+	if r.RVCAPMaxMBs < 395 || r.RVCAPMaxMBs > 400 {
+		t.Errorf("max throughput = %.1f MB/s, want ~398.1", r.RVCAPMaxMBs)
+	}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// Final row is RV-CAP; it must beat everything except Vipin.
+	rv := rows[len(rows)-1]
+	if rv.Controller != "RV-CAP" {
+		t.Fatalf("last row = %s", rv.Controller)
+	}
+	above := 0
+	for _, r := range rows[:len(rows)-1] {
+		if r.ThroughputMBs > rv.ThroughputMBs {
+			above++
+			if !strings.Contains(r.Controller, "Vipin") {
+				t.Errorf("%s (%.1f) beats RV-CAP (%.1f)", r.Controller, r.ThroughputMBs, rv.ThroughputMBs)
+			}
+		}
+	}
+	if above != 1 {
+		t.Errorf("%d rows beat RV-CAP, want 1 (Vipin, by ~1.9 MB/s)", above)
+	}
+	// The two HWICAP deployments: ARM ~14.3, RISC-V ~8.2 (the paper's
+	// point that the soft-core pays more per uncached store).
+	var arm, rv64 float64
+	for _, r := range rows {
+		if strings.Contains(r.Controller, "AXI_HWICAP [26]") || (strings.Contains(r.Controller, "Xilinx AXI_HWICAP") && r.Processor == "ARM") {
+			arm = r.ThroughputMBs
+		}
+		if strings.Contains(r.Controller, "RISC-V") {
+			rv64 = r.ThroughputMBs
+		}
+	}
+	if !(arm > rv64) {
+		t.Errorf("ARM HWICAP (%.1f) not faster than RISC-V HWICAP (%.1f)", arm, rv64)
+	}
+	if out := FormatTable2(rows); !strings.Contains(out, "RV64GC") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 composition rows + 3 RM rows.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	if rows[0].Component != "Full SoC" || rows[0].Res.LUT != 74393 {
+		t.Errorf("full SoC row = %+v", rows[0])
+	}
+	rmRows := 0
+	for _, r := range rows {
+		if r.PctOfRP != nil {
+			rmRows++
+		}
+	}
+	if rmRows != 3 {
+		t.Errorf("RM rows = %d, want 3", rmRows)
+	}
+	if out := FormatTable3(rows); !strings.Contains(out, "% of RP") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Paper Table IV targets.
+	want := map[string]struct{ td, tr, tc float64 }{
+		"gaussian": {18, 1651, 606},
+		"median":   {18, 1651, 598},
+		"sobel":    {18, 1651, 588},
+	}
+	for _, r := range rows {
+		w := want[r.Accelerator]
+		if !r.OutputCorrect {
+			t.Errorf("%s: output not bit-exact", r.Accelerator)
+		}
+		if r.DecisionMicros < w.td-1 || r.DecisionMicros > w.td+1 {
+			t.Errorf("%s T_d = %.1f, want ~%.0f", r.Accelerator, r.DecisionMicros, w.td)
+		}
+		if r.ReconfigMicros < w.tr-10 || r.ReconfigMicros > w.tr+10 {
+			t.Errorf("%s T_r = %.1f, want ~%.0f", r.Accelerator, r.ReconfigMicros, w.tr)
+		}
+		if r.ComputeMicros < w.tc*0.98 || r.ComputeMicros > w.tc*1.02 {
+			t.Errorf("%s T_c = %.1f, want ~%.0f +/- 2%%", r.Accelerator, r.ComputeMicros, w.tc)
+		}
+		if tot := r.DecisionMicros + r.ReconfigMicros + r.ComputeMicros; r.TotalMicros != tot {
+			t.Errorf("%s T_ex = %.1f, parts sum to %.1f", r.Accelerator, r.TotalMicros, tot)
+		}
+	}
+	// Ordering within T_c: Sobel < Median < Gaussian.
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Accelerator] = r.ComputeMicros
+	}
+	if !(byName["sobel"] < byName["median"] && byName["median"] < byName["gaussian"]) {
+		t.Errorf("T_c ordering wrong: %v", byName)
+	}
+	if out := FormatTable4(rows); !strings.Contains(out, "T_ex") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestFig3ShapeRVCAPOnly(t *testing.T) {
+	points, err := Fig3(Fig3Options{SkipHWICAP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Time grows monotonically with RP size; per-byte rate approaches
+	// the ICAP ceiling for large RPs.
+	for i := 1; i < len(points); i++ {
+		if points[i].BitstreamBytes <= points[i-1].BitstreamBytes {
+			t.Errorf("sweep sizes not increasing at %d", i)
+		}
+		if points[i].RVCAPMicros <= points[i-1].RVCAPMicros {
+			t.Errorf("RV-CAP time not increasing at %d", i)
+		}
+	}
+	last := points[len(points)-1]
+	if last.RVCAPMBs < 396 {
+		t.Errorf("largest-point throughput = %.1f MB/s, want near ceiling", last.RVCAPMBs)
+	}
+	if out := FormatFig3(points); !strings.Contains(out, "RP span") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestFig3WithHWICAPSmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HWICAP sweep is slow")
+	}
+	points, err := Fig3(Fig3Options{Unroll: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if p.HWICAPMicros <= p.RVCAPMicros {
+			t.Errorf("point %d: HWICAP (%.0f us) not slower than RV-CAP (%.0f us)",
+				i, p.HWICAPMicros, p.RVCAPMicros)
+		}
+		// The gap is roughly the throughput ratio (~48x).
+		ratio := p.HWICAPMicros / p.RVCAPMicros
+		if ratio < 30 || ratio > 60 {
+			t.Errorf("point %d: HWICAP/RV-CAP ratio = %.1f, want ~48", i, ratio)
+		}
+	}
+}
+
+func TestBurstAblation(t *testing.T) {
+	points, err := BurstAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at1, at16 float64
+	for _, p := range points {
+		switch p.BurstBeats {
+		case 1:
+			at1 = p.ThroughputMBs
+		case 16:
+			at16 = p.ThroughputMBs
+		}
+	}
+	if at16 < 390 {
+		t.Errorf("burst 16 = %.1f MB/s, want near ceiling", at16)
+	}
+	if at1 > at16/4 {
+		t.Errorf("burst 1 = %.1f MB/s, expected latency-bound collapse", at1)
+	}
+	if FormatBurstAblation(points) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestCompressionAblation(t *testing.T) {
+	points, err := CompressionAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Ratio >= 1 {
+			t.Errorf("%s: no compression (ratio %.2f)", p.Module, p.Ratio)
+		}
+		if p.CompressedMicros >= p.RawMicros {
+			t.Errorf("%s: compression did not help on the fetch-bound channel", p.Module)
+		}
+	}
+	if FormatCompressionAblation(points) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestValidationAblation(t *testing.T) {
+	r, err := ValidationAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CorruptionCaught {
+		t.Error("validation missed the corrupted stream")
+	}
+	if r.OverheadPercent <= 0 || r.OverheadPercent > 150 {
+		t.Errorf("overhead = %.1f%%", r.OverheadPercent)
+	}
+	if FormatValidationAblation(r) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFig4Floorplan(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RPFrames != 1544 || len(r.Grid) != r.Rows {
+		t.Errorf("frames=%d rows=%d", r.RPFrames, len(r.Grid))
+	}
+	// The RP occupies rows 2-3, columns 6-20.
+	rpCells := 0
+	for row, line := range r.Grid {
+		for col, ch := range line {
+			if ch == 'R' {
+				rpCells++
+				if row < 2 || row > 3 || col < 6 || col > 20 {
+					t.Fatalf("RP cell at (%d,%d) outside the documented span", row, col)
+				}
+			}
+		}
+	}
+	if rpCells != 2*15 {
+		t.Errorf("RP cells = %d, want 30", rpCells)
+	}
+	// The SoC must fit the device with headroom.
+	if r.SoCOfDevicePct.LUT >= 100 || r.SoCOfDevicePct.LUT <= 0 {
+		t.Errorf("device occupancy = %.1f%%", r.SoCOfDevicePct.LUT)
+	}
+	out := FormatFig4(r)
+	if !strings.Contains(out, "RP0") || !strings.Contains(out, "static region") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}

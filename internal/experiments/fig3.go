@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/fpga"
+)
+
+// Fig3Point is one x-position of Fig. 3: an RP size with the
+// reconfiguration time of both controllers.
+type Fig3Point struct {
+	Span           fpga.SweepSpan
+	Frames         int
+	BitstreamBytes int
+	RVCAPMicros    float64
+	RVCAPMBs       float64
+	HWICAPMicros   float64
+	HWICAPMBs      float64
+}
+
+// Fig3Options tunes the sweep.
+type Fig3Options struct {
+	// SkipHWICAP omits the slow CPU-driven series (used by quick runs;
+	// the full figure includes it).
+	SkipHWICAP bool
+	// Unroll is the HWICAP unroll factor (16 = the shipped driver).
+	Unroll int
+}
+
+// Fig3 regenerates Fig. 3 (reconfiguration time with respect to
+// different RP sizes): for each sweep partition, generate its partial
+// bitstream and measure T_r through the RV-CAP controller and through
+// the AXI_HWICAP baseline.
+func Fig3(opts Fig3Options) ([]Fig3Point, error) {
+	if opts.Unroll == 0 {
+		opts.Unroll = 16
+	}
+	var points []Fig3Point
+	for _, span := range fpga.DefaultSweep {
+		span := span
+		// Frame count and bitstream size of this span.
+		fab := fpga.NewFabric(fpga.NewKintex7())
+		part, err := fpga.AddSweepPartition(fab, span)
+		if err != nil {
+			return nil, err
+		}
+		im, err := bitstream.Partial(fab.Dev, part, "sweep", bitstream.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig3Point{
+			Span:           span,
+			Frames:         part.NumFrames(),
+			BitstreamBytes: im.SizeBytes(),
+		}
+		rv, err := measureRVCAPOnSpan(span)
+		if err != nil {
+			return nil, err
+		}
+		pt.RVCAPMicros = rv.ReconfigMicros
+		pt.RVCAPMBs = rv.ThroughputMBs()
+		if !opts.SkipHWICAP {
+			hw, err := measureHWICAP(&span, opts.Unroll, 0)
+			if err != nil {
+				return nil, err
+			}
+			pt.HWICAPMicros = hw.ReconfigMicros
+			pt.HWICAPMBs = hw.ThroughputMBs()
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FormatFig3 renders the figure's data series.
+func FormatFig3(points []Fig3Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3: Reconfiguration time with respect to different RP sizes\n")
+	fmt.Fprintf(&b, "%-10s %8s %12s %14s %12s %14s %12s\n",
+		"RP span", "frames", "pbit (B)", "RV-CAP (us)", "(MB/s)", "HWICAP (us)", "(MB/s)")
+	for _, p := range points {
+		hw, hwm := "-", "-"
+		if p.HWICAPMicros > 0 {
+			hw = fmt.Sprintf("%.1f", p.HWICAPMicros)
+			hwm = fmt.Sprintf("%.2f", p.HWICAPMBs)
+		}
+		fmt.Fprintf(&b, "%-10s %8d %12d %14.1f %12.1f %14s %12s\n",
+			p.Span.Name, p.Frames, p.BitstreamBytes, p.RVCAPMicros, p.RVCAPMBs, hw, hwm)
+	}
+	return b.String()
+}

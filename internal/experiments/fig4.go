@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rvcap/internal/fpga"
+	"rvcap/internal/synth"
+)
+
+// Fig4Result is the floorplan view of paper Fig. 4 ("An overview of the
+// full SoC floorplan on a Kintex-7 FPGA"): the device grid with the
+// reconfigurable partition's span marked against the static region, and
+// the occupancy numbers that go with it.
+type Fig4Result struct {
+	Device         string
+	Rows           int
+	Cols           int
+	RPName         string
+	RPFrames       int
+	TotalFrames    int
+	StaticRes      fpga.Resources
+	RPReserve      fpga.Resources
+	DeviceRes      fpga.Resources
+	SoCOfDevicePct synth.Percent
+	// Grid[r][c] is 'R' inside the partition, 'B'/'D' for BRAM/DSP
+	// columns of the static region, '.' for static CLB columns.
+	Grid []string
+}
+
+// Fig4 builds the floorplan view for the paper's default placement.
+func Fig4() (*Fig4Result, error) {
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	part, err := fpga.AddDefaultPartition(fab)
+	if err != nil {
+		return nil, err
+	}
+	dev := fab.Dev
+
+	inRP := make(map[[2]int]bool)
+	for _, idx := range part.Frames() {
+		row, col, _, err := dev.FrameCoords(idx)
+		if err != nil {
+			return nil, err
+		}
+		inRP[[2]int{row, col}] = true
+	}
+
+	r := &Fig4Result{
+		Device:      dev.Name,
+		Rows:        dev.Rows,
+		Cols:        len(dev.Cols),
+		RPName:      part.Name,
+		RPFrames:    part.NumFrames(),
+		TotalFrames: dev.TotalFrames(),
+		RPReserve:   part.Reserve,
+	}
+	r.DeviceRes = dev.SpanResources(0, dev.Rows-1, 0, len(dev.Cols)-1)
+	soc := synth.FullSoC()[0].Res
+	r.StaticRes = soc.Sub(part.Reserve)
+	r.SoCOfDevicePct = synth.PercentOf(soc, r.DeviceRes)
+
+	for row := 0; row < dev.Rows; row++ {
+		var b strings.Builder
+		for col := 0; col < len(dev.Cols); col++ {
+			switch {
+			case inRP[[2]int{row, col}]:
+				b.WriteByte('R')
+			case dev.Cols[col] == fpga.ColBRAM:
+				b.WriteByte('B')
+			case dev.Cols[col] == fpga.ColDSP:
+				b.WriteByte('D')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		r.Grid = append(r.Grid, b.String())
+	}
+	return r, nil
+}
+
+// FormatFig4 renders the floorplan.
+func FormatFig4(r *Fig4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4: Full SoC floorplan on %s (%d rows x %d columns)\n",
+		r.Device, r.Rows, r.Cols)
+	fmt.Fprintf(&b, "legend: R = %s (reconfigurable partition), B/D = BRAM/DSP columns, . = CLB (static region)\n\n", r.RPName)
+	for i := len(r.Grid) - 1; i >= 0; i-- { // row 0 at the bottom, as floorplans draw
+		fmt.Fprintf(&b, "  row %d  %s\n", i, r.Grid[i])
+	}
+	fmt.Fprintf(&b, "\n%s: %d of %d frames; reserve %v\n", r.RPName, r.RPFrames, r.TotalFrames, r.RPReserve)
+	fmt.Fprintf(&b, "static region: %v\n", r.StaticRes)
+	fmt.Fprintf(&b, "full SoC occupies %.1f%% LUT / %.1f%% FF / %.1f%% BRAM / %.1f%% DSP of the device\n",
+		r.SoCOfDevicePct.LUT, r.SoCOfDevicePct.FF, r.SoCOfDevicePct.BRAM, r.SoCOfDevicePct.DSP)
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package fat32
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"rvcap/internal/sim"
+)
+
+// DirEntry describes a root-directory file.
+type DirEntry struct {
+	Name    string // canonical 8.3 form, e.g. "SOBEL.BIN"
+	Size    uint32
+	Cluster uint32
+}
+
+// encode83 converts "SOBEL.BIN" into the 11-byte on-disk form.
+func encode83(name string) ([11]byte, error) {
+	var out [11]byte
+	for i := range out {
+		out[i] = ' '
+	}
+	name = strings.ToUpper(name)
+	base, ext := name, ""
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		base, ext = name[:i], name[i+1:]
+	}
+	if base == "" || len(base) > 8 || len(ext) > 3 {
+		return out, ErrBadName
+	}
+	valid := func(s string) bool {
+		for _, c := range s {
+			switch {
+			case c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+				c == '_', c == '-', c == '~', c == '!', c == '#', c == '$', c == '%', c == '&':
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !valid(base) || !valid(ext) {
+		return out, ErrBadName
+	}
+	copy(out[0:8], base)
+	copy(out[8:11], ext)
+	return out, nil
+}
+
+// decode83 converts the on-disk form back to "SOBEL.BIN".
+func decode83(raw []byte) string {
+	base := strings.TrimRight(string(raw[0:8]), " ")
+	ext := strings.TrimRight(string(raw[8:11]), " ")
+	if ext == "" {
+		return base
+	}
+	return base + "." + ext
+}
+
+// dirSlot locates a directory entry: its cluster, sector LBA and byte
+// offset within the sector.
+type dirSlot struct {
+	lba uint32
+	off int
+}
+
+// walkDir iterates root-directory entries, calling fn for each in-use
+// entry. fn returning true stops the walk with found=true. A nil free
+// pointer skips free-slot tracking.
+func (fs *FS) walkDir(p *sim.Proc, fn func(slot dirSlot, raw []byte) bool, free *dirSlot) (found bool, err error) {
+	cl := fs.rootCluster
+	buf := make([]byte, SectorSize)
+	freeSeen := false
+	for cl >= 2 && cl < fatEOC {
+		for s := uint32(0); s < fs.sectorsPerCluster; s++ {
+			lba := fs.clusterLBA(cl) + s
+			if err := fs.dev.ReadBlock(p, lba, buf); err != nil {
+				return false, err
+			}
+			for off := 0; off < SectorSize; off += entrySize {
+				e := buf[off : off+entrySize]
+				switch {
+				case e[0] == 0x00 || e[0] == entryFreeByte:
+					if free != nil && !freeSeen {
+						*free = dirSlot{lba: lba, off: off}
+						freeSeen = true
+					}
+					if e[0] == 0x00 {
+						// End of directory marker: nothing beyond.
+						return false, nil
+					}
+				case e[11]&attrLongName == attrLongName, e[11]&attrVolumeID != 0:
+					// LFN fragments / volume label: skip.
+				default:
+					if fn(dirSlot{lba: lba, off: off}, e) {
+						return true, nil
+					}
+				}
+			}
+		}
+		cl, err = fs.readFAT(p, cl)
+		if err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// find returns the entry and slot for name.
+func (fs *FS) find(p *sim.Proc, name string) (DirEntry, dirSlot, error) {
+	want, err := encode83(name)
+	if err != nil {
+		return DirEntry{}, dirSlot{}, err
+	}
+	var ent DirEntry
+	var slot dirSlot
+	found, err := fs.walkDir(p, func(s dirSlot, raw []byte) bool {
+		if string(raw[0:11]) != string(want[:]) {
+			return false
+		}
+		ent = DirEntry{
+			Name:    decode83(raw),
+			Size:    binary.LittleEndian.Uint32(raw[28:]),
+			Cluster: uint32(binary.LittleEndian.Uint16(raw[20:]))<<16 | uint32(binary.LittleEndian.Uint16(raw[26:])),
+		}
+		slot = s
+		return true
+	}, nil)
+	if err != nil {
+		return DirEntry{}, dirSlot{}, err
+	}
+	if !found {
+		return DirEntry{}, dirSlot{}, ErrNotFound
+	}
+	return ent, slot, nil
+}
+
+// List returns the root directory contents.
+func (fs *FS) List(p *sim.Proc) ([]DirEntry, error) {
+	var out []DirEntry
+	_, err := fs.walkDir(p, func(_ dirSlot, raw []byte) bool {
+		out = append(out, DirEntry{
+			Name:    decode83(raw),
+			Size:    binary.LittleEndian.Uint32(raw[28:]),
+			Cluster: uint32(binary.LittleEndian.Uint16(raw[20:]))<<16 | uint32(binary.LittleEndian.Uint16(raw[26:])),
+		})
+		return false
+	}, nil)
+	return out, err
+}
+
+// writeSlot stores a directory entry at slot.
+func (fs *FS) writeSlot(p *sim.Proc, slot dirSlot, raw []byte) error {
+	buf := make([]byte, SectorSize)
+	if err := fs.dev.ReadBlock(p, slot.lba, buf); err != nil {
+		return err
+	}
+	copy(buf[slot.off:slot.off+entrySize], raw)
+	return fs.dev.WriteBlock(p, slot.lba, buf)
+}
+
+// allocSlot finds (or creates, by extending the root directory) a free
+// directory slot.
+func (fs *FS) allocSlot(p *sim.Proc) (dirSlot, error) {
+	var free dirSlot
+	freeFound := false
+	_, err := fs.walkDir(p, func(dirSlot, []byte) bool { return false }, &free)
+	if err != nil {
+		return dirSlot{}, err
+	}
+	if free.lba != 0 || free.off != 0 {
+		freeFound = true
+	}
+	if freeFound {
+		return free, nil
+	}
+	// Directory completely full: extend the root chain.
+	last := fs.rootCluster
+	for {
+		next, err := fs.readFAT(p, last)
+		if err != nil {
+			return dirSlot{}, err
+		}
+		if next >= fatEOC {
+			break
+		}
+		last = next
+	}
+	fresh, err := fs.allocCluster(p)
+	if err != nil {
+		return dirSlot{}, err
+	}
+	if err := fs.writeFAT(p, last, fresh); err != nil {
+		return dirSlot{}, err
+	}
+	zero := make([]byte, SectorSize)
+	for s := uint32(0); s < fs.sectorsPerCluster; s++ {
+		if err := fs.dev.WriteBlock(p, fs.clusterLBA(fresh)+s, zero); err != nil {
+			return dirSlot{}, err
+		}
+	}
+	return dirSlot{lba: fs.clusterLBA(fresh), off: 0}, nil
+}

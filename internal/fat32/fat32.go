@@ -1,0 +1,293 @@
+// Package fat32 is the minimal FAT32 implementation the paper's software
+// stack carries: "A set of file I/O software functions based on the
+// minimalist implementation of the file allocation table (FAT32) have
+// been developed to support file reading, writing, and overwriting"
+// (§III-A). It formats, mounts and manipulates a FAT32 volume on any
+// 512-byte BlockDevice — the SPI SD card in the simulated SoC, or a
+// zero-time RAM image in the host tools.
+//
+// Scope matches the paper's minimalist driver: one partitionless volume,
+// root-directory files with 8.3 names, create/read/overwrite/delete. No
+// long file names, no subdirectories.
+package fat32
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rvcap/internal/sim"
+)
+
+// SectorSize is the fixed sector size.
+const SectorSize = 512
+
+// BlockDevice is the storage a volume lives on. Implementations consume
+// simulated time on the calling process (the SPI SD driver) or none at
+// all (host-side RAM images).
+type BlockDevice interface {
+	ReadBlock(p *sim.Proc, lba uint32, buf []byte) error
+	WriteBlock(p *sim.Proc, lba uint32, data []byte) error
+	Blocks() uint32
+}
+
+// Errors returned by volume operations.
+var (
+	ErrNotFAT32   = errors.New("fat32: not a FAT32 volume")
+	ErrNotFound   = errors.New("fat32: file not found")
+	ErrBadName    = errors.New("fat32: invalid 8.3 file name")
+	ErrVolumeFull = errors.New("fat32: volume full")
+	ErrDirFull    = errors.New("fat32: root directory full")
+	ErrTooSmall   = errors.New("fat32: device too small for FAT32")
+	ErrExists     = errors.New("fat32: file already exists")
+)
+
+const (
+	fatEOC        = 0x0FFFFFF8 // end-of-chain marker (>= this value)
+	fatFree       = 0
+	entrySize     = 32
+	attrArchive   = 0x20
+	attrVolumeID  = 0x08
+	attrLongName  = 0x0F
+	entryFreeByte = 0xE5
+)
+
+// FS is a mounted FAT32 volume.
+type FS struct {
+	dev BlockDevice
+
+	sectorsPerCluster uint32
+	reservedSectors   uint32
+	numFATs           uint32
+	sectorsPerFAT     uint32
+	rootCluster       uint32
+	totalSectors      uint32
+	fatStart          uint32 // LBA of first FAT
+	dataStart         uint32 // LBA of cluster 2
+	clusterCount      uint32
+}
+
+// MkfsOptions tunes formatting.
+type MkfsOptions struct {
+	// Label is the 11-byte volume label (padded/truncated).
+	Label string
+	// SectorsPerCluster must be a power of two in 1..128; 0 selects
+	// automatically from the device size.
+	SectorsPerCluster uint32
+}
+
+// Mkfs formats the device as a partitionless FAT32 volume and returns
+// the mounted filesystem.
+func Mkfs(p *sim.Proc, dev BlockDevice, opts MkfsOptions) (*FS, error) {
+	total := dev.Blocks()
+	spc := opts.SectorsPerCluster
+	if spc == 0 {
+		switch {
+		case total < 16*1024: // < 8 MiB
+			spc = 1
+		case total < 256*1024: // < 128 MiB
+			spc = 2
+		default:
+			spc = 8
+		}
+	}
+	const reserved = 32
+	if total < reserved+16 {
+		return nil, ErrTooSmall
+	}
+	// Fixpoint for FAT size: clusters need FAT entries, FAT sectors eat
+	// into the cluster area.
+	fatSectors := uint32(1)
+	for {
+		clusters := (total - reserved - 2*fatSectors) / spc
+		need := (clusters + 2 + (SectorSize / 4) - 1) / (SectorSize / 4)
+		if need <= fatSectors {
+			break
+		}
+		fatSectors = need
+	}
+	clusters := (total - reserved - 2*fatSectors) / spc
+	// FAT32 formally requires >= 65525 clusters; the minimalist driver
+	// accepts small volumes (as bare-metal SD libraries commonly do)
+	// but still needs a sane minimum.
+	if clusters < 8 {
+		return nil, ErrTooSmall
+	}
+
+	boot := make([]byte, SectorSize)
+	copy(boot[0:], []byte{0xEB, 0x58, 0x90}) // jump
+	copy(boot[3:], []byte("RVCAPFAT"))       // OEM
+	binary.LittleEndian.PutUint16(boot[11:], SectorSize)
+	boot[13] = byte(spc)
+	binary.LittleEndian.PutUint16(boot[14:], reserved)
+	boot[16] = 2 // FAT copies
+	boot[21] = 0xF8
+	binary.LittleEndian.PutUint32(boot[32:], total)
+	binary.LittleEndian.PutUint32(boot[36:], fatSectors)
+	binary.LittleEndian.PutUint32(boot[44:], 2) // root cluster
+	binary.LittleEndian.PutUint16(boot[48:], 1) // FSInfo sector
+	boot[66] = 0x29
+	label := fmt.Sprintf("%-11s", opts.Label)
+	copy(boot[71:82], label[:11])
+	copy(boot[82:90], []byte("FAT32   "))
+	boot[510], boot[511] = 0x55, 0xAA
+	if err := dev.WriteBlock(p, 0, boot); err != nil {
+		return nil, err
+	}
+
+	// FSInfo (mostly advisory; write the signatures).
+	info := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(info[0:], 0x41615252)
+	binary.LittleEndian.PutUint32(info[484:], 0x61417272)
+	binary.LittleEndian.PutUint32(info[488:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(info[492:], 0xFFFFFFFF)
+	info[510], info[511] = 0x55, 0xAA
+	if err := dev.WriteBlock(p, 1, info); err != nil {
+		return nil, err
+	}
+
+	// Zero both FATs and set the reserved entries + root chain.
+	zero := make([]byte, SectorSize)
+	for f := uint32(0); f < 2; f++ {
+		base := reserved + f*fatSectors
+		for s := uint32(0); s < fatSectors; s++ {
+			if err := dev.WriteBlock(p, base+s, zero); err != nil {
+				return nil, err
+			}
+		}
+		first := make([]byte, SectorSize)
+		binary.LittleEndian.PutUint32(first[0:], 0x0FFFFFF8) // media
+		binary.LittleEndian.PutUint32(first[4:], 0x0FFFFFFF) // EOC
+		binary.LittleEndian.PutUint32(first[8:], 0x0FFFFFFF) // root dir EOC
+		if err := dev.WriteBlock(p, base, first); err != nil {
+			return nil, err
+		}
+	}
+
+	// Zero the root directory cluster.
+	dataStart := reserved + 2*fatSectors
+	for s := uint32(0); s < spc; s++ {
+		if err := dev.WriteBlock(p, dataStart+s, zero); err != nil {
+			return nil, err
+		}
+	}
+	return Mount(p, dev)
+}
+
+// Mount parses the boot sector and returns the filesystem.
+func Mount(p *sim.Proc, dev BlockDevice) (*FS, error) {
+	boot := make([]byte, SectorSize)
+	if err := dev.ReadBlock(p, 0, boot); err != nil {
+		return nil, err
+	}
+	if boot[510] != 0x55 || boot[511] != 0xAA || string(boot[82:87]) != "FAT32" {
+		return nil, ErrNotFAT32
+	}
+	if binary.LittleEndian.Uint16(boot[11:]) != SectorSize {
+		return nil, fmt.Errorf("%w: unsupported sector size", ErrNotFAT32)
+	}
+	fs := &FS{
+		dev:               dev,
+		sectorsPerCluster: uint32(boot[13]),
+		reservedSectors:   uint32(binary.LittleEndian.Uint16(boot[14:])),
+		numFATs:           uint32(boot[16]),
+		sectorsPerFAT:     binary.LittleEndian.Uint32(boot[36:]),
+		rootCluster:       binary.LittleEndian.Uint32(boot[44:]),
+		totalSectors:      binary.LittleEndian.Uint32(boot[32:]),
+	}
+	if fs.sectorsPerCluster == 0 || fs.numFATs == 0 || fs.sectorsPerFAT == 0 {
+		return nil, ErrNotFAT32
+	}
+	fs.fatStart = fs.reservedSectors
+	fs.dataStart = fs.reservedSectors + fs.numFATs*fs.sectorsPerFAT
+	fs.clusterCount = (fs.totalSectors - fs.dataStart) / fs.sectorsPerCluster
+	return fs, nil
+}
+
+// ClusterBytes returns the cluster size in bytes.
+func (fs *FS) ClusterBytes() int { return int(fs.sectorsPerCluster) * SectorSize }
+
+// FreeClusters counts free clusters (a full FAT scan).
+func (fs *FS) FreeClusters(p *sim.Proc) (uint32, error) {
+	free := uint32(0)
+	buf := make([]byte, SectorSize)
+	for s := uint32(0); s < fs.sectorsPerFAT; s++ {
+		if err := fs.dev.ReadBlock(p, fs.fatStart+s, buf); err != nil {
+			return 0, err
+		}
+		for e := 0; e < SectorSize/4; e++ {
+			cl := s*(SectorSize/4) + uint32(e)
+			if cl >= 2 && cl < fs.clusterCount+2 &&
+				binary.LittleEndian.Uint32(buf[e*4:])&0x0FFFFFFF == fatFree {
+				free++
+			}
+		}
+	}
+	return free, nil
+}
+
+func (fs *FS) clusterLBA(cl uint32) uint32 {
+	return fs.dataStart + (cl-2)*fs.sectorsPerCluster
+}
+
+func (fs *FS) readFAT(p *sim.Proc, cl uint32) (uint32, error) {
+	buf := make([]byte, SectorSize)
+	lba := fs.fatStart + cl/(SectorSize/4)
+	if err := fs.dev.ReadBlock(p, lba, buf); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[(cl%(SectorSize/4))*4:]) & 0x0FFFFFFF, nil
+}
+
+func (fs *FS) writeFAT(p *sim.Proc, cl, val uint32) error {
+	off := cl / (SectorSize / 4)
+	buf := make([]byte, SectorSize)
+	for f := uint32(0); f < fs.numFATs; f++ {
+		lba := fs.fatStart + f*fs.sectorsPerFAT + off
+		if err := fs.dev.ReadBlock(p, lba, buf); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[(cl%(SectorSize/4))*4:], val&0x0FFFFFFF)
+		if err := fs.dev.WriteBlock(p, lba, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocCluster finds a free cluster, marks it EOC and returns it.
+func (fs *FS) allocCluster(p *sim.Proc) (uint32, error) {
+	buf := make([]byte, SectorSize)
+	for s := uint32(0); s < fs.sectorsPerFAT; s++ {
+		if err := fs.dev.ReadBlock(p, fs.fatStart+s, buf); err != nil {
+			return 0, err
+		}
+		for e := 0; e < SectorSize/4; e++ {
+			cl := s*(SectorSize/4) + uint32(e)
+			if cl < 2 || cl >= fs.clusterCount+2 {
+				continue
+			}
+			if binary.LittleEndian.Uint32(buf[e*4:])&0x0FFFFFFF == fatFree {
+				if err := fs.writeFAT(p, cl, 0x0FFFFFFF); err != nil {
+					return 0, err
+				}
+				return cl, nil
+			}
+		}
+	}
+	return 0, ErrVolumeFull
+}
+
+func (fs *FS) freeChain(p *sim.Proc, cl uint32) error {
+	for cl >= 2 && cl < fatEOC {
+		next, err := fs.readFAT(p, cl)
+		if err != nil {
+			return err
+		}
+		if err := fs.writeFAT(p, cl, fatFree); err != nil {
+			return err
+		}
+		cl = next
+	}
+	return nil
+}

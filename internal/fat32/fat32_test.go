@@ -1,0 +1,291 @@
+package fat32
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rvcap/internal/sim"
+)
+
+// hostProc runs fn on a throwaway kernel (RAMDisk consumes no time).
+func hostProc(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	k := sim.NewKernel()
+	k.Go("host", fn)
+	k.Run()
+}
+
+func freshFS(t *testing.T, p *sim.Proc, blocks int) *FS {
+	t.Helper()
+	fs, err := Mkfs(p, NewRAMDisk(blocks), MkfsOptions{Label: "RVCAP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestMkfsMountRoundTrip(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		disk := NewRAMDisk(4096)
+		fs1, err := Mkfs(p, disk, MkfsOptions{Label: "RVCAP"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs2, err := Mount(p, disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs2.ClusterBytes() != fs1.ClusterBytes() {
+			t.Errorf("cluster size changed across mount")
+		}
+		entries, err := fs2.List(p)
+		if err != nil || len(entries) != 0 {
+			t.Errorf("fresh volume List = %v, %v", entries, err)
+		}
+	})
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		if _, err := Mount(p, NewRAMDisk(64)); !errors.Is(err, ErrNotFAT32) {
+			t.Errorf("Mount of zeros err = %v", err)
+		}
+	})
+}
+
+func TestMkfsTooSmall(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		if _, err := Mkfs(p, NewRAMDisk(16), MkfsOptions{}); !errors.Is(err, ErrTooSmall) {
+			t.Errorf("tiny Mkfs err = %v", err)
+		}
+	})
+}
+
+func TestWriteReadDelete(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 4096)
+		data := make([]byte, 3000) // spans multiple sectors and clusters
+		for i := range data {
+			data[i] = byte(i * 31)
+		}
+		if err := fs.WriteFile(p, "SOBEL.BIN", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(p, "SOBEL.BIN")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read-back mismatch")
+		}
+		st, err := fs.Stat(p, "sobel.bin") // case-insensitive
+		if err != nil || st.Size != 3000 {
+			t.Errorf("Stat = %+v, %v", st, err)
+		}
+		if err := fs.Delete(p, "SOBEL.BIN"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.ReadFile(p, "SOBEL.BIN"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("read of deleted file err = %v", err)
+		}
+	})
+}
+
+func TestOverwriteShrinksAndReclaims(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 2048)
+		before, err := fs.FreeClusters(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big := make([]byte, 20*SectorSize)
+		if err := fs.WriteFile(p, "PBIT.BIN", big); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile(p, "PBIT.BIN", []byte("tiny")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(p, "PBIT.BIN")
+		if err != nil || string(got) != "tiny" {
+			t.Fatalf("overwritten contents = %q, %v", got, err)
+		}
+		after, err := fs.FreeClusters(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := fs.ClusterBytes()
+		_ = used
+		if after != before-1 {
+			t.Errorf("free clusters %d -> %d; overwrite leaked chain", before, after)
+		}
+		entries, _ := fs.List(p)
+		if len(entries) != 1 || entries[0].Name != "PBIT.BIN" {
+			t.Errorf("List = %v", entries)
+		}
+	})
+}
+
+func TestEmptyFile(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 1024)
+		if err := fs.WriteFile(p, "EMPTY.TXT", nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(p, "EMPTY.TXT")
+		if err != nil || len(got) != 0 {
+			t.Errorf("empty file read = %d bytes, %v", len(got), err)
+		}
+		st, _ := fs.Stat(p, "EMPTY.TXT")
+		if st.Cluster != 0 || st.Size != 0 {
+			t.Errorf("empty Stat = %+v", st)
+		}
+	})
+}
+
+func TestManyFilesAndDirGrowth(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 8192)
+		// One cluster of root dir holds ClusterBytes/32 entries; exceed it.
+		n := fs.ClusterBytes()/32 + 5
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("F%d.BIN", i)
+			if err := fs.WriteFile(p, name, []byte{byte(i)}); err != nil {
+				t.Fatalf("write %s: %v", name, err)
+			}
+		}
+		entries, err := fs.List(p)
+		if err != nil || len(entries) != n {
+			t.Fatalf("List = %d entries, %v; want %d", len(entries), err, n)
+		}
+		for i := 0; i < n; i++ {
+			got, err := fs.ReadFile(p, fmt.Sprintf("F%d.BIN", i))
+			if err != nil || len(got) != 1 || got[0] != byte(i) {
+				t.Fatalf("file %d contents wrong: %v %v", i, got, err)
+			}
+		}
+	})
+}
+
+func TestVolumeFull(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 256)
+		free, _ := fs.FreeClusters(p)
+		huge := make([]byte, (int(free)+4)*fs.ClusterBytes())
+		err := fs.WriteFile(p, "HUGE.BIN", huge)
+		if !errors.Is(err, ErrVolumeFull) {
+			t.Errorf("over-capacity write err = %v", err)
+		}
+	})
+}
+
+func TestBadNames(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 1024)
+		for _, name := range []string{"", ".", "WAYTOOLONGNAME.BIN", "X.LONG", "bad name.txt", "ok?.bin"} {
+			if err := fs.WriteFile(p, name, []byte("x")); !errors.Is(err, ErrBadName) {
+				t.Errorf("name %q err = %v, want ErrBadName", name, err)
+			}
+		}
+		// Extension-less names are fine.
+		if err := fs.WriteFile(p, "README", []byte("x")); err != nil {
+			t.Errorf("README: %v", err)
+		}
+		st, err := fs.Stat(p, "README")
+		if err != nil || st.Name != "README" {
+			t.Errorf("Stat README = %+v, %v", st, err)
+		}
+	})
+}
+
+func TestReadFileFuncStreams(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 2048)
+		data := make([]byte, 2500)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		fs.WriteFile(p, "S.BIN", data)
+		var chunks int
+		var got []byte
+		err := fs.ReadFileFunc(p, "S.BIN", func(p *sim.Proc, chunk []byte) error {
+			chunks++
+			got = append(got, chunk...)
+			return nil
+		})
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("streamed read mismatch (%v)", err)
+		}
+		if chunks < 5 { // 2500 bytes = 5 sectors minimum
+			t.Errorf("chunks = %d, want >= 5", chunks)
+		}
+		// Sink errors propagate.
+		sentinel := errors.New("stop")
+		err = fs.ReadFileFunc(p, "S.BIN", func(p *sim.Proc, chunk []byte) error { return sentinel })
+		if !errors.Is(err, sentinel) {
+			t.Errorf("sink error not propagated: %v", err)
+		}
+	})
+}
+
+func TestWriteReadQuick(t *testing.T) {
+	hostProc(t, func(p *sim.Proc) {
+		fs := freshFS(t, p, 8192)
+		i := 0
+		f := func(data []byte) bool {
+			if len(data) > 10000 {
+				data = data[:10000]
+			}
+			name := fmt.Sprintf("Q%d.DAT", i%10) // reuse slots: exercises overwrite
+			i++
+			if err := fs.WriteFile(p, name, data); err != nil {
+				return false
+			}
+			got, err := fs.ReadFile(p, name)
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestEncodeDecode83(t *testing.T) {
+	cases := map[string]string{
+		"sobel.bin": "SOBEL.BIN",
+		"A.B":       "A.B",
+		"12345678":  "12345678",
+		"GAUSS.BIN": "GAUSS.BIN",
+	}
+	for in, want := range cases {
+		raw, err := encode83(in)
+		if err != nil {
+			t.Errorf("encode83(%q): %v", in, err)
+			continue
+		}
+		if got := decode83(raw[:]); got != want {
+			t.Errorf("decode83(encode83(%q)) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWrapRAMDisk(t *testing.T) {
+	if _, err := WrapRAMDisk(make([]byte, 100)); err == nil {
+		t.Error("unaligned image accepted")
+	}
+	d, err := WrapRAMDisk(make([]byte, 1024))
+	if err != nil || d.Blocks() != 2 {
+		t.Errorf("WrapRAMDisk: %v, %d blocks", err, d.Blocks())
+	}
+	hostProc(t, func(p *sim.Proc) {
+		var buf [SectorSize]byte
+		if err := d.ReadBlock(p, 5, buf[:]); err == nil {
+			t.Error("OOB read accepted")
+		}
+		if err := d.WriteBlock(p, 5, buf[:]); err == nil {
+			t.Error("OOB write accepted")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package fat32
+
+import (
+	"encoding/binary"
+
+	"rvcap/internal/sim"
+)
+
+// Stat returns the directory entry for name.
+func (fs *FS) Stat(p *sim.Proc, name string) (DirEntry, error) {
+	ent, _, err := fs.find(p, name)
+	return ent, err
+}
+
+// ReadFile returns the full contents of name.
+func (fs *FS) ReadFile(p *sim.Proc, name string) ([]byte, error) {
+	out := make([]byte, 0)
+	err := fs.ReadFileFunc(p, name, func(p *sim.Proc, chunk []byte) error {
+		out = append(out, chunk...)
+		return nil
+	})
+	return out, err
+}
+
+// ReadFileFunc streams the contents of name cluster by cluster through
+// sink — the shape the bitstream loader needs ("load the partial
+// bitstream from the SD-card to the DDR destination address", Listing 1)
+// without holding the whole file in driver memory.
+func (fs *FS) ReadFileFunc(p *sim.Proc, name string, sink func(p *sim.Proc, chunk []byte) error) error {
+	ent, _, err := fs.find(p, name)
+	if err != nil {
+		return err
+	}
+	remaining := int(ent.Size)
+	cl := ent.Cluster
+	buf := make([]byte, SectorSize)
+	for remaining > 0 && cl >= 2 && cl < fatEOC {
+		for s := uint32(0); s < fs.sectorsPerCluster && remaining > 0; s++ {
+			if err := fs.dev.ReadBlock(p, fs.clusterLBA(cl)+s, buf); err != nil {
+				return err
+			}
+			n := SectorSize
+			if n > remaining {
+				n = remaining
+			}
+			if err := sink(p, buf[:n]); err != nil {
+				return err
+			}
+			remaining -= n
+		}
+		cl, err = fs.readFAT(p, cl)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile creates or overwrites name with data. Overwriting frees the
+// old cluster chain first (the paper's driver supports "file reading,
+// writing, and overwriting").
+func (fs *FS) WriteFile(p *sim.Proc, name string, data []byte) error {
+	raw83, err := encode83(name)
+	if err != nil {
+		return err
+	}
+	// Overwrite: drop the old chain, reuse the slot.
+	var slot dirSlot
+	if old, s, err := fs.find(p, name); err == nil {
+		if old.Cluster >= 2 {
+			if err := fs.freeChain(p, old.Cluster); err != nil {
+				return err
+			}
+		}
+		slot = s
+	} else if err == ErrNotFound {
+		slot, err = fs.allocSlot(p)
+		if err != nil {
+			return err
+		}
+	} else {
+		return err
+	}
+
+	firstCluster := uint32(0)
+	if len(data) > 0 {
+		var prev uint32
+		for off := 0; off < len(data); off += fs.ClusterBytes() {
+			cl, err := fs.allocCluster(p)
+			if err != nil {
+				return err
+			}
+			if prev == 0 {
+				firstCluster = cl
+			} else if err := fs.writeFAT(p, prev, cl); err != nil {
+				return err
+			}
+			prev = cl
+			if err := fs.writeClusterData(p, cl, data[off:]); err != nil {
+				return err
+			}
+		}
+	}
+
+	var ent [entrySize]byte
+	copy(ent[0:11], raw83[:])
+	ent[11] = attrArchive
+	binary.LittleEndian.PutUint16(ent[20:], uint16(firstCluster>>16))
+	binary.LittleEndian.PutUint16(ent[26:], uint16(firstCluster))
+	binary.LittleEndian.PutUint32(ent[28:], uint32(len(data)))
+	return fs.writeSlot(p, slot, ent[:])
+}
+
+// writeClusterData writes up to one cluster of data (padding the final
+// sector with zeros).
+func (fs *FS) writeClusterData(p *sim.Proc, cl uint32, data []byte) error {
+	buf := make([]byte, SectorSize)
+	for s := uint32(0); s < fs.sectorsPerCluster; s++ {
+		off := int(s) * SectorSize
+		for i := range buf {
+			buf[i] = 0
+		}
+		if off < len(data) {
+			copy(buf, data[off:])
+		}
+		if err := fs.dev.WriteBlock(p, fs.clusterLBA(cl)+s, buf); err != nil {
+			return err
+		}
+		if off+SectorSize >= len(data) && s == fs.sectorsPerCluster-1 {
+			break
+		}
+	}
+	return nil
+}
+
+// Delete removes name and frees its clusters.
+func (fs *FS) Delete(p *sim.Proc, name string) error {
+	ent, slot, err := fs.find(p, name)
+	if err != nil {
+		return err
+	}
+	if ent.Cluster >= 2 {
+		if err := fs.freeChain(p, ent.Cluster); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, SectorSize)
+	if err := fs.dev.ReadBlock(p, slot.lba, buf); err != nil {
+		return err
+	}
+	buf[slot.off] = entryFreeByte
+	return fs.dev.WriteBlock(p, slot.lba, buf)
+}

@@ -1,0 +1,61 @@
+package fat32
+
+import (
+	"fmt"
+
+	"rvcap/internal/sim"
+)
+
+// RAMDisk is a zero-simulated-time block device backed by a byte slice.
+// The host tools (mkfat32) use it to prepare SD-card images that the
+// simulated SoC then reads through the SPI/SD path, and tests use it to
+// exercise the filesystem without a kernel.
+type RAMDisk struct {
+	data []byte
+}
+
+// NewRAMDisk returns a RAM-backed device of the given block count.
+func NewRAMDisk(blocks int) *RAMDisk {
+	return &RAMDisk{data: make([]byte, blocks*SectorSize)}
+}
+
+// WrapRAMDisk wraps an existing image (length must be block-aligned).
+func WrapRAMDisk(image []byte) (*RAMDisk, error) {
+	if len(image)%SectorSize != 0 {
+		return nil, fmt.Errorf("fat32: image of %d bytes is not sector-aligned", len(image))
+	}
+	return &RAMDisk{data: image}, nil
+}
+
+// Image returns the backing store.
+func (r *RAMDisk) Image() []byte { return r.data }
+
+// Blocks implements BlockDevice.
+func (r *RAMDisk) Blocks() uint32 { return uint32(len(r.data) / SectorSize) }
+
+func (r *RAMDisk) bounds(lba uint32) error {
+	if lba >= r.Blocks() {
+		return fmt.Errorf("fat32: LBA %d beyond device (%d blocks)", lba, r.Blocks())
+	}
+	return nil
+}
+
+// ReadBlock implements BlockDevice.
+func (r *RAMDisk) ReadBlock(p *sim.Proc, lba uint32, buf []byte) error {
+	if err := r.bounds(lba); err != nil {
+		return err
+	}
+	copy(buf, r.data[int(lba)*SectorSize:int(lba+1)*SectorSize])
+	return nil
+}
+
+// WriteBlock implements BlockDevice.
+func (r *RAMDisk) WriteBlock(p *sim.Proc, lba uint32, data []byte) error {
+	if err := r.bounds(lba); err != nil {
+		return err
+	}
+	copy(r.data[int(lba)*SectorSize:int(lba+1)*SectorSize], data)
+	return nil
+}
+
+var _ BlockDevice = (*RAMDisk)(nil)

@@ -1,0 +1,98 @@
+package fpga
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ConfigMemory is the device's configuration memory: one 101-word frame
+// per linear frame index. Frames are what the ICAP engine reads and
+// writes; their contents define the logic realised in the fabric.
+type ConfigMemory struct {
+	dev    *Device
+	frames [][]uint32 // lazily allocated; nil = never configured
+	dirty  map[int]bool
+	writes uint64
+}
+
+// NewConfigMemory returns an all-unconfigured configuration memory.
+func NewConfigMemory(dev *Device) *ConfigMemory {
+	return &ConfigMemory{
+		dev:    dev,
+		frames: make([][]uint32, dev.TotalFrames()),
+		dirty:  make(map[int]bool),
+	}
+}
+
+// WriteFrame stores one frame at the linear index.
+func (m *ConfigMemory) WriteFrame(idx int, words []uint32) error {
+	if idx < 0 || idx >= len(m.frames) {
+		return fmt.Errorf("fpga: frame write outside device: index %d of %d", idx, len(m.frames))
+	}
+	if len(words) != FrameWords {
+		return fmt.Errorf("fpga: frame write of %d words, want %d", len(words), FrameWords)
+	}
+	if m.frames[idx] == nil {
+		m.frames[idx] = make([]uint32, FrameWords)
+	}
+	copy(m.frames[idx], words)
+	m.dirty[idx] = true
+	m.writes++
+	return nil
+}
+
+// ReadFrame returns a copy of the frame at idx; unconfigured frames read
+// as zeros, mirroring a cleared device.
+func (m *ConfigMemory) ReadFrame(idx int) ([]uint32, error) {
+	if idx < 0 || idx >= len(m.frames) {
+		return nil, fmt.Errorf("fpga: frame read outside device: index %d of %d", idx, len(m.frames))
+	}
+	out := make([]uint32, FrameWords)
+	copy(out, m.frames[idx])
+	return out, nil
+}
+
+// Configured reports whether the frame at idx was ever written.
+func (m *ConfigMemory) Configured(idx int) bool {
+	return idx >= 0 && idx < len(m.frames) && m.frames[idx] != nil
+}
+
+// FrameWrites returns the total number of frame writes performed.
+func (m *ConfigMemory) FrameWrites() uint64 { return m.writes }
+
+// TakeDirty returns the set of frames written since the last call and
+// resets the tracking. The fabric uses it to re-evaluate partitions at
+// the end of a configuration sequence.
+func (m *ConfigMemory) TakeDirty() map[int]bool {
+	d := m.dirty
+	m.dirty = make(map[int]bool)
+	return d
+}
+
+// HashFrames hashes frame contents fetched through get (nil frames hash
+// as zeros) over the given linear indices, in order. It is the model's
+// stand-in for "what logic do these frames realise": a bit-exact load of
+// a module's frames produces the module's registered signature, anything
+// else does not. The bitstream builder uses the same function to compute
+// the signature its generated image will produce.
+func HashFrames(get func(idx int) []uint32, frames []int) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, idx := range frames {
+		f := get(idx)
+		for w := 0; w < FrameWords; w++ {
+			var v uint32
+			if f != nil {
+				v = f[w]
+			}
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// signature hashes the current contents of the given frames.
+func (m *ConfigMemory) signature(frames []int) uint64 {
+	return HashFrames(func(idx int) []uint32 { return m.frames[idx] }, frames)
+}

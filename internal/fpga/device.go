@@ -1,0 +1,283 @@
+// Package fpga models the reconfigurable fabric of a Xilinx 7-series
+// device: the frame-organised configuration memory, the configuration
+// engine behind the ICAP primitive (packet parser, configuration
+// registers, CRC), and the floorplan of reconfigurable partitions that
+// host exchangeable modules.
+//
+// The paper targets a Kintex-7 XC7K325T (Genesys2). The model keeps the
+// 7-series configuration architecture — 101-word frames, FAR-addressed
+// columns, type-1/type-2 packets through a 32-bit ICAP port clocked at
+// 100 MHz — because those facts determine every reconfiguration-time
+// result in the paper.
+package fpga
+
+import "fmt"
+
+// FrameWords is the size of one 7-series configuration frame in 32-bit
+// words; FrameBytes is the same in bytes. These are device constants of
+// the whole 7-series family (UG470).
+const (
+	FrameWords = 101
+	FrameBytes = FrameWords * 4
+)
+
+// ColumnKind classifies a fabric column for configuration purposes.
+type ColumnKind int
+
+const (
+	// ColCLB is a slice (LUT/FF) column.
+	ColCLB ColumnKind = iota
+	// ColBRAM is a block-RAM column (interconnect + content frames).
+	ColBRAM
+	// ColDSP is a DSP48 column.
+	ColDSP
+)
+
+func (c ColumnKind) String() string {
+	switch c {
+	case ColCLB:
+		return "CLB"
+	case ColBRAM:
+		return "BRAM"
+	case ColDSP:
+		return "DSP"
+	}
+	return fmt.Sprintf("ColumnKind(%d)", int(c))
+}
+
+// FramesPerColumn returns the configuration frames of one column within
+// one clock region (7-series values: CLB 36, DSP 28, BRAM 28
+// interconnect + 128 content).
+func (c ColumnKind) FramesPerColumn() int {
+	switch c {
+	case ColCLB:
+		return 36
+	case ColBRAM:
+		return 28 + 128
+	case ColDSP:
+		return 28
+	}
+	panic("fpga: unknown column kind")
+}
+
+// Resources counts fabric primitives. BRAM counts RAMB36 tiles, matching
+// how the paper's tables count "BRAMs".
+type Resources struct {
+	LUT  int
+	FF   int
+	BRAM int
+	DSP  int
+}
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUT + o.LUT, r.FF + o.FF, r.BRAM + o.BRAM, r.DSP + o.DSP}
+}
+
+// Sub returns the component-wise difference.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.LUT - o.LUT, r.FF - o.FF, r.BRAM - o.BRAM, r.DSP - o.DSP}
+}
+
+// FitsIn reports whether r fits within capacity c.
+func (r Resources) FitsIn(c Resources) bool {
+	return r.LUT <= c.LUT && r.FF <= c.FF && r.BRAM <= c.BRAM && r.DSP <= c.DSP
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("%d LUT / %d FF / %d BRAM / %d DSP", r.LUT, r.FF, r.BRAM, r.DSP)
+}
+
+// ColumnResources returns the primitives one column contributes per clock
+// region (7-series: a CLB column holds 50 CLBs = 400 LUTs / 800 FFs; a
+// BRAM column holds 10 RAMB36; a DSP column holds 20 DSP48).
+func (c ColumnKind) ColumnResources() Resources {
+	switch c {
+	case ColCLB:
+		return Resources{LUT: 400, FF: 800}
+	case ColBRAM:
+		return Resources{BRAM: 10}
+	case ColDSP:
+		return Resources{DSP: 20}
+	}
+	panic("fpga: unknown column kind")
+}
+
+// Device describes the fabric geometry: Rows clock regions, each crossed
+// by the same ordered list of columns. Frames are addressed linearly in
+// (row, column, minor) order; FrameAddr converts to and from the packed
+// 7-series FAR layout.
+type Device struct {
+	Name   string
+	IDCode uint32
+	Rows   int
+	Cols   []ColumnKind
+
+	// frameBase[c] is the first linear frame index of column c within a
+	// row; rowFrames is the frame count of one full row.
+	frameBase []int
+	rowFrames int
+}
+
+// NewDevice constructs a device from its geometry.
+func NewDevice(name string, idcode uint32, rows int, cols []ColumnKind) *Device {
+	d := &Device{Name: name, IDCode: idcode, Rows: rows, Cols: cols}
+	d.frameBase = make([]int, len(cols))
+	n := 0
+	for i, c := range cols {
+		d.frameBase[i] = n
+		n += c.FramesPerColumn()
+	}
+	d.rowFrames = n
+	return d
+}
+
+// TotalFrames returns the device's configuration frame count.
+func (d *Device) TotalFrames() int { return d.rowFrames * d.Rows }
+
+// FrameIndex returns the linear frame index of (row, col, minor).
+func (d *Device) FrameIndex(row, col, minor int) (int, error) {
+	if row < 0 || row >= d.Rows || col < 0 || col >= len(d.Cols) {
+		return 0, fmt.Errorf("fpga: frame (%d,%d,%d) outside device %s", row, col, minor, d.Name)
+	}
+	if minor < 0 || minor >= d.Cols[col].FramesPerColumn() {
+		return 0, fmt.Errorf("fpga: minor %d outside column %d (%v)", minor, col, d.Cols[col])
+	}
+	return row*d.rowFrames + d.frameBase[col] + minor, nil
+}
+
+// FrameCoords is the inverse of FrameIndex.
+func (d *Device) FrameCoords(idx int) (row, col, minor int, err error) {
+	if idx < 0 || idx >= d.TotalFrames() {
+		return 0, 0, 0, fmt.Errorf("fpga: frame index %d outside device %s (%d frames)", idx, d.Name, d.TotalFrames())
+	}
+	row = idx / d.rowFrames
+	rem := idx % d.rowFrames
+	for c := len(d.Cols) - 1; c >= 0; c-- {
+		if rem >= d.frameBase[c] {
+			return row, c, rem - d.frameBase[c], nil
+		}
+	}
+	panic("fpga: unreachable frame decomposition")
+}
+
+// PackFAR packs (row, col, minor) into the frame address register
+// layout: [22:18] row, [17:8] column, [7:0] minor. The layout follows
+// the 7-series FAR structure (row/column/minor fields) with one
+// deviation: the minor field is 8 bits instead of 7 because this model
+// folds BRAM content frames (a separate block type on real silicon,
+// with its own 0..127 minor space) into the same address space as their
+// column, giving BRAM columns 156 minors.
+func (d *Device) PackFAR(row, col, minor int) uint32 {
+	return uint32(row&0x1F)<<18 | uint32(col&0x3FF)<<8 | uint32(minor&0xFF)
+}
+
+// UnpackFAR is the inverse of PackFAR.
+func (d *Device) UnpackFAR(far uint32) (row, col, minor int) {
+	return int(far >> 18 & 0x1F), int(far >> 8 & 0x3FF), int(far & 0xFF)
+}
+
+// FARToIndex converts a packed FAR to the linear frame index.
+func (d *Device) FARToIndex(far uint32) (int, error) {
+	row, col, minor := d.UnpackFAR(far)
+	return d.FrameIndex(row, col, minor)
+}
+
+// IndexToFAR converts a linear frame index to a packed FAR.
+func (d *Device) IndexToFAR(idx int) (uint32, error) {
+	row, col, minor, err := d.FrameCoords(idx)
+	if err != nil {
+		return 0, err
+	}
+	return d.PackFAR(row, col, minor), nil
+}
+
+// ColumnSpanFrames returns the linear frame indices covering columns
+// [col0, col1] in rows [row0, row1], the shape of a rectangular
+// reconfigurable partition.
+func (d *Device) ColumnSpanFrames(row0, row1, col0, col1 int) ([]int, error) {
+	if row0 > row1 || col0 > col1 {
+		return nil, fmt.Errorf("fpga: empty span rows %d-%d cols %d-%d", row0, row1, col0, col1)
+	}
+	var frames []int
+	for r := row0; r <= row1; r++ {
+		for c := col0; c <= col1; c++ {
+			for m := 0; m < d.Cols[c].FramesPerColumn(); m++ {
+				idx, err := d.FrameIndex(r, c, m)
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, idx)
+			}
+		}
+	}
+	return frames, nil
+}
+
+// SpanResources returns the primitives contained in the rectangle
+// [row0,row1] x [col0,col1].
+func (d *Device) SpanResources(row0, row1, col0, col1 int) Resources {
+	var res Resources
+	for c := col0; c <= col1 && c < len(d.Cols); c++ {
+		colRes := d.Cols[c].ColumnResources()
+		for r := row0; r <= row1 && r < d.Rows; r++ {
+			res = res.Add(colRes)
+		}
+	}
+	return res
+}
+
+// XC7K325TIDCode is the real JTAG/configuration IDCODE of the paper's
+// Kintex-7 XC7K325T.
+const XC7K325TIDCode uint32 = 0x03651093
+
+// XC7A100TIDCode is the real IDCODE of the Artix-7 XC7A100T, the
+// portability target ("the proposed implementation can be ported to all
+// Xilinx FPGA devices that support DPR", paper §V).
+const XC7A100TIDCode uint32 = 0x13631093
+
+// NewKintex7 returns a reduced-geometry stand-in for the XC7K325T with
+// the 7-series frame architecture. The column mix provides comfortably
+// more fabric than the paper's full SoC uses (Table III: 74 393 LUTs,
+// 92 BRAMs, 47 DSPs) while keeping simulated configuration images small
+// enough to sweep quickly.
+func NewKintex7() *Device {
+	var cols []ColumnKind
+	// Repeating pattern per region: 6 CLB, 1 BRAM, 6 CLB, 1 DSP. Six
+	// repetitions x 7 rows gives 201 600 LUTs / 403 200 FFs / 420 RAMB36
+	// / 840 DSPs — within a few percent of the real XC7K325T (203 800
+	// LUTs, 445 RAMB36, 840 DSPs) — and a ~10.5 MB full-device
+	// configuration image (real: ~11.3 MB).
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			cols = append(cols, ColCLB)
+		}
+		cols = append(cols, ColBRAM)
+		for j := 0; j < 6; j++ {
+			cols = append(cols, ColCLB)
+		}
+		cols = append(cols, ColDSP)
+	}
+	return NewDevice("XC7K325T-sim", XC7K325TIDCode, 7, cols)
+}
+
+// NewArtix7 returns a reduced-geometry stand-in for the Artix-7
+// XC7A100T — a smaller 7-series part sharing the frame architecture.
+// Three repetitions x 4 rows gives 57 600 LUTs / 115 200 FFs / 120
+// RAMB36 / 240 DSPs (real: 63 400 LUTs, 135 RAMB36, 240 DSPs). The
+// RV-CAP portability claim is demonstrated by running the full flow
+// unchanged on this device.
+func NewArtix7() *Device {
+	var cols []ColumnKind
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			cols = append(cols, ColCLB)
+		}
+		cols = append(cols, ColBRAM)
+		for j := 0; j < 6; j++ {
+			cols = append(cols, ColCLB)
+		}
+		cols = append(cols, ColDSP)
+	}
+	return NewDevice("XC7A100T-sim", XC7A100TIDCode, 4, cols)
+}

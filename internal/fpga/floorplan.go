@@ -1,0 +1,73 @@
+package fpga
+
+// This file captures the paper's floorplan (Fig. 4): one reconfigurable
+// partition hosting the image-filter modules, with the static region
+// (Ariane, peripherals, RV-CAP) around it.
+
+// DefaultRPReserve is the RP resource budget the paper reserves: "The RP
+// size is defined to be 3200 LUTs, 6400 FFs, 20 DSP blocks, and 30
+// BRAMs" (§IV-A). Table III utilisation percentages are computed against
+// these numbers.
+var DefaultRPReserve = Resources{LUT: 3200, FF: 6400, BRAM: 30, DSP: 20}
+
+// DefaultRPName is the name of the paper's single partition.
+const DefaultRPName = "RP0"
+
+// Default RP placement on the NewKintex7 geometry: two clock regions
+// tall (rows 2-3, mid-device as in Fig. 4) and 15 columns wide
+// (columns 6-20: 12 CLB + 2 BRAM + 1 DSP per row), for 2x772 = 1544
+// frames. The physical span (9600 LUTs / 19200 FFs / 40 BRAM / 40 DSP)
+// exceeds the reserve, as real pblocks do (routing margin).
+const (
+	defaultRPRow0, defaultRPRow1 = 2, 3
+	defaultRPCol0, defaultRPCol1 = 6, 20
+)
+
+// NewSpanPartition adds a rectangular partition covering rows
+// [row0,row1] x columns [col0,col1] to the fabric, with the given
+// advertised reserve.
+func NewSpanPartition(f *Fabric, name string, row0, row1, col0, col1 int, reserve Resources) (*Partition, error) {
+	frames, err := f.Dev.ColumnSpanFrames(row0, row1, col0, col1)
+	if err != nil {
+		return nil, err
+	}
+	span := f.Dev.SpanResources(row0, row1, col0, col1)
+	return f.AddPartition(name, frames, reserve, span)
+}
+
+// AddDefaultPartition places the paper's RP on the fabric.
+func AddDefaultPartition(f *Fabric) (*Partition, error) {
+	return NewSpanPartition(f, DefaultRPName,
+		defaultRPRow0, defaultRPRow1, defaultRPCol0, defaultRPCol1, DefaultRPReserve)
+}
+
+// SweepSpan describes one point of the Fig. 3 RP-size sweep: a partition
+// rows tall and reps repetition-patterns (14 columns each) wide.
+type SweepSpan struct {
+	Name string
+	Rows int
+	Reps int
+}
+
+// DefaultSweep is the RP-size ladder used to regenerate Fig. 3
+// (reconfiguration time vs RP size), spanning roughly 150 KB to 2.0 MB
+// of partial bitstream.
+var DefaultSweep = []SweepSpan{
+	{"rp-1x0.5", 1, 0}, // half a repetition: 7 columns
+	{"rp-1x1", 1, 1},
+	{"rp-1x2", 1, 2},
+	{"rp-2x2", 2, 2},
+	{"rp-2x3", 2, 3},
+	{"rp-2x4", 2, 4},
+}
+
+// AddSweepPartition places a sweep partition in the top-left of the
+// fabric (fresh fabrics are used per sweep point, so spans may overlap
+// across points).
+func AddSweepPartition(f *Fabric, s SweepSpan) (*Partition, error) {
+	cols := s.Reps * 14
+	if cols == 0 {
+		cols = 7 // the half-repetition point
+	}
+	return NewSpanPartition(f, s.Name, 0, s.Rows-1, 0, cols-1, DefaultRPReserve)
+}

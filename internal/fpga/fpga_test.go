@@ -1,0 +1,671 @@
+package fpga
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testDevice() *Device {
+	// 2 rows x [CLB CLB BRAM CLB DSP] — small but exercises all kinds.
+	return NewDevice("test", 0x1234ABCD, 2, []ColumnKind{ColCLB, ColCLB, ColBRAM, ColCLB, ColDSP})
+}
+
+func TestDeviceFrameCounts(t *testing.T) {
+	d := testDevice()
+	perRow := 36 + 36 + 156 + 36 + 28
+	if d.TotalFrames() != 2*perRow {
+		t.Errorf("TotalFrames = %d, want %d", d.TotalFrames(), 2*perRow)
+	}
+}
+
+func TestFrameIndexCoordsRoundTrip(t *testing.T) {
+	d := testDevice()
+	for idx := 0; idx < d.TotalFrames(); idx++ {
+		row, col, minor, err := d.FrameCoords(idx)
+		if err != nil {
+			t.Fatalf("FrameCoords(%d): %v", idx, err)
+		}
+		back, err := d.FrameIndex(row, col, minor)
+		if err != nil || back != idx {
+			t.Fatalf("round trip %d -> (%d,%d,%d) -> %d, %v", idx, row, col, minor, back, err)
+		}
+	}
+}
+
+func TestFARPackUnpackRoundTrip(t *testing.T) {
+	d := testDevice()
+	f := func(idx16 uint16) bool {
+		idx := int(idx16) % d.TotalFrames()
+		far, err := d.IndexToFAR(idx)
+		if err != nil {
+			return false
+		}
+		back, err := d.FARToIndex(far)
+		return err == nil && back == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameIndexBounds(t *testing.T) {
+	d := testDevice()
+	if _, err := d.FrameIndex(2, 0, 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := d.FrameIndex(0, 5, 0); err == nil {
+		t.Error("col out of range accepted")
+	}
+	if _, err := d.FrameIndex(0, 0, 36); err == nil {
+		t.Error("minor out of range accepted")
+	}
+	if _, _, _, err := d.FrameCoords(d.TotalFrames()); err == nil {
+		t.Error("index out of range accepted")
+	}
+}
+
+func TestColumnSpanFramesAndResources(t *testing.T) {
+	d := testDevice()
+	frames, err := d.ColumnSpanFrames(0, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2*(36+156) {
+		t.Errorf("span frames = %d, want %d", len(frames), 2*(36+156))
+	}
+	res := d.SpanResources(0, 1, 1, 2)
+	want := Resources{LUT: 800, FF: 1600, BRAM: 20}
+	if res != want {
+		t.Errorf("span resources = %v, want %v", res, want)
+	}
+	if _, err := d.ColumnSpanFrames(1, 0, 0, 0); err == nil {
+		t.Error("empty span accepted")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUT: 10, FF: 20, BRAM: 2, DSP: 1}
+	b := Resources{LUT: 5, FF: 5, BRAM: 1, DSP: 1}
+	if got := a.Add(b); got != (Resources{15, 25, 3, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Resources{5, 15, 1, 0}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if !b.FitsIn(a) || a.FitsIn(b) {
+		t.Error("FitsIn wrong")
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestKintex7Geometry(t *testing.T) {
+	d := NewKintex7()
+	if d.IDCode != XC7K325TIDCode {
+		t.Errorf("IDCode = %#x", d.IDCode)
+	}
+	// 6 reps x (12 CLB + 1 BRAM + 1 DSP) x 7 rows.
+	total := d.SpanResources(0, d.Rows-1, 0, len(d.Cols)-1)
+	want := Resources{LUT: 201600, FF: 403200, BRAM: 420, DSP: 840}
+	if total != want {
+		t.Errorf("device capacity = %v, want %v", total, want)
+	}
+}
+
+func TestConfigMemoryFrames(t *testing.T) {
+	d := testDevice()
+	m := NewConfigMemory(d)
+	frame := make([]uint32, FrameWords)
+	frame[0] = 0xDEAD
+	if err := m.WriteFrame(3, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFrame(3)
+	if err != nil || got[0] != 0xDEAD {
+		t.Errorf("ReadFrame = %v, %v", got[0], err)
+	}
+	if !m.Configured(3) || m.Configured(4) {
+		t.Error("Configured tracking wrong")
+	}
+	// Unwritten frames read as zeros.
+	z, err := m.ReadFrame(0)
+	if err != nil || z[0] != 0 || len(z) != FrameWords {
+		t.Errorf("unconfigured frame = %v, %v", z[0], err)
+	}
+	if err := m.WriteFrame(d.TotalFrames(), frame); err == nil {
+		t.Error("out-of-device write accepted")
+	}
+	if err := m.WriteFrame(0, frame[:10]); err == nil {
+		t.Error("short frame accepted")
+	}
+	dirty := m.TakeDirty()
+	if len(dirty) != 1 || !dirty[3] {
+		t.Errorf("dirty = %v", dirty)
+	}
+	if len(m.TakeDirty()) != 0 {
+		t.Error("dirty not reset")
+	}
+}
+
+// streamBuilder assembles configuration word streams for engine tests,
+// tracking the CRC exactly as the engine does.
+type streamBuilder struct {
+	words []uint32
+	crc   uint32
+}
+
+func (b *streamBuilder) raw(ws ...uint32) *streamBuilder {
+	b.words = append(b.words, ws...)
+	return b
+}
+
+func (b *streamBuilder) header() *streamBuilder {
+	return b.raw(DummyWord, DummyWord, BusWidthSync, BusWidthWord, DummyWord, SyncWord)
+}
+
+func (b *streamBuilder) write(reg uint32, vals ...uint32) *streamBuilder {
+	b.raw(Type1Write(reg, len(vals)))
+	for _, v := range vals {
+		b.raw(v)
+		if reg != RegCRC {
+			b.crc = UpdateCRC(b.crc, reg, v)
+		}
+	}
+	return b
+}
+
+func (b *streamBuilder) cmd(c uint32) *streamBuilder {
+	b.write(RegCMD, c)
+	if c == CmdRCRC {
+		b.crc = 0 // the engine resets its CRC on RCRC
+	}
+	return b
+}
+
+func (b *streamBuilder) fdri(frames ...[]uint32) *streamBuilder {
+	b.raw(Type1Write(RegFDRI, 0))
+	n := 0
+	for _, f := range frames {
+		n += len(f)
+	}
+	b.raw(Type2Write(n))
+	for _, f := range frames {
+		for _, w := range f {
+			b.raw(w)
+			b.crc = UpdateCRC(b.crc, RegFDRI, w)
+		}
+	}
+	return b
+}
+
+func patFrame(seed uint32) []uint32 {
+	f := make([]uint32, FrameWords)
+	for i := range f {
+		f[i] = seed + uint32(i)
+	}
+	return f
+}
+
+func feed(ic *ICAP, words []uint32) {
+	for _, w := range words {
+		ic.WriteWord(w)
+	}
+}
+
+func newTestFabric() (*Fabric, *ICAP) {
+	f := NewFabric(testDevice())
+	return f, NewICAP(f)
+}
+
+func TestICAPIgnoresPreSyncNoise(t *testing.T) {
+	_, ic := newTestFabric()
+	feed(ic, []uint32{0x12345678, DummyWord, 0})
+	if ic.Synced() {
+		t.Error("synced on noise")
+	}
+	ic.WriteWord(SyncWord)
+	if !ic.Synced() {
+		t.Error("did not sync on sync word")
+	}
+}
+
+func TestICAPFramePipelineNeedsPad(t *testing.T) {
+	fab, ic := newTestFabric()
+	f1, f2 := patFrame(100), patFrame(200)
+	pad := make([]uint32, FrameWords)
+	far, _ := fab.Dev.IndexToFAR(10)
+
+	var b streamBuilder
+	b.header().
+		cmd(CmdRCRC).
+		write(RegIDCODE, fab.Dev.IDCode).
+		cmd(CmdWCFG).
+		write(RegFAR, far).
+		fdri(f1, f2, pad).
+		cmd(CmdDesync)
+	feed(ic, b.words)
+
+	if err := ic.Err(); err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if ic.FramesWritten() != 2 {
+		t.Fatalf("FramesWritten = %d, want 2 (pad discarded)", ic.FramesWritten())
+	}
+	got, _ := fab.Mem.ReadFrame(10)
+	if got[0] != 100 {
+		t.Errorf("frame 10 word0 = %d, want 100", got[0])
+	}
+	got, _ = fab.Mem.ReadFrame(11)
+	if got[0] != 200 {
+		t.Errorf("frame 11 word0 = %d, want 200", got[0])
+	}
+	if fab.Mem.Configured(12) {
+		t.Error("pad frame was committed")
+	}
+	if ic.Desyncs() != 1 {
+		t.Errorf("Desyncs = %d", ic.Desyncs())
+	}
+}
+
+func TestICAPIDCodeMismatch(t *testing.T) {
+	fab, ic := newTestFabric()
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegIDCODE, 0xBADC0DE)
+	feed(ic, b.words)
+	if !errors.Is(ic.Err(), ErrIDCode) {
+		t.Errorf("err = %v, want ErrIDCode", ic.Err())
+	}
+	// Frame writes after the error are suppressed.
+	far, _ := fab.Dev.IndexToFAR(0)
+	var c streamBuilder
+	c.cmd(CmdWCFG).write(RegFAR, far).fdri(patFrame(1), make([]uint32, FrameWords))
+	feed(ic, c.words)
+	if ic.FramesWritten() != 0 {
+		t.Errorf("frames written after IDCODE error: %d", ic.FramesWritten())
+	}
+}
+
+func TestICAPCRCCheck(t *testing.T) {
+	fab, ic := newTestFabric()
+	far, _ := fab.Dev.IndexToFAR(0)
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).
+		write(RegFAR, far).fdri(patFrame(7), make([]uint32, FrameWords))
+	b.write(RegCRC, b.crc) // correct CRC
+	b.cmd(CmdDesync)
+	feed(ic, b.words)
+	if ic.Err() != nil {
+		t.Fatalf("correct CRC rejected: %v", ic.Err())
+	}
+
+	_, ic2 := newTestFabric()
+	var c streamBuilder
+	c.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).
+		write(RegFAR, far).fdri(patFrame(7), make([]uint32, FrameWords))
+	c.write(RegCRC, c.crc^1) // corrupted CRC
+	feed(ic2, c.words)
+	if !errors.Is(ic2.Err(), ErrCRC) {
+		t.Errorf("err = %v, want ErrCRC", ic2.Err())
+	}
+}
+
+func TestICAPFDRIWithoutWCFG(t *testing.T) {
+	fab, ic := newTestFabric()
+	far, _ := fab.Dev.IndexToFAR(0)
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegFAR, far).fdri(patFrame(1))
+	feed(ic, b.words)
+	if !errors.Is(ic.Err(), ErrNotWCFG) {
+		t.Errorf("err = %v, want ErrNotWCFG", ic.Err())
+	}
+}
+
+func TestICAPFDRIWithoutFAR(t *testing.T) {
+	fab, ic := newTestFabric()
+	_ = fab
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).cmd(CmdWCFG).fdri(patFrame(1), patFrame(2))
+	feed(ic, b.words)
+	if !errors.Is(ic.Err(), ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame", ic.Err())
+	}
+}
+
+func TestICAPBadFAR(t *testing.T) {
+	fab, ic := newTestFabric()
+	var b streamBuilder
+	// Column 9 does not exist on the test device.
+	b.header().cmd(CmdRCRC).write(RegFAR, fab.Dev.PackFAR(0, 9, 0))
+	feed(ic, b.words)
+	if !errors.Is(ic.Err(), ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame", ic.Err())
+	}
+}
+
+func TestICAPClearError(t *testing.T) {
+	_, ic := newTestFabric()
+	var b streamBuilder
+	b.header().write(RegIDCODE, 0xBAD)
+	feed(ic, b.words)
+	if ic.Err() == nil {
+		t.Fatal("no error latched")
+	}
+	ic.ClearError()
+	if ic.Err() != nil {
+		t.Error("error survived ClearError")
+	}
+}
+
+func TestPartitionActivationBySignature(t *testing.T) {
+	fab, ic := newTestFabric()
+	frames, _ := fab.Dev.ColumnSpanFrames(0, 0, 0, 0) // 36 frames
+	part, err := fab.AddPartition("RP0", frames, Resources{LUT: 100}, Resources{LUT: 400, FF: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build module contents and register its signature by staging the
+	// frames directly, reading the signature, then wiping.
+	content := make([][]uint32, len(frames))
+	for i := range content {
+		content[i] = patFrame(uint32(1000 + i))
+	}
+	for i, idx := range frames {
+		fab.Mem.WriteFrame(idx, content[i])
+	}
+	sig := fab.Signature(part)
+	fab.RegisterModule("sobel", sig)
+	for _, idx := range frames {
+		fab.Mem.WriteFrame(idx, make([]uint32, FrameWords))
+	}
+	fab.Mem.TakeDirty()
+
+	var loaded []string
+	fab.OnModuleLoaded(func(p *Partition, m string) { loaded = append(loaded, p.Name+":"+m) })
+
+	// Now load the module through the ICAP engine.
+	far, _ := fab.Dev.IndexToFAR(frames[0])
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).write(RegFAR, far)
+	all := append(append([][]uint32{}, content...), make([]uint32, FrameWords))
+	b.fdri(all...)
+	b.cmd(CmdDesync)
+	feed(ic, b.words)
+
+	if ic.Err() != nil {
+		t.Fatalf("engine error: %v", ic.Err())
+	}
+	if part.Active() != "sobel" {
+		t.Fatalf("Active = %q, want sobel", part.Active())
+	}
+	if part.Loads() != 1 {
+		t.Errorf("Loads = %d", part.Loads())
+	}
+	if len(loaded) != 1 || loaded[0] != "RP0:sobel" {
+		t.Errorf("callbacks = %v", loaded)
+	}
+	if ic.PartitionFrameWrites(part) != uint64(len(frames)) {
+		t.Errorf("partition frame writes = %d, want %d", ic.PartitionFrameWrites(part), len(frames))
+	}
+}
+
+func TestPartitionPartialLoadStaysInactive(t *testing.T) {
+	fab, ic := newTestFabric()
+	frames, _ := fab.Dev.ColumnSpanFrames(0, 0, 0, 0)
+	part, _ := fab.AddPartition("RP0", frames, Resources{}, Resources{})
+	far, _ := fab.Dev.IndexToFAR(frames[0])
+
+	// Load only 5 of the 36 frames, then desync.
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).write(RegFAR, far)
+	var some [][]uint32
+	for i := 0; i < 5; i++ {
+		some = append(some, patFrame(uint32(i)))
+	}
+	some = append(some, make([]uint32, FrameWords))
+	b.fdri(some...)
+	b.cmd(CmdDesync)
+	feed(ic, b.words)
+
+	if part.Active() != "" {
+		t.Errorf("partially loaded partition active as %q", part.Active())
+	}
+}
+
+func TestPartitionOverlapAndDuplicates(t *testing.T) {
+	fab := NewFabric(testDevice())
+	frames, _ := fab.Dev.ColumnSpanFrames(0, 0, 0, 0)
+	if _, err := fab.AddPartition("A", frames, Resources{}, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.AddPartition("B", frames[:3], Resources{}, Resources{}); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+	if _, err := fab.AddPartition("C", []int{500, 500}, Resources{}, Resources{}); err == nil {
+		t.Error("duplicate frames accepted")
+	}
+	if _, err := fab.AddPartition("D", []int{1 << 20}, Resources{}, Resources{}); err == nil {
+		t.Error("out-of-device frame accepted")
+	}
+	if fab.Partition("A") == nil || fab.Partition("zzz") != nil {
+		t.Error("Partition lookup wrong")
+	}
+}
+
+func TestPartitionRuns(t *testing.T) {
+	fab := NewFabric(testDevice())
+	p, err := fab.AddPartition("A", []int{5, 6, 7, 20, 21, 40}, Resources{}, Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := p.Runs()
+	want := [][2]int{{5, 7}, {20, 21}, {40, 40}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+func TestDefaultFloorplan(t *testing.T) {
+	fab := NewFabric(NewKintex7())
+	p, err := AddDefaultPartition(fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rows x (12 CLB + 2 BRAM + 1 DSP) = 2 x 772 frames.
+	if p.NumFrames() != 1544 {
+		t.Errorf("default RP frames = %d, want 1544", p.NumFrames())
+	}
+	if p.Reserve != DefaultRPReserve {
+		t.Errorf("reserve = %v", p.Reserve)
+	}
+	if !p.Reserve.FitsIn(p.Span) {
+		t.Errorf("reserve %v does not fit span %v", p.Reserve, p.Span)
+	}
+	// Two contiguous runs, one per row.
+	if runs := p.Runs(); len(runs) != 2 {
+		t.Errorf("default RP runs = %d, want 2", len(runs))
+	}
+}
+
+func TestSweepPartitions(t *testing.T) {
+	for _, s := range DefaultSweep {
+		fab := NewFabric(NewKintex7())
+		p, err := AddSweepPartition(fab, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if p.NumFrames() == 0 {
+			t.Errorf("%s: zero frames", s.Name)
+		}
+	}
+	// The ladder must be strictly increasing in frame count.
+	prev := 0
+	for _, s := range DefaultSweep {
+		fab := NewFabric(NewKintex7())
+		p, _ := AddSweepPartition(fab, s)
+		if p.NumFrames() <= prev {
+			t.Errorf("sweep not increasing at %s: %d after %d", s.Name, p.NumFrames(), prev)
+		}
+		prev = p.NumFrames()
+	}
+}
+
+func TestPacketHeaderBuilders(t *testing.T) {
+	h := Type1Write(RegCMD, 1)
+	if h>>29 != 1 || h>>27&3 != 2 || h>>13&0x3FFF != RegCMD || h&0x7FF != 1 {
+		t.Errorf("Type1Write = %#08x", h)
+	}
+	r := Type1Read(RegSTAT, 1)
+	if r>>27&3 != 1 {
+		t.Errorf("Type1Read op = %d", r>>27&3)
+	}
+	t2 := Type2Write(123456)
+	if t2>>29 != 2 || t2&0x7FFFFFF != 123456 {
+		t.Errorf("Type2Write = %#08x", t2)
+	}
+	if NoopWord>>29 != 1 || NoopWord>>27&3 != 0 {
+		t.Errorf("NoopWord = %#08x", NoopWord)
+	}
+}
+
+func TestICAPRandomStreamNeverPanics(t *testing.T) {
+	// Arbitrary word soup — including accidental sync words and bogus
+	// packet headers — must never panic the engine; errors latch.
+	f := func(words []uint32, syncAt uint8) bool {
+		fab, ic := newTestFabric()
+		_ = fab
+		ic.WriteWord(SyncWord) // force it into packet parsing
+		for _, w := range words {
+			ic.WriteWord(w)
+		}
+		// Interleave another sync attempt.
+		ic.WriteWord(SyncWord)
+		for i, w := range words {
+			if uint8(i) == syncAt {
+				ic.WriteWord(CmdDesync)
+			}
+			ic.WriteWord(w ^ 0xA5A5A5A5)
+		}
+		return true // reaching here = no panic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestICAPReadbackRegister(t *testing.T) {
+	fab, ic := newTestFabric()
+	var b streamBuilder
+	b.header().write(RegIDCODE, fab.Dev.IDCode)
+	b.raw(Type1Read(RegIDCODE, 1))
+	feed(ic, b.words)
+	v, ok := ic.ReadWord()
+	if !ok || v != fab.Dev.IDCode {
+		t.Errorf("register readback = %#x, %v", v, ok)
+	}
+	if _, ok := ic.ReadWord(); ok {
+		t.Error("read queue not drained")
+	}
+}
+
+func TestICAPFrameReadbackRoundTrip(t *testing.T) {
+	fab, ic := newTestFabric()
+	// Write two frames, then read them back via RCFG/FDRO.
+	f1, f2 := patFrame(500), patFrame(600)
+	far, _ := fab.Dev.IndexToFAR(20)
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).
+		write(RegFAR, far).fdri(f1, f2, make([]uint32, FrameWords)).cmd(CmdDesync)
+	feed(ic, b.words)
+	if ic.Err() != nil {
+		t.Fatal(ic.Err())
+	}
+	var r streamBuilder
+	r.header().write(RegFAR, far).cmd(CmdRCFG)
+	r.raw(Type1Read(RegFDRO, 2*FrameWords))
+	feed(ic, r.words)
+	if ic.Err() != nil {
+		t.Fatal(ic.Err())
+	}
+	if ic.ReadPending() != 2*FrameWords {
+		t.Fatalf("pending = %d", ic.ReadPending())
+	}
+	for i := 0; i < FrameWords; i++ {
+		w, _ := ic.ReadWord()
+		if w != f1[i] {
+			t.Fatalf("frame1 word %d = %#x, want %#x", i, w, f1[i])
+		}
+	}
+	for i := 0; i < FrameWords; i++ {
+		w, _ := ic.ReadWord()
+		if w != f2[i] {
+			t.Fatalf("frame2 word %d = %#x", i, w)
+		}
+	}
+}
+
+func TestICAPFDROWithoutRCFGFails(t *testing.T) {
+	fab, ic := newTestFabric()
+	far, _ := fab.Dev.IndexToFAR(0)
+	var b streamBuilder
+	b.header().write(RegFAR, far)
+	b.raw(Type1Read(RegFDRO, FrameWords))
+	feed(ic, b.words)
+	if ic.Err() == nil {
+		t.Error("FDRO read without RCFG accepted")
+	}
+}
+
+func TestICAPAbortRecovers(t *testing.T) {
+	fab, ic := newTestFabric()
+	// Get stuck mid-FDRI payload.
+	far, _ := fab.Dev.IndexToFAR(0)
+	var b streamBuilder
+	b.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).write(RegFAR, far)
+	b.raw(Type1Write(RegFDRI, 0), Type2Write(5*FrameWords))
+	b.raw(1, 2, 3) // partial payload
+	feed(ic, b.words)
+	if !ic.Synced() {
+		t.Fatal("not synced mid-payload")
+	}
+	ic.Abort()
+	if ic.Synced() || ic.Err() != nil {
+		t.Fatalf("abort state: synced=%v err=%v", ic.Synced(), ic.Err())
+	}
+	// A clean sequence now works.
+	var c streamBuilder
+	c.header().cmd(CmdRCRC).write(RegIDCODE, fab.Dev.IDCode).cmd(CmdWCFG).
+		write(RegFAR, far).fdri(patFrame(9), make([]uint32, FrameWords)).cmd(CmdDesync)
+	feed(ic, c.words)
+	if ic.Err() != nil {
+		t.Fatalf("post-abort load failed: %v", ic.Err())
+	}
+	got, _ := fab.Mem.ReadFrame(0)
+	if got[0] != 9 {
+		t.Error("post-abort frame content wrong")
+	}
+}
+
+func TestArtix7Geometry(t *testing.T) {
+	d := NewArtix7()
+	if d.IDCode != XC7A100TIDCode {
+		t.Errorf("IDCode = %#x", d.IDCode)
+	}
+	total := d.SpanResources(0, d.Rows-1, 0, len(d.Cols)-1)
+	want := Resources{LUT: 57600, FF: 115200, BRAM: 120, DSP: 240}
+	if total != want {
+		t.Errorf("capacity = %v, want %v", total, want)
+	}
+	// The two devices must be distinguishable by IDCODE (the ICAP
+	// rejects cross-device bitstreams on that basis).
+	if d.IDCode == NewKintex7().IDCode {
+		t.Error("devices share an IDCODE")
+	}
+}

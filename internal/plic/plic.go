@@ -1,0 +1,223 @@
+// Package plic models the RISC-V platform-level interrupt controller of
+// the Ariane SoC. The RV-CAP DMA completion interrupt is "directly
+// connected to the processor-level interrupt controller (PLIC) to
+// support non-blocking mode during data transfer and free up the
+// processor for other tasks" (paper §III-B).
+//
+// The model implements the standard PLIC programming interface for a
+// single target context: per-source priority registers, pending bits,
+// enable bits, a priority threshold, and the claim/complete register.
+// Sources are level-triggered through per-source gateways.
+package plic
+
+import (
+	"fmt"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+// Register map offsets (standard PLIC layout, context 0).
+const (
+	PriorityBase  = 0x000000 // + 4*source
+	PendingBase   = 0x001000 // bitmask words
+	EnableBase    = 0x002000 // bitmask words, context 0
+	ThresholdOffs = 0x200000
+	ClaimOffs     = 0x200004
+	// Size is the address-window size.
+	Size = 0x400000
+)
+
+// PLIC is a platform-level interrupt controller with a single target.
+type PLIC struct {
+	k         *sim.Kernel
+	nsources  int
+	priority  []uint32 // 1-based; priority[0] unused
+	level     []bool   // raw input level per source
+	pending   []bool
+	inFlight  []bool // claimed, awaiting complete
+	enable    []bool
+	threshold uint32
+
+	// OnExternalInterrupt, if set, is called when the external interrupt
+	// line to the hart changes.
+	OnExternalInterrupt func(pending bool)
+
+	extPending bool
+	claims     uint64
+}
+
+// New returns a PLIC with nsources interrupt sources (IDs 1..nsources).
+func New(k *sim.Kernel, nsources int) *PLIC {
+	if nsources < 1 || nsources > 1023 {
+		panic(fmt.Sprintf("plic: unsupported source count %d", nsources))
+	}
+	return &PLIC{
+		k:        k,
+		nsources: nsources,
+		priority: make([]uint32, nsources+1),
+		level:    make([]bool, nsources+1),
+		pending:  make([]bool, nsources+1),
+		inFlight: make([]bool, nsources+1),
+		enable:   make([]bool, nsources+1),
+	}
+}
+
+// SetSource drives the raw interrupt level of source id. Devices call
+// this; a rising level latches the pending bit unless the source is
+// mid-claim.
+func (pl *PLIC) SetSource(id int, high bool) {
+	if id < 1 || id > pl.nsources {
+		panic(fmt.Sprintf("plic: source %d out of range", id))
+	}
+	pl.level[id] = high
+	if high && !pl.inFlight[id] {
+		pl.pending[id] = true
+	}
+	pl.update()
+}
+
+// Pending reports whether source id is pending.
+func (pl *PLIC) Pending(id int) bool { return pl.pending[id] }
+
+// ExtPending reports the state of the external interrupt line to the
+// hart.
+func (pl *PLIC) ExtPending() bool { return pl.extPending }
+
+// Claims returns the number of successful claims served.
+func (pl *PLIC) Claims() uint64 { return pl.claims }
+
+// best returns the pending+enabled source with the highest priority
+// above the threshold (ties broken by lowest ID), or 0.
+func (pl *PLIC) best() int {
+	bestID, bestPrio := 0, pl.threshold
+	for id := 1; id <= pl.nsources; id++ {
+		if pl.pending[id] && pl.enable[id] && pl.priority[id] > bestPrio {
+			bestID, bestPrio = id, pl.priority[id]
+		}
+	}
+	return bestID
+}
+
+func (pl *PLIC) update() {
+	p := pl.best() != 0
+	if p == pl.extPending {
+		return
+	}
+	pl.extPending = p
+	if pl.OnExternalInterrupt != nil {
+		pl.OnExternalInterrupt(p)
+	}
+}
+
+// claim implements a read of the claim register.
+func (pl *PLIC) claim() uint32 {
+	id := pl.best()
+	if id == 0 {
+		return 0
+	}
+	pl.pending[id] = false
+	pl.inFlight[id] = true
+	pl.claims++
+	pl.update()
+	return uint32(id)
+}
+
+// complete implements a write of the complete register.
+func (pl *PLIC) complete(id uint32) {
+	if id == 0 || int(id) > pl.nsources {
+		return
+	}
+	pl.inFlight[id] = false
+	// Level-triggered gateway: still-high sources re-pend immediately.
+	if pl.level[id] {
+		pl.pending[id] = true
+	}
+	pl.update()
+}
+
+func bitWord(base, addr uint64) (word int, ok bool) {
+	if addr < base {
+		return 0, false
+	}
+	return int(addr-base) / 4, true
+}
+
+// Read implements the AXI slave interface (32-bit accesses).
+func (pl *PLIC) Read(p *sim.Proc, addr uint64, buf []byte) error {
+	if len(buf) != 4 || addr%4 != 0 {
+		return &axi.AccessError{Op: "read", Addr: addr,
+			Err: fmt.Errorf("%w: PLIC requires aligned 32-bit access", axi.ErrSlave)}
+	}
+	p.Sleep(1)
+	var v uint32
+	switch {
+	case addr == ThresholdOffs:
+		v = pl.threshold
+	case addr == ClaimOffs:
+		v = pl.claim()
+	case addr >= EnableBase && addr < EnableBase+0x80:
+		w, _ := bitWord(EnableBase, addr)
+		v = pl.maskWord(pl.enable, w)
+	case addr >= PendingBase && addr < PendingBase+0x80:
+		w, _ := bitWord(PendingBase, addr)
+		v = pl.maskWord(pl.pending, w)
+	case addr >= PriorityBase && addr < PriorityBase+uint64(4*(pl.nsources+1)):
+		v = pl.priority[addr/4]
+	default:
+		return &axi.AccessError{Op: "read", Addr: addr, Err: axi.ErrDecode}
+	}
+	buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// Write implements the AXI slave interface (32-bit accesses).
+func (pl *PLIC) Write(p *sim.Proc, addr uint64, data []byte) error {
+	if len(data) != 4 || addr%4 != 0 {
+		return &axi.AccessError{Op: "write", Addr: addr,
+			Err: fmt.Errorf("%w: PLIC requires aligned 32-bit access", axi.ErrSlave)}
+	}
+	p.Sleep(1)
+	v := uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+	switch {
+	case addr == ThresholdOffs:
+		pl.threshold = v
+		pl.update()
+	case addr == ClaimOffs:
+		pl.complete(v)
+	case addr >= EnableBase && addr < EnableBase+0x80:
+		w, _ := bitWord(EnableBase, addr)
+		pl.setMaskWord(pl.enable, w, v)
+		pl.update()
+	case addr >= PriorityBase && addr < PriorityBase+uint64(4*(pl.nsources+1)):
+		if addr/4 >= 1 {
+			pl.priority[addr/4] = v
+			pl.update()
+		}
+	default:
+		return &axi.AccessError{Op: "write", Addr: addr, Err: axi.ErrDecode}
+	}
+	return nil
+}
+
+func (pl *PLIC) maskWord(bits []bool, word int) uint32 {
+	var v uint32
+	for b := 0; b < 32; b++ {
+		id := word*32 + b
+		if id >= 1 && id <= pl.nsources && bits[id] {
+			v |= 1 << b
+		}
+	}
+	return v
+}
+
+func (pl *PLIC) setMaskWord(bits []bool, word int, v uint32) {
+	for b := 0; b < 32; b++ {
+		id := word*32 + b
+		if id >= 1 && id <= pl.nsources {
+			bits[id] = v&(1<<b) != 0
+		}
+	}
+}
+
+var _ axi.Slave = (*PLIC)(nil)

@@ -1,0 +1,203 @@
+package plic
+
+import (
+	"errors"
+	"testing"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+// setup returns a PLIC with source 1 at priority 3, enabled, threshold 0.
+func setup(t *testing.T) (*sim.Kernel, *PLIC) {
+	t.Helper()
+	k := sim.NewKernel()
+	pl := New(k, 4)
+	k.Go("init", func(p *sim.Proc) {
+		if err := axi.WriteU32(p, pl, PriorityBase+4*1, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := axi.WriteU32(p, pl, EnableBase, 1<<1); err != nil {
+			t.Fatal(err)
+		}
+		if err := axi.WriteU32(p, pl, ThresholdOffs, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.Run()
+	return k, pl
+}
+
+func TestClaimCompleteCycle(t *testing.T) {
+	k, pl := setup(t)
+	var ext []bool
+	pl.OnExternalInterrupt = func(p bool) { ext = append(ext, p) }
+
+	pl.SetSource(1, true)
+	if !pl.ExtPending() {
+		t.Fatal("ext line low with enabled pending source")
+	}
+	k.Go("isr", func(p *sim.Proc) {
+		id, err := axi.ReadU32(p, pl, ClaimOffs)
+		if err != nil || id != 1 {
+			t.Errorf("claim = %d, %v", id, err)
+		}
+		// Line drops once claimed (no other source).
+		if pl.ExtPending() {
+			t.Error("ext line still high after claim")
+		}
+		// Device drops its level before completion.
+		pl.SetSource(1, false)
+		if err := axi.WriteU32(p, pl, ClaimOffs, id); err != nil {
+			t.Errorf("complete: %v", err)
+		}
+	})
+	k.Run()
+	if pl.ExtPending() || pl.Pending(1) {
+		t.Error("interrupt still pending after complete")
+	}
+	if len(ext) != 2 || !ext[0] || ext[1] {
+		t.Errorf("ext edges = %v", ext)
+	}
+	if pl.Claims() != 1 {
+		t.Errorf("Claims = %d", pl.Claims())
+	}
+}
+
+func TestLevelTriggeredRepends(t *testing.T) {
+	k, pl := setup(t)
+	pl.SetSource(1, true)
+	k.Go("isr", func(p *sim.Proc) {
+		id, _ := axi.ReadU32(p, pl, ClaimOffs)
+		// Complete while the level is STILL high: must re-pend.
+		axi.WriteU32(p, pl, ClaimOffs, id)
+	})
+	k.Run()
+	if !pl.Pending(1) || !pl.ExtPending() {
+		t.Error("still-high level did not re-pend after complete")
+	}
+}
+
+func TestThresholdMasks(t *testing.T) {
+	k, pl := setup(t)
+	k.Go("m", func(p *sim.Proc) {
+		axi.WriteU32(p, pl, ThresholdOffs, 5) // above source priority 3
+	})
+	k.Run()
+	pl.SetSource(1, true)
+	if pl.ExtPending() {
+		t.Error("interrupt above threshold=5 with priority 3")
+	}
+	k.Go("m2", func(p *sim.Proc) {
+		id, _ := axi.ReadU32(p, pl, ClaimOffs)
+		if id != 0 {
+			t.Errorf("claim below threshold = %d, want 0", id)
+		}
+		axi.WriteU32(p, pl, ThresholdOffs, 2)
+	})
+	k.Run()
+	if !pl.ExtPending() {
+		t.Error("interrupt masked after threshold lowered")
+	}
+}
+
+func TestPriorityOrderAndTieBreak(t *testing.T) {
+	k := sim.NewKernel()
+	pl := New(k, 8)
+	k.Go("init", func(p *sim.Proc) {
+		axi.WriteU32(p, pl, EnableBase, 0b111110)
+		axi.WriteU32(p, pl, PriorityBase+4*2, 1)
+		axi.WriteU32(p, pl, PriorityBase+4*3, 7)
+		axi.WriteU32(p, pl, PriorityBase+4*4, 7)
+	})
+	k.Run()
+	pl.SetSource(2, true)
+	pl.SetSource(3, true)
+	pl.SetSource(4, true)
+	k.Go("isr", func(p *sim.Proc) {
+		id1, _ := axi.ReadU32(p, pl, ClaimOffs)
+		id2, _ := axi.ReadU32(p, pl, ClaimOffs)
+		id3, _ := axi.ReadU32(p, pl, ClaimOffs)
+		if id1 != 3 || id2 != 4 || id3 != 2 {
+			t.Errorf("claim order = %d,%d,%d, want 3,4,2", id1, id2, id3)
+		}
+	})
+	k.Run()
+}
+
+func TestDisabledSourceInvisible(t *testing.T) {
+	k := sim.NewKernel()
+	pl := New(k, 4)
+	k.Go("init", func(p *sim.Proc) {
+		axi.WriteU32(p, pl, PriorityBase+4*2, 3)
+		// Source 2 never enabled.
+	})
+	k.Run()
+	pl.SetSource(2, true)
+	if pl.ExtPending() {
+		t.Error("disabled source raised ext line")
+	}
+	if !pl.Pending(2) {
+		t.Error("pending bit not latched for disabled source")
+	}
+}
+
+func TestPendingRegisterRead(t *testing.T) {
+	k, pl := setup(t)
+	pl.SetSource(1, true)
+	k.Go("m", func(p *sim.Proc) {
+		v, err := axi.ReadU32(p, pl, PendingBase)
+		if err != nil || v != 1<<1 {
+			t.Errorf("pending word = %#x, %v", v, err)
+		}
+		e, _ := axi.ReadU32(p, pl, EnableBase)
+		if e != 1<<1 {
+			t.Errorf("enable word = %#x", e)
+		}
+		pr, _ := axi.ReadU32(p, pl, PriorityBase+4)
+		if pr != 3 {
+			t.Errorf("priority readback = %d", pr)
+		}
+		th, _ := axi.ReadU32(p, pl, ThresholdOffs)
+		if th != 0 {
+			t.Errorf("threshold readback = %d", th)
+		}
+	})
+	k.Run()
+}
+
+func TestBadAccesses(t *testing.T) {
+	k := sim.NewKernel()
+	pl := New(k, 4)
+	k.Go("m", func(p *sim.Proc) {
+		var b8 [8]byte
+		if err := pl.Read(p, PriorityBase, b8[:]); !errors.Is(err, axi.ErrSlave) {
+			t.Errorf("64-bit read err = %v", err)
+		}
+		var b4 [4]byte
+		if err := pl.Read(p, 0x300000, b4[:]); !errors.Is(err, axi.ErrDecode) {
+			t.Errorf("unmapped read err = %v", err)
+		}
+		if err := pl.Write(p, 0x300000, b4[:]); !errors.Is(err, axi.ErrDecode) {
+			t.Errorf("unmapped write err = %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestSourceRangePanics(t *testing.T) {
+	k := sim.NewKernel()
+	pl := New(k, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range source accepted")
+		}
+	}()
+	pl.SetSource(5, true)
+}
+
+func TestCompleteUnknownIDIgnored(t *testing.T) {
+	_, pl := setup(t)
+	pl.complete(0)
+	pl.complete(99)
+}

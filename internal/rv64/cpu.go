@@ -1,0 +1,359 @@
+// Package rv64 is an RV64IM+Zicsr instruction-set simulator for the
+// Ariane-class hart of the RV-CAP SoC. Where the soc.Hart timing model
+// charges driver-level costs analytically, this package actually
+// executes RISC-V machine code against the same simulated bus — the
+// fully authentic version of "a set of software drivers ... to manage
+// the DPR process via a programmable software environment from the
+// RISC-V processor" (paper §I). The rv64run command and the rv64-bare
+// example assemble bare-metal programs with internal/rvasm and run them
+// here.
+//
+// Scope: RV64I, M, Zicsr, FENCE (as no-ops), WFI, MRET, machine mode
+// only — what the paper's bare-metal C drivers compile to. Compressed
+// (C) instructions, A-extension atomics and floating point are not
+// implemented; the bundled assembler emits none of them. Instruction
+// fetch models a perfect instruction cache over the boot image
+// (self-modifying code is not supported).
+package rv64
+
+import (
+	"fmt"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+// Interrupt bit positions in mip/mie.
+const (
+	MSIP = 1 << 3  // machine software interrupt
+	MTIP = 1 << 7  // machine timer interrupt
+	MEIP = 1 << 11 // machine external interrupt
+)
+
+// mstatus bits.
+const (
+	mstatusMIE  = 1 << 3
+	mstatusMPIE = 1 << 7
+	mstatusMPP  = 3 << 11
+)
+
+// mcause values.
+const (
+	causeSoftIRQ           = 1<<63 | 3
+	causeTimerIRQ          = 1<<63 | 7
+	causeExternalIRQ       = 1<<63 | 11
+	causeIllegal           = 2
+	causeBreakpoint        = 3
+	causeLoadAccess        = 5
+	causeStoreAccess       = 7
+	causeECallM            = 11
+	causeMisalignedLoad    = 4
+	causeMisalignedStore   = 6
+	causeInstrAccessFault  = 1
+	causeInstrAddrMisalign = 0
+)
+
+// Config sets up a CPU.
+type Config struct {
+	// Bus is the hart's memory view (the main crossbar).
+	Bus axi.Slave
+	// BootImage is the flat program image; BootBase its bus address.
+	// Instruction fetch reads the image directly (perfect I$).
+	BootImage []byte
+	BootBase  uint64
+	// PC is the reset program counter.
+	PC uint64
+	// CachedWindows lists address ranges treated as cached memory (DDR,
+	// boot): accesses hit the write-through L1 model — they cost
+	// CachedAccessCost and reach the backing store through its backdoor
+	// rather than the bus (the store buffer hides the memory latency).
+	// Everything else is a device access with uncached, non-speculative
+	// semantics. The backdoor writes the same storage the DMA engines
+	// read, so the system stays coherent.
+	CachedWindows []CachedWindow
+	// Timing (zero values take the calibrated Ariane defaults used by
+	// soc.Hart).
+	UncachedExtra      sim.Time // pipeline cost per uncached access
+	PostUncachedBranch sim.Time // drain for a branch after an uncached access
+	CachedAccessCost   sim.Time // cost of a cached load/store
+	TrapEntryCost      sim.Time
+	// MaxInstructions aborts runaway programs (0 = no limit).
+	MaxInstructions uint64
+}
+
+// Backdoor is direct, zero-simulated-time access to a memory's backing
+// store; mem.DDR and mem.BRAM implement it.
+type Backdoor interface {
+	Load(addr uint64, data []byte)
+	Peek(addr uint64, n int) []byte
+}
+
+// CachedWindow declares one cached address range backed by Mem.
+type CachedWindow struct {
+	Base, Size uint64
+	Mem        Backdoor
+}
+
+// CPU is one RV64 hart.
+type CPU struct {
+	cfg Config
+	k   *sim.Kernel
+
+	x  [32]uint64
+	pc uint64
+
+	// CSRs.
+	mstatus  uint64
+	mie      uint64
+	mip      uint64
+	mtvec    uint64
+	mepc     uint64
+	mcause   uint64
+	mtval    uint64
+	mscratch uint64
+	minstret uint64
+
+	halted      bool
+	haltCode    uint64
+	wfiWake     *sim.Signal
+	doneSig     *sim.Signal
+	debt        sim.Time // accumulated cycle cost not yet slept
+	mmioPending bool     // an uncached access has not yet been consumed by a branch
+	faultinfo   error
+}
+
+// New returns a CPU at reset.
+func New(k *sim.Kernel, cfg Config) *CPU {
+	if cfg.UncachedExtra == 0 {
+		cfg.UncachedExtra = 35
+	}
+	if cfg.PostUncachedBranch == 0 {
+		cfg.PostUncachedBranch = 51
+	}
+	if cfg.CachedAccessCost == 0 {
+		cfg.CachedAccessCost = 2
+	}
+	if cfg.TrapEntryCost == 0 {
+		cfg.TrapEntryCost = 80
+	}
+	c := &CPU{
+		cfg:     cfg,
+		k:       k,
+		pc:      cfg.PC,
+		wfiWake: sim.NewSignal(k, "rv64.wfi"),
+	}
+	c.doneSig = sim.NewLatchedSignal(k, "rv64.done")
+	return c
+}
+
+// SetIRQ drives an interrupt-pending bit (MSIP/MTIP/MEIP) from the
+// platform (CLINT, PLIC).
+func (c *CPU) SetIRQ(bit uint64, high bool) {
+	if high {
+		c.mip |= bit
+	} else {
+		c.mip &^= bit
+	}
+	if high {
+		c.wfiWake.Fire()
+	}
+}
+
+// SetMaxInstructions adjusts the runaway budget after construction.
+func (c *CPU) SetMaxInstructions(n uint64) { c.cfg.MaxInstructions = n }
+
+// Reg returns register x[i].
+func (c *CPU) Reg(i int) uint64 { return c.x[i] }
+
+// SetReg sets register x[i] (i=0 is ignored, as in hardware).
+func (c *CPU) SetReg(i int, v uint64) {
+	if i != 0 {
+		c.x[i] = v
+	}
+}
+
+// PC returns the current program counter.
+func (c *CPU) PC() uint64 { return c.pc }
+
+// Halted reports whether the program has stopped (ebreak or fault).
+func (c *CPU) Halted() bool { return c.halted }
+
+// HaltCode returns a0 at the halting ebreak (the program's exit code).
+func (c *CPU) HaltCode() uint64 { return c.haltCode }
+
+// Err returns the fault that stopped execution, if any.
+func (c *CPU) Err() error { return c.faultinfo }
+
+// Instret returns the retired-instruction count.
+func (c *CPU) Instret() uint64 { return c.minstret }
+
+// Done returns a latched signal fired when the CPU halts.
+func (c *CPU) Done() *sim.Signal { return c.doneSig }
+
+// Start launches the hart as a simulation process.
+func (c *CPU) Start() {
+	c.k.Go("rv64.hart", func(p *sim.Proc) { c.run(p) })
+}
+
+// stop halts the CPU and releases waiters.
+func (c *CPU) stop(err error) {
+	c.halted = true
+	c.faultinfo = err
+	c.haltCode = c.x[10] // a0
+	c.doneSig.Fire()
+}
+
+// charge accumulates cycle debt, flushed in batches to keep the event
+// count low without distorting long-run timing.
+func (c *CPU) charge(p *sim.Proc, n sim.Time) {
+	c.debt += n
+	if c.debt >= 64 {
+		p.Sleep(c.debt)
+		c.debt = 0
+	}
+}
+
+// flush settles outstanding debt immediately (before MMIO, WFI and
+// interrupt checks, where exact ordering matters).
+func (c *CPU) flush(p *sim.Proc) {
+	if c.debt > 0 {
+		p.Sleep(c.debt)
+		c.debt = 0
+	}
+}
+
+func (c *CPU) cached(addr uint64, n int) *CachedWindow {
+	for i := range c.cfg.CachedWindows {
+		w := &c.cfg.CachedWindows[i]
+		if addr >= w.Base && addr+uint64(n) <= w.Base+w.Size {
+			return w
+		}
+	}
+	return nil
+}
+
+// interruptPending returns the cause of the highest-priority enabled
+// pending interrupt, or 0.
+func (c *CPU) interruptPending() uint64 {
+	if c.mstatus&mstatusMIE == 0 {
+		return 0
+	}
+	enabled := c.mip & c.mie
+	switch {
+	case enabled&MEIP != 0:
+		return causeExternalIRQ
+	case enabled&MSIP != 0:
+		return causeSoftIRQ
+	case enabled&MTIP != 0:
+		return causeTimerIRQ
+	}
+	return 0
+}
+
+// trap enters the machine trap handler.
+func (c *CPU) trap(p *sim.Proc, cause, tval uint64, isIRQ bool) {
+	c.flush(p)
+	c.mcause = cause
+	c.mtval = tval
+	c.mepc = c.pc
+	// Save and clear MIE.
+	if c.mstatus&mstatusMIE != 0 {
+		c.mstatus |= mstatusMPIE
+	} else {
+		c.mstatus &^= mstatusMPIE
+	}
+	c.mstatus &^= mstatusMIE
+	c.mstatus |= mstatusMPP // returning to M-mode
+	base := c.mtvec &^ 3
+	if c.mtvec&3 == 1 && isIRQ {
+		base += 4 * (cause &^ (1 << 63)) // vectored mode
+	}
+	c.pc = base
+	p.Sleep(c.cfg.TrapEntryCost)
+}
+
+// mret returns from the trap handler.
+func (c *CPU) mret() {
+	if c.mstatus&mstatusMPIE != 0 {
+		c.mstatus |= mstatusMIE
+	} else {
+		c.mstatus &^= mstatusMIE
+	}
+	c.mstatus |= mstatusMPIE
+	c.pc = c.mepc
+}
+
+// fetch reads the next instruction from the boot image.
+func (c *CPU) fetch() (uint32, error) {
+	off := c.pc - c.cfg.BootBase
+	if c.pc < c.cfg.BootBase || off+4 > uint64(len(c.cfg.BootImage)) {
+		return 0, fmt.Errorf("rv64: instruction fetch outside boot image at %#x", c.pc)
+	}
+	if c.pc%4 != 0 {
+		return 0, fmt.Errorf("rv64: misaligned pc %#x", c.pc)
+	}
+	b := c.cfg.BootImage[off : off+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// run is the hart's main loop.
+func (c *CPU) run(p *sim.Proc) {
+	for !c.halted {
+		if c.cfg.MaxInstructions > 0 && c.minstret >= c.cfg.MaxInstructions {
+			c.stop(fmt.Errorf("rv64: instruction budget (%d) exhausted at pc %#x", c.cfg.MaxInstructions, c.pc))
+			return
+		}
+		if cause := c.interruptPending(); cause != 0 {
+			c.trap(p, cause, 0, true)
+			c.mmioPending = false
+			continue
+		}
+		inst, err := c.fetch()
+		if err != nil {
+			c.stop(err)
+			return
+		}
+		c.minstret++
+		c.execute(p, inst)
+	}
+	c.flush(p)
+}
+
+// load performs a data load with timing.
+func (c *CPU) load(p *sim.Proc, addr uint64, n int) (uint64, error) {
+	var buf []byte
+	if w := c.cached(addr, n); w != nil {
+		c.charge(p, c.cfg.CachedAccessCost)
+		buf = w.Mem.Peek(addr-w.Base, n)
+	} else {
+		c.flush(p)
+		p.Sleep(c.cfg.UncachedExtra)
+		c.mmioPending = true
+		buf = make([]byte, n)
+		if err := c.cfg.Bus.Read(p, addr, buf); err != nil {
+			return 0, err
+		}
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, nil
+}
+
+// store performs a data store with timing.
+func (c *CPU) store(p *sim.Proc, addr uint64, n int, v uint64) error {
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	if w := c.cached(addr, n); w != nil {
+		c.charge(p, c.cfg.CachedAccessCost)
+		w.Mem.Load(addr-w.Base, buf)
+		return nil
+	}
+	c.flush(p)
+	p.Sleep(c.cfg.UncachedExtra)
+	c.mmioPending = true
+	return c.cfg.Bus.Write(p, addr, buf)
+}

@@ -1,0 +1,152 @@
+package rv64
+
+import (
+	"fmt"
+
+	"rvcap/internal/sim"
+)
+
+// CSR addresses.
+const (
+	csrMStatus  = 0x300
+	csrMISA     = 0x301
+	csrMIE      = 0x304
+	csrMTVec    = 0x305
+	csrMScratch = 0x340
+	csrMEPC     = 0x341
+	csrMCause   = 0x342
+	csrMTVal    = 0x343
+	csrMIP      = 0x344
+	csrMHartID  = 0xF14
+	csrMCycle   = 0xB00
+	csrMInstret = 0xB02
+	csrCycle    = 0xC00
+	csrTime     = 0xC01
+	csrInstret  = 0xC02
+)
+
+// misaValue advertises RV64IM ("I" bit 8, "M" bit 12, MXL=2 for 64-bit).
+const misaValue = 2<<62 | 1<<8 | 1<<12
+
+func (c *CPU) csrRead(addr uint32) (uint64, error) {
+	switch addr {
+	case csrMStatus:
+		return c.mstatus, nil
+	case csrMISA:
+		return misaValue, nil
+	case csrMIE:
+		return c.mie, nil
+	case csrMTVec:
+		return c.mtvec, nil
+	case csrMScratch:
+		return c.mscratch, nil
+	case csrMEPC:
+		return c.mepc, nil
+	case csrMCause:
+		return c.mcause, nil
+	case csrMTVal:
+		return c.mtval, nil
+	case csrMIP:
+		return c.mip, nil
+	case csrMHartID:
+		return 0, nil
+	case csrMCycle, csrCycle, csrTime:
+		return uint64(c.k.Now()), nil
+	case csrMInstret, csrInstret:
+		return c.minstret, nil
+	}
+	return 0, fmt.Errorf("rv64: unknown CSR %#x", addr)
+}
+
+func (c *CPU) csrWrite(addr uint32, v uint64) error {
+	switch addr {
+	case csrMStatus:
+		c.mstatus = v & (mstatusMIE | mstatusMPIE | mstatusMPP)
+	case csrMIE:
+		c.mie = v & (MSIP | MTIP | MEIP)
+	case csrMTVec:
+		c.mtvec = v
+	case csrMScratch:
+		c.mscratch = v
+	case csrMEPC:
+		c.mepc = v &^ 1
+	case csrMCause:
+		c.mcause = v
+	case csrMTVal:
+		c.mtval = v
+	case csrMIP:
+		// Software may clear MSIP-style bits; platform bits are wired.
+	case csrMISA, csrMHartID, csrMCycle, csrMInstret, csrCycle, csrTime, csrInstret:
+		// Read-only or ignored.
+	default:
+		return fmt.Errorf("rv64: unknown CSR %#x", addr)
+	}
+	return nil
+}
+
+// system executes SYSTEM-opcode instructions. It returns false when the
+// pc has already been redirected (trap, mret, halt).
+func (c *CPU) system(p *sim.Proc, inst uint32, rd, rs1 int, funct3 uint32) bool {
+	csr := inst >> 20
+	switch funct3 {
+	case 0:
+		switch inst {
+		case 0x00000073: // ECALL
+			c.trap(p, causeECallM, 0, false)
+			return false
+		case 0x00100073: // EBREAK: halt the simulation (bare-metal exit)
+			c.flush(p)
+			c.stop(nil)
+			return false
+		case 0x30200073: // MRET
+			c.mret()
+			c.charge(p, 5)
+			return false // pc already set
+		case 0x10500073: // WFI: sleep until an interrupt is pending
+			c.flush(p)
+			for c.mip&c.mie == 0 {
+				p.Wait(c.wfiWake)
+			}
+			c.pc += 4
+			return false
+		default:
+			c.illegal(p, inst)
+			return false
+		}
+	case 1, 2, 3, 5, 6, 7: // CSR ops
+		var src uint64
+		if funct3 >= 5 {
+			src = uint64(rs1) // immediate form: rs1 field is the zimm
+		} else {
+			src = c.x[rs1]
+		}
+		old, err := c.csrRead(csr)
+		if err != nil {
+			c.illegal(p, inst)
+			return false
+		}
+		var v uint64
+		write := true
+		switch funct3 & 3 {
+		case 1: // CSRRW
+			v = src
+		case 2: // CSRRS
+			v = old | src
+			write = rs1 != 0
+		case 3: // CSRRC
+			v = old &^ src
+			write = rs1 != 0
+		}
+		if write {
+			if err := c.csrWrite(csr, v); err != nil {
+				c.illegal(p, inst)
+				return false
+			}
+		}
+		c.SetReg(rd, old)
+		c.charge(p, 2)
+		return true
+	}
+	c.illegal(p, inst)
+	return false
+}

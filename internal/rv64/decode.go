@@ -1,0 +1,440 @@
+package rv64
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rvcap/internal/sim"
+)
+
+// Immediate extractors (sign-extended where the ISA says so).
+func immI(i uint32) int64 { return int64(int32(i)) >> 20 }
+func immS(i uint32) int64 {
+	return int64(int32(i&0xFE000000))>>20 | int64(i>>7&0x1F)
+}
+func immB(i uint32) int64 {
+	return int64(int32(i&0x80000000))>>19 |
+		int64(i>>7&0x1)<<11 | int64(i>>25&0x3F)<<5 | int64(i>>8&0xF)<<1
+}
+func immU(i uint32) int64 { return int64(int32(i & 0xFFFFF000)) }
+func immJ(i uint32) int64 {
+	return int64(int32(i&0x80000000))>>11 |
+		int64(i>>12&0xFF)<<12 | int64(i>>20&0x1)<<11 | int64(i>>21&0x3FF)<<1
+}
+
+func sext32(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+
+// execute runs one instruction. pc has not been advanced yet.
+func (c *CPU) execute(p *sim.Proc, inst uint32) {
+	opcode := inst & 0x7F
+	rd := int(inst >> 7 & 0x1F)
+	rs1 := int(inst >> 15 & 0x1F)
+	rs2 := int(inst >> 20 & 0x1F)
+	funct3 := inst >> 12 & 0x7
+	funct7 := inst >> 25
+
+	next := c.pc + 4
+
+	switch opcode {
+	case 0x37: // LUI
+		c.SetReg(rd, uint64(immU(inst)))
+		c.charge(p, 1)
+	case 0x17: // AUIPC
+		c.SetReg(rd, c.pc+uint64(immU(inst)))
+		c.charge(p, 1)
+	case 0x6F: // JAL
+		c.SetReg(rd, next)
+		next = c.pc + uint64(immJ(inst))
+		c.charge(p, 2)
+	case 0x67: // JALR
+		t := (c.x[rs1] + uint64(immI(inst))) &^ 1
+		c.SetReg(rd, next)
+		next = t
+		c.charge(p, 2)
+	case 0x63: // branches
+		var taken bool
+		a, b := c.x[rs1], c.x[rs2]
+		switch funct3 {
+		case 0:
+			taken = a == b
+		case 1:
+			taken = a != b
+		case 4:
+			taken = int64(a) < int64(b)
+		case 5:
+			taken = int64(a) >= int64(b)
+		case 6:
+			taken = a < b
+		case 7:
+			taken = a >= b
+		default:
+			c.illegal(p, inst)
+			return
+		}
+		// "The Ariane pipeline must block after each loop iteration
+		// until the conditional jump is executed completely" (paper
+		// §IV-B): the in-order core cannot resolve a conditional branch
+		// while an uncached access is outstanding, so the first branch
+		// after a device access pays the pipeline drain.
+		if c.mmioPending {
+			c.charge(p, c.cfg.PostUncachedBranch)
+			c.mmioPending = false
+		} else if taken {
+			c.charge(p, 3) // mispredict-ish cost for taken branches
+		} else {
+			c.charge(p, 1)
+		}
+		if taken {
+			next = c.pc + uint64(immB(inst))
+		}
+	case 0x03: // loads
+		addr := c.x[rs1] + uint64(immI(inst))
+		var n int
+		var signed bool
+		switch funct3 {
+		case 0:
+			n, signed = 1, true
+		case 1:
+			n, signed = 2, true
+		case 2:
+			n, signed = 4, true
+		case 3:
+			n = 8
+		case 4:
+			n = 1
+		case 5:
+			n = 2
+		case 6:
+			n = 4
+		default:
+			c.illegal(p, inst)
+			return
+		}
+		if addr%uint64(n) != 0 {
+			c.trap(p, causeMisalignedLoad, addr, false)
+			return
+		}
+		v, err := c.load(p, addr, n)
+		if err != nil {
+			c.trap(p, causeLoadAccess, addr, false)
+			return
+		}
+		if signed {
+			shift := 64 - 8*n
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		c.SetReg(rd, v)
+	case 0x23: // stores
+		addr := c.x[rs1] + uint64(immS(inst))
+		n := 1 << funct3
+		if funct3 > 3 {
+			c.illegal(p, inst)
+			return
+		}
+		if addr%uint64(n) != 0 {
+			c.trap(p, causeMisalignedStore, addr, false)
+			return
+		}
+		if err := c.store(p, addr, n, c.x[rs2]); err != nil {
+			c.trap(p, causeStoreAccess, addr, false)
+			return
+		}
+	case 0x13: // OP-IMM
+		imm := uint64(immI(inst))
+		var v uint64
+		switch funct3 {
+		case 0:
+			v = c.x[rs1] + imm
+		case 2:
+			if int64(c.x[rs1]) < int64(imm) {
+				v = 1
+			}
+		case 3:
+			if c.x[rs1] < imm {
+				v = 1
+			}
+		case 4:
+			v = c.x[rs1] ^ imm
+		case 6:
+			v = c.x[rs1] | imm
+		case 7:
+			v = c.x[rs1] & imm
+		case 1: // SLLI
+			if inst>>26 != 0 {
+				c.illegal(p, inst)
+				return
+			}
+			v = c.x[rs1] << (inst >> 20 & 0x3F)
+		case 5: // SRLI/SRAI
+			sh := inst >> 20 & 0x3F
+			switch inst >> 26 {
+			case 0:
+				v = c.x[rs1] >> sh
+			case 0x10:
+				v = uint64(int64(c.x[rs1]) >> sh)
+			default:
+				c.illegal(p, inst)
+				return
+			}
+		}
+		c.SetReg(rd, v)
+		c.charge(p, 1)
+	case 0x1B: // OP-IMM-32
+		imm := uint64(immI(inst))
+		var v uint64
+		switch funct3 {
+		case 0: // ADDIW
+			v = sext32(c.x[rs1] + imm)
+		case 1: // SLLIW
+			if funct7 != 0 {
+				c.illegal(p, inst)
+				return
+			}
+			v = sext32(c.x[rs1] << (inst >> 20 & 0x1F))
+		case 5: // SRLIW/SRAIW
+			sh := inst >> 20 & 0x1F
+			switch funct7 {
+			case 0:
+				v = sext32(uint64(uint32(c.x[rs1]) >> sh))
+			case 0x20:
+				v = uint64(int64(int32(uint32(c.x[rs1]))) >> sh)
+			default:
+				c.illegal(p, inst)
+				return
+			}
+		default:
+			c.illegal(p, inst)
+			return
+		}
+		c.SetReg(rd, v)
+		c.charge(p, 1)
+	case 0x33: // OP (incl. M)
+		v, ok, cost := c.aluOp(funct3, funct7, c.x[rs1], c.x[rs2])
+		if !ok {
+			c.illegal(p, inst)
+			return
+		}
+		c.SetReg(rd, v)
+		c.charge(p, cost)
+	case 0x3B: // OP-32 (incl. M W-forms)
+		v, ok, cost := c.aluOp32(funct3, funct7, c.x[rs1], c.x[rs2])
+		if !ok {
+			c.illegal(p, inst)
+			return
+		}
+		c.SetReg(rd, v)
+		c.charge(p, cost)
+	case 0x0F: // FENCE / FENCE.I
+		c.charge(p, 1)
+	case 0x73: // SYSTEM
+		if !c.system(p, inst, rd, rs1, funct3) {
+			return // trap or halt already handled
+		}
+	default:
+		c.illegal(p, inst)
+		return
+	}
+	c.pc = next
+}
+
+func (c *CPU) illegal(p *sim.Proc, inst uint32) {
+	c.stop(fmt.Errorf("rv64: illegal instruction %#08x at pc %#x", inst, c.pc))
+}
+
+// aluOp implements OP-coded 64-bit arithmetic.
+func (c *CPU) aluOp(funct3, funct7 uint32, a, b uint64) (v uint64, ok bool, cost sim.Time) {
+	cost = 1
+	ok = true
+	switch {
+	case funct7 == 0x00:
+		switch funct3 {
+		case 0:
+			v = a + b
+		case 1:
+			v = a << (b & 0x3F)
+		case 2:
+			if int64(a) < int64(b) {
+				v = 1
+			}
+		case 3:
+			if a < b {
+				v = 1
+			}
+		case 4:
+			v = a ^ b
+		case 5:
+			v = a >> (b & 0x3F)
+		case 6:
+			v = a | b
+		case 7:
+			v = a & b
+		}
+	case funct7 == 0x20:
+		switch funct3 {
+		case 0:
+			v = a - b
+		case 5:
+			v = uint64(int64(a) >> (b & 0x3F))
+		default:
+			ok = false
+		}
+	case funct7 == 0x01: // M extension
+		cost = 4 // Ariane multiplier latency; div below
+		switch funct3 {
+		case 0: // MUL
+			v = a * b
+		case 1: // MULH
+			v = mulhSigned(int64(a), int64(b))
+		case 2: // MULHSU
+			v = mulhSignedUnsigned(int64(a), b)
+		case 3: // MULHU
+			v, _ = bits.Mul64(a, b)
+		case 4: // DIV
+			cost = 20
+			switch {
+			case b == 0:
+				v = ^uint64(0)
+			case int64(a) == -1<<63 && int64(b) == -1:
+				v = a
+			default:
+				v = uint64(int64(a) / int64(b))
+			}
+		case 5: // DIVU
+			cost = 20
+			if b == 0 {
+				v = ^uint64(0)
+			} else {
+				v = a / b
+			}
+		case 6: // REM
+			cost = 20
+			switch {
+			case b == 0:
+				v = a
+			case int64(a) == -1<<63 && int64(b) == -1:
+				v = 0
+			default:
+				v = uint64(int64(a) % int64(b))
+			}
+		case 7: // REMU
+			cost = 20
+			if b == 0 {
+				v = a
+			} else {
+				v = a % b
+			}
+		}
+	default:
+		ok = false
+	}
+	return
+}
+
+// aluOp32 implements OP-32-coded word arithmetic.
+func (c *CPU) aluOp32(funct3, funct7 uint32, a, b uint64) (v uint64, ok bool, cost sim.Time) {
+	cost = 1
+	ok = true
+	switch {
+	case funct7 == 0x00:
+		switch funct3 {
+		case 0:
+			v = sext32(a + b)
+		case 1:
+			v = sext32(a << (b & 0x1F))
+		case 5:
+			v = sext32(uint64(uint32(a) >> (b & 0x1F)))
+		default:
+			ok = false
+		}
+	case funct7 == 0x20:
+		switch funct3 {
+		case 0:
+			v = sext32(a - b)
+		case 5:
+			v = uint64(int64(int32(uint32(a))) >> (b & 0x1F))
+		default:
+			ok = false
+		}
+	case funct7 == 0x01: // M W-forms
+		aw, bw := int32(uint32(a)), int32(uint32(b))
+		switch funct3 {
+		case 0: // MULW
+			cost = 4
+			v = uint64(int64(aw * bw))
+		case 4: // DIVW
+			cost = 20
+			switch {
+			case bw == 0:
+				v = ^uint64(0)
+			case aw == -1<<31 && bw == -1:
+				v = uint64(int64(aw))
+			default:
+				v = uint64(int64(aw / bw))
+			}
+		case 5: // DIVUW
+			cost = 20
+			if bw == 0 {
+				v = ^uint64(0)
+			} else {
+				v = sext32(uint64(uint32(a) / uint32(b)))
+			}
+		case 6: // REMW
+			cost = 20
+			switch {
+			case bw == 0:
+				v = uint64(int64(aw))
+			case aw == -1<<31 && bw == -1:
+				v = 0
+			default:
+				v = uint64(int64(aw % bw))
+			}
+		case 7: // REMUW
+			cost = 20
+			if bw == 0 {
+				v = sext32(a)
+			} else {
+				v = sext32(uint64(uint32(a) % uint32(b)))
+			}
+		default:
+			ok = false
+		}
+	default:
+		ok = false
+	}
+	return
+}
+
+func absU(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}
+
+// mulhSigned returns the high 64 bits of a*b (signed x signed).
+func mulhSigned(a, b int64) uint64 {
+	neg := (a < 0) != (b < 0)
+	hi, lo := bits.Mul64(absU(a), absU(b))
+	if neg {
+		// Two's complement of the 128-bit product.
+		lo = ^lo + 1
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return hi
+}
+
+// mulhSignedUnsigned returns the high 64 bits of a*b (signed x unsigned).
+func mulhSignedUnsigned(a int64, b uint64) uint64 {
+	hi, lo := bits.Mul64(absU(a), b)
+	if a < 0 {
+		lo = ^lo + 1
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return hi
+}

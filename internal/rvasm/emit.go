@@ -1,0 +1,518 @@
+package rvasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	return strconv.Unquote(s)
+}
+
+// need validates the operand count.
+func need(it *item, n int) error {
+	if len(it.args) != n {
+		return fmt.Errorf("%s needs %d operand(s), got %d", it.op, n, len(it.args))
+	}
+	return nil
+}
+
+// encode emits one item (pass 2). The pass-1 length is authoritative:
+// variable-size pseudos pad with nops up to their reservation.
+func (e *encoder) encode(it *item) error {
+	startLen := len(e.out)
+	if err := e.encodeBody(it); err != nil {
+		return err
+	}
+	emitted := len(e.out) - startLen
+	if emitted > it.length {
+		return fmt.Errorf("internal: %s emitted %d bytes, reserved %d", it.op, emitted, it.length)
+	}
+	for emitted+4 <= it.length {
+		e.emit32(ops["nop"].fixed)
+		emitted += 4
+	}
+	for emitted < it.length {
+		e.emitBytes(0)
+		emitted++
+	}
+	return nil
+}
+
+// pseudoArity fixes the operand count of pseudo-instructions whose
+// handlers index operands positionally.
+var pseudoArity = map[string]int{
+	"mv": 2, "not": 2, "neg": 2, "negw": 2, "sext.w": 2, "seqz": 2,
+	"snez": 2, "sltz": 2, "sgtz": 2, "j": 1,
+	"beqz": 2, "bnez": 2, "bltz": 2, "bgez": 2, "blez": 2, "bgtz": 2,
+	"bgt": 3, "ble": 3, "bgtu": 3, "bleu": 3,
+	"csrr": 2, "csrw": 2, "csrs": 2, "csrc": 2,
+	"csrrw": 3, "csrrs": 3, "csrrc": 3, "csrrwi": 3, "csrrsi": 3, "csrrci": 3,
+}
+
+func (e *encoder) encodeBody(it *item) error {
+	if want, ok := pseudoArity[it.op]; ok {
+		if err := need(it, want); err != nil {
+			return err
+		}
+	}
+	// Directives.
+	switch it.op {
+	case ".word":
+		for _, a := range it.args {
+			v, err := e.eval(a)
+			if err != nil {
+				return err
+			}
+			e.emit32(uint32(v))
+		}
+		return nil
+	case ".dword":
+		for _, a := range it.args {
+			v, err := e.eval(a)
+			if err != nil {
+				return err
+			}
+			e.emit32(uint32(v))
+			e.emit32(uint32(uint64(v) >> 32))
+		}
+		return nil
+	case ".byte":
+		for _, a := range it.args {
+			v, err := e.eval(a)
+			if err != nil {
+				return err
+			}
+			e.emitBytes(byte(v))
+		}
+		return nil
+	case ".asciz":
+		s, err := unquote(it.args[0])
+		if err != nil {
+			return err
+		}
+		e.emitBytes(append([]byte(s), 0)...)
+		return nil
+	case ".space", ".align":
+		for i := 0; i < it.length; i++ {
+			e.emitBytes(0)
+		}
+		return nil
+	}
+
+	// Pseudo-instructions.
+	switch it.op {
+	case "li":
+		if err := need(it, 2); err != nil {
+			return err
+		}
+		rd, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		v, err := e.eval(it.args[1])
+		if err != nil {
+			return err
+		}
+		return e.emitLi(rd, v)
+	case "la":
+		if err := need(it, 2); err != nil {
+			return err
+		}
+		rd, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		target, err := e.eval(it.args[1])
+		if err != nil {
+			return err
+		}
+		return e.emitPCRel(rd, target-int64(it.addr), false)
+	case "call":
+		if err := need(it, 1); err != nil {
+			return err
+		}
+		target, err := e.eval(it.args[0])
+		if err != nil {
+			return err
+		}
+		return e.emitPCRel(1 /* ra */, target-int64(it.addr), true)
+	case "mv":
+		return e.aliasI(it, "addi", it.args[0], it.args[1], "0")
+	case "not":
+		return e.aliasI(it, "xori", it.args[0], it.args[1], "-1")
+	case "sext.w":
+		return e.aliasI(it, "addiw", it.args[0], it.args[1], "0")
+	case "seqz":
+		return e.aliasI(it, "sltiu", it.args[0], it.args[1], "1")
+	case "neg":
+		return e.aliasR(it, "sub", it.args[0], "zero", it.args[1])
+	case "negw":
+		return e.aliasR(it, "subw", it.args[0], "zero", it.args[1])
+	case "snez":
+		return e.aliasR(it, "sltu", it.args[0], "zero", it.args[1])
+	case "sltz":
+		return e.aliasR(it, "slt", it.args[0], it.args[1], "zero")
+	case "sgtz":
+		return e.aliasR(it, "slt", it.args[0], "zero", it.args[1])
+	case "j":
+		return e.jal(it, "zero", it.args[0])
+	case "jr":
+		if err := need(it, 1); err != nil {
+			return err
+		}
+		rs, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		e.emit32(uint32(rs)<<15 | 0x67)
+		return nil
+	case "jalr":
+		return e.jalrOp(it)
+	case "beqz":
+		return e.branch(it, "beq", it.args[0], "zero", it.args[1])
+	case "bnez":
+		return e.branch(it, "bne", it.args[0], "zero", it.args[1])
+	case "bltz":
+		return e.branch(it, "blt", it.args[0], "zero", it.args[1])
+	case "bgez":
+		return e.branch(it, "bge", it.args[0], "zero", it.args[1])
+	case "blez":
+		return e.branch(it, "bge", "zero", it.args[0], it.args[1])
+	case "bgtz":
+		return e.branch(it, "blt", "zero", it.args[0], it.args[1])
+	case "bgt":
+		return e.branch(it, "blt", it.args[1], it.args[0], it.args[2])
+	case "ble":
+		return e.branch(it, "bge", it.args[1], it.args[0], it.args[2])
+	case "bgtu":
+		return e.branch(it, "bltu", it.args[1], it.args[0], it.args[2])
+	case "bleu":
+		return e.branch(it, "bgeu", it.args[1], it.args[0], it.args[2])
+	case "csrr": // csrr rd, csr -> csrrs rd, csr, x0
+		return e.csrOp(it, 2, it.args[0], it.args[1], "zero", false)
+	case "csrw": // csrw csr, rs -> csrrw x0, csr, rs
+		return e.csrOp(it, 1, "zero", it.args[0], it.args[1], false)
+	case "csrs":
+		return e.csrOp(it, 2, "zero", it.args[0], it.args[1], false)
+	case "csrc":
+		return e.csrOp(it, 3, "zero", it.args[0], it.args[1], false)
+	case "csrrw":
+		return e.csrOp(it, 1, it.args[0], it.args[1], it.args[2], false)
+	case "csrrs":
+		return e.csrOp(it, 2, it.args[0], it.args[1], it.args[2], false)
+	case "csrrc":
+		return e.csrOp(it, 3, it.args[0], it.args[1], it.args[2], false)
+	case "csrrwi":
+		return e.csrOp(it, 1, it.args[0], it.args[1], it.args[2], true)
+	case "csrrsi":
+		return e.csrOp(it, 2, it.args[0], it.args[1], it.args[2], true)
+	case "csrrci":
+		return e.csrOp(it, 3, it.args[0], it.args[1], it.args[2], true)
+	}
+
+	op, ok := ops[it.op]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", it.op)
+	}
+	switch op.fmt {
+	case 'N':
+		e.emit32(op.fixed)
+		return nil
+	case 'R':
+		if err := need(it, 3); err != nil {
+			return err
+		}
+		rd, err1 := reg(it.args[0])
+		rs1, err2 := reg(it.args[1])
+		rs2, err3 := reg(it.args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		e.emit32(encR(op, rd, rs1, rs2))
+		return nil
+	case 'I':
+		if op.opcode == 0x03 { // loads: rd, off(rs1)
+			if err := need(it, 2); err != nil {
+				return err
+			}
+			rd, err := reg(it.args[0])
+			if err != nil {
+				return err
+			}
+			off, rs1, err := e.memOperand(it.args[1])
+			if err != nil {
+				return err
+			}
+			w, err := encI(op, rd, rs1, off)
+			if err != nil {
+				return err
+			}
+			e.emit32(w)
+			return nil
+		}
+		if err := need(it, 3); err != nil {
+			return err
+		}
+		rd, err1 := reg(it.args[0])
+		rs1, err2 := reg(it.args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		imm, err := e.eval(it.args[2])
+		if err != nil {
+			return err
+		}
+		w, err := encI(op, rd, rs1, imm)
+		if err != nil {
+			return err
+		}
+		e.emit32(w)
+		return nil
+	case 'T': // shift immediates
+		if err := need(it, 3); err != nil {
+			return err
+		}
+		rd, err1 := reg(it.args[0])
+		rs1, err2 := reg(it.args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		sh, err := e.eval(it.args[2])
+		if err != nil {
+			return err
+		}
+		max := int64(63)
+		if op.opcode == 0x1B {
+			max = 31
+		}
+		if sh < 0 || sh > max {
+			return fmt.Errorf("shift amount %d out of range", sh)
+		}
+		e.emit32(op.funct7<<25 | uint32(sh)<<20 | uint32(rs1)<<15 | op.funct3<<12 | uint32(rd)<<7 | op.opcode)
+		return nil
+	case 'S':
+		if err := need(it, 2); err != nil {
+			return err
+		}
+		rs2, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		off, rs1, err := e.memOperand(it.args[1])
+		if err != nil {
+			return err
+		}
+		w, err := encS(op, rs1, rs2, off)
+		if err != nil {
+			return err
+		}
+		e.emit32(w)
+		return nil
+	case 'B':
+		if err := need(it, 3); err != nil {
+			return err
+		}
+		return e.branch(it, it.op, it.args[0], it.args[1], it.args[2])
+	case 'U':
+		if err := need(it, 2); err != nil {
+			return err
+		}
+		rd, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := e.eval(it.args[1])
+		if err != nil {
+			return err
+		}
+		w, err := encU(op, rd, imm)
+		if err != nil {
+			return err
+		}
+		e.emit32(w)
+		return nil
+	case 'J':
+		switch len(it.args) {
+		case 1:
+			return e.jal(it, "ra", it.args[0])
+		case 2:
+			return e.jal(it, it.args[0], it.args[1])
+		}
+		return fmt.Errorf("jal needs 1 or 2 operands")
+	}
+	return fmt.Errorf("unhandled format for %q", it.op)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func (e *encoder) aliasI(it *item, op string, rdS, rs1S, immS string) error {
+	if len(it.args) != 2 {
+		return fmt.Errorf("%s needs 2 operands", it.op)
+	}
+	sub := &item{op: op, args: []string{rdS, rs1S, immS}, addr: it.addr, length: 4}
+	return e.encodeBody(sub)
+}
+
+func (e *encoder) aliasR(it *item, op string, a, b, c string) error {
+	if len(it.args) != 2 {
+		return fmt.Errorf("%s needs 2 operands", it.op)
+	}
+	sub := &item{op: op, args: []string{a, b, c}, addr: it.addr, length: 4}
+	return e.encodeBody(sub)
+}
+
+func (e *encoder) branch(it *item, op, rs1S, rs2S, target string) error {
+	spec := ops[op]
+	rs1, err1 := reg(rs1S)
+	rs2, err2 := reg(rs2S)
+	if err := firstErr(err1, err2); err != nil {
+		return err
+	}
+	t, err := e.eval(target)
+	if err != nil {
+		return err
+	}
+	w, err := encB(spec, rs1, rs2, t-int64(it.addr))
+	if err != nil {
+		return err
+	}
+	e.emit32(w)
+	return nil
+}
+
+func (e *encoder) jal(it *item, rdS, target string) error {
+	rd, err := reg(rdS)
+	if err != nil {
+		return err
+	}
+	t, err := e.eval(target)
+	if err != nil {
+		return err
+	}
+	w, err := encJ(ops["jal"], rd, t-int64(it.addr))
+	if err != nil {
+		return err
+	}
+	e.emit32(w)
+	return nil
+}
+
+// jalrOp handles "jalr rs", "jalr rd, off(rs1)" and "jalr rd, rs1, off".
+func (e *encoder) jalrOp(it *item) error {
+	switch len(it.args) {
+	case 1:
+		rs, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		e.emit32(uint32(rs)<<15 | 1<<7 | 0x67)
+		return nil
+	case 2:
+		rd, err := reg(it.args[0])
+		if err != nil {
+			return err
+		}
+		off, rs1, err := e.memOperand(it.args[1])
+		if err != nil {
+			return err
+		}
+		if off < -2048 || off > 2047 {
+			return fmt.Errorf("jalr offset out of range")
+		}
+		e.emit32(uint32(off)&0xFFF<<20 | uint32(rs1)<<15 | uint32(rd)<<7 | 0x67)
+		return nil
+	case 3:
+		rd, err1 := reg(it.args[0])
+		rs1, err2 := reg(it.args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		off, err := e.eval(it.args[2])
+		if err != nil {
+			return err
+		}
+		e.emit32(uint32(off)&0xFFF<<20 | uint32(rs1)<<15 | uint32(rd)<<7 | 0x67)
+		return nil
+	}
+	return fmt.Errorf("jalr needs 1-3 operands")
+}
+
+func (e *encoder) csrOp(it *item, funct3 uint32, rdS, csrS, srcS string, imm bool) error {
+	rd, err := reg(rdS)
+	if err != nil {
+		return err
+	}
+	addr, err := e.csr(csrS)
+	if err != nil {
+		return err
+	}
+	var src int
+	if imm {
+		v, err := e.eval(srcS)
+		if err != nil || v < 0 || v > 31 {
+			return fmt.Errorf("bad CSR immediate %q", srcS)
+		}
+		src = int(v)
+		funct3 |= 4
+	} else {
+		src, err = reg(srcS)
+		if err != nil {
+			return err
+		}
+	}
+	e.emit32(addr<<20 | uint32(src)<<15 | funct3<<12 | uint32(rd)<<7 | 0x73)
+	return nil
+}
+
+// emitLi materialises a 64-bit constant.
+func (e *encoder) emitLi(rd int, v int64) error {
+	for i, step := range liSeq(v) {
+		src := rd
+		if i == 0 {
+			src = 0
+		}
+		switch step.op {
+		case "addi":
+			e.emit32(uint32(step.imm)&0xFFF<<20 | uint32(src)<<15 | 0<<12 | uint32(rd)<<7 | 0x13)
+		case "addiw":
+			e.emit32(uint32(step.imm)&0xFFF<<20 | uint32(rd)<<15 | 0<<12 | uint32(rd)<<7 | 0x1B)
+		case "lui":
+			e.emit32(uint32(step.imm)&0xFFFFF<<12 | uint32(rd)<<7 | 0x37)
+		case "slli":
+			e.emit32(uint32(step.imm)<<20 | uint32(rd)<<15 | 1<<12 | uint32(rd)<<7 | 0x13)
+		}
+	}
+	return nil
+}
+
+// emitPCRel emits auipc+addi (la) or auipc+jalr (call) for a
+// pc-relative target.
+func (e *encoder) emitPCRel(rd int, rel int64, call bool) error {
+	if rel < -(1<<31) || rel >= 1<<31 {
+		return fmt.Errorf("pc-relative offset %d out of range", rel)
+	}
+	hi := (rel + 0x800) >> 12 & 0xFFFFF
+	lo := rel << 52 >> 52
+	e.emit32(uint32(hi)<<12 | uint32(rd)<<7 | 0x17) // auipc rd, hi
+	if call {
+		// jalr ra, lo(rd)
+		e.emit32(uint32(lo)&0xFFF<<20 | uint32(rd)<<15 | 1<<7 | 0x67)
+	} else {
+		// addi rd, rd, lo
+		e.emit32(uint32(lo)&0xFFF<<20 | uint32(rd)<<15 | uint32(rd)<<7 | 0x13)
+	}
+	return nil
+}

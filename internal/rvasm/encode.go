@@ -1,0 +1,307 @@
+package rvasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opSpec describes a fixed-encoding instruction.
+type opSpec struct {
+	fmt    byte // 'R','I','S','B','U','J','T' (shift-imm), 'N' (no operands)
+	opcode uint32
+	funct3 uint32
+	funct7 uint32
+	fixed  uint32 // full word for 'N'
+}
+
+var ops = map[string]opSpec{
+	// R-type.
+	"add": {'R', 0x33, 0, 0x00, 0}, "sub": {'R', 0x33, 0, 0x20, 0},
+	"sll": {'R', 0x33, 1, 0x00, 0}, "slt": {'R', 0x33, 2, 0x00, 0},
+	"sltu": {'R', 0x33, 3, 0x00, 0}, "xor": {'R', 0x33, 4, 0x00, 0},
+	"srl": {'R', 0x33, 5, 0x00, 0}, "sra": {'R', 0x33, 5, 0x20, 0},
+	"or": {'R', 0x33, 6, 0x00, 0}, "and": {'R', 0x33, 7, 0x00, 0},
+	"addw": {'R', 0x3B, 0, 0x00, 0}, "subw": {'R', 0x3B, 0, 0x20, 0},
+	"sllw": {'R', 0x3B, 1, 0x00, 0}, "srlw": {'R', 0x3B, 5, 0x00, 0},
+	"sraw": {'R', 0x3B, 5, 0x20, 0},
+	"mul":  {'R', 0x33, 0, 0x01, 0}, "mulh": {'R', 0x33, 1, 0x01, 0},
+	"mulhsu": {'R', 0x33, 2, 0x01, 0}, "mulhu": {'R', 0x33, 3, 0x01, 0},
+	"div": {'R', 0x33, 4, 0x01, 0}, "divu": {'R', 0x33, 5, 0x01, 0},
+	"rem": {'R', 0x33, 6, 0x01, 0}, "remu": {'R', 0x33, 7, 0x01, 0},
+	"mulw": {'R', 0x3B, 0, 0x01, 0}, "divw": {'R', 0x3B, 4, 0x01, 0},
+	"divuw": {'R', 0x3B, 5, 0x01, 0}, "remw": {'R', 0x3B, 6, 0x01, 0},
+	"remuw": {'R', 0x3B, 7, 0x01, 0},
+	// I-type arithmetic.
+	"addi": {'I', 0x13, 0, 0, 0}, "slti": {'I', 0x13, 2, 0, 0},
+	"sltiu": {'I', 0x13, 3, 0, 0}, "xori": {'I', 0x13, 4, 0, 0},
+	"ori": {'I', 0x13, 6, 0, 0}, "andi": {'I', 0x13, 7, 0, 0},
+	"addiw": {'I', 0x1B, 0, 0, 0},
+	// Shift-immediate.
+	"slli": {'T', 0x13, 1, 0x00, 0}, "srli": {'T', 0x13, 5, 0x00, 0},
+	"srai":  {'T', 0x13, 5, 0x20, 0},
+	"slliw": {'T', 0x1B, 1, 0x00, 0}, "srliw": {'T', 0x1B, 5, 0x00, 0},
+	"sraiw": {'T', 0x1B, 5, 0x20, 0},
+	// Loads (I-type with memory operand).
+	"lb": {'I', 0x03, 0, 0, 0}, "lh": {'I', 0x03, 1, 0, 0},
+	"lw": {'I', 0x03, 2, 0, 0}, "ld": {'I', 0x03, 3, 0, 0},
+	"lbu": {'I', 0x03, 4, 0, 0}, "lhu": {'I', 0x03, 5, 0, 0},
+	"lwu": {'I', 0x03, 6, 0, 0},
+	// Stores.
+	"sb": {'S', 0x23, 0, 0, 0}, "sh": {'S', 0x23, 1, 0, 0},
+	"sw": {'S', 0x23, 2, 0, 0}, "sd": {'S', 0x23, 3, 0, 0},
+	// Branches.
+	"beq": {'B', 0x63, 0, 0, 0}, "bne": {'B', 0x63, 1, 0, 0},
+	"blt": {'B', 0x63, 4, 0, 0}, "bge": {'B', 0x63, 5, 0, 0},
+	"bltu": {'B', 0x63, 6, 0, 0}, "bgeu": {'B', 0x63, 7, 0, 0},
+	// Upper-immediate and jumps.
+	"lui": {'U', 0x37, 0, 0, 0}, "auipc": {'U', 0x17, 0, 0, 0},
+	"jal": {'J', 0x6F, 0, 0, 0},
+	// No-operand system instructions.
+	"ecall": {'N', 0, 0, 0, 0x00000073}, "ebreak": {'N', 0, 0, 0, 0x00100073},
+	"mret": {'N', 0, 0, 0, 0x30200073}, "wfi": {'N', 0, 0, 0, 0x10500073},
+	"fence": {'N', 0, 0, 0, 0x0FF0000F}, "fence.i": {'N', 0, 0, 0, 0x0000100F},
+	"nop": {'N', 0, 0, 0, 0x00000013},
+	"ret": {'N', 0, 0, 0, 0x00008067}, // jalr x0, 0(ra)
+}
+
+// sizeOf returns the byte length of an item at address pc (pass 1).
+func sizeOf(it *item, pc uint64) (int, error) {
+	switch it.op {
+	case ".word":
+		return 4 * len(it.args), nil
+	case ".dword":
+		return 8 * len(it.args), nil
+	case ".byte":
+		return len(it.args), nil
+	case ".asciz":
+		if len(it.args) != 1 {
+			return 0, fmt.Errorf(".asciz needs one string")
+		}
+		s, err := unquote(it.args[0])
+		if err != nil {
+			return 0, err
+		}
+		return len(s) + 1, nil
+	case ".space":
+		if len(it.args) != 1 {
+			return 0, fmt.Errorf(".space needs one count")
+		}
+		n, err := parseNum(it.args[0])
+		if err != nil || n < 0 || n > 1<<24 {
+			return 0, fmt.Errorf("bad .space count %q", it.args[0])
+		}
+		return int(n), nil
+	case ".align":
+		if len(it.args) != 1 {
+			return 0, fmt.Errorf(".align needs one exponent")
+		}
+		n, err := parseNum(it.args[0])
+		if err != nil || n < 0 || n > 16 {
+			return 0, fmt.Errorf("bad .align exponent %q", it.args[0])
+		}
+		align := uint64(1) << uint(n)
+		return int((align - pc%align) % align), nil
+	case "li":
+		if len(it.args) != 2 {
+			return 0, fmt.Errorf("li needs rd, imm")
+		}
+		v, err := parseNum(it.args[1])
+		if err != nil {
+			// Symbols resolve in pass 2; reserve the worst case and pad
+			// with nops.
+			return 4 * 8, nil
+		}
+		return 4 * len(liSeq(v)), nil
+	case "la", "call":
+		return 8, nil
+	case "":
+		return 0, nil
+	}
+	if _, ok := ops[it.op]; ok {
+		return 4, nil
+	}
+	if _, ok := pseudo1[it.op]; ok {
+		return 4, nil
+	}
+	switch it.op {
+	case "mv", "not", "neg", "negw", "sext.w", "seqz", "snez", "sltz", "sgtz",
+		"j", "jr", "beqz", "bnez", "blez", "bgez", "bltz", "bgtz",
+		"bgt", "ble", "bgtu", "bleu", "csrr", "csrw", "csrs", "csrc",
+		"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci", "jalr":
+		return 4, nil
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", it.op)
+}
+
+// pseudo1 marks single-instruction pseudos handled in the encoder.
+var pseudo1 = map[string]bool{}
+
+// liStep is one instruction of a li expansion.
+type liStep struct {
+	op  string
+	imm int64
+}
+
+// liSeq computes the canonical constant-materialisation sequence.
+func liSeq(v int64) []liStep {
+	if v >= -2048 && v < 2048 {
+		return []liStep{{"addi", v}}
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		hi := (v + 0x800) >> 12 & 0xFFFFF
+		lo := v << 52 >> 52
+		seq := []liStep{{"lui", hi}}
+		if lo != 0 {
+			seq = append(seq, liStep{"addiw", lo})
+		}
+		return seq
+	}
+	lo := v << 52 >> 52
+	rest := (v - lo) >> 12
+	seq := liSeq(rest)
+	seq = append(seq, liStep{"slli", 12})
+	if lo != 0 {
+		seq = append(seq, liStep{"addi", lo})
+	}
+	return seq
+}
+
+// encoder is pass 2.
+type encoder struct {
+	prog *Program
+	out  []byte
+}
+
+func (e *encoder) emit32(w uint32) {
+	e.out = append(e.out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+func (e *encoder) emitBytes(b ...byte) { e.out = append(e.out, b...) }
+
+// eval resolves a symbol/number expression (terms joined by + and -).
+func (e *encoder) eval(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	total := int64(0)
+	sign := int64(1)
+	term := strings.Builder{}
+	flushTerm := func() error {
+		t := strings.TrimSpace(term.String())
+		term.Reset()
+		if t == "" {
+			return nil
+		}
+		if v, ok := e.prog.Symbols[t]; ok {
+			total += sign * int64(v)
+			return nil
+		}
+		v, err := parseNum(t)
+		if err != nil {
+			return fmt.Errorf("unresolved symbol %q", t)
+		}
+		total += sign * v
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if (ch == '+' || ch == '-') && i > 0 && term.Len() > 0 {
+			if err := flushTerm(); err != nil {
+				return 0, err
+			}
+			if ch == '+' {
+				sign = 1
+			} else {
+				sign = -1
+			}
+			continue
+		}
+		term.WriteByte(ch)
+	}
+	if err := flushTerm(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func reg(s string) (int, error) {
+	r, ok := registers[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+// memOperand parses "off(rs1)".
+func (e *encoder) memOperand(s string) (int64, int, error) {
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off, err := e.eval(s[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}
+
+func (e *encoder) csr(s string) (uint32, error) {
+	if a, ok := csrs[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return a, nil
+	}
+	v, err := e.eval(s)
+	if err != nil || v < 0 || v > 0xFFF {
+		return 0, fmt.Errorf("bad CSR %q", s)
+	}
+	return uint32(v), nil
+}
+
+// Encoding helpers per format.
+func encR(op opSpec, rd, rs1, rs2 int) uint32 {
+	return op.funct7<<25 | uint32(rs2)<<20 | uint32(rs1)<<15 | op.funct3<<12 | uint32(rd)<<7 | op.opcode
+}
+
+func encI(op opSpec, rd, rs1 int, imm int64) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("immediate %d out of 12-bit range", imm)
+	}
+	return uint32(imm)&0xFFF<<20 | uint32(rs1)<<15 | op.funct3<<12 | uint32(rd)<<7 | op.opcode, nil
+}
+
+func encS(op opSpec, rs1, rs2 int, imm int64) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("store offset %d out of range", imm)
+	}
+	u := uint32(imm) & 0xFFF
+	return u>>5<<25 | uint32(rs2)<<20 | uint32(rs1)<<15 | op.funct3<<12 | (u&0x1F)<<7 | op.opcode, nil
+}
+
+func encB(op opSpec, rs1, rs2 int, rel int64) (uint32, error) {
+	if rel < -4096 || rel > 4094 || rel%2 != 0 {
+		return 0, fmt.Errorf("branch offset %d out of range", rel)
+	}
+	u := uint32(rel) & 0x1FFF
+	return (u>>12&1)<<31 | (u>>5&0x3F)<<25 | uint32(rs2)<<20 | uint32(rs1)<<15 |
+		op.funct3<<12 | (u>>1&0xF)<<8 | (u>>11&1)<<7 | op.opcode, nil
+}
+
+func encU(op opSpec, rd int, imm20 int64) (uint32, error) {
+	if imm20 < 0 || imm20 > 0xFFFFF {
+		return 0, fmt.Errorf("upper immediate %#x out of 20-bit range", imm20)
+	}
+	return uint32(imm20)<<12 | uint32(rd)<<7 | op.opcode, nil
+}
+
+func encJ(op opSpec, rd int, rel int64) (uint32, error) {
+	if rel < -(1<<20) || rel >= 1<<20 || rel%2 != 0 {
+		return 0, fmt.Errorf("jump offset %d out of range", rel)
+	}
+	u := uint32(rel) & 0x1FFFFF
+	return (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u>>12&0xFF)<<12 |
+		uint32(rd)<<7 | op.opcode, nil
+}

@@ -1,0 +1,245 @@
+// Package rvasm is a two-pass RV64IM assembler for the bare-metal
+// driver programs that run on the internal/rv64 instruction-set
+// simulator. It supports the base and M-extension mnemonics, Zicsr,
+// the common pseudo-instructions (li, la, mv, j, call, ret, beqz, ...)
+// and a small set of directives (.org, .equ, .word, .dword, .byte,
+// .asciz, .space, .align).
+package rvasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled image.
+type Program struct {
+	// Code is the flat image starting at Base.
+	Code []byte
+	// Base is the load address (set with .org; defaults to 0).
+	Base uint64
+	// Symbols maps labels and .equ names to values.
+	Symbols map[string]uint64
+	// Entry is the address of the "_start" symbol if present, else Base.
+	Entry uint64
+}
+
+// SyntaxError reports an assembly error with its line number.
+type SyntaxError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rvasm: line %d (%q): %v", e.Line, e.Text, e.Err)
+}
+
+func (e *SyntaxError) Unwrap() error { return e.Err }
+
+// registers maps names (numeric and ABI) to indices.
+var registers = func() map[string]int {
+	m := map[string]int{}
+	abi := []string{
+		"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+		"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+		"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = i
+		m[abi[i]] = i
+	}
+	m["fp"] = 8
+	return m
+}()
+
+// csrs maps CSR names to addresses.
+var csrs = map[string]uint32{
+	"mstatus": 0x300, "misa": 0x301, "mie": 0x304, "mtvec": 0x305,
+	"mscratch": 0x340, "mepc": 0x341, "mcause": 0x342, "mtval": 0x343,
+	"mip": 0x344, "mhartid": 0xF14, "mcycle": 0xB00, "minstret": 0xB02,
+	"cycle": 0xC00, "time": 0xC01, "instret": 0xC02,
+}
+
+// item is one parsed source statement.
+type item struct {
+	line   int
+	text   string
+	label  string
+	op     string
+	args   []string
+	addr   uint64 // assigned in pass 1
+	length int    // bytes emitted
+}
+
+// Assemble translates source into a Program.
+func Assemble(source string) (*Program, error) {
+	items, err := parse(source)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Symbols: map[string]uint64{}}
+
+	// Pass 1: assign addresses and collect symbols.
+	pc := uint64(0)
+	baseSet := false
+	for i := range items {
+		it := &items[i]
+		if it.op == ".org" {
+			if len(it.args) != 1 {
+				return nil, &SyntaxError{it.line, it.text, fmt.Errorf(".org needs one address")}
+			}
+			v, err := parseNum(it.args[0])
+			if err != nil {
+				return nil, &SyntaxError{it.line, it.text, err}
+			}
+			pc = uint64(v)
+			if !baseSet {
+				prog.Base = pc
+				baseSet = true
+			}
+			continue
+		}
+		if it.op == ".equ" {
+			if len(it.args) != 2 {
+				return nil, &SyntaxError{it.line, it.text, fmt.Errorf(".equ needs name, value")}
+			}
+			v, err := parseNum(it.args[1])
+			if err != nil {
+				return nil, &SyntaxError{it.line, it.text, err}
+			}
+			prog.Symbols[it.args[0]] = uint64(v)
+			continue
+		}
+		if !baseSet {
+			prog.Base = pc
+			baseSet = true
+		}
+		if it.label != "" {
+			if _, dup := prog.Symbols[it.label]; dup {
+				return nil, &SyntaxError{it.line, it.text, fmt.Errorf("duplicate label %q", it.label)}
+			}
+			prog.Symbols[it.label] = pc
+		}
+		if it.op == "" {
+			continue
+		}
+		n, err := sizeOf(it, pc)
+		if err != nil {
+			return nil, &SyntaxError{it.line, it.text, err}
+		}
+		it.addr = pc
+		it.length = n
+		pc += uint64(n)
+	}
+
+	// Pass 2: encode.
+	enc := &encoder{prog: prog}
+	for i := range items {
+		it := &items[i]
+		if it.op == "" || strings.HasPrefix(it.op, ".org") || it.op == ".equ" {
+			continue
+		}
+		if err := enc.encode(it); err != nil {
+			return nil, &SyntaxError{it.line, it.text, err}
+		}
+	}
+	prog.Code = enc.out
+	prog.Entry = prog.Base
+	if e, ok := prog.Symbols["_start"]; ok {
+		prog.Entry = e
+	}
+	return prog, nil
+}
+
+// parse splits source into items.
+func parse(source string) ([]item, error) {
+	var items []item
+	for lineno, raw := range strings.Split(source, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		it := item{line: lineno + 1, text: line}
+		// Leading label(s).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,") {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			line = strings.TrimSpace(line[i+1:])
+			if it.label != "" {
+				// Two labels on one line: emit the first as its own item.
+				items = append(items, item{line: it.line, text: it.text, label: it.label})
+			}
+			it.label = label
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			it.op = strings.ToLower(fields[0])
+			if len(fields) == 2 {
+				it.args = splitArgs(fields[1])
+			}
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// splitArgs splits an operand list on commas, trimming whitespace and
+// honouring quoted strings.
+func splitArgs(s string) []string {
+	var args []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}
+
+// parseNum parses decimal, hex (0x), binary (0b), octal (0o) and
+// character ('c') literals, with an optional leading minus.
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return '\n', nil
+		}
+		if body == "\\t" {
+			return '\t', nil
+		}
+		if body == "\\0" {
+			return 0, nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad char literal %s", s)
+	}
+	return strconv.ParseInt(s, 0, 64)
+}

@@ -1,0 +1,233 @@
+// Package sdcard models an SDHC card operating in SPI mode — the
+// external storage holding the partial bitstream files (paper §III-A).
+// The model implements the command subset a FAT32-capable bare-metal
+// driver needs: reset and initialisation (CMD0, CMD8, ACMD41 via CMD55,
+// CMD58), block reads (CMD17) and block writes (CMD24), each with the
+// SPI-mode token framing (R1/R3/R7 responses, 0xFE start token, data
+// response, busy signalling).
+package sdcard
+
+import "rvcap/internal/spi"
+
+// BlockSize is the fixed SDHC block length.
+const BlockSize = 512
+
+// SPI-mode tokens.
+const (
+	TokenStartBlock = 0xFE
+	dataAccepted    = 0x05
+	r1Idle          = 0x01
+	r1Ready         = 0x00
+	r1IllegalCmd    = 0x04
+	r1AddressError  = 0x20
+)
+
+// state machine phases
+type phase int
+
+const (
+	phIdle      phase = iota // awaiting command
+	phResponse               // shifting out a response (incl. read data)
+	phWriteWait              // awaiting the write start token
+	phWriteData              // absorbing a data block
+	phBusy                   // signalling programming busy
+)
+
+// Card is an SDHC card in SPI mode.
+type Card struct {
+	image []byte
+
+	selected    bool
+	initialised bool   // ACMD41 completed
+	acmd        bool   // last command was CMD55
+	acmd41Polls int    // ACMD41 attempts before ready (realism)
+	cmdBuf      []byte // accumulating 6-byte command frame
+
+	ph        phase
+	afterResp phase // phase entered when resp drains (phIdle default)
+	resp      []byte
+	data      []byte
+	writeLBA  uint32
+	busyLeft  int
+
+	reads  uint64
+	writes uint64
+}
+
+// New returns a card backed by image (its capacity in blocks is
+// len(image)/512, rounded down). The image is aliased, not copied, so
+// callers can inspect writes.
+func New(image []byte) *Card {
+	return &Card{image: image, acmd41Polls: 2}
+}
+
+// Blocks returns the card capacity in 512-byte blocks.
+func (c *Card) Blocks() uint32 { return uint32(len(c.image) / BlockSize) }
+
+// Image returns the backing store.
+func (c *Card) Image() []byte { return c.image }
+
+// Reads and Writes return block transfer counters.
+func (c *Card) Reads() uint64  { return c.reads }
+func (c *Card) Writes() uint64 { return c.writes }
+
+// CSEdge implements spi.Device.
+func (c *Card) CSEdge(selected bool) {
+	c.selected = selected
+	if !selected {
+		// Deselect aborts any in-flight framing.
+		c.cmdBuf = c.cmdBuf[:0]
+		if c.ph != phBusy {
+			c.ph = phIdle
+		}
+	}
+}
+
+// Exchange implements spi.Device: one full-duplex byte.
+func (c *Card) Exchange(tx byte, selected bool) byte {
+	if !selected {
+		return 0xFF
+	}
+	switch c.ph {
+	case phIdle:
+		return c.idleByte(tx)
+	case phResponse:
+		return c.shiftOut()
+	case phWriteWait:
+		if tx == TokenStartBlock {
+			c.ph = phWriteData
+			c.data = c.data[:0]
+		}
+		return 0xFF
+	case phWriteData:
+		c.data = append(c.data, tx)
+		if len(c.data) == BlockSize+2 { // block + CRC16
+			copy(c.image[int(c.writeLBA)*BlockSize:], c.data[:BlockSize])
+			c.writes++
+			c.ph = phBusy
+			c.busyLeft = 4 // a few busy bytes before ready
+			return dataAccepted
+		}
+		return 0xFF
+	case phBusy:
+		c.busyLeft--
+		if c.busyLeft <= 0 {
+			c.ph = phIdle
+			return 0xFF // next poll reads non-zero = ready
+		}
+		return 0x00 // busy
+	}
+	return 0xFF
+}
+
+// idleByte accumulates command frames. Command bytes have the 0x40 start
+// pattern; 0xFF is clocking noise.
+func (c *Card) idleByte(tx byte) byte {
+	if len(c.cmdBuf) == 0 {
+		if tx&0xC0 != 0x40 {
+			return 0xFF // not a command start
+		}
+	}
+	c.cmdBuf = append(c.cmdBuf, tx)
+	if len(c.cmdBuf) < 6 {
+		return 0xFF
+	}
+	cmd := c.cmdBuf[0] & 0x3F
+	arg := uint32(c.cmdBuf[1])<<24 | uint32(c.cmdBuf[2])<<16 | uint32(c.cmdBuf[3])<<8 | uint32(c.cmdBuf[4])
+	c.cmdBuf = c.cmdBuf[:0]
+	c.execute(cmd, arg)
+	return 0xFF // response begins on subsequent clocks
+}
+
+func (c *Card) r1() byte {
+	if c.initialised {
+		return r1Ready
+	}
+	return r1Idle
+}
+
+func (c *Card) execute(cmd byte, arg uint32) {
+	wasACMD := c.acmd
+	c.acmd = false
+	c.ph = phResponse
+	switch {
+	case cmd == 0: // GO_IDLE_STATE
+		c.initialised = false
+		c.resp = []byte{r1Idle}
+	case cmd == 8: // SEND_IF_COND -> R7 echoing the check pattern
+		c.resp = []byte{r1Idle, 0x00, 0x00, byte(arg >> 8 & 0x0F), byte(arg)}
+	case cmd == 55: // APP_CMD
+		c.acmd = true
+		c.resp = []byte{c.r1()}
+	case cmd == 41 && wasACMD: // ACMD41: SD_SEND_OP_COND
+		if c.acmd41Polls > 0 {
+			c.acmd41Polls--
+			c.resp = []byte{r1Idle}
+		} else {
+			c.initialised = true
+			c.resp = []byte{r1Ready}
+		}
+	case cmd == 58: // READ_OCR -> R3 with CCS=1 (SDHC, block addressing)
+		c.resp = []byte{c.r1(), 0xC0, 0xFF, 0x80, 0x00}
+	case cmd == 16: // SET_BLOCKLEN (fixed 512 on SDHC)
+		c.resp = []byte{c.r1()}
+	case cmd == 17: // READ_SINGLE_BLOCK
+		if !c.initialised {
+			c.resp = []byte{r1IllegalCmd}
+			return
+		}
+		if arg >= c.Blocks() {
+			c.resp = []byte{r1AddressError}
+			return
+		}
+		blk := c.image[int(arg)*BlockSize : int(arg+1)*BlockSize]
+		// R1, a gap byte, start token, data, fake CRC16.
+		out := make([]byte, 0, BlockSize+5)
+		out = append(out, r1Ready, 0xFF, TokenStartBlock)
+		out = append(out, blk...)
+		out = append(out, 0xAA, 0x55)
+		c.resp = out
+		c.reads++
+	case cmd == 24: // WRITE_BLOCK
+		if !c.initialised {
+			c.resp = []byte{r1IllegalCmd}
+			return
+		}
+		if arg >= c.Blocks() {
+			c.resp = []byte{r1AddressError}
+			return
+		}
+		c.writeLBA = arg
+		c.resp = []byte{r1Ready}
+		c.phAfterResp(phWriteWait)
+		return
+	default:
+		c.resp = []byte{c.r1() | r1IllegalCmd}
+	}
+}
+
+// phAfterResp arranges the phase to enter once the response has fully
+// shifted out.
+func (c *Card) phAfterResp(next phase) {
+	c.afterResp = next
+}
+
+func (c *Card) shiftOut() byte {
+	if len(c.resp) == 0 {
+		c.ph = phIdle
+		return 0xFF
+	}
+	b := c.resp[0]
+	c.resp = c.resp[1:]
+	if len(c.resp) == 0 {
+		if c.afterResp != phIdle {
+			c.ph = c.afterResp
+			c.afterResp = phIdle
+		} else {
+			c.ph = phIdle
+		}
+	}
+	return b
+}
+
+var _ spi.Device = (*Card)(nil)

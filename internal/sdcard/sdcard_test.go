@@ -1,0 +1,201 @@
+package sdcard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// cmd sends a 6-byte command frame and clocks until the first response
+// byte appears (or gives up after 16 fill bytes).
+func cmd(c *Card, op byte, arg uint32) byte {
+	frame := []byte{0x40 | op, byte(arg >> 24), byte(arg >> 16), byte(arg >> 8), byte(arg), 0x95}
+	for _, b := range frame {
+		c.Exchange(b, true)
+	}
+	for i := 0; i < 16; i++ {
+		if r := c.Exchange(0xFF, true); r != 0xFF {
+			return r
+		}
+	}
+	return 0xFF
+}
+
+// initCard runs the SPI-mode initialisation sequence.
+func initCard(t *testing.T, c *Card) {
+	t.Helper()
+	c.CSEdge(true)
+	if r := cmd(c, 0, 0); r != 0x01 {
+		t.Fatalf("CMD0 R1 = %#x, want idle", r)
+	}
+	if r := cmd(c, 8, 0x1AA); r != 0x01 {
+		t.Fatalf("CMD8 R1 = %#x", r)
+	}
+	// Drain the 4 trailing R7 bytes.
+	var r7 [4]byte
+	for i := range r7 {
+		r7[i] = c.Exchange(0xFF, true)
+	}
+	if r7[2] != 0x01 || r7[3] != 0xAA {
+		t.Fatalf("CMD8 echo = % x, want voltage 01 pattern AA", r7)
+	}
+	for i := 0; i < 10; i++ {
+		if r := cmd(c, 55, 0); r > 0x01 {
+			t.Fatalf("CMD55 R1 = %#x", r)
+		}
+		if r := cmd(c, 41, 1<<30); r == 0x00 {
+			return
+		}
+	}
+	t.Fatal("ACMD41 never became ready")
+}
+
+func newCard(blocks int) *Card {
+	img := make([]byte, blocks*BlockSize)
+	for i := range img {
+		img[i] = byte(i % 251)
+	}
+	return New(img)
+}
+
+func TestInitSequence(t *testing.T) {
+	c := newCard(8)
+	initCard(t, c)
+	// CMD58: OCR with CCS set (SDHC).
+	if r := cmd(c, 58, 0); r != 0x00 {
+		t.Fatalf("CMD58 R1 = %#x", r)
+	}
+	ocr := c.Exchange(0xFF, true)
+	if ocr&0x40 == 0 {
+		t.Errorf("OCR byte = %#x, want CCS set", ocr)
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	c := newCard(8)
+	initCard(t, c)
+	if r := cmd(c, 17, 3); r != 0x00 {
+		t.Fatalf("CMD17 R1 = %#x", r)
+	}
+	// Clock until the start token.
+	var tok byte
+	for i := 0; i < 16; i++ {
+		tok = c.Exchange(0xFF, true)
+		if tok == TokenStartBlock {
+			break
+		}
+	}
+	if tok != TokenStartBlock {
+		t.Fatalf("no start token (last %#x)", tok)
+	}
+	got := make([]byte, BlockSize)
+	for i := range got {
+		got[i] = c.Exchange(0xFF, true)
+	}
+	want := c.Image()[3*BlockSize : 4*BlockSize]
+	if !bytes.Equal(got, want) {
+		t.Fatal("block data mismatch")
+	}
+	if c.Reads() != 1 {
+		t.Errorf("Reads = %d", c.Reads())
+	}
+}
+
+func TestWriteBlockAndReadBack(t *testing.T) {
+	c := newCard(8)
+	initCard(t, c)
+	if r := cmd(c, 24, 5); r != 0x00 {
+		t.Fatalf("CMD24 R1 = %#x", r)
+	}
+	payload := make([]byte, BlockSize)
+	for i := range payload {
+		payload[i] = byte(255 - i%256)
+	}
+	c.Exchange(0xFF, true)            // gap
+	c.Exchange(TokenStartBlock, true) // start token
+	var resp byte
+	for i, b := range payload {
+		r := c.Exchange(b, true)
+		if i == len(payload)-1 {
+			_ = r
+		}
+	}
+	// Two CRC bytes complete the frame; the second returns the data
+	// response token.
+	c.Exchange(0x00, true)
+	resp = c.Exchange(0x00, true)
+	if resp&0x1F != dataAccepted {
+		t.Fatalf("data response = %#x, want accepted", resp)
+	}
+	// Busy, then ready.
+	ready := false
+	for i := 0; i < 10; i++ {
+		if c.Exchange(0xFF, true) == 0xFF {
+			ready = true
+			break
+		}
+	}
+	if !ready {
+		t.Fatal("card stuck busy")
+	}
+	if !bytes.Equal(c.Image()[5*BlockSize:6*BlockSize], payload) {
+		t.Fatal("written block mismatch")
+	}
+	if c.Writes() != 1 {
+		t.Errorf("Writes = %d", c.Writes())
+	}
+}
+
+func TestAddressError(t *testing.T) {
+	c := newCard(4)
+	initCard(t, c)
+	if r := cmd(c, 17, 100); r&r1AddressError == 0 {
+		t.Errorf("out-of-range read R1 = %#x, want address error", r)
+	}
+	if r := cmd(c, 24, 100); r&r1AddressError == 0 {
+		t.Errorf("out-of-range write R1 = %#x, want address error", r)
+	}
+}
+
+func TestIllegalCommandAndUninitialisedRead(t *testing.T) {
+	c := newCard(4)
+	c.CSEdge(true)
+	cmd(c, 0, 0)
+	if r := cmd(c, 17, 0); r&r1IllegalCmd == 0 {
+		t.Errorf("pre-init CMD17 R1 = %#x, want illegal", r)
+	}
+	if r := cmd(c, 63, 0); r&r1IllegalCmd == 0 {
+		t.Errorf("unknown command R1 = %#x, want illegal", r)
+	}
+}
+
+func TestDeselectAbortsFrame(t *testing.T) {
+	c := newCard(4)
+	initCard(t, c)
+	// Start a command frame, then deselect mid-way.
+	c.Exchange(0x40|17, true)
+	c.Exchange(0x00, true)
+	c.CSEdge(false)
+	if c.Exchange(0xFF, false) != 0xFF {
+		t.Error("deselected card drove the bus")
+	}
+	c.CSEdge(true)
+	// A fresh command must parse from scratch.
+	if r := cmd(c, 17, 0); r != 0x00 {
+		t.Errorf("post-abort CMD17 R1 = %#x", r)
+	}
+}
+
+func TestCMD16Accepted(t *testing.T) {
+	c := newCard(4)
+	initCard(t, c)
+	if r := cmd(c, 16, BlockSize); r != 0x00 {
+		t.Errorf("CMD16 R1 = %#x", r)
+	}
+}
+
+func TestBlocksCount(t *testing.T) {
+	c := newCard(12)
+	if c.Blocks() != 12 {
+		t.Errorf("Blocks = %d", c.Blocks())
+	}
+}

@@ -1,0 +1,212 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulation process: a goroutine that runs device
+// engines or software drivers as ordinary sequential code, interleaved
+// deterministically with the event queue. Exactly one of {kernel, some
+// process} executes at any moment; control transfers are synchronous
+// channel handoffs, so the simulation stays single-threaded in effect and
+// fully reproducible.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	panicv interface{}
+}
+
+// Go starts fn as a simulation process. fn begins executing at the
+// current cycle (after pending same-cycle events). The returned Proc can
+// be waited on via its Done signal semantics through Join.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicv = r
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.Schedule(0, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it yields or finishes.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.panicv != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicv))
+	}
+}
+
+// pause yields control back to the kernel until something re-dispatches p.
+func (p *Proc) pause() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated cycle.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d cycles of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d == 0 {
+		// Still yield so same-cycle events interleave fairly.
+		p.k.Schedule(0, func() { p.k.dispatch(p) })
+		p.pause()
+		return
+	}
+	p.k.Schedule(d, func() { p.k.dispatch(p) })
+	p.pause()
+}
+
+// Wait suspends the process until s fires. If s has already latched (see
+// Signal.Latch), Wait returns immediately without yielding time.
+func (p *Proc) Wait(s *Signal) {
+	if s.latched {
+		return
+	}
+	s.subscribe(func() { p.k.dispatch(p) })
+	p.pause()
+}
+
+// WaitAny suspends until any one of the given signals fires and returns
+// its index. Latched signals win immediately (lowest index first).
+func (p *Proc) WaitAny(sigs ...*Signal) int {
+	for i, s := range sigs {
+		if s.latched {
+			return i
+		}
+	}
+	fired := -1
+	for i, s := range sigs {
+		i := i
+		s.subscribe(func() {
+			if fired >= 0 {
+				return // another signal already woke us
+			}
+			fired = i
+			p.k.dispatch(p)
+		})
+	}
+	p.pause()
+	return fired
+}
+
+// Join suspends the calling process until other finishes.
+func (p *Proc) Join(other *Proc, done *Signal) {
+	for !other.done {
+		p.Wait(done)
+	}
+}
+
+// Signal is a broadcast wake-up: processes Wait on it, Fire wakes all
+// current waiters. With Latch set, a fired signal stays "on" so that
+// late waiters return immediately (completion semantics); Reset rearms it.
+type Signal struct {
+	k       *Kernel
+	name    string
+	waiters []func()
+	latched bool
+	latch   bool
+}
+
+// NewSignal returns a pulse-style signal: Fire wakes current waiters only.
+func NewSignal(k *Kernel, name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// NewLatchedSignal returns a completion-style signal: once fired it stays
+// set until Reset, and waiters arriving after Fire do not block.
+func NewLatchedSignal(k *Kernel, name string) *Signal {
+	return &Signal{k: k, name: name, latch: true}
+}
+
+func (s *Signal) subscribe(fn func()) { s.waiters = append(s.waiters, fn) }
+
+// Fire wakes every current waiter (each as a fresh same-cycle event) and,
+// for latched signals, sets the latch.
+func (s *Signal) Fire() {
+	if s.latch {
+		s.latched = true
+	}
+	w := s.waiters
+	s.waiters = nil
+	for _, fn := range w {
+		s.k.Schedule(0, fn)
+	}
+}
+
+// Set reports whether a latched signal is currently set.
+func (s *Signal) Set() bool { return s.latched }
+
+// Reset rearms a latched signal.
+func (s *Signal) Reset() { s.latched = false }
+
+// Resource is a FIFO-fair exclusive resource (e.g. the DDR port or a bus
+// grant). Acquire blocks the calling process until the resource is free.
+type Resource struct {
+	k     *Kernel
+	name  string
+	busy  bool
+	queue []func()
+}
+
+// NewResource returns an idle resource.
+func NewResource(k *Kernel, name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Acquire takes the resource, blocking the process in FIFO order while it
+// is held elsewhere.
+func (r *Resource) Acquire(p *Proc) {
+	if !r.busy {
+		r.busy = true
+		return
+	}
+	r.queue = append(r.queue, func() { p.k.dispatch(p) })
+	p.pause()
+	// Ownership was transferred to us by Release before the wake-up.
+}
+
+// Release frees the resource, handing it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	next := r.queue[0]
+	r.queue = r.queue[1:]
+	// Stay busy: the waiter inherits ownership.
+	r.k.Schedule(0, next)
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }

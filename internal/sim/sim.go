@@ -1,0 +1,127 @@
+// Package sim provides the discrete-event simulation kernel that every
+// hardware model in this repository runs on.
+//
+// Time is counted in clock cycles of the single 100 MHz clock domain the
+// paper uses ("operates with a single clock source in a fully synchronized
+// design", §III-B). The kernel is strictly deterministic: events scheduled
+// for the same cycle fire in scheduling order.
+//
+// Two styles of model coexist:
+//
+//   - callback models register events with Schedule/At, and
+//   - process models (see Proc) run as cooperative goroutines with strict
+//     one-at-a-time handoff, which lets device engines and the software
+//     drivers be written as ordinary sequential code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, measured in clock cycles.
+type Time uint64
+
+// Forever is a schedule horizon beyond any realistic simulation length.
+const Forever Time = 1<<63 - 1
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same cycle, preserving FIFO order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not ready to
+// use; construct with NewKernel.
+type Kernel struct {
+	now  Time
+	seq  uint64
+	pq   eventHeap
+	halt bool
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.pq)
+	return k
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule arranges for fn to run delay cycles from now. A zero delay
+// runs fn later in the current cycle, after already-pending same-cycle
+// events.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute cycle t. Scheduling in the past
+// panics: it is always a model bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at cycle %d before now (%d)", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.pq, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Step runs the single earliest pending event. It reports false when the
+// event queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(*event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// Halt makes Run and RunUntil return after the current event completes.
+func (k *Kernel) Halt() { k.halt = true }
+
+// Run executes events until the queue drains or Halt is called.
+func (k *Kernel) Run() {
+	k.halt = false
+	for !k.halt && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the current
+// time to t (even if no event lands exactly there).
+func (k *Kernel) RunUntil(t Time) {
+	k.halt = false
+	for !k.halt && len(k.pq) > 0 && k.pq[0].at <= t {
+		k.Step()
+	}
+	if !k.halt && k.now < t {
+		k.now = t
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.pq) }

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(10, func() { order = append(order, 2) })
+	k.Schedule(5, func() { order = append(order, 1) })
+	k.Schedule(10, func() { order = append(order, 3) }) // same cycle, later seq
+	k.Schedule(20, func() { order = append(order, 4) })
+	k.Run()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now() = %d, want 20", k.Now())
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(10, func() { fired++ })
+	k.Schedule(30, func() { fired++ })
+	k.RunUntil(20)
+	if fired != 1 {
+		t.Errorf("fired = %d at cycle 20, want 1", fired)
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now() = %d, want 20", k.Now())
+	}
+	k.RunUntil(40)
+	if fired != 2 {
+		t.Errorf("fired = %d at cycle 40, want 2", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.Schedule(1, func() { ran++; k.Halt() })
+	k.Schedule(2, func() { ran++ })
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d after Halt, want 1", ran)
+	}
+	k.Run() // resumes
+	if ran != 2 {
+		t.Fatalf("ran = %d after resume, want 2", ran)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.Schedule(5, func() {
+		times = append(times, k.Now())
+		k.Schedule(5, func() { times = append(times, k.Now()) })
+		k.Schedule(0, func() { times = append(times, k.Now()) })
+	})
+	k.Run()
+	if len(times) != 3 || times[0] != 5 || times[1] != 5 || times[2] != 10 {
+		t.Fatalf("times = %v, want [5 5 10]", times)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var wake []Time
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		wake = append(wake, p.Now())
+		p.Sleep(50)
+		wake = append(wake, p.Now())
+		p.Sleep(0)
+		wake = append(wake, p.Now())
+	})
+	k.Run()
+	if len(wake) != 3 || wake[0] != 100 || wake[1] != 150 || wake[2] != 150 {
+		t.Fatalf("wake = %v, want [100 150 150]", wake)
+	}
+}
+
+func TestProcInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var trace []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		k.Run()
+		return trace
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: trace %v differs from %v", trial, got, first)
+			}
+		}
+	}
+	// Same-cycle processes run in spawn order.
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Go("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaput")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic did not propagate to Run")
+		}
+	}()
+	k.Run()
+}
+
+func TestSignalPulse(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "pulse")
+	var woke []Time
+	k.Go("waiter", func(p *Proc) {
+		p.Wait(s)
+		woke = append(woke, p.Now())
+	})
+	k.Schedule(42, s.Fire)
+	k.Run()
+	if len(woke) != 1 || woke[0] != 42 {
+		t.Fatalf("woke = %v, want [42]", woke)
+	}
+}
+
+func TestSignalLatched(t *testing.T) {
+	k := NewKernel()
+	s := NewLatchedSignal(k, "done")
+	var woke []Time
+	k.Schedule(10, s.Fire)
+	// Waiter arrives after the fire: must not block.
+	k.Go("late", func(p *Proc) {
+		p.Sleep(20)
+		p.Wait(s)
+		woke = append(woke, p.Now())
+	})
+	k.Run()
+	if len(woke) != 1 || woke[0] != 20 {
+		t.Fatalf("woke = %v, want [20]", woke)
+	}
+	if !s.Set() {
+		t.Error("latched signal not set after Fire")
+	}
+	s.Reset()
+	if s.Set() {
+		t.Error("latched signal still set after Reset")
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	k := NewKernel()
+	a := NewSignal(k, "a")
+	b := NewSignal(k, "b")
+	var idx int
+	var at Time
+	k.Go("waiter", func(p *Proc) {
+		idx = p.WaitAny(a, b)
+		at = p.Now()
+	})
+	k.Schedule(30, b.Fire)
+	k.Schedule(60, a.Fire)
+	k.Run()
+	if idx != 1 || at != 30 {
+		t.Fatalf("WaitAny -> (%d, %d), want (1, 30)", idx, at)
+	}
+}
+
+func TestWaitAnyLatchedImmediate(t *testing.T) {
+	k := NewKernel()
+	a := NewLatchedSignal(k, "a")
+	a.Fire()
+	b := NewSignal(k, "b")
+	var idx int
+	k.Go("waiter", func(p *Proc) { idx = p.WaitAny(b, a) })
+	k.Run()
+	if idx != 1 {
+		t.Fatalf("WaitAny = %d, want 1 (latched)", idx)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "ddr")
+	var order []string
+	use := func(name string, hold Time) {
+		k.Go(name, func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, name+"+")
+			p.Sleep(hold)
+			order = append(order, name+"-")
+			r.Release()
+		})
+	}
+	use("a", 10)
+	use("b", 10)
+	use("c", 10)
+	k.Run()
+	want := []string{"a+", "a-", "b+", "b-", "c+", "c-"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if r.Busy() {
+		t.Error("resource still busy after all releases")
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestUnits(t *testing.T) {
+	if got := Micros(100); got != 1.0 {
+		t.Errorf("Micros(100) = %v, want 1.0", got)
+	}
+	if got := Millis(100_000); got != 1.0 {
+		t.Errorf("Millis(1e5) = %v, want 1.0", got)
+	}
+	if got := FromMicros(18); got != 1800 {
+		t.Errorf("FromMicros(18) = %v, want 1800", got)
+	}
+	// 4 bytes per cycle at 100 MHz = 400 MB/s (the ICAP ceiling).
+	if got := MBPerSec(4, 1); got != 400 {
+		t.Errorf("MBPerSec(4,1) = %v, want 400", got)
+	}
+	if got := MBPerSec(100, 0); got != 0 {
+		t.Errorf("MBPerSec(n,0) = %v, want 0", got)
+	}
+}
+
+func TestMicrosFromMicrosRoundTrip(t *testing.T) {
+	f := func(us uint16) bool {
+		c := FromMicros(float64(us))
+		return Micros(c) == float64(us)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventStormDeterminism(t *testing.T) {
+	// Many events at identical timestamps must fire in scheduling order.
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 1000; i++ {
+		i := i
+		k.Schedule(7, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("event %d fired out of order (got %d)", i, got[i])
+		}
+	}
+}

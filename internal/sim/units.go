@@ -1,0 +1,32 @@
+package sim
+
+// The whole design runs from a single 100 MHz clock (paper §III-B: "The
+// clock frequency is set to 100 MHz due to the ICAP maximum frequency on
+// FPGAs of 7 series"). These helpers convert between cycles of that clock
+// and wall-clock units for reporting.
+
+// ClockHz is the system clock frequency in Hertz.
+const ClockHz = 100_000_000
+
+// CyclesPerMicrosecond is the number of system clock cycles per µs.
+const CyclesPerMicrosecond = ClockHz / 1_000_000
+
+// Micros converts a cycle count to microseconds.
+func Micros(t Time) float64 { return float64(t) / CyclesPerMicrosecond }
+
+// Millis converts a cycle count to milliseconds.
+func Millis(t Time) float64 { return Micros(t) / 1000 }
+
+// FromMicros converts microseconds to cycles (rounding down).
+func FromMicros(us float64) Time { return Time(us * CyclesPerMicrosecond) }
+
+// MBPerSec returns the throughput in MB/s (decimal megabytes, as the
+// paper reports: 400 MB/s theoretical ICAP maximum = 4 bytes x 100 MHz)
+// for transferring n bytes in t cycles.
+func MBPerSec(n int, t Time) float64 {
+	if t == 0 {
+		return 0
+	}
+	bytesPerSecond := float64(n) / (float64(t) / ClockHz)
+	return bytesPerSecond / 1e6
+}

@@ -1,0 +1,32 @@
+package soc
+
+import "rvcap/internal/rv64"
+
+// AttachCPU instantiates an RV64 instruction-set-simulated hart on the
+// SoC: the program image is loaded into the boot BRAM, the DDR and boot
+// windows are cached, every device access takes the uncached Ariane
+// path, and the CLINT/PLIC interrupt lines are wired to mip. The
+// returned CPU is not started; set up registers, then call Start.
+//
+// The ISS hart replaces the analytic soc.Hart as interrupt consumer:
+// the PLIC external line is rerouted to MEIP.
+func (s *SoC) AttachCPU(image []byte, entry uint64) *rv64.CPU {
+	s.Boot.Load(0, image)
+	cpu := rv64.New(s.K, rv64.Config{
+		Bus:       s.Bus,
+		BootImage: image,
+		BootBase:  BootBase,
+		PC:        entry,
+		CachedWindows: []rv64.CachedWindow{
+			{Base: DDRBase, Size: uint64(s.DDR.Size()), Mem: s.DDR},
+			{Base: BootBase, Size: uint64(s.Boot.Size()), Mem: s.Boot},
+		},
+		UncachedExtra:      s.Hart.MMIOPipelineCost,
+		PostUncachedBranch: s.Hart.PostMMIOBranchPenalty,
+		TrapEntryCost:      s.Hart.TrapEntryCost,
+	})
+	s.CLINT.OnTimerInterrupt = func(p bool) { cpu.SetIRQ(rv64.MTIP, p) }
+	s.CLINT.OnSoftInterrupt = func(p bool) { cpu.SetIRQ(rv64.MSIP, p) }
+	s.PLIC.OnExternalInterrupt = func(p bool) { cpu.SetIRQ(rv64.MEIP, p) }
+	return cpu
+}

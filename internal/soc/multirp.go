@@ -1,0 +1,60 @@
+package soc
+
+import (
+	"fmt"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/fpga"
+)
+
+// AddPartition places an additional reconfigurable partition on the
+// fabric (the multi-RP extension: "One or more RPs can be created to
+// host different RMs", paper §III-A) and wires a memory-mapped isolator
+// to the next free decouple bit of the RV-CAP RP control interface —
+// bit 0 is the primary partition, bit 1 the first added one, and so on.
+//
+// The AXI-Stream acceleration path serves the primary partition only
+// (the controller has one stream switch, as in the paper); additional
+// partitions host modules reached through their memory-mapped isolator
+// and are reconfigured through either controller.
+func (s *SoC) AddPartition(name string, row0, row1, col0, col1 int, reserve fpga.Resources) (*fpga.Partition, *axi.Isolator, error) {
+	part, err := fpga.NewSpanPartition(s.Fabric, name, row0, row1, col0, col1, reserve)
+	if err != nil {
+		return nil, nil, err
+	}
+	bit := len(s.extraRPs) + 1
+	if bit > 31 {
+		return nil, nil, fmt.Errorf("soc: decouple register exhausted (%d partitions)", bit)
+	}
+	iso := axi.NewIsolator(nil)
+	s.extraRPs = append(s.extraRPs, part)
+	s.RVCAP.OnDecouple = append(s.RVCAP.OnDecouple, func(rp int, d bool) {
+		if rp == bit {
+			iso.SetDecoupled(d)
+		}
+	})
+	return part, iso, nil
+}
+
+// Partitions returns the primary partition followed by the added ones.
+func (s *SoC) Partitions() []*fpga.Partition {
+	var out []*fpga.Partition
+	if s.RP != nil {
+		out = append(out, s.RP)
+	}
+	return append(out, s.extraRPs...)
+}
+
+// DecoupleBit returns the RP control interface bit controlling the
+// given partition, or -1 if it is not wired.
+func (s *SoC) DecoupleBit(part *fpga.Partition) int {
+	if part == s.RP {
+		return 0
+	}
+	for i, p := range s.extraRPs {
+		if p == part {
+			return i + 1
+		}
+	}
+	return -1
+}

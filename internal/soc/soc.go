@@ -1,0 +1,228 @@
+// Package soc assembles the full FPGA-based RISC-V SoC of the paper
+// (Fig. 1): the Ariane hart timing model, the 64-bit AXI-4 crossbar with
+// all memory-mapped peripherals (boot BRAM, DDR, CLINT, PLIC, UART,
+// SPI/SD), the fabric with its reconfigurable partition, and both DPR
+// controllers — the RV-CAP controller (with its additional crossbar to
+// the DDR) and the modified AXI_HWICAP baseline behind 64→32-bit width
+// and AXI4→AXI4-Lite protocol converters.
+package soc
+
+import (
+	"rvcap/internal/axi"
+	"rvcap/internal/clint"
+	"rvcap/internal/core"
+	"rvcap/internal/dma"
+	"rvcap/internal/fpga"
+	"rvcap/internal/hwicap"
+	"rvcap/internal/mem"
+	"rvcap/internal/plic"
+	"rvcap/internal/sdcard"
+	"rvcap/internal/sim"
+	"rvcap/internal/spi"
+)
+
+// Physical address map (CVA6-style).
+const (
+	BootBase   = 0x0001_0000
+	BootSize   = 256 * 1024
+	CLINTBase  = 0x0200_0000
+	PLICBase   = 0x0C00_0000
+	UARTBase   = 0x1000_0000
+	SPIBase    = 0x2000_0000
+	HWICAPBase = 0x4000_0000
+	RVCAPBase  = 0x4100_0000
+	DMABase    = 0x4110_0000
+	DDRBase    = 0x8000_0000
+)
+
+// PLIC interrupt source IDs.
+const (
+	IRQDMAMM2S = 1
+	IRQDMAS2MM = 2
+	IRQHWICAP  = 3
+)
+
+// DefaultDDRSize is 64 MiB — ample for bitstreams plus frame payloads.
+const DefaultDDRSize = 64 << 20
+
+// RMFactory instantiates a reconfigurable module's streaming engine,
+// returning its input and output channels. The SoC rewires the RV-CAP
+// acceleration path to the new instance whenever the fabric activates
+// the module in the primary partition.
+type RMFactory func(k *sim.Kernel) (in *axi.Stream, out *axi.Stream)
+
+// Config selects SoC build options.
+type Config struct {
+	// DDRSize in bytes (DefaultDDRSize when zero).
+	DDRSize int
+	// SDImage, when non-nil, attaches an SD card with this content.
+	SDImage []byte
+	// SkipDefaultPartition leaves the fabric without the paper's RP
+	// (used by the Fig. 3 sweep, which places its own).
+	SkipDefaultPartition bool
+	// Device overrides the fabric (default: the paper's Kintex-7). The
+	// default partition placement assumes the Kintex-7 geometry, so a
+	// custom device usually implies SkipDefaultPartition with a
+	// caller-placed partition.
+	Device *fpga.Device
+}
+
+// SoC is the assembled system.
+type SoC struct {
+	K    *sim.Kernel
+	Bus  *axi.Crossbar
+	Hart *Hart
+
+	DDR   *mem.DDR
+	Boot  *mem.BRAM
+	CLINT *clint.CLINT
+	PLIC  *plic.PLIC
+	UART  *UART
+	SPI   *spi.Master
+	Card  *sdcard.Card
+
+	Fabric *fpga.Fabric
+	RP     *fpga.Partition
+	ICAP   *fpga.ICAP
+	RVCAP  *core.Controller
+	HWICAP *hwicap.HWICAP
+
+	// RPIsolator is the memory-mapped isolation gate in front of the
+	// primary RP, driven by the RV-CAP decouple bit.
+	RPIsolator *axi.Isolator
+
+	rmFactories map[string]RMFactory
+	activeIn    *axi.Stream
+	activeOut   *axi.Stream
+	extraRPs    []*fpga.Partition
+}
+
+// New builds the SoC.
+func New(k *sim.Kernel, cfg Config) (*SoC, error) {
+	s := &SoC{K: k, rmFactories: make(map[string]RMFactory)}
+
+	// Fabric and configuration engine.
+	dev := cfg.Device
+	if dev == nil {
+		dev = fpga.NewKintex7()
+	}
+	s.Fabric = fpga.NewFabric(dev)
+	if !cfg.SkipDefaultPartition {
+		rp, err := fpga.AddDefaultPartition(s.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		s.RP = rp
+	}
+	s.ICAP = fpga.NewICAP(s.Fabric)
+
+	// Memories.
+	size := cfg.DDRSize
+	if size == 0 {
+		size = DefaultDDRSize
+	}
+	s.DDR = mem.NewDDR(k, size)
+	s.Boot = mem.NewBRAM(k, "boot", BootSize)
+
+	// Interrupt infrastructure.
+	s.CLINT = clint.New(k)
+	s.PLIC = plic.New(k, 8)
+
+	// Console and storage.
+	s.UART = NewUART()
+	s.SPI = spi.NewMaster(k)
+	if cfg.SDImage != nil {
+		s.Card = sdcard.New(cfg.SDImage)
+		s.SPI.Dev = s.Card
+	}
+
+	// The RV-CAP controller: its DMA reaches the DDR through the
+	// additional crossbar the paper inserts between the main bus and
+	// the controller (§III-A).
+	s.RVCAP = core.New(k, s.ICAP)
+	ddrXbar := axi.NewCrossbar(k, "rvcap.xbar")
+	// A single-master, single-slave crossbar has a registered address
+	// path only: 1 cycle.
+	ddrXbar.Latency = 1
+	ddrXbar.Map("ddr", 0, uint64(size), s.DDR)
+	s.RVCAP.DMA.Mem = ddrXbar
+
+	// The AXI_HWICAP baseline shares the same ICAP primitive.
+	s.HWICAP = hwicap.New(k, s.ICAP)
+
+	// Main 64-bit crossbar: the hart is the master, everything else is
+	// a memory-mapped slave (paper Fig. 1).
+	s.Bus = axi.NewCrossbar(k, "main")
+	s.Bus.Map("boot", BootBase, BootSize, s.Boot)
+	s.Bus.Map("clint", CLINTBase, clint.Size, s.CLINT)
+	s.Bus.Map("plic", PLICBase, plic.Size, s.PLIC)
+	s.Bus.Map("uart", UARTBase, uartSize, s.UART.Regs)
+	s.Bus.Map("spi", SPIBase, spi.RegFileSize, s.SPI.Regs)
+	// HWICAP sits behind 64->32 width + AXI4->AXI4-Lite converters
+	// (paper §III-C: "we add a data width converter (from 64-bit to
+	// 32-bit) as well as a protocol converter").
+	s.Bus.Map("hwicap", HWICAPBase, hwicap.RegFileSize,
+		axi.NewWidthConverter64To32(axi.NewLiteBridge(s.HWICAP.Regs)))
+	// RV-CAP RP control interface, direct 32-bit control signals.
+	s.Bus.Map("rvcap", RVCAPBase, core.RegFileSize, s.RVCAP.Regs)
+	// The DMA's AXI4-Lite control port behind its converters (§III-B
+	// item 2).
+	s.Bus.Map("dma", DMABase, dma.RegFileSize,
+		axi.NewWidthConverter64To32(axi.NewLiteBridge(s.RVCAP.DMA.Regs)))
+	s.Bus.Map("ddr", DDRBase, uint64(size), s.DDR)
+
+	// Interrupt wiring: DMA channels and HWICAP into the PLIC; the PLIC
+	// external line into the hart.
+	s.RVCAP.DMA.OnMM2SIrq = func(h bool) { s.PLIC.SetSource(IRQDMAMM2S, h) }
+	s.RVCAP.DMA.OnS2MMIrq = func(h bool) { s.PLIC.SetSource(IRQDMAS2MM, h) }
+	s.HWICAP.OnIrq = func(h bool) { s.PLIC.SetSource(IRQHWICAP, h) }
+
+	s.Hart = NewHart(k, s.Bus)
+	s.Hart.IRQLevel = s.PLIC.ExtPending
+	s.PLIC.OnExternalInterrupt = func(p bool) {
+		if p {
+			s.Hart.IRQ.Fire()
+		}
+	}
+
+	// The memory-mapped isolator in front of the RP, toggled together
+	// with the stream decoupler by the RV-CAP decouple bit.
+	s.RPIsolator = axi.NewIsolator(nil)
+	s.RVCAP.OnDecouple = append(s.RVCAP.OnDecouple, func(rp int, d bool) {
+		if rp == 0 {
+			s.RPIsolator.SetDecoupled(d)
+		}
+	})
+
+	// RM lifecycle: when the fabric activates a module in the primary
+	// partition, instantiate its engine and splice it into the
+	// acceleration data path.
+	s.Fabric.OnModuleLoaded(func(p *fpga.Partition, module string) {
+		if s.RP == nil || p != s.RP {
+			return
+		}
+		f, ok := s.rmFactories[module]
+		if !ok {
+			return
+		}
+		in, out := f(k)
+		s.activeIn, s.activeOut = in, out
+		s.RVCAP.AccelOut.Next = in
+		s.RVCAP.DMA.S2MMIn = out
+	})
+
+	return s, nil
+}
+
+// RegisterRM associates a module name with its engine factory.
+func (s *SoC) RegisterRM(module string, f RMFactory) { s.rmFactories[module] = f }
+
+// ActiveRMStreams returns the streams of the currently instantiated RM
+// (nil before the first activation).
+func (s *SoC) ActiveRMStreams() (in, out *axi.Stream) { return s.activeIn, s.activeOut }
+
+// Run executes software as a simulation process and drains the kernel.
+func (s *SoC) Run(name string, fn func(p *sim.Proc)) {
+	s.K.Go(name, fn)
+	s.K.Run()
+}

@@ -1,0 +1,248 @@
+package soc
+
+import (
+	"errors"
+	"testing"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/clint"
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+)
+
+func newSoC(t *testing.T, cfg Config) (*sim.Kernel, *SoC) {
+	t.Helper()
+	k := sim.NewKernel()
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s
+}
+
+func TestAddressMapReachable(t *testing.T) {
+	_, s := newSoC(t, Config{})
+	s.Run("sw", func(p *sim.Proc) {
+		// DDR round trip through the main bus.
+		if err := axi.WriteU64(p, s.Bus, DDRBase+0x1000, 0x1122334455667788); err != nil {
+			t.Fatal(err)
+		}
+		v, err := axi.ReadU64(p, s.Bus, DDRBase+0x1000)
+		if err != nil || v != 0x1122334455667788 {
+			t.Errorf("DDR = %#x, %v", v, err)
+		}
+		// Boot memory.
+		if err := axi.WriteU32(p, s.Bus, BootBase, 0x13); err != nil {
+			t.Errorf("boot: %v", err)
+		}
+		// CLINT mtime readable and advancing.
+		mt, err := axi.ReadU64(p, s.Bus, CLINTBase+clint.MTimeOffset)
+		if err != nil {
+			t.Errorf("clint: %v", err)
+		}
+		_ = mt
+		// HWICAP vacancy through width+protocol converters.
+		v32, err := axi.ReadU32(p, s.Bus, HWICAPBase+0x114)
+		if err != nil || v32 != 1024 {
+			t.Errorf("hwicap WFV = %d, %v (want 1024)", v32, err)
+		}
+		// RV-CAP control interface.
+		if err := axi.WriteU32(p, s.Bus, RVCAPBase+0, 1); err != nil {
+			t.Errorf("rvcap: %v", err)
+		}
+		if !s.RVCAP.Decoupled(0) {
+			t.Error("decouple bit did not reach the controller")
+		}
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0)
+		// DMA registers through converters.
+		if err := axi.WriteU32(p, s.Bus, DMABase+0x18, 0xABCD); err != nil {
+			t.Errorf("dma: %v", err)
+		}
+		// Unmapped hole decodes as error.
+		var b [4]byte
+		if err := s.Bus.Read(p, 0x3000_0000, b[:]); !errors.Is(err, axi.ErrDecode) {
+			t.Errorf("hole read err = %v", err)
+		}
+	})
+}
+
+func TestUARTCapturesOutput(t *testing.T) {
+	_, s := newSoC(t, Config{})
+	s.Run("sw", func(p *sim.Proc) {
+		for _, c := range []byte("reconfiguration successful\n") {
+			st, _ := axi.ReadU32(p, s.Bus, UARTBase+UARTStatus)
+			if st&1 == 0 {
+				t.Fatal("uart not ready")
+			}
+			axi.WriteU32(p, s.Bus, UARTBase+UARTTx, uint32(c))
+		}
+	})
+	if s.UART.Output() != "reconfiguration successful\n" {
+		t.Errorf("uart output = %q", s.UART.Output())
+	}
+	s.UART.Reset()
+	if s.UART.Output() != "" {
+		t.Error("uart Reset failed")
+	}
+}
+
+func TestDecoupleDrivesRPIsolator(t *testing.T) {
+	_, s := newSoC(t, Config{})
+	s.RPIsolator.Next = axi.NewRegFile("rm", 0x10)
+	s.Run("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 1)
+		if !s.RPIsolator.Decoupled() {
+			t.Error("MM isolator not decoupled")
+		}
+		if !s.RVCAP.AccelOut.Decoupled() {
+			t.Error("stream isolator not decoupled")
+		}
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0)
+		if s.RPIsolator.Decoupled() {
+			t.Error("MM isolator stuck decoupled")
+		}
+	})
+}
+
+func TestModuleActivationRewiresStreams(t *testing.T) {
+	k, s := newSoC(t, Config{})
+	var made []string
+	s.RegisterRM("sobel", func(k *sim.Kernel) (*axi.Stream, *axi.Stream) {
+		made = append(made, "sobel")
+		return axi.NewStream(k, "in", 4), axi.NewStream(k, "out", 4)
+	})
+	im, err := bitstream.Partial(s.Fabric.Dev, s.RP, "sobel", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	for _, w := range im.Words {
+		s.ICAP.WriteWord(w)
+	}
+	k.Run()
+	if len(made) != 1 {
+		t.Fatalf("factory invoked %d times, want 1", len(made))
+	}
+	in, out := s.ActiveRMStreams()
+	if in == nil || out == nil {
+		t.Fatal("active streams not recorded")
+	}
+	if s.RVCAP.AccelOut.Next != axi.StreamSink(in) {
+		t.Error("AccelOut not rewired to the new RM input")
+	}
+	if s.RVCAP.DMA.S2MMIn != axi.StreamSource(out) {
+		t.Error("S2MM not rewired to the new RM output")
+	}
+}
+
+func TestDMAInterruptReachesHart(t *testing.T) {
+	_, s := newSoC(t, Config{})
+	s.DDR.Load(0, make([]byte, 64))
+	rm := axi.NewStream(s.K, "rm", 64)
+	s.RVCAP.AccelOut.Next = rm
+
+	var woke bool
+	s.Run("sw", func(p *sim.Proc) {
+		// Enable PLIC source 1 (DMA MM2S).
+		axi.WriteU32(p, s.Bus, PLICBase+4*IRQDMAMM2S, 3)
+		axi.WriteU32(p, s.Bus, PLICBase+0x2000, 1<<IRQDMAMM2S)
+		axi.WriteU32(p, s.Bus, PLICBase+0x200000, 0)
+		// Start a small acceleration-mode transfer with IRQ enabled.
+		axi.WriteU32(p, s.Bus, DMABase+0x00, 1|1<<12)
+		axi.WriteU32(p, s.Bus, DMABase+0x18, 0)
+		axi.WriteU32(p, s.Bus, DMABase+0x28, 64)
+		s.Hart.WaitIRQ(p)
+		woke = true
+		// Claim and complete.
+		id, _ := axi.ReadU32(p, s.Bus, PLICBase+0x200004)
+		if id != IRQDMAMM2S {
+			t.Errorf("claimed source %d", id)
+		}
+		axi.WriteU32(p, s.Bus, DMABase+0x04, 1<<12) // ack DMA
+		axi.WriteU32(p, s.Bus, PLICBase+0x200004, id)
+	})
+	if !woke {
+		t.Fatal("hart never woke on DMA interrupt")
+	}
+	if s.PLIC.ExtPending() {
+		t.Error("interrupt still pending after completion")
+	}
+}
+
+func TestHartTimingModel(t *testing.T) {
+	k, s := newSoC(t, Config{})
+	var cost sim.Time
+	s.Run("sw", func(p *sim.Proc) {
+		start := p.Now()
+		// Uncached store to the HWICAP keyhole: pipeline cost + crossbar
+		// + width converter + lite bridge + register = 35+2+1+1+1 = 40.
+		s.Hart.Store32(p, HWICAPBase+0x100, 0xFFFFFFFF)
+		cost = p.Now() - start
+	})
+	if cost != 40 {
+		t.Errorf("keyhole store cost = %d cycles, want 40", cost)
+	}
+	if s.Hart.MMIOOps() != 1 || s.Hart.Instret() == 0 {
+		t.Errorf("hart counters: mmio=%d instret=%d", s.Hart.MMIOOps(), s.Hart.Instret())
+	}
+	_ = k
+}
+
+func TestSDCardAttachment(t *testing.T) {
+	img := make([]byte, 1024*512)
+	_, s := newSoC(t, Config{SDImage: img})
+	if s.Card == nil || s.Card.Blocks() != 1024 {
+		t.Fatal("card not attached")
+	}
+	_, s2 := newSoC(t, Config{})
+	if s2.Card != nil {
+		t.Error("card attached without image")
+	}
+}
+
+func TestSkipDefaultPartition(t *testing.T) {
+	_, s := newSoC(t, Config{SkipDefaultPartition: true})
+	if s.RP != nil || len(s.Fabric.Partitions()) != 0 {
+		t.Error("partition present despite SkipDefaultPartition")
+	}
+}
+
+func TestAddPartitionWiresDecoupleBit(t *testing.T) {
+	k, s := newSoC(t, Config{})
+	p1, iso1, err := s.AddPartition("RP1", 0, 0, 0, 6, fpga.Resources{LUT: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, iso2, err := s.AddPartition("RP2", 5, 5, 0, 6, fpga.Resources{LUT: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DecoupleBit(s.RP); got != 0 {
+		t.Errorf("RP0 bit = %d", got)
+	}
+	if got := s.DecoupleBit(p1); got != 1 {
+		t.Errorf("RP1 bit = %d", got)
+	}
+	if got := s.DecoupleBit(p2); got != 2 {
+		t.Errorf("RP2 bit = %d", got)
+	}
+	s.Run("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0b010)
+		if !iso1.Decoupled() || iso2.Decoupled() || s.RPIsolator.Decoupled() {
+			t.Error("decouple bit 1 routing wrong")
+		}
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0b100)
+		if iso1.Decoupled() || !iso2.Decoupled() {
+			t.Error("decouple bit 2 routing wrong")
+		}
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0)
+	})
+	if len(s.Partitions()) != 3 {
+		t.Errorf("partitions = %d", len(s.Partitions()))
+	}
+	if s.DecoupleBit(nil) != -1 {
+		t.Error("unknown partition bit != -1")
+	}
+	_ = k
+}

@@ -1,0 +1,38 @@
+package soc
+
+import (
+	"bytes"
+
+	"rvcap/internal/axi"
+)
+
+// UART register offsets.
+const (
+	UARTTx     = 0x00 // write: transmit byte
+	UARTRx     = 0x04 // read: received byte (always 0; no host input)
+	UARTStatus = 0x08 // bit0: tx ready (always 1)
+	uartSize   = 0x10
+)
+
+// UART is the SoC console: a transmit-only register port whose output is
+// captured for host inspection ("a terminal message informs that the
+// reconfiguration was successful", paper §III-C).
+type UART struct {
+	Regs *axi.RegFile
+	out  bytes.Buffer
+}
+
+// NewUART returns a UART capturing all transmitted bytes.
+func NewUART() *UART {
+	u := &UART{}
+	u.Regs = axi.NewRegFile("uart.regs", uartSize)
+	u.Regs.OnWrite(UARTTx, func(v uint32) { u.out.WriteByte(byte(v)) })
+	u.Regs.OnRead(UARTStatus, func() uint32 { return 1 })
+	return u
+}
+
+// Output returns everything transmitted so far.
+func (u *UART) Output() string { return u.out.String() }
+
+// Reset clears the captured output.
+func (u *UART) Reset() { u.out.Reset() }

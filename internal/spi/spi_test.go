@@ -1,0 +1,106 @@
+package spi
+
+import (
+	"testing"
+
+	"rvcap/internal/axi"
+	"rvcap/internal/sim"
+)
+
+// echoDev returns the previous byte it received and records CS edges.
+type echoDev struct {
+	last  byte
+	edges []bool
+}
+
+func (e *echoDev) Exchange(tx byte, selected bool) byte {
+	r := e.last
+	e.last = tx
+	return r
+}
+
+func (e *echoDev) CSEdge(s bool) { e.edges = append(e.edges, s) }
+
+func TestExchangeThroughRegisters(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewMaster(k)
+	dev := &echoDev{last: 0x5A}
+	m.Dev = dev
+	k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, m.Regs, RegControl, CtrlEnable|CtrlSelected)
+		axi.WriteU32(p, m.Regs, RegData, 0xA1)
+		rx, _ := axi.ReadU32(p, m.Regs, RegData)
+		if rx != 0x5A {
+			t.Errorf("first rx = %#x, want 0x5A", rx)
+		}
+		axi.WriteU32(p, m.Regs, RegData, 0xB2)
+		rx, _ = axi.ReadU32(p, m.Regs, RegData)
+		if rx != 0xA1 {
+			t.Errorf("second rx = %#x, want 0xA1 (echo)", rx)
+		}
+	})
+	k.Run()
+	if m.Bytes() != 2 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestCSEdgesReachDevice(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewMaster(k)
+	dev := &echoDev{}
+	m.Dev = dev
+	k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, m.Regs, RegControl, CtrlEnable|CtrlSelected)
+		axi.WriteU32(p, m.Regs, RegControl, CtrlEnable)
+		axi.WriteU32(p, m.Regs, RegControl, CtrlEnable|CtrlSelected)
+	})
+	k.Run()
+	if len(dev.edges) != 3 || !dev.edges[0] || dev.edges[1] || !dev.edges[2] {
+		t.Errorf("CS edges = %v", dev.edges)
+	}
+}
+
+func TestDisabledMasterReturnsFF(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewMaster(k)
+	m.Dev = &echoDev{}
+	k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, m.Regs, RegData, 0x12) // not enabled
+		rx, _ := axi.ReadU32(p, m.Regs, RegData)
+		if rx != 0xFF {
+			t.Errorf("disabled rx = %#x, want 0xFF", rx)
+		}
+		st, _ := axi.ReadU32(p, m.Regs, RegStatus)
+		if st != 0 {
+			t.Errorf("disabled status = %d", st)
+		}
+	})
+	k.Run()
+}
+
+func TestClockDivider(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewMaster(k)
+	if m.TransferCycles() != 32 {
+		t.Errorf("default transfer = %d cycles, want 32 (25 MHz)", m.TransferCycles())
+	}
+	k.Go("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, m.Regs, RegClockDiv, 4)
+		if m.TransferCycles() != 64 {
+			t.Errorf("div=4 transfer = %d cycles", m.TransferCycles())
+		}
+		axi.WriteU32(p, m.Regs, RegClockDiv, 0) // clamped to 1
+		if m.TransferCycles() != 16 {
+			t.Errorf("div=0 transfer = %d cycles", m.TransferCycles())
+		}
+		v, _ := axi.ReadU32(p, m.Regs, RegClockDiv)
+		if v != 1 {
+			t.Errorf("div readback = %d", v)
+		}
+	})
+	k.Run()
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,141 @@
+// Package synth is the resource-utilisation model standing in for the
+// Vivado synthesis reports behind the paper's Tables I-III. Leaf
+// components carry the paper's reported LUT/FF/BRAM/DSP numbers
+// (calibrated constants — they are measurements of RTL this repository
+// does not re-synthesise); everything above the leaves is *composed* by
+// the model, and the compositions are checked against the paper's own
+// totals in the tests (e.g. the full SoC of Table III must equal
+// Ariane + peripherals + RV-CAP + RP).
+package synth
+
+import (
+	"fmt"
+
+	"rvcap/internal/fpga"
+)
+
+// Leaf components, calibrated to the paper's reports.
+var (
+	// ArianeCore is the CVA6 application-class core (Table III; BRAM
+	// and DSP follow from the table's totals: 92-20-6-30=36 BRAMs,
+	// 47-20=27 DSPs).
+	ArianeCore = fpga.Resources{LUT: 39940, FF: 22500, BRAM: 36, DSP: 27}
+	// Peripherals covers the SoC peripherals and boot memory row of
+	// Table III.
+	Peripherals = fpga.Resources{LUT: 28832, FF: 31404, BRAM: 20, DSP: 0}
+
+	// RVCAPRPCtrl is the RP controller + AXI modules row of Table I
+	// (LUTs follow from Table II's 2317 total minus the DMA's 1897).
+	RVCAPRPCtrl = fpga.Resources{LUT: 420, FF: 909, BRAM: 0, DSP: 0}
+	// RVCAPDMA is the soft DMA controller row of Table I ("the DMA
+	// implementation used consumes large internal buffers", hence the
+	// 6 BRAMs).
+	RVCAPDMA = fpga.Resources{LUT: 1897, FF: 3044, BRAM: 6, DSP: 0}
+
+	// HWICAPAXIModules is the HWICAP AXI modules row of Table I (LUTs
+	// from Table II's 1377 total minus the IP's 468).
+	HWICAPAXIModules = fpga.Resources{LUT: 909, FF: 964, BRAM: 0, DSP: 0}
+	// HWICAPIP is the AXI_HWICAP IP row of Table I (with the FIFO
+	// resized to 1024 words: 2 BRAMs).
+	HWICAPIP = fpga.Resources{LUT: 468, FF: 1236, BRAM: 2, DSP: 0}
+
+	// RVCAPInContext is the RV-CAP controller as reported inside the
+	// full SoC (Table III). It differs slightly from the
+	// standalone/out-of-context Table I sum because in-context
+	// synthesis absorbs the additional crossbar and optimises across
+	// the module boundary (+104 LUTs, -198 FFs).
+	RVCAPInContext = fpga.Resources{LUT: 2421, FF: 3755, BRAM: 6, DSP: 0}
+)
+
+// RVCAPStandalone composes the out-of-context RV-CAP controller of
+// Tables I and II.
+func RVCAPStandalone() fpga.Resources { return RVCAPRPCtrl.Add(RVCAPDMA) }
+
+// HWICAPStandalone composes the out-of-context AXI_HWICAP deployment of
+// Tables I and II (the "Xilinx AXI_HWICAP (with RISC-V)" row).
+func HWICAPStandalone() fpga.Resources { return HWICAPAXIModules.Add(HWICAPIP) }
+
+// Module resource reports for the three reconfigurable modules
+// (Table III), calibrated to the paper's HLS results.
+var Modules = map[string]fpga.Resources{
+	"gaussian": {LUT: 901, FF: 773, BRAM: 4, DSP: 0},
+	"median":   {LUT: 2325, FF: 998, BRAM: 2, DSP: 0},
+	"sobel":    {LUT: 1830, FF: 3224, BRAM: 2, DSP: 16},
+}
+
+// Entry is one row of a utilisation report.
+type Entry struct {
+	Name string
+	Res  fpga.Resources
+}
+
+// FullSoC returns the Table III composition: the full SoC is the sum of
+// its four top rows, with the RP accounted at its reserved size.
+func FullSoC() []Entry {
+	rp := Entry{"RP", fpga.DefaultRPReserve}
+	rows := []Entry{
+		{"Ariane Core", ArianeCore},
+		{"Peripherals & Boot Mem.", Peripherals},
+		{"RV-CAP controller", RVCAPInContext},
+		rp,
+	}
+	var total fpga.Resources
+	for _, r := range rows {
+		total = total.Add(r.Res)
+	}
+	return append([]Entry{{"Full SoC", total}}, rows...)
+}
+
+// RPUtilisation returns a module's resources and its percentage
+// utilisation of the reserved RP (the parenthesised numbers of
+// Table III).
+func RPUtilisation(module string) (fpga.Resources, Percent, error) {
+	res, ok := Modules[module]
+	if !ok {
+		return fpga.Resources{}, Percent{}, fmt.Errorf("synth: unknown module %q", module)
+	}
+	return res, PercentOf(res, fpga.DefaultRPReserve), nil
+}
+
+// Percent is a per-resource percentage.
+type Percent struct {
+	LUT, FF, BRAM, DSP float64
+}
+
+// PercentOf computes 100*r/of per resource class (0 when the class is
+// empty).
+func PercentOf(r, of fpga.Resources) Percent {
+	pct := func(a, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	return Percent{
+		LUT:  pct(r.LUT, of.LUT),
+		FF:   pct(r.FF, of.FF),
+		BRAM: pct(r.BRAM, of.BRAM),
+		DSP:  pct(r.DSP, of.DSP),
+	}
+}
+
+// ControllerShareOfSoC returns the RV-CAP controller's share of the full
+// SoC in LUTs and FFs ("the RV-CAP controller consumes 3.25% of the
+// total SoC resources in terms of LUT and FFs", §IV-D).
+func ControllerShareOfSoC() float64 {
+	soc := FullSoC()[0].Res
+	ctrl := RVCAPInContext
+	return 100 * float64(ctrl.LUT+ctrl.FF) / float64(soc.LUT+soc.FF)
+}
+
+// EstimateStreamFilter is a first-order resource estimator for new 3x3
+// streaming filter modules (the extension path for user RMs): costs are
+// derived per window tap and line buffer from the calibrated trio above.
+func EstimateStreamFilter(taps int, dspTaps int, lineBuffers int, width int) fpga.Resources {
+	return fpga.Resources{
+		LUT:  180*taps/2 + 60,
+		FF:   90*taps + 110,
+		BRAM: (lineBuffers*width + 4095) / 4096 * 2,
+		DSP:  dspTaps,
+	}
+}

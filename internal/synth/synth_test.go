@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"testing"
+
+	"rvcap/internal/fpga"
+)
+
+func TestTableIComposition(t *testing.T) {
+	// Table II reports the composed totals of Table I's two-module
+	// breakdowns: RV-CAP = 2317 LUTs / 3953 FFs / 6 BRAMs, AXI_HWICAP
+	// (with RISC-V) = 1377 / 2200 / 2.
+	rv := RVCAPStandalone()
+	if rv != (fpga.Resources{LUT: 2317, FF: 3953, BRAM: 6, DSP: 0}) {
+		t.Errorf("RV-CAP standalone = %v", rv)
+	}
+	hw := HWICAPStandalone()
+	if hw != (fpga.Resources{LUT: 1377, FF: 2200, BRAM: 2, DSP: 0}) {
+		t.Errorf("HWICAP standalone = %v", hw)
+	}
+}
+
+func TestTableIIIComposition(t *testing.T) {
+	rows := FullSoC()
+	total := rows[0].Res
+	want := fpga.Resources{LUT: 74393, FF: 64059, BRAM: 92, DSP: 47}
+	if total != want {
+		t.Errorf("Full SoC = %v, want %v (paper Table III)", total, want)
+	}
+	// The paper's table adds up; our model must compose, not hardcode.
+	var sum fpga.Resources
+	for _, r := range rows[1:] {
+		sum = sum.Add(r.Res)
+	}
+	if sum != total {
+		t.Errorf("composition broken: parts sum to %v, total %v", sum, total)
+	}
+}
+
+func TestFullSoCFitsDevice(t *testing.T) {
+	dev := fpga.NewKintex7()
+	cap := dev.SpanResources(0, dev.Rows-1, 0, len(dev.Cols)-1)
+	if !FullSoC()[0].Res.FitsIn(cap) {
+		t.Errorf("full SoC %v does not fit device %v", FullSoC()[0].Res, cap)
+	}
+}
+
+func TestRPUtilisationPercentages(t *testing.T) {
+	// Table III parentheses: Gaussian 28.15% LUT / 12.07% FF / 13.33%
+	// BRAM; Median 72.65 / 15.59 / 6.66; Sobel 57.18 / 50.37 / 6.66.
+	cases := map[string]Percent{
+		"gaussian": {LUT: 28.15, FF: 12.07, BRAM: 13.33, DSP: 0},
+		"median":   {LUT: 72.65, FF: 15.59, BRAM: 6.66, DSP: 0},
+		"sobel":    {LUT: 57.18, FF: 50.37, BRAM: 6.66, DSP: 80},
+	}
+	near := func(a, b float64) bool { d := a - b; return d < 0.5 && d > -0.5 }
+	for m, want := range cases {
+		_, pct, err := RPUtilisation(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(pct.LUT, want.LUT) || !near(pct.FF, want.FF) || !near(pct.BRAM, want.BRAM) {
+			t.Errorf("%s utilisation = %+v, want ~%+v", m, pct, want)
+		}
+	}
+	// Every module must fit the reserved RP.
+	for m, res := range Modules {
+		if !res.FitsIn(fpga.DefaultRPReserve) {
+			t.Errorf("module %s (%v) exceeds the RP reserve", m, res)
+		}
+	}
+	if _, _, err := RPUtilisation("fft"); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestControllerShare(t *testing.T) {
+	// Paper §IV-D: "the RV-CAP controller consumes 3.25% of the total
+	// SoC resources in terms of LUT and FFs".
+	share := ControllerShareOfSoC()
+	if share < 3.0 || share > 4.8 {
+		t.Errorf("controller share = %.2f%%, want near the paper's 3.25%%", share)
+	}
+}
+
+func TestPercentOfZeroDenominator(t *testing.T) {
+	p := PercentOf(fpga.Resources{DSP: 5}, fpga.Resources{LUT: 10})
+	if p.DSP != 0 || p.LUT != 0 {
+		t.Errorf("PercentOf with zero classes = %+v", p)
+	}
+}
+
+func TestEstimateStreamFilterSane(t *testing.T) {
+	est := EstimateStreamFilter(9, 0, 2, 512)
+	if est.LUT <= 0 || est.FF <= 0 || est.BRAM <= 0 {
+		t.Errorf("estimate = %v", est)
+	}
+	// A 3x3 window estimate should be within the same order of
+	// magnitude as the calibrated real modules.
+	if est.LUT > 4*Modules["median"].LUT {
+		t.Errorf("estimate way off: %v", est)
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Probe attaches a standard set of SoC signals to the recorder:
+//
+//	rp0_decouple    the PR decoupling line of the primary partition
+//	stream_sel_icap the AXIS switch selection (reconfiguration mode)
+//	dma_mm2s_irq    DMA read-channel completion interrupt
+//	dma_s2mm_irq    DMA write-channel completion interrupt
+//	hwicap_irq      HWICAP done interrupt
+//	ext_irq         the PLIC external line into the hart
+//	icap_words[32]  cumulative words consumed by the configuration engine
+//	hwicap_fifo[16] HWICAP write FIFO level
+//
+// Level-style counters are sampled every sampleInterval cycles by a
+// background process; edge-style signals record on their callbacks.
+// Probe chains onto existing callbacks, so it composes with the SoC's
+// own interrupt wiring.
+func Probe(s *soc.SoC, r *Recorder, sampleInterval sim.Time) {
+	decouple := r.Signal("rp0_decouple", 1)
+	sel := r.Signal("stream_sel_icap", 1)
+	mm2s := r.Signal("dma_mm2s_irq", 1)
+	s2mm := r.Signal("dma_s2mm_irq", 1)
+	hwi := r.Signal("hwicap_irq", 1)
+	ext := r.Signal("ext_irq", 1)
+	icapWords := r.Signal("icap_words", 32)
+	fifo := r.Signal("hwicap_fifo", 16)
+
+	// Initial values.
+	decouple.SetBool(s.RVCAP.Decoupled(0))
+	sel.SetBool(s.RVCAP.ReconfigMode())
+	mm2s.Set(0)
+	s2mm.Set(0)
+	hwi.Set(0)
+	ext.SetBool(s.PLIC.ExtPending())
+	icapWords.Set(0)
+	fifo.Set(0)
+
+	s.RVCAP.OnDecouple = append(s.RVCAP.OnDecouple, func(rp int, d bool) {
+		if rp == 0 {
+			decouple.SetBool(d)
+		}
+	})
+	chain2 := func(old func(bool), sig *Signal) func(bool) {
+		return func(h bool) {
+			sig.SetBool(h)
+			if old != nil {
+				old(h)
+			}
+		}
+	}
+	s.RVCAP.DMA.OnMM2SIrq = chain2(s.RVCAP.DMA.OnMM2SIrq, mm2s)
+	s.RVCAP.DMA.OnS2MMIrq = chain2(s.RVCAP.DMA.OnS2MMIrq, s2mm)
+	s.HWICAP.OnIrq = chain2(s.HWICAP.OnIrq, hwi)
+	oldExt := s.PLIC.OnExternalInterrupt
+	s.PLIC.OnExternalInterrupt = func(p bool) {
+		ext.SetBool(p)
+		if oldExt != nil {
+			oldExt(p)
+		}
+	}
+
+	// Sampler for levels and the switch selection (no native edge
+	// callback). It runs as long as the simulation does; when the event
+	// queue would otherwise drain, it stops rather than keep time alive.
+	if sampleInterval > 0 {
+		var tick func()
+		tick = func() {
+			sel.SetBool(s.RVCAP.ReconfigMode())
+			icapWords.Set(uint64(s.ICAP.Words()))
+			fifo.Set(uint64(s.HWICAP.FIFOLevel()))
+			if s.K.Pending() > 0 {
+				s.K.Schedule(sampleInterval, tick)
+			}
+		}
+		s.K.Schedule(sampleInterval, tick)
+	}
+}

@@ -1,0 +1,144 @@
+// Package trace records value changes of named signals during a
+// simulation and writes them as a VCD (value change dump) file, the
+// standard waveform format GTKWave and every RTL tool understand. It is
+// the observability layer a hardware team would expect from the
+// simulator: decoupling edges, stream-switch selection, DMA interrupts
+// and FIFO levels can be inspected on a timeline instead of in logs.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"rvcap/internal/sim"
+)
+
+// Signal is one traced net.
+type Signal struct {
+	name  string
+	width int
+	id    string
+	rec   *Recorder
+
+	lastSet bool
+	last    uint64
+}
+
+// change is one recorded transition.
+type change struct {
+	at  sim.Time
+	sig *Signal
+	val uint64
+	seq int
+}
+
+// Recorder collects signals and their changes.
+type Recorder struct {
+	k       *sim.Kernel
+	signals []*Signal
+	changes []change
+	seq     int
+}
+
+// NewRecorder returns an empty recorder bound to the kernel's clock.
+func NewRecorder(k *sim.Kernel) *Recorder {
+	return &Recorder{k: k}
+}
+
+// vcdID generates compact VCD identifier codes (!, ", #, ...).
+func vcdID(n int) string {
+	const first, last = 33, 126
+	var out []byte
+	for {
+		out = append([]byte{byte(first + n%(last-first+1))}, out...)
+		n = n/(last-first+1) - 1
+		if n < 0 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// Signal registers a net of the given bit width (1..64).
+func (r *Recorder) Signal(name string, width int) *Signal {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("trace: unsupported width %d for %s", width, name))
+	}
+	s := &Signal{name: name, width: width, id: vcdID(len(r.signals)), rec: r}
+	r.signals = append(r.signals, s)
+	return s
+}
+
+// Set records the signal's value at the current simulation time.
+// Redundant sets (same value) are dropped.
+func (s *Signal) Set(v uint64) {
+	if s.width < 64 {
+		v &= 1<<s.width - 1
+	}
+	if s.lastSet && s.last == v {
+		return
+	}
+	s.lastSet = true
+	s.last = v
+	s.rec.seq++
+	s.rec.changes = append(s.rec.changes, change{
+		at: s.rec.k.Now(), sig: s, val: v, seq: s.rec.seq,
+	})
+}
+
+// SetBool records a single-bit value.
+func (s *Signal) SetBool(v bool) {
+	if v {
+		s.Set(1)
+	} else {
+		s.Set(0)
+	}
+}
+
+// Changes returns the total recorded transitions.
+func (r *Recorder) Changes() int { return len(r.changes) }
+
+// WriteVCD emits the dump. The timescale is 10 ns (one 100 MHz cycle).
+func (r *Recorder) WriteVCD(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date simulated $end\n")
+	fmt.Fprintf(bw, "$version rvcap discrete-event simulator $end\n")
+	fmt.Fprintf(bw, "$timescale 10ns $end\n")
+	fmt.Fprintf(bw, "$scope module soc $end\n")
+	for _, s := range r.signals {
+		kind := "wire"
+		fmt.Fprintf(bw, "$var %s %d %s %s $end\n", kind, s.width, s.id, s.name)
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	// Stable sort by (time, registration order of the change).
+	sorted := append([]change(nil), r.changes...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].at != sorted[j].at {
+			return sorted[i].at < sorted[j].at
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+
+	cur := sim.Time(0)
+	first := true
+	for _, c := range sorted {
+		if first || c.at != cur {
+			fmt.Fprintf(bw, "#%d\n", c.at)
+			cur = c.at
+			first = false
+		}
+		if c.sig.width == 1 {
+			fmt.Fprintf(bw, "%d%s\n", c.val&1, c.sig.id)
+		} else {
+			fmt.Fprintf(bw, "b%b %s\n", c.val, c.sig.id)
+		}
+	}
+	// Final timestamp so viewers show the full horizon.
+	if r.k.Now() > cur {
+		fmt.Fprintf(bw, "#%d\n", r.k.Now())
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/driver"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k)
+	a := r.Signal("a", 1)
+	b := r.Signal("bus", 8)
+	k.Schedule(10, func() { a.Set(1) })
+	k.Schedule(10, func() { b.Set(0xAB) })
+	k.Schedule(20, func() { a.Set(1) }) // redundant: dropped
+	k.Schedule(30, func() { a.Set(0) })
+	k.Run()
+	if r.Changes() != 3 {
+		t.Errorf("changes = %d, want 3 (redundant set dropped)", r.Changes())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 10ns $end",
+		"$var wire 1 ! a $end",
+		"$var wire 8 \" bus $end",
+		"#10",
+		"1!",
+		"b10101011 \"",
+		"#30",
+		"0!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		s := r.Signal("s", 1)
+		if seen[s.id] {
+			t.Fatalf("duplicate VCD id %q at signal %d", s.id, i)
+		}
+		seen[s.id] = true
+	}
+}
+
+func TestBadWidthPanics(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 0 accepted")
+		}
+	}()
+	r.Signal("x", 0)
+}
+
+func TestProbeRecordsReconfiguration(t *testing.T) {
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(k)
+	Probe(s, r, 1000)
+
+	im, err := bitstream.Partial(s.Fabric.Dev, s.RP, "traced", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	d := driver.NewRVCAP(s)
+	m := &driver.ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.RP.Active() != "traced" {
+		t.Fatal("reconfiguration failed under probe (callback chain broken?)")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The trace must show the decouple pulse, the mode switch, the DMA
+	// interrupt edge and a growing ICAP word counter.
+	for _, sig := range []string{"rp0_decouple", "stream_sel_icap", "dma_mm2s_irq", "icap_words"} {
+		if !strings.Contains(out, sig) {
+			t.Errorf("VCD missing signal %s", sig)
+		}
+	}
+	if r.Changes() < 10 {
+		t.Errorf("only %d changes recorded for a full reconfiguration", r.Changes())
+	}
+	// Decouple must both rise and fall ("!" is the first signal's id).
+	if !strings.Contains(out, "1!") || !strings.Contains(out, "0!") {
+		t.Error("decouple line did not pulse in the trace")
+	}
+}

@@ -1,0 +1,301 @@
+// Package rvcap is the public API of the RV-CAP reproduction: a
+// simulated FPGA-based RISC-V SoC (Ariane-class hart, 64-bit AXI fabric,
+// DDR, SD card, CLINT/PLIC) equipped with the paper's two DPR
+// controllers — the high-throughput RV-CAP controller and the
+// AXI_HWICAP vendor baseline — plus the software driver stack that
+// manages dynamic partial reconfiguration from the RISC-V side.
+//
+// The typical flow mirrors the paper's Listing 1:
+//
+//	sys, _ := rvcap.New()
+//	sobel, _ := sys.DefineFilterModule(rvcap.Sobel)
+//	err := sys.Run(func(s *rvcap.Session) error {
+//	    timing, err := s.Reconfigure(sobel)      // decouple, select ICAP, DMA, interrupt
+//	    if err != nil { return err }
+//	    out, t2, err := s.FilterImage(rvcap.TestPattern(512, 512))
+//	    ...
+//	})
+//
+// Everything runs on a deterministic discrete-event simulation of the
+// 100 MHz SoC; all reported times are simulated hardware times measured
+// with the SoC's own CLINT timer, exactly as the paper measures them.
+package rvcap
+
+import (
+	"errors"
+	"fmt"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/axi"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/driver"
+	"rvcap/internal/fat32"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Image is an 8-bit grayscale image (the case-study workload type).
+type Image = accel.Image
+
+// Filter module names available out of the box.
+const (
+	Sobel    = accel.Sobel
+	Median   = accel.Median
+	Gaussian = accel.Gaussian
+)
+
+// NewImage returns a zeroed w x h image.
+func NewImage(w, h int) *Image { return accel.NewImage(w, h) }
+
+// TestPattern returns the deterministic test scene used by the examples
+// and benchmarks.
+func TestPattern(w, h int) *Image { return accel.TestPattern(w, h) }
+
+// ApplyReference runs the bit-exact software reference of a filter.
+func ApplyReference(filter string, src *Image) (*Image, error) {
+	return accel.Apply(filter, src)
+}
+
+// Timing is a measured reconfiguration/acceleration breakdown, in
+// microseconds of simulated hardware time (CLINT, 5 MHz resolution).
+type Timing struct {
+	// DecisionMicros is T_d: API entry to DMA launch.
+	DecisionMicros float64
+	// ReconfigMicros is T_r: bitstream transfer to configuration
+	// memory, including completion handling.
+	ReconfigMicros float64
+	// ComputeMicros is T_c: accelerator input to last output byte in
+	// DDR (zero for pure reconfigurations).
+	ComputeMicros float64
+	// Bytes moved in the measured phase.
+	Bytes int
+}
+
+// Total returns T_ex = T_d + T_r + T_c.
+func (t Timing) Total() float64 {
+	return t.DecisionMicros + t.ReconfigMicros + t.ComputeMicros
+}
+
+// ThroughputMBs returns the reconfiguration throughput implied by T_r.
+func (t Timing) ThroughputMBs() float64 {
+	if t.ReconfigMicros == 0 {
+		return 0
+	}
+	return float64(t.Bytes) / t.ReconfigMicros
+}
+
+// Module is a reconfigurable module: a registered bitstream plus its
+// staging location in DDR.
+type Module struct {
+	Name string
+	desc *driver.ReconfigModule
+	img  *bitstream.Image
+}
+
+// BitstreamBytes returns the module's partial bitstream size.
+func (m *Module) BitstreamBytes() int { return m.img.SizeBytes() }
+
+// Bitstream returns the serialised partial bitstream (for writing to an
+// SD image or inspection).
+func (m *Module) Bitstream() []byte { return m.img.Bytes() }
+
+// Option configures System construction.
+type Option func(*config)
+
+type config struct {
+	soc       soc.Config
+	padToSize int
+}
+
+// WithSDCard attaches an SD card containing image (build one with
+// BuildSDImage).
+func WithSDCard(image []byte) Option {
+	return func(c *config) { c.soc.SDImage = image }
+}
+
+// WithDDRSize sets the DDR capacity in bytes.
+func WithDDRSize(n int) Option {
+	return func(c *config) { c.soc.DDRSize = n }
+}
+
+// WithUnpaddedBitstreams generates minimum-size bitstreams instead of
+// padding to the paper's 650 892 bytes.
+func WithUnpaddedBitstreams() Option {
+	return func(c *config) { c.padToSize = -1 }
+}
+
+// System is a fully wired simulated SoC.
+type System struct {
+	hw      *soc.SoC
+	drv     *driver.RVCAP
+	hwicap  *driver.HWICAPDriver
+	cfg     config
+	modules map[string]*Module
+	// nextStage is the DDR staging allocator for bitstreams.
+	nextStage uint64
+}
+
+// New builds a simulated SoC with the paper's default floorplan.
+func New(opts ...Option) (*System, error) {
+	cfg := config{padToSize: bitstream.DefaultBitstreamBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	k := sim.NewKernel()
+	hw, err := soc.New(k, cfg.soc)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		hw:        hw,
+		drv:       driver.NewRVCAP(hw),
+		cfg:       cfg,
+		modules:   make(map[string]*Module),
+		nextStage: 0x0100_0000, // 16 MiB into DDR, clear of workloads
+	}
+	s.hwicap = driver.NewHWICAPDriver(hw)
+	return s, nil
+}
+
+// HW exposes the underlying SoC for advanced wiring and inspection
+// (UART output, raw bus access, fabric state).
+func (s *System) HW() *soc.SoC { return s.hw }
+
+// ErrUnknownModule is returned for undefined module names.
+var ErrUnknownModule = errors.New("rvcap: unknown module")
+
+// DefineFilterModule registers one of the built-in image-filter RMs
+// (Sobel, Median, Gaussian): it synthesises the partial bitstream for
+// the default partition, registers its signature with the fabric, wires
+// the streaming engine factory, and stages the bitstream in DDR.
+func (s *System) DefineFilterModule(name string) (*Module, error) {
+	switch name {
+	case Sobel, Median, Gaussian:
+	default:
+		return nil, fmt.Errorf("%w: %q is not a built-in filter", ErrUnknownModule, name)
+	}
+	s.hw.RegisterRM(name, func(k *sim.Kernel) (*axi.Stream, *axi.Stream) {
+		e, err := accel.NewEngine(k, name, accel.DefaultWidth, accel.DefaultHeight)
+		if err != nil {
+			panic(err) // names are validated above
+		}
+		return e.In(), e.Out()
+	})
+	return s.defineModule(name)
+}
+
+// DefineModule registers a custom RM: the factory provides the module's
+// streaming engine; the bitstream is generated for the default
+// partition.
+func (s *System) DefineModule(name string, factory soc.RMFactory) (*Module, error) {
+	if factory != nil {
+		s.hw.RegisterRM(name, factory)
+	}
+	return s.defineModule(name)
+}
+
+func (s *System) defineModule(name string) (*Module, error) {
+	if m, ok := s.modules[name]; ok {
+		return m, nil
+	}
+	opts := bitstream.Options{}
+	if s.cfg.padToSize > 0 {
+		opts.PadToBytes = s.cfg.padToSize
+	}
+	im, err := bitstream.Partial(s.hw.Fabric.Dev, s.hw.RP, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	bitstream.Register(s.hw.Fabric, im)
+	addr := s.nextStage
+	s.nextStage += uint64((im.SizeBytes() + 0xFFFF) &^ 0xFFFF)
+	s.hw.DDR.Load(addr, im.Bytes())
+	m := &Module{
+		Name: name,
+		img:  im,
+		desc: &driver.ReconfigModule{
+			BitstreamName: bitstreamFileName(name),
+			Function:      name,
+			StartAddress:  addr,
+			PbitSize:      uint32(im.SizeBytes()),
+		},
+	}
+	s.modules[name] = m
+	return m, nil
+}
+
+// bitstreamFileName maps a module name to its 8.3 SD-card file name.
+func bitstreamFileName(module string) string {
+	n := module
+	if len(n) > 8 {
+		n = n[:8]
+	}
+	return n + ".bin"
+}
+
+// ActiveModule returns the module currently realised in the partition
+// ("" when empty or corrupted).
+func (s *System) ActiveModule() string {
+	if s.hw.RP == nil {
+		return ""
+	}
+	return s.hw.RP.Active()
+}
+
+// Run executes fn as the RISC-V software on the simulated SoC and
+// drains the simulation. The error returned by fn is passed through.
+func (s *System) Run(fn func(ses *Session) error) error {
+	var err error
+	s.hw.Run("app", func(p *sim.Proc) {
+		ses := &Session{p: p, sys: s}
+		if e := s.drv.SetupPLIC(p); e != nil {
+			err = e
+			return
+		}
+		err = fn(ses)
+	})
+	return err
+}
+
+// BuildSDImage formats a FAT32 volume of the given size (in MiB) holding
+// the provided files, returning the raw card image for WithSDCard.
+func BuildSDImage(sizeMiB int, files map[string][]byte) ([]byte, error) {
+	disk := fat32.NewRAMDisk(sizeMiB * 2048)
+	k := sim.NewKernel()
+	var err error
+	k.Go("mkfs", func(p *sim.Proc) {
+		var fs *fat32.FS
+		fs, err = fat32.Mkfs(p, disk, fat32.MkfsOptions{Label: "RVCAP"})
+		if err != nil {
+			return
+		}
+		for _, nf := range sortedFiles(files) {
+			if err = fs.WriteFile(p, nf.name, nf.data); err != nil {
+				return
+			}
+		}
+	})
+	k.Run()
+	if err != nil {
+		return nil, err
+	}
+	return disk.Image(), nil
+}
+
+type namedFile struct {
+	name string
+	data []byte
+}
+
+func sortedFiles(files map[string][]byte) []namedFile {
+	var out []namedFile
+	for n, d := range files {
+		out = append(out, namedFile{n, d})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package rvcap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sobel, err := sys.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sobel.BitstreamBytes() != 650892 {
+		t.Errorf("bitstream size = %d, want the paper's 650892", sobel.BitstreamBytes())
+	}
+	img := TestPattern(512, 512)
+	var rt, ct Timing
+	var out *Image
+	err = sys.Run(func(s *Session) error {
+		var err error
+		rt, err = s.Reconfigure(sobel)
+		if err != nil {
+			return err
+		}
+		out, ct, err = s.FilterImage(img)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ActiveModule() != Sobel {
+		t.Errorf("active module = %q", sys.ActiveModule())
+	}
+	if rt.DecisionMicros < 17 || rt.DecisionMicros > 19 {
+		t.Errorf("T_d = %.1f us", rt.DecisionMicros)
+	}
+	if rt.ReconfigMicros < 1640 || rt.ReconfigMicros > 1660 {
+		t.Errorf("T_r = %.1f us", rt.ReconfigMicros)
+	}
+	if ct.ComputeMicros < 570 || ct.ComputeMicros > 600 {
+		t.Errorf("T_c = %.1f us", ct.ComputeMicros)
+	}
+	want, _ := ApplyReference(Sobel, img)
+	if !out.Equal(want) {
+		t.Error("filter output differs from software reference")
+	}
+	if tot := rt.Total() + ct.Total(); tot <= 0 {
+		t.Error("Total broken")
+	}
+	if thr := rt.ThroughputMBs(); thr < 390 || thr > 400 {
+		t.Errorf("throughput = %.1f MB/s", thr)
+	}
+}
+
+func TestModuleSwapViaPublicAPI(t *testing.T) {
+	sys, err := New(WithUnpaddedBitstreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mods []*Module
+	for _, name := range []string{Gaussian, Median, Sobel} {
+		m, err := sys.DefineFilterModule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	err = sys.Run(func(s *Session) error {
+		for _, m := range mods {
+			if _, err := s.Reconfigure(m); err != nil {
+				return err
+			}
+			if sys.ActiveModule() != m.Name {
+				t.Errorf("active = %q, want %s", sys.ActiveModule(), m.Name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHWICAPPathViaPublicAPI(t *testing.T) {
+	sys, err := New(WithUnpaddedBitstreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.DefineFilterModule(Median)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(s *Session) error {
+		timing, err := s.ReconfigureHWICAP(m, 16)
+		if err != nil {
+			return err
+		}
+		if thr := timing.ThroughputMBs(); thr < 7.5 || thr > 9 {
+			t.Errorf("HWICAP throughput = %.2f MB/s", thr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ActiveModule() != Median {
+		t.Errorf("active = %q", sys.ActiveModule())
+	}
+}
+
+func TestSDCardFlow(t *testing.T) {
+	// Build the card image with the real bitstream files, boot with it,
+	// and run the full Listing 1 path: SD -> FAT32 -> DDR -> ICAP.
+	scratch, err := New(WithUnpaddedBitstreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sobel, err := scratch.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := BuildSDImage(8, map[string][]byte{
+		"SOBEL.BIN":  sobel.Bitstream(),
+		"README.TXT": []byte("rv-cap demo card"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := New(WithUnpaddedBitstreams(), WithSDCard(card))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(s *Session) error {
+		vol, err := s.MountSD()
+		if err != nil {
+			return err
+		}
+		names, err := vol.List()
+		if err != nil {
+			return err
+		}
+		joined := strings.Join(names, ",")
+		if !strings.Contains(joined, "SOBEL.BIN") {
+			t.Errorf("card listing = %v", names)
+		}
+		if err := vol.LoadModules(m); err != nil {
+			return err
+		}
+		_, err = s.Reconfigure(m)
+		if err != nil {
+			return err
+		}
+		return s.Printf("loaded %s from SD\n", m.Name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ActiveModule() != Sobel {
+		t.Errorf("active = %q after SD load", sys.ActiveModule())
+	}
+	if !strings.Contains(sys.HW().UART.Output(), "loaded sobel from SD") {
+		t.Errorf("uart = %q", sys.HW().UART.Output())
+	}
+}
+
+func TestDefineModuleValidation(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DefineFilterModule("fft"); err == nil {
+		t.Error("unknown filter accepted")
+	}
+	// Defining the same module twice returns the same handle.
+	a, err := sys.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("duplicate definition created a second module")
+	}
+}
+
+func TestFilterWithoutModuleFails(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(s *Session) error {
+		_, _, err := s.FilterImage(TestPattern(512, 512))
+		if err == nil {
+			t.Error("filtering without a loaded module succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterWrongSizeFails(t *testing.T) {
+	sys, _ := New(WithUnpaddedBitstreams())
+	m, _ := sys.DefineFilterModule(Sobel)
+	err := sys.Run(func(s *Session) error {
+		if _, err := s.Reconfigure(m); err != nil {
+			return err
+		}
+		_, _, err := s.FilterImage(TestPattern(64, 64))
+		if err == nil {
+			t.Error("wrong-size image accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElapsedAndSleep(t *testing.T) {
+	sys, _ := New()
+	err := sys.Run(func(s *Session) error {
+		t0, err := s.Elapsed()
+		if err != nil {
+			return err
+		}
+		s.Sleep(250)
+		t1, err := s.Elapsed()
+		if err != nil {
+			return err
+		}
+		if d := t1 - t0; d < 249 || d > 252 {
+			t.Errorf("Sleep(250us) measured as %.1f us", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSDImageDeterministic(t *testing.T) {
+	files := map[string][]byte{"B.BIN": {2}, "A.BIN": {1}, "C.BIN": {3}}
+	im1, err := BuildSDImage(4, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := BuildSDImage(4, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im1) != len(im2) {
+		t.Fatal("image sizes differ")
+	}
+	for i := range im1 {
+		if im1[i] != im2[i] {
+			t.Fatalf("images differ at byte %d (map iteration leaked in)", i)
+		}
+	}
+	if _, err := BuildSDImage(4, map[string][]byte{"bad name": {1}}); err == nil {
+		t.Error("invalid file name accepted")
+	}
+}
