@@ -1,0 +1,22 @@
+#!/bin/sh
+# Pre-PR gate: build, vet, tests, race detector on the concurrency
+#-sensitive packages, and the project lint rules. Run from the repo
+# root before sending a PR; CI runs the same sequence.
+set -eu
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race ./internal/sim/ ./internal/trace/'
+go test -race ./internal/sim/ ./internal/trace/
+
+echo '== rvcap-lint ./...'
+go run ./cmd/rvcap-lint ./...
+
+echo 'check.sh: all gates passed'

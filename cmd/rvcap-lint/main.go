@@ -1,0 +1,166 @@
+// Command rvcap-lint runs the project's simulation coding-rule analyzer
+// (internal/lint) over the module and reports findings with file:line
+// positions and rule IDs. It exits non-zero when any unsuppressed
+// finding remains, so it can gate CI (see check.sh).
+//
+// Usage:
+//
+//	rvcap-lint ./...                 # whole module, human-readable
+//	rvcap-lint -json ./...           # machine-readable report
+//	rvcap-lint ./internal/...        # subtree only
+//	rvcap-lint -rules sim-determinism,cycle-accounting ./...
+//	rvcap-lint -list                 # describe the rules
+//
+// Findings are suppressed per line with
+//
+//	//lint:ignore <rule>[,<rule>] <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rvcap/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 clean, 1 findings, 2 usage or
+// load failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rvcap-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	root := fs.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+	list := fs.Bool("list", false, "list the rules and exit")
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	showSup := fs.Bool("show-suppressed", false, "also print suppressed findings (text mode)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, r := range lint.AllRules() {
+			fmt.Fprintf(stdout, "%-24s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	rules := lint.AllRules()
+	if *rulesFlag != "" {
+		rules = rules[:0]
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			r := lint.RuleByName(strings.TrimSpace(name))
+			if r == nil {
+				fmt.Fprintf(stderr, "rvcap-lint: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	dir, err := findRoot(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "rvcap-lint:", err)
+		return 2
+	}
+	m, err := lint.Load(dir, lint.Options{IncludeTests: *tests})
+	if err != nil {
+		fmt.Fprintln(stderr, "rvcap-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	finds := filterPatterns(m.Analyze(rules), patterns)
+	unsup := lint.Unsuppressed(finds)
+
+	if *jsonOut {
+		if err := lint.NewReport(m, rules, finds).WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "rvcap-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range finds {
+			if f.Suppressed && !*showSup {
+				continue
+			}
+			if f.Suppressed {
+				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", f, f.Reason)
+			} else {
+				fmt.Fprintln(stdout, f)
+			}
+		}
+		fmt.Fprintf(stderr, "rvcap-lint: %d finding(s), %d suppressed\n",
+			len(unsup), len(finds)-len(unsup))
+	}
+	if len(unsup) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findRoot resolves the module root: the -root flag if given, otherwise
+// the nearest ancestor directory (from the cwd) containing go.mod.
+func findRoot(flagRoot string) (string, error) {
+	if flagRoot != "" {
+		return flagRoot, nil
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod at or above the working directory (use -root)")
+		}
+		dir = parent
+	}
+}
+
+// filterPatterns keeps findings whose file matches any go-style package
+// pattern: "./..." (everything), "./x/..." (subtree), "./x" (one
+// directory). Paths are module-root-relative.
+func filterPatterns(finds []lint.Finding, patterns []string) []lint.Finding {
+	match := func(file string) bool {
+		for _, p := range patterns {
+			p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+			switch {
+			case p == "..." || p == "":
+				return true
+			case strings.HasSuffix(p, "/..."):
+				prefix := strings.TrimSuffix(p, "...")
+				if strings.HasPrefix(file, prefix) {
+					return true
+				}
+			default:
+				if filepath.ToSlash(filepath.Dir(file)) == p {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var out []lint.Finding
+	for _, f := range finds {
+		if match(f.File) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module under t.TempDir so the
+// exit-code contract can be exercised end to end through run().
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const goMod = "module rvcap\n\ngo 1.22\n"
+
+func TestRunCleanModuleExitsZero(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/x/x.go": `package x
+
+// Add is deterministic and well-behaved.
+func Add(a, b int) int { return a + b }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "0 finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr.String())
+	}
+}
+
+func TestRunViolationsExitNonZero(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/x/x.go": `package x
+
+import "time"
+
+// Stamp leaks wall-clock time into simulation code.
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", root, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "sim-determinism") {
+		t.Errorf("finding not printed: %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "internal/x/x.go:") {
+		t.Errorf("file:line position missing: %q", stdout.String())
+	}
+}
+
+func TestRunSuppressedViolationExitsZero(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/x/x.go": `package x
+
+import "time"
+
+// Stamp is a host-side log banner, not simulated time.
+func Stamp() time.Time {
+	//lint:ignore sim-determinism host timestamp for log banner
+	return time.Now()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "1 suppressed") {
+		t.Errorf("suppressed count missing: %q", stderr.String())
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-root", root, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, &stderr)
+	}
+	var rep struct {
+		Module   string `json:"module"`
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Rule string `json:"rule"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, &stdout)
+	}
+	if rep.Module != "rvcap" {
+		t.Errorf("module = %q, want rvcap", rep.Module)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Rule != "sim-determinism" {
+		t.Errorf("findings = %+v, want one sim-determinism finding", rep.Findings)
+	}
+	if rep.Findings[0].File != "internal/x/x.go" || rep.Findings[0].Line == 0 {
+		t.Errorf("finding position = %+v", rep.Findings[0])
+	}
+}
+
+func TestRunUnknownRuleExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules", "no-such-rule", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown rule") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunPatternFilter(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/a/a.go": `package a
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+		"internal/b/b.go": `package b
+
+func Fine() int { return 1 }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "./internal/b"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit filtered to clean subtree = %d, want 0\nstdout: %s", code, &stdout)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "./internal/a/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit filtered to dirty subtree = %d, want 1", code)
+	}
+}

@@ -133,7 +133,10 @@ func run() error {
 		if fail(h.Store32(p, soc.RVCAPBase+core.RegControl, 0)) {
 			return
 		}
-		tr1, _ := t.Now(p)
+		tr1, err := t.Now(p)
+		if fail(err) {
+			return
+		}
 		fmt.Printf("RP1 <- aes-unit via HWICAP done at t=%.1f us (CPU-driven)\n",
 			driver.TicksToMicros(tr1))
 
@@ -141,7 +144,10 @@ func run() error {
 		if fail(d.WaitAcceleratorDone(p)) {
 			return
 		}
-		tacc, _ := t.Now(p)
+		tacc, err := t.Now(p)
+		if fail(err) {
+			return
+		}
 		fmt.Printf("accelerator completion reaped at t=%.1f us\n", driver.TicksToMicros(tacc))
 	})
 	if runErr != nil {

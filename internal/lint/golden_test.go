@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden fixtures live in testdata/src: a miniature module (also
+// named rvcap, so the internal/-scoped rules apply) with one package
+// per rule. Every expected finding is annotated in place with a
+// trailing comment of the form
+//
+//	// want "rule-id" ["rule-id"...]
+//
+// on the offending line. The harness fails on unexpected findings, on
+// missing expected findings, and on fixtures that do not type-check.
+
+var wantQuoted = regexp.MustCompile(`"([^"]+)"`)
+
+func TestGoldenRules(t *testing.T) {
+	m, err := Load("testdata/src", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finds := m.Analyze(AllRules())
+	for _, f := range finds {
+		if f.Rule == RuleTypecheck {
+			t.Fatalf("fixture does not type-check: %s", f)
+		}
+	}
+
+	// Collect the want annotations.
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]string)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					f, line, _ := m.position(c.Slash)
+					for _, q := range wantQuoted.FindAllStringSubmatch(text, -1) {
+						want[key{f, line}] = append(want[key{f, line}], q[1])
+					}
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no // want annotations found in testdata/src")
+	}
+
+	// Every unsuppressed finding must be wanted; every suppressed one
+	// must carry its directive's reason.
+	matched := make(map[string]int) // rule -> matches
+	for _, f := range finds {
+		if f.Suppressed {
+			if f.Reason == "" {
+				t.Errorf("suppressed finding lost its reason: %s", f)
+			}
+			if _, ok := want[key{f.File, f.Line}]; ok {
+				t.Errorf("finding is both suppressed and wanted: %s", f)
+			}
+			continue
+		}
+		k := key{f.File, f.Line}
+		rules := want[k]
+		i := indexOf(rules, f.Rule)
+		if i < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		want[k] = append(rules[:i], rules[i+1:]...)
+		if len(want[k]) == 0 {
+			delete(want, k)
+		}
+		matched[f.Rule]++
+	}
+	var missing []string
+	for k, rules := range want {
+		for _, r := range rules {
+			missing = append(missing, fmt.Sprintf("%s:%d: %s", k.file, k.line, r))
+		}
+	}
+	sort.Strings(missing)
+	for _, miss := range missing {
+		t.Errorf("expected finding not reported: %s", miss)
+	}
+
+	// Each project rule, plus the directive meta-rule, must have at
+	// least one passing golden case.
+	for _, r := range AllRules() {
+		if matched[r.Name] == 0 {
+			t.Errorf("rule %s has no golden coverage", r.Name)
+		}
+	}
+	if matched[RuleDirective] == 0 {
+		t.Error("malformed-directive reporting has no golden coverage")
+	}
+
+	// Suppression-comment coverage: the fixtures carry deliberate,
+	// well-formed suppressions that must all register.
+	sup := 0
+	for _, f := range finds {
+		if f.Suppressed {
+			sup++
+		}
+	}
+	if sup < 4 {
+		t.Errorf("suppressed findings = %d, want >= 4 (fixtures carry four deliberate suppressions)", sup)
+	}
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}

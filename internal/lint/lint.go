@@ -1,0 +1,271 @@
+// Package lint is the project's static-analysis engine: a small,
+// standard-library-only analyzer (go/parser, go/ast, go/types with the
+// source importer — no x/tools, works fully offline) that enforces the
+// simulation coding rules the reproduction's determinism and
+// cycle-accounting guarantees rest on. The discrete-event kernel in
+// internal/sim only delivers run-to-run identical interleavings if no
+// model consults wall-clock time, spawns raw goroutines, or lets map
+// iteration order leak into scheduling — and the headline number (the
+// paper's 398.1 MB/s ICAP throughput) is only a reproduction if those
+// rules hold everywhere. See rules.go for the rule set and DESIGN.md
+// ("Simulation coding rules") for the rationale per rule.
+//
+// Findings can be suppressed per line with a directive comment:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory; a directive without one
+// (or naming an unknown rule) is itself reported under the
+// "lint-directive" rule, so suppressions stay auditable.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, positioned at file:line:col with the
+// file path relative to the module root.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Suppressed marks findings covered by a //lint:ignore directive;
+	// Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Rule is one named check. Run inspects a single package and reports
+// through the context; scoping (which packages a rule applies to) is
+// the rule's own business.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(*Context)
+}
+
+// Context hands a rule the package under inspection plus a report sink.
+type Context struct {
+	Module *Module
+	Pkg    *Package
+
+	rule   string
+	report func(pos token.Pos, rule, msg string)
+}
+
+// Reportf files a finding for the rule at pos.
+func (c *Context) Reportf(pos token.Pos, format string, args ...interface{}) {
+	c.report(pos, c.rule, fmt.Sprintf(format, args...))
+}
+
+// Rule names reserved by the engine itself (reported but produced by no
+// Rule in the registry).
+const (
+	// RuleTypecheck reports go/types errors in analyzed packages.
+	RuleTypecheck = "typecheck"
+	// RuleDirective reports malformed //lint:ignore directives.
+	RuleDirective = "lint-directive"
+)
+
+// Analyze runs the rules over every package of the module and returns
+// all findings — suppressed ones included, flagged — sorted by file,
+// line, column and rule.
+func (m *Module) Analyze(rules []*Rule) []Finding {
+	known := map[string]bool{RuleTypecheck: true, RuleDirective: true}
+	for _, r := range rules {
+		known[r.Name] = true
+	}
+
+	var finds []Finding
+	add := func(pos token.Pos, rule, msg string) {
+		file, line, col := m.position(pos)
+		finds = append(finds, Finding{File: file, Line: line, Col: col, Rule: rule, Message: msg})
+	}
+
+	for _, pkg := range m.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			if te, ok := terr.(types.Error); ok {
+				add(te.Pos, RuleTypecheck, te.Msg)
+			} else {
+				finds = append(finds, Finding{File: pkg.Dir, Rule: RuleTypecheck, Message: terr.Error()})
+			}
+		}
+		for _, r := range rules {
+			c := &Context{Module: m, Pkg: pkg, rule: r.Name, report: add}
+			r.Run(c)
+		}
+	}
+
+	sup := m.collectDirectives(known, add)
+	for i := range finds {
+		if reason, ok := sup.covers(finds[i]); ok {
+			finds[i].Suppressed = true
+			finds[i].Reason = reason
+		}
+	}
+
+	sort.Slice(finds, func(i, j int) bool {
+		a, b := finds[i], finds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return finds
+}
+
+// position resolves pos to a module-root-relative file path plus
+// line/column.
+func (m *Module) position(pos token.Pos) (file string, line, col int) {
+	p := m.Fset.Position(pos)
+	file = p.Filename
+	if rel, err := filepath.Rel(m.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return file, p.Line, p.Column
+}
+
+// Unsuppressed filters a finding list down to the ones that gate CI.
+func Unsuppressed(finds []Finding) []Finding {
+	var out []Finding
+	for _, f := range finds {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	rules  map[string]bool
+	reason string
+}
+
+// suppressions indexes directives by (root-relative file, line).
+type suppressions map[string]map[int]directive
+
+// covers reports whether a directive on the finding's line, or on the
+// line directly above it, names the finding's rule.
+func (s suppressions) covers(f Finding) (reason string, ok bool) {
+	lines := s[f.File]
+	if lines == nil {
+		return "", false
+	}
+	for _, l := range [2]int{f.Line, f.Line - 1} {
+		if d, ok := lines[l]; ok && d.rules[f.Rule] {
+			return d.reason, true
+		}
+	}
+	return "", false
+}
+
+// directivePrefix starts a suppression comment. The directive must be
+// the comment's first token: "//lint:ignore <rule>[,<rule>] <reason>".
+const directivePrefix = "lint:ignore"
+
+// collectDirectives parses every //lint:ignore comment in the module.
+// Malformed directives (missing reason, unknown rule) are reported to
+// add under the lint-directive rule and do not suppress anything.
+func (m *Module) collectDirectives(known map[string]bool, add func(token.Pos, string, string)) suppressions {
+	sup := make(suppressions)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					switch {
+					case strings.HasPrefix(text, "//"):
+						text = text[2:]
+					case strings.HasPrefix(text, "/*"):
+						text = strings.TrimSuffix(text[2:], "*/")
+					}
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					args := strings.TrimSpace(text[len(directivePrefix):])
+					fields := strings.Fields(args)
+					if len(fields) < 2 {
+						add(c.Slash, RuleDirective,
+							"malformed directive: want //lint:ignore <rule>[,<rule>] <reason>")
+						continue
+					}
+					d := directive{rules: make(map[string]bool), reason: strings.TrimSpace(args[len(fields[0]):])}
+					bad := false
+					for _, r := range strings.Split(fields[0], ",") {
+						if !known[r] {
+							add(c.Slash, RuleDirective, fmt.Sprintf("directive names unknown rule %q", r))
+							bad = true
+							break
+						}
+						d.rules[r] = true
+					}
+					if bad {
+						continue
+					}
+					file, line, _ := m.position(c.Slash)
+					if sup[file] == nil {
+						sup[file] = make(map[int]directive)
+					}
+					sup[file][line] = d
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Report is the machine-readable result of one lint run (-json).
+type Report struct {
+	Module     string    `json:"module"`
+	Rules      []string  `json:"rules"`
+	Findings   []Finding `json:"findings"`
+	Suppressed []Finding `json:"suppressed,omitempty"`
+}
+
+// NewReport splits findings into gating and suppressed sets.
+func NewReport(m *Module, rules []*Rule, finds []Finding) Report {
+	rep := Report{Module: m.Path}
+	for _, r := range rules {
+		rep.Rules = append(rep.Rules, r.Name)
+	}
+	for _, f := range finds {
+		if f.Suppressed {
+			rep.Suppressed = append(rep.Suppressed, f)
+		} else {
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	if rep.Findings == nil {
+		rep.Findings = []Finding{} // encode as [], not null
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

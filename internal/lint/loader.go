@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one analyzed package of the module under lint.
+type Package struct {
+	// ImportPath is the full import path (module path + directory).
+	ImportPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Name is the package name from the package clauses.
+	Name string
+	// Files are the parsed source files, in file-name order, with
+	// comments attached (the suppression directives live there).
+	Files []*ast.File
+	// Types and Info hold the go/types results. They are always
+	// non-nil after Load, even when TypeErrors is non-empty.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems without aborting the
+	// analysis; the engine reports them under the "typecheck" rule.
+	TypeErrors []error
+
+	checked  bool
+	checking bool
+}
+
+// Module is a loaded, parsed and type-checked Go module: the unit
+// rvcap-lint analyzes. Everything is resolved offline with the standard
+// library only — module packages from source, standard-library imports
+// through go/importer's source importer.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every parsed file (module and stdlib sources).
+	Fset *token.FileSet
+	// Pkgs are the module's packages in import-path order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	std    types.Importer
+}
+
+// Options configure Load.
+type Options struct {
+	// IncludeTests also parses in-package _test.go files. External
+	// test packages (package foo_test) are never loaded.
+	IncludeTests bool
+}
+
+// Load parses and type-checks every package of the module rooted at
+// root (the directory containing go.mod). Directories named testdata or
+// vendor, and directories starting with "." or "_", are skipped, like
+// the go tool does. Parse failures abort the load; type errors do not —
+// they are recorded per package so the engine can surface them.
+func Load(root string, opts Options) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   abs,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil)
+
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := m.parseDir(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // only test files, or empty
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.byPath[pkg.ImportPath] = pkg
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].ImportPath < m.Pkgs[j].ImportPath })
+	for _, pkg := range m.Pkgs {
+		if err := m.check(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// packageDirs returns every directory under root that holds .go files,
+// in lexical order, skipping testdata/vendor/hidden trees.
+func packageDirs(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses one package directory. It returns nil when the
+// directory contributes no files under the current options.
+func (m *Module) parseDir(dir string, opts Options) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !opts.IncludeTests {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue // external test package
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if f.Name.Name != pkg.Name {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s", dir, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		pkg.ImportPath = m.Path
+	} else {
+		pkg.ImportPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	return pkg, nil
+}
+
+// check type-checks pkg (and, through Import, its module dependencies).
+func (m *Module) check(pkg *Package) error {
+	if pkg.checked {
+		return nil
+	}
+	if pkg.checking {
+		return fmt.Errorf("lint: import cycle through %s", pkg.ImportPath)
+	}
+	pkg.checking = true
+	defer func() { pkg.checking = false; pkg.checked = true }()
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: m,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, info)
+	pkg.Types, pkg.Info = tpkg, info
+	return nil
+}
+
+// Import implements types.Importer: module-internal paths resolve to
+// packages loaded from source, everything else (the standard library)
+// goes through the source importer so no compiled export data is
+// needed.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg := m.byPath[path]
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: package %s not found under %s", path, m.Root)
+		}
+		if err := m.check(pkg); err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+var _ types.Importer = (*Module)(nil)
+
+// internalPkg reports whether path is pkg (or a subpackage of pkg)
+// under this module's internal/ tree, e.g. internalPkg(path, "sim").
+func (m *Module) internalPkg(path, pkg string) bool {
+	return path == m.Path+"/internal/"+pkg || strings.HasPrefix(path, m.Path+"/internal/"+pkg+"/")
+}

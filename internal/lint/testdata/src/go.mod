@@ -1,0 +1,3 @@
+module rvcap
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package bitstream is an API stub for the error-discipline rule.
+package bitstream
+
+import "errors"
+
+// ErrCorrupt reports a malformed bitstream.
+var ErrCorrupt = errors.New("bitstream: corrupt")
+
+// Validate checks a serialised bitstream.
+func Validate(data []byte) error {
+	if len(data) == 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Parse returns the word count of a serialised bitstream.
+func Parse(data []byte) (int, error) {
+	if err := Validate(data); err != nil {
+		return 0, err
+	}
+	return len(data) / 4, nil
+}

@@ -1,0 +1,18 @@
+// Package cycles exercises the negative-delay half of the
+// cycle-accounting rule.
+package cycles
+
+import "rvcap/internal/sim"
+
+// Bad schedules into the past, twice.
+func Bad(k *sim.Kernel, p *sim.Proc) {
+	k.Schedule(-1, func() {}) // want "cycle-accounting"
+	p.Sleep(sim.Time(-25))    // want "cycle-accounting"
+}
+
+// Good uses non-negative delays; runtime-computed delays are the
+// kernel's own panic's business.
+func Good(k *sim.Kernel, p *sim.Proc, d sim.Time) {
+	k.Schedule(0, func() {})
+	p.Sleep(d)
+}

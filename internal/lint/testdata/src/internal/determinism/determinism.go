@@ -1,0 +1,64 @@
+// Package determinism exercises the sim-determinism rule.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad uses wall-clock time and the globally seeded PRNG.
+func Bad() (int64, int) {
+	t0 := time.Now()    // want "sim-determinism"
+	d := time.Since(t0) // want "sim-determinism"
+	n := rand.Intn(10)  // want "sim-determinism"
+	return int64(d), n
+}
+
+// Good uses an explicitly seeded generator, which is deterministic.
+func Good() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// BadSelect races two channels: the runtime picks pseudo-randomly when
+// both are ready.
+func BadSelect(a, b chan int) int {
+	select { // want "sim-determinism"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// GoodSelect has a single communication case plus default.
+func GoodSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Suppressed documents why wall-clock time is fine here.
+func Suppressed() time.Time {
+	//lint:ignore sim-determinism host timestamp for a log banner only
+	return time.Now()
+}
+
+// SuppressedTrailing uses the same-line directive form.
+func SuppressedTrailing() time.Time {
+	return time.Now() //lint:ignore sim-determinism host timestamp, not sim time
+}
+
+// MissingReason carries a directive without a reason: it suppresses
+// nothing and is itself reported.
+func MissingReason() time.Time {
+	return time.Now() /*lint:ignore sim-determinism*/ // want "sim-determinism" "lint-directive"
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule() time.Time {
+	return time.Now() /*lint:ignore no-such-rule because*/ // want "sim-determinism" "lint-directive"
+}

@@ -1,0 +1,21 @@
+// Package dma is a register-map stub for the offset half of the
+// cycle-accounting rule.
+package dma
+
+// Register offsets (stub register map).
+const (
+	CR     = 0x00
+	SR     = 0x04
+	SA     = 0x08
+	Odd    = 0x0A // want "cycle-accounting"
+	Dup    = 0x04 // want "cycle-accounting"
+	Length = 0x28
+)
+
+// CR bits (a bitmask block, so the alignment check must skip it even
+// though the values are not multiples of four).
+const (
+	RunStop = 1 << 0
+	Word    = 1 << 1
+	Reset   = 1 << 2
+)

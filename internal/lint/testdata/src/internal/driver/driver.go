@@ -1,0 +1,7 @@
+// Package driver is an API stub for the error-discipline rule.
+package driver
+
+import "rvcap/internal/sim"
+
+// Reconfigure loads a staged bitstream into the partition.
+func Reconfigure(p *sim.Proc, addr uint64) error { return nil }

@@ -1,0 +1,34 @@
+// Package errdisc exercises the error-discipline rule.
+package errdisc
+
+import (
+	"rvcap/internal/bitstream"
+	"rvcap/internal/driver"
+	"rvcap/internal/sim"
+)
+
+// Bad drops reconfiguration-path errors three different ways.
+func Bad(p *sim.Proc, data []byte) int {
+	bitstream.Validate(data)      // want "error-discipline"
+	_ = driver.Reconfigure(p, 0)  // want "error-discipline"
+	n, _ := bitstream.Parse(data) // want "error-discipline"
+	return n
+}
+
+// Good handles every error.
+func Good(p *sim.Proc, data []byte) (int, error) {
+	if err := bitstream.Validate(data); err != nil {
+		return 0, err
+	}
+	n, err := bitstream.Parse(data)
+	if err != nil {
+		return 0, err
+	}
+	return n, driver.Reconfigure(p, 0)
+}
+
+// Suppressed documents a best-effort call.
+func Suppressed(data []byte) {
+	//lint:ignore error-discipline best-effort validation, result logged elsewhere
+	bitstream.Validate(data)
+}

@@ -1,0 +1,49 @@
+// Package maporder exercises the map-order-determinism rule.
+package maporder
+
+import (
+	"sort"
+
+	"rvcap/internal/sim"
+)
+
+// Bad schedules work in map-iteration order: the event queue would
+// differ run to run.
+func Bad(k *sim.Kernel, delays map[string]sim.Time) {
+	for _, d := range delays {
+		k.Schedule(d, func() {}) // want "map-order-determinism"
+	}
+}
+
+// BadSend forwards map entries over a channel in random order.
+func BadSend(ch chan string, m map[string]bool) {
+	for name := range m {
+		ch <- name // want "map-order-determinism"
+	}
+}
+
+// BadAppend collects keys and never sorts them.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "map-order-determinism"
+	}
+	return keys
+}
+
+// GoodAppend sorts after collecting, which restores determinism.
+func GoodAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSlice ranges over a slice: iteration order is the slice order.
+func GoodSlice(k *sim.Kernel, delays []sim.Time) {
+	for _, d := range delays {
+		k.Schedule(d, func() {})
+	}
+}

@@ -1,0 +1,41 @@
+// Package sim is a miniature stand-in for the real simulation kernel:
+// just enough surface for the golden files to exercise every rule. The
+// Time type is deliberately signed so that negative-constant delays
+// type-check and reach the cycle-accounting rule.
+package sim
+
+// Time is a simulated timestamp in cycles (signed on purpose; see the
+// package comment).
+type Time int64
+
+// Kernel is the event scheduler.
+type Kernel struct{ queue []func() }
+
+// Go starts a cooperative process. The raw go statement below is the
+// one place the goroutine-discipline rule must NOT flag.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{}
+	go fn(p)
+	return p
+}
+
+// Schedule runs fn delay cycles from now.
+func (k *Kernel) Schedule(delay Time, fn func()) { k.queue = append(k.queue, fn) }
+
+// At runs fn at absolute cycle t.
+func (k *Kernel) At(t Time, fn func()) { k.queue = append(k.queue, fn) }
+
+// Proc is a cooperative process handle.
+type Proc struct{}
+
+// Sleep suspends the process for d cycles.
+func (p *Proc) Sleep(d Time) {}
+
+// Wait suspends the process until s fires.
+func (p *Proc) Wait(s *Signal) {}
+
+// Signal is a broadcast wake-up.
+type Signal struct{}
+
+// Fire wakes every waiter.
+func (s *Signal) Fire() {}

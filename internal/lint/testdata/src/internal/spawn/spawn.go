@@ -1,0 +1,22 @@
+// Package spawn exercises the goroutine-discipline rule.
+package spawn
+
+import "rvcap/internal/sim"
+
+func work() {}
+
+// Bad launches a raw goroutine next to the simulation.
+func Bad() {
+	go work() // want "goroutine-discipline"
+}
+
+// Good routes concurrency through the kernel.
+func Good(k *sim.Kernel) *sim.Proc {
+	return k.Go("worker", func(p *sim.Proc) {})
+}
+
+// SuppressedWatchdog documents a deliberate host-side goroutine.
+func SuppressedWatchdog() {
+	//lint:ignore goroutine-discipline host-side watchdog, never touches sim state
+	go work()
+}

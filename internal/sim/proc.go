@@ -1,6 +1,38 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic that escaped a simulation process. The kernel
+// re-panics with it from dispatch so the crash surfaces on the caller's
+// stack, but the original panic value and the goroutine stack where it
+// happened are preserved for diagnosis instead of being flattened into a
+// string.
+type PanicError struct {
+	// Proc is the name of the process whose function panicked.
+	Proc string
+	// Value is the original value passed to panic.
+	Value interface{}
+	// Stack is the process goroutine's stack captured at recover time,
+	// pointing at the panic site rather than at dispatch.
+	Stack []byte
+}
+
+// Error formats the failure with the originating process and panic value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", e.Proc, e.Value)
+}
+
+// Unwrap exposes the original panic value when it was itself an error,
+// so errors.Is/As work through the wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Proc is a cooperative simulation process: a goroutine that runs device
 // engines or software drivers as ordinary sequential code, interleaved
@@ -14,7 +46,7 @@ type Proc struct {
 	resume chan struct{}
 	yield  chan struct{}
 	done   bool
-	panicv interface{}
+	panicv *PanicError
 }
 
 // Go starts fn as a simulation process. fn begins executing at the
@@ -31,7 +63,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				p.panicv = r
+				p.panicv = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
 			}
 			p.done = true
 			p.yield <- struct{}{}
@@ -50,7 +82,7 @@ func (k *Kernel) dispatch(p *Proc) {
 	p.resume <- struct{}{}
 	<-p.yield
 	if p.panicv != nil {
-		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicv))
+		panic(p.panicv)
 	}
 }
 

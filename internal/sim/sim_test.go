@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -150,6 +152,44 @@ func TestProcPanicPropagates(t *testing.T) {
 	}()
 	k.Run()
 }
+
+func TestProcPanicPreservesValueAndStack(t *testing.T) {
+	sentinel := errors.New("dma engine wedged")
+	k := NewKernel()
+	k.Go("boom", func(p *Proc) {
+		p.Sleep(1)
+		panicInProcess(sentinel)
+	})
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+		if pe.Proc != "boom" {
+			t.Errorf("Proc = %q, want boom", pe.Proc)
+		}
+		if pe.Value != sentinel {
+			t.Errorf("Value = %v, want the original panic value", pe.Value)
+		}
+		if !errors.Is(pe, sentinel) {
+			t.Error("errors.Is does not see through PanicError")
+		}
+		want := `sim: process "boom" panicked: dma engine wedged`
+		if pe.Error() != want {
+			t.Errorf("Error() = %q, want %q", pe.Error(), want)
+		}
+		// The captured stack must point at the panic site inside the
+		// process goroutine, not at dispatch.
+		if !strings.Contains(string(pe.Stack), "panicInProcess") {
+			t.Errorf("Stack does not contain the panic site:\n%s", pe.Stack)
+		}
+	}()
+	k.Run()
+}
+
+// panicInProcess exists so the captured stack has a recognizable frame.
+func panicInProcess(v interface{}) { panic(v) }
 
 func TestSignalPulse(t *testing.T) {
 	k := NewKernel()

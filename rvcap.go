@@ -24,6 +24,7 @@ package rvcap
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"rvcap/internal/accel"
 	"rvcap/internal/axi"
@@ -292,10 +293,6 @@ func sortedFiles(files map[string][]byte) []namedFile {
 	for n, d := range files {
 		out = append(out, namedFile{n, d})
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }

@@ -1,8 +1,12 @@
 package rvcap
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"rvcap/internal/lint"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -271,5 +275,53 @@ func TestBuildSDImageDeterministic(t *testing.T) {
 	}
 	if _, err := BuildSDImage(4, map[string][]byte{"bad name": {1}}); err == nil {
 		t.Error("invalid file name accepted")
+	}
+}
+
+// TestLintClean is the tier-1 wiring for the rvcap-lint analyzer: the
+// repository itself must carry zero unsuppressed findings, and the
+// -json report must round-trip. Running the engine in-process keeps
+// the test hermetic (no go-run subprocess).
+func TestLintClean(t *testing.T) {
+	m, err := lint.Load(".", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finds := m.Analyze(lint.AllRules())
+	for _, f := range lint.Unsuppressed(finds) {
+		t.Errorf("lint finding: %s", f)
+	}
+
+	var buf bytes.Buffer
+	if err := lint.NewReport(m, lint.AllRules(), finds).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Module   string   `json:"module"`
+		Rules    []string `json:"rules"`
+		Findings []struct {
+			File string `json:"file"`
+			Rule string `json:"rule"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Module != "rvcap" {
+		t.Errorf("report module = %q, want rvcap", rep.Module)
+	}
+	for _, r := range lint.AllRules() {
+		found := false
+		for _, name := range rep.Rules {
+			if name == r.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("report is missing rule %s", r.Name)
+		}
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("unsuppressed finding in JSON report: %s: %s", f.File, f.Rule)
 	}
 }
