@@ -48,7 +48,7 @@ func BenchmarkTable1Throughput(b *testing.B) {
 
 func BenchmarkReconfigTimes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ReconfigTimes()
+		r, err := experiments.ReconfigTimes(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkReconfigTimes(b *testing.B) {
 
 func BenchmarkTable2Comparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2()
+		rows, err := experiments.Table2(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func BenchmarkTable3Resources(b *testing.B) {
 
 func BenchmarkTable4Accelerators(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4()
+		rows, err := experiments.Table4(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func BenchmarkFig4Floorplan(b *testing.B) {
 
 func BenchmarkAblationDMABurst(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.BurstAblation()
+		points, err := experiments.BurstAblation(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func BenchmarkAblationDMABurst(b *testing.B) {
 
 func BenchmarkAblationHWICAPFIFO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.FIFOAblation()
+		points, err := experiments.FIFOAblation(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkAblationHWICAPFIFO(b *testing.B) {
 
 func BenchmarkAblationCompression(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.CompressionAblation()
+		points, err := experiments.CompressionAblation(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 
 func BenchmarkAblationSafeValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ValidationAblation()
+		r, err := experiments.ValidationAblation(0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,10 +13,23 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/sim/ ./internal/trace/'
-go test -race ./internal/sim/ ./internal/trace/
+echo '== go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/'
+go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/
 
 echo '== rvcap-lint ./...'
 go run ./cmd/rvcap-lint ./...
+
+echo '== rvcap-bench parallel determinism + -json smoke'
+# The parallel experiment engine must be invisible in the results: the
+# fig3 sweep rows (and the BENCH_*.json files built from them) have to
+# be byte-identical for every worker count.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/rvcap-bench" ./cmd/rvcap-bench
+"$tmp/rvcap-bench" -experiment fig3 -skip-hwicap -parallel 1 -json -outdir "$tmp/p1" > /dev/null
+"$tmp/rvcap-bench" -experiment fig3 -skip-hwicap -parallel 4 -json -outdir "$tmp/p4" > /dev/null
+cmp "$tmp/p1/BENCH_fig3.json" "$tmp/p4/BENCH_fig3.json"
+"$tmp/rvcap-bench" -experiment fig4 -json -outdir "$tmp/smoke" > /dev/null
+test -s "$tmp/smoke/BENCH_fig4.json"
 
 echo 'check.sh: all gates passed'

@@ -4,17 +4,32 @@
 // Usage:
 //
 //	rvcap-bench -experiment all
-//	rvcap-bench -experiment table1|reconfig|table2|table3|table4|fig3|ablations
-//	rvcap-bench -experiment fig3 -skip-hwicap   # fast RV-CAP-only sweep
+//	rvcap-bench -experiment table1|reconfig|table2|table3|table4|fig3|fig4|ablations
+//	rvcap-bench -experiment fig3 -skip-hwicap      # fast RV-CAP-only sweep
+//	rvcap-bench -experiment fig3 -parallel 4       # 4 host workers (0 = all cores)
+//	rvcap-bench -experiment fig3 -json -outdir out # also write BENCH_fig3.json
+//
+// Sweeps fan their independent scenarios (one sim.Kernel each) across
+// -parallel host workers through internal/runner; rows and JSON files
+// are byte-identical for every worker count. With -json, each
+// experiment additionally writes a machine-readable BENCH_<name>.json
+// file under -outdir alongside the formatted table on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rvcap/internal/experiments"
 )
+
+// experimentNames is the dispatch order for -experiment all.
+var experimentNames = []string{
+	"table1", "reconfig", "table2", "table3", "table4", "fig3", "fig4", "ablations",
+}
 
 func main() {
 	exp := flag.String("experiment", "all",
@@ -22,7 +37,48 @@ func main() {
 	skipHWICAP := flag.Bool("skip-hwicap", false,
 		"omit the slow CPU-driven HWICAP series from fig3")
 	unroll := flag.Int("unroll", 16, "HWICAP store-loop unroll factor for fig3")
+	parallel := flag.Int("parallel", 0,
+		"host workers for the experiment sweeps (0 = all cores, 1 = serial)")
+	jsonOut := flag.Bool("json", false,
+		"also write machine-readable BENCH_<experiment>.json files to -outdir")
+	outDir := flag.String("outdir", ".", "directory for -json output files")
 	flag.Parse()
+
+	// Validate before any work: an unknown experiment must fail fast,
+	// not after minutes of sweeping.
+	known := *exp == "all"
+	for _, name := range experimentNames {
+		if *exp == name {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "rvcap-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// writeJSON emits one experiment's rows as BENCH_<name>.json. The
+	// content depends only on the rows — never on -parallel — so runs
+	// with different worker counts diff byte-for-byte (check.sh gates
+	// on that).
+	writeJSON := func(name string, data interface{}) error {
+		if !*jsonOut {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		doc := struct {
+			Experiment string      `json:"experiment"`
+			Data       interface{} `json:"data"`
+		}{Experiment: name, Data: data}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*outDir, "BENCH_"+name+".json"), append(buf, '\n'), 0o644)
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -40,23 +96,23 @@ func main() {
 			return err
 		}
 		fmt.Println(r)
-		return nil
+		return writeJSON("table1", r)
 	})
 	run("reconfig", func() error {
-		r, err := experiments.ReconfigTimes()
+		r, err := experiments.ReconfigTimes(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r)
-		return nil
+		return writeJSON("reconfig", r)
 	})
 	run("table2", func() error {
-		rows, err := experiments.Table2()
+		rows, err := experiments.Table2(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatTable2(rows))
-		return nil
+		return writeJSON("table2", rows)
 	})
 	run("table3", func() error {
 		rows, err := experiments.Table3()
@@ -64,15 +120,27 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.FormatTable3(rows))
-		return nil
+		return writeJSON("table3", rows)
 	})
 	run("table4", func() error {
-		rows, err := experiments.Table4()
+		rows, err := experiments.Table4(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatTable4(rows))
-		return nil
+		return writeJSON("table4", rows)
+	})
+	run("fig3", func() error {
+		points, err := experiments.Fig3(experiments.Fig3Options{
+			SkipHWICAP: *skipHWICAP,
+			Unroll:     *unroll,
+			Parallel:   *parallel,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig3(points))
+		return writeJSON("fig3", points)
 	})
 	run("fig4", func() error {
 		r, err := experiments.Fig4()
@@ -80,48 +148,34 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.FormatFig4(r))
-		return nil
-	})
-	run("fig3", func() error {
-		points, err := experiments.Fig3(experiments.Fig3Options{
-			SkipHWICAP: *skipHWICAP,
-			Unroll:     *unroll,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatFig3(points))
-		return nil
+		return writeJSON("fig4", r)
 	})
 	run("ablations", func() error {
-		bp, err := experiments.BurstAblation()
+		bp, err := experiments.BurstAblation(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatBurstAblation(bp))
-		fp, err := experiments.FIFOAblation()
+		fp, err := experiments.FIFOAblation(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatFIFOAblation(fp))
-		cp, err := experiments.CompressionAblation()
+		cp, err := experiments.CompressionAblation(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatCompressionAblation(cp))
-		vr, err := experiments.ValidationAblation()
+		vr, err := experiments.ValidationAblation(*parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatValidationAblation(vr))
-		return nil
+		return writeJSON("ablations", struct {
+			Burst       []experiments.BurstPoint       `json:"burst"`
+			FIFO        []experiments.FIFOPoint        `json:"fifo"`
+			Compression []experiments.CompressionPoint `json:"compression"`
+			Validation  *experiments.ValidationResult  `json:"validation"`
+		}{bp, fp, cp, vr})
 	})
-
-	switch *exp {
-	case "all", "table1", "reconfig", "table2", "table3", "table4", "fig3", "fig4", "ablations":
-	default:
-		fmt.Fprintf(os.Stderr, "rvcap-bench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
-	}
 }

@@ -8,6 +8,7 @@ import (
 	"rvcap/internal/bitstream"
 	"rvcap/internal/driver"
 	"rvcap/internal/fpga"
+	"rvcap/internal/runner"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
 )
@@ -27,17 +28,18 @@ type BurstPoint struct {
 // maximum AXI burst size of the DMA controller ... to 16" (§IV-A); the
 // sweep shows the knee: short bursts cannot hide the DDR access latency
 // and drop the controller below the ICAP rate.
-func BurstAblation() ([]BurstPoint, error) {
-	var points []BurstPoint
-	for _, burst := range []int{1, 2, 4, 8, 16, 32, 64} {
+func BurstAblation(parallel int) ([]BurstPoint, error) {
+	bursts := []int{1, 2, 4, 8, 16, 32, 64}
+	return runner.Map(parallel, len(bursts), func(i int) (BurstPoint, error) {
+		burst := bursts[i]
 		s, err := newSoC(soc.Config{})
 		if err != nil {
-			return nil, err
+			return BurstPoint{}, err
 		}
 		s.RVCAP.DMA.BurstBeats = burst
 		m, err := stage(s, s.RP, "sweep", 0x100000, bitstream.DefaultBitstreamBytes)
 		if err != nil {
-			return nil, err
+			return BurstPoint{}, err
 		}
 		d := driver.NewRVCAP(s)
 		var res driver.Result
@@ -49,15 +51,14 @@ func BurstAblation() ([]BurstPoint, error) {
 			res, runErr = d.InitReconfigProcess(p, m)
 		})
 		if runErr != nil {
-			return nil, runErr
+			return BurstPoint{}, runErr
 		}
-		points = append(points, BurstPoint{
+		return BurstPoint{
 			BurstBeats:    burst,
 			ReconfigUs:    res.ReconfigMicros,
 			ThroughputMBs: res.ThroughputMBs(),
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // FormatBurstAblation renders the burst sweep.
@@ -81,17 +82,18 @@ type FIFOPoint struct {
 // the internal write FIFO of the HWICAP module to 1024 to improve the
 // time transfer" (§III-C); shallow FIFOs pay the vacancy-poll and
 // flush-wait overhead per few words.
-func FIFOAblation() ([]FIFOPoint, error) {
-	var points []FIFOPoint
-	for _, depth := range []int{16, 64, 256, 1024, 4096} {
+func FIFOAblation(parallel int) ([]FIFOPoint, error) {
+	depths := []int{16, 64, 256, 1024, 4096}
+	return runner.Map(parallel, len(depths), func(i int) (FIFOPoint, error) {
+		depth := depths[i]
 		s, err := newSoC(soc.Config{})
 		if err != nil {
-			return nil, err
+			return FIFOPoint{}, err
 		}
 		s.HWICAP.FIFODepth = depth
 		m, err := stage(s, s.RP, "sweep", 0x100000, 0)
 		if err != nil {
-			return nil, err
+			return FIFOPoint{}, err
 		}
 		hd := driver.NewHWICAPDriver(s)
 		var res driver.Result
@@ -100,11 +102,10 @@ func FIFOAblation() ([]FIFOPoint, error) {
 			res, runErr = hd.InitReconfigProcess(p, m)
 		})
 		if runErr != nil {
-			return nil, runErr
+			return FIFOPoint{}, runErr
 		}
-		points = append(points, FIFOPoint{Depth: depth, ThroughputMBs: res.ThroughputMBs()})
-	}
-	return points, nil
+		return FIFOPoint{Depth: depth, ThroughputMBs: res.ThroughputMBs()}, nil
+	})
 }
 
 // FormatFIFOAblation renders the FIFO sweep.
@@ -134,25 +135,28 @@ type CompressionPoint struct {
 // CompressionAblation evaluates RT-ICAP-style bitstream compression [15]
 // on the case study's real bitstreams: when the fetch channel, not the
 // ICAP, is the bottleneck, moving fewer bytes shortens reconfiguration.
-func CompressionAblation() ([]CompressionPoint, error) {
-	fab := fpga.NewFabric(fpga.NewKintex7())
-	part, err := fpga.AddDefaultPartition(fab)
-	if err != nil {
-		return nil, err
-	}
+func CompressionAblation(parallel int) ([]CompressionPoint, error) {
 	const fetchCyclesPerWordNum, fetchCyclesPerWordDen = 3125, 1000
-	var points []CompressionPoint
-	for _, m := range []string{"gaussian", "median", "sobel"} {
+	modules := []string{"gaussian", "median", "sobel"}
+	return runner.Map(parallel, len(modules), func(i int) (CompressionPoint, error) {
+		m := modules[i]
+		// Each task owns its fabric: bitstream generation registers
+		// signatures on it, so sharing one across workers would race.
+		fab := fpga.NewFabric(fpga.NewKintex7())
+		part, err := fpga.AddDefaultPartition(fab)
+		if err != nil {
+			return CompressionPoint{}, err
+		}
 		im, err := bitstream.Partial(fab.Dev, part, m,
 			bitstream.Options{PadToBytes: bitstream.DefaultBitstreamBytes})
 		if err != nil {
-			return nil, err
+			return CompressionPoint{}, err
 		}
 		comp := bitstream.Compress(im.Words)
 		// Round-trip check: the ablation is meaningless on a lossy path.
 		back, err := bitstream.Decompress(comp)
 		if err != nil || len(back) != len(im.Words) {
-			return nil, fmt.Errorf("experiments: compression round trip failed for %s", m)
+			return CompressionPoint{}, fmt.Errorf("experiments: compression round trip failed for %s", m)
 		}
 		rawCycles := len(im.Words) * fetchCyclesPerWordNum / fetchCyclesPerWordDen
 		compWords := (len(comp) + 3) / 4
@@ -162,16 +166,15 @@ func CompressionAblation() ([]CompressionPoint, error) {
 		if len(im.Words) > compCycles {
 			compCycles = len(im.Words)
 		}
-		points = append(points, CompressionPoint{
+		return CompressionPoint{
 			Module:           m,
 			RawBytes:         im.SizeBytes(),
 			CompressedBytes:  len(comp),
 			Ratio:            float64(len(comp)) / float64(im.SizeBytes()),
 			RawMicros:        sim.Micros(sim.Time(rawCycles)),
 			CompressedMicros: sim.Micros(sim.Time(compCycles)),
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // FormatCompressionAblation renders the compression study.
@@ -200,7 +203,7 @@ type ValidationResult struct {
 // ValidationAblation measures the cost of Di Carlo-style pre-transfer
 // bitstream validation [14] and verifies it catches corruption that
 // would otherwise reach the configuration memory.
-func ValidationAblation() (*ValidationResult, error) {
+func ValidationAblation(parallel int) (*ValidationResult, error) {
 	fab := fpga.NewFabric(fpga.NewKintex7())
 	part, err := fpga.AddDefaultPartition(fab)
 	if err != nil {
@@ -215,21 +218,26 @@ func ValidationAblation() (*ValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	measure := func(safe bool) float64 {
+	// The two transfer measurements are independent scenarios (own
+	// kernel, own fabric; im.Words shared read-only).
+	micros, err := runner.Map(parallel, 2, func(i int) (float64, error) {
 		k := sim.NewKernel()
 		f2 := fpga.NewFabric(fpga.NewKintex7())
 		s := spec
-		s.SafeMode = safe
+		s.SafeMode = i == 1
 		var took sim.Time
 		k.Go("xfer", func(p *sim.Proc) {
 			took = s.Transfer(p, fpga.NewICAP(f2), im.Words)
 		})
 		k.Run()
-		return sim.Micros(took)
+		return sim.Micros(took), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r := &ValidationResult{
-		PlainMicros: measure(false),
-		SafeMicros:  measure(true),
+		PlainMicros: micros[0],
+		SafeMicros:  micros[1],
 	}
 	r.OverheadPercent = 100 * (r.SafeMicros - r.PlainMicros) / r.PlainMicros
 	corrupt := append([]uint32(nil), im.Words...)

@@ -4,6 +4,17 @@
 // benchmarks: each experiment builds a fresh SoC, runs the measurement
 // exactly as the corresponding section describes, and returns structured
 // rows plus a formatted rendering.
+//
+// # Parallelism
+//
+// Every measurement is an independent scenario on its own sim.Kernel, so
+// the sweeps (Fig3, Table2, Table4, ReconfigTimes and the ablations)
+// fan their scenarios out across host cores through internal/runner.
+// The parallel argument (or Fig3Options.Parallel) selects the worker
+// count: 0 means all cores, 1 forces a serial run. Results are collected
+// in index order and each scenario is a pure function of its index, so
+// rows — and the rendered tables and -json files built from them — are
+// byte-identical for every worker count; check.sh gates on exactly that.
 package experiments
 
 import (

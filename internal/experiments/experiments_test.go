@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -27,7 +28,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestReconfigTimes(t *testing.T) {
-	r, err := ReconfigTimes()
+	r, err := ReconfigTimes(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestReconfigTimes(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
-	rows, err := Table2()
+	rows, err := Table2(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestTable3(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
-	rows, err := Table4()
+	rows, err := Table4(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestFig3WithHWICAPSmallSweep(t *testing.T) {
 }
 
 func TestBurstAblation(t *testing.T) {
-	points, err := BurstAblation()
+	points, err := BurstAblation(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestBurstAblation(t *testing.T) {
 }
 
 func TestCompressionAblation(t *testing.T) {
-	points, err := CompressionAblation()
+	points, err := CompressionAblation(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestCompressionAblation(t *testing.T) {
 }
 
 func TestValidationAblation(t *testing.T) {
-	r, err := ValidationAblation()
+	r, err := ValidationAblation(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,5 +324,43 @@ func TestFig4Floorplan(t *testing.T) {
 	out := FormatFig4(r)
 	if !strings.Contains(out, "RP0") || !strings.Contains(out, "static region") {
 		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+// Serial and parallel runs must produce byte-identical rows: the runner
+// collects results by index and every scenario owns its kernel, so the
+// worker count must be unobservable in the output.
+
+func TestFig3SerialParallelIdentical(t *testing.T) {
+	serial, err := Fig3(Fig3Options{SkipHWICAP: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig3(Fig3Options{SkipHWICAP: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rows differ between -parallel 1 and -parallel 4:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	if a, b := FormatFig3(serial), FormatFig3(parallel); a != b {
+		t.Errorf("renderings differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestTable2SerialParallelIdentical(t *testing.T) {
+	serial, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rows differ between -parallel 1 and -parallel 4:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	if a, b := FormatTable2(serial), FormatTable2(parallel); a != b {
+		t.Errorf("renderings differ:\n%s\nvs\n%s", a, b)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"rvcap/internal/bitstream"
 	"rvcap/internal/fpga"
+	"rvcap/internal/runner"
 )
 
 // Fig3Point is one x-position of Fig. 3: an RP size with the
@@ -27,28 +28,33 @@ type Fig3Options struct {
 	SkipHWICAP bool
 	// Unroll is the HWICAP unroll factor (16 = the shipped driver).
 	Unroll int
+	// Parallel is the host worker count for the sweep (0 = all cores,
+	// 1 = serial). Rows are identical for every value; see Parallelism
+	// in the package comment.
+	Parallel int
 }
 
 // Fig3 regenerates Fig. 3 (reconfiguration time with respect to
 // different RP sizes): for each sweep partition, generate its partial
 // bitstream and measure T_r through the RV-CAP controller and through
-// the AXI_HWICAP baseline.
+// the AXI_HWICAP baseline. Sweep points are independent scenarios and
+// run across opts.Parallel host workers.
 func Fig3(opts Fig3Options) ([]Fig3Point, error) {
 	if opts.Unroll == 0 {
 		opts.Unroll = 16
 	}
-	var points []Fig3Point
-	for _, span := range fpga.DefaultSweep {
-		span := span
+	spans := fpga.DefaultSweep
+	return runner.Map(opts.Parallel, len(spans), func(i int) (Fig3Point, error) {
+		span := spans[i]
 		// Frame count and bitstream size of this span.
 		fab := fpga.NewFabric(fpga.NewKintex7())
 		part, err := fpga.AddSweepPartition(fab, span)
 		if err != nil {
-			return nil, err
+			return Fig3Point{}, err
 		}
 		im, err := bitstream.Partial(fab.Dev, part, "sweep", bitstream.Options{})
 		if err != nil {
-			return nil, err
+			return Fig3Point{}, err
 		}
 		pt := Fig3Point{
 			Span:           span,
@@ -57,21 +63,20 @@ func Fig3(opts Fig3Options) ([]Fig3Point, error) {
 		}
 		rv, err := measureRVCAPOnSpan(span)
 		if err != nil {
-			return nil, err
+			return Fig3Point{}, err
 		}
 		pt.RVCAPMicros = rv.ReconfigMicros
 		pt.RVCAPMBs = rv.ThroughputMBs()
 		if !opts.SkipHWICAP {
 			hw, err := measureHWICAP(&span, opts.Unroll, 0)
 			if err != nil {
-				return nil, err
+				return Fig3Point{}, err
 			}
 			pt.HWICAPMicros = hw.ReconfigMicros
 			pt.HWICAPMBs = hw.ThroughputMBs()
 		}
-		points = append(points, pt)
-	}
-	return points, nil
+		return pt, nil
+	})
 }
 
 // FormatFig3 renders the figure's data series.

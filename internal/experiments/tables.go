@@ -9,6 +9,7 @@ import (
 	"rvcap/internal/bitstream"
 	"rvcap/internal/driver"
 	"rvcap/internal/fpga"
+	"rvcap/internal/runner"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
 	"rvcap/internal/synth"
@@ -97,31 +98,37 @@ type ReconfigTimesResult struct {
 	RVCAPMaxMBs         float64
 }
 
-// ReconfigTimes regenerates the §IV-B numbers.
-func ReconfigTimes() (*ReconfigTimesResult, error) {
+// ReconfigTimes regenerates the §IV-B numbers. Every measurement is an
+// independent scenario on its own SoC; they run across parallel host
+// workers (0 = all cores, 1 = serial) with deterministic assembly.
+func ReconfigTimes(parallel int) (*ReconfigTimesResult, error) {
 	r := &ReconfigTimesResult{UnrollFactors: []int{1, 2, 4, 8, 16, 32}}
-	for _, u := range r.UnrollFactors {
-		res, err := measureHWICAP(nil, u, bitstream.DefaultBitstreamBytes)
-		if err != nil {
-			return nil, err
+	// Task layout: one per unroll factor, then the RV-CAP interrupt-mode
+	// measurement, then the max-throughput probe.
+	n := len(r.UnrollFactors)
+	results, err := runner.Map(parallel, n+2, func(i int) (driver.Result, error) {
+		switch {
+		case i < n:
+			return measureHWICAP(nil, r.UnrollFactors[i], bitstream.DefaultBitstreamBytes)
+		case i == n:
+			return measureRVCAP(accel.Sobel, bitstream.DefaultBitstreamBytes)
+		default:
+			return measureRVCAPOnSpan(maxThroughputSpan)
 		}
-		r.UnrollThroughputs = append(r.UnrollThroughputs, res.ThroughputMBs())
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range r.UnrollFactors {
+		r.UnrollThroughputs = append(r.UnrollThroughputs, results[i].ThroughputMBs())
 		if u == 1 {
-			r.HWICAPBlockingMillis = res.ReconfigMicros / 1000
-			r.HWICAPBlockingMBs = res.ThroughputMBs()
+			r.HWICAPBlockingMillis = results[i].ReconfigMicros / 1000
+			r.HWICAPBlockingMBs = results[i].ThroughputMBs()
 		}
 	}
-	rv, err := measureRVCAP(accel.Sobel, bitstream.DefaultBitstreamBytes)
-	if err != nil {
-		return nil, err
-	}
-	r.RVCAPDecisionMicros = rv.DecisionMicros
-	r.RVCAPReconfigMicros = rv.ReconfigMicros
-	max, err := measureRVCAPOnSpan(maxThroughputSpan)
-	if err != nil {
-		return nil, err
-	}
-	r.RVCAPMaxMBs = max.ThroughputMBs()
+	r.RVCAPDecisionMicros = results[n].DecisionMicros
+	r.RVCAPReconfigMicros = results[n].ReconfigMicros
+	r.RVCAPMaxMBs = results[n+1].ThroughputMBs()
 	return r, nil
 }
 
@@ -151,9 +158,12 @@ type Table2Row struct {
 
 // Table2 regenerates Table II: the eight prior-work controllers run as
 // executable models over the same simulated ICAP; the two RISC-V rows
-// are measured end-to-end on the full SoC.
-func Table2() ([]Table2Row, error) {
-	// A default-RP bitstream exercises every model.
+// are measured end-to-end on the full SoC. Each row is an independent
+// scenario with its own kernel; rows run across parallel host workers
+// (0 = all cores, 1 = serial) and always land in paper order.
+func Table2(parallel int) ([]Table2Row, error) {
+	// A default-RP bitstream exercises every model. The words are shared
+	// read-only by every task.
 	fab := fpga.NewFabric(fpga.NewKintex7())
 	part, err := fpga.AddDefaultPartition(fab)
 	if err != nil {
@@ -165,45 +175,50 @@ func Table2() ([]Table2Row, error) {
 		return nil, err
 	}
 
-	var rows []Table2Row
-	for _, s := range baselines.All {
-		k := sim.NewKernel()
-		f2 := fpga.NewFabric(fpga.NewKintex7())
-		mbps := s.MeasureThroughput(k, fpga.NewICAP(f2), im.Words)
-		rows = append(rows, Table2Row{
-			Controller:    s.Name + " " + s.Ref,
-			Processor:     s.Processor,
-			CustomDrivers: s.CustomDrivers,
-			Res:           s.Resources,
-			ThroughputMBs: mbps,
-			FreqMHz:       s.FreqMHz,
-		})
-	}
-	hw, err := measureHWICAP(nil, 16, bitstream.DefaultBitstreamBytes)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, Table2Row{
-		Controller:    "Xilinx AXI_HWICAP (with RISC-V)",
-		Processor:     "RV64GC",
-		CustomDrivers: true,
-		Res:           synth.HWICAPStandalone(),
-		ThroughputMBs: hw.ThroughputMBs(),
-		FreqMHz:       100,
+	specs := baselines.All
+	return runner.Map(parallel, len(specs)+2, func(i int) (Table2Row, error) {
+		switch {
+		case i < len(specs):
+			s := specs[i]
+			k := sim.NewKernel()
+			f2 := fpga.NewFabric(fpga.NewKintex7())
+			mbps := s.MeasureThroughput(k, fpga.NewICAP(f2), im.Words)
+			return Table2Row{
+				Controller:    s.Name + " " + s.Ref,
+				Processor:     s.Processor,
+				CustomDrivers: s.CustomDrivers,
+				Res:           s.Resources,
+				ThroughputMBs: mbps,
+				FreqMHz:       s.FreqMHz,
+			}, nil
+		case i == len(specs):
+			hw, err := measureHWICAP(nil, 16, bitstream.DefaultBitstreamBytes)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			return Table2Row{
+				Controller:    "Xilinx AXI_HWICAP (with RISC-V)",
+				Processor:     "RV64GC",
+				CustomDrivers: true,
+				Res:           synth.HWICAPStandalone(),
+				ThroughputMBs: hw.ThroughputMBs(),
+				FreqMHz:       100,
+			}, nil
+		default:
+			rv, err := measureRVCAPOnSpan(maxThroughputSpan)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			return Table2Row{
+				Controller:    "RV-CAP",
+				Processor:     "RV64GC",
+				CustomDrivers: true,
+				Res:           synth.RVCAPStandalone(),
+				ThroughputMBs: rv.ThroughputMBs(),
+				FreqMHz:       100,
+			}, nil
+		}
 	})
-	rv, err := measureRVCAPOnSpan(maxThroughputSpan)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, Table2Row{
-		Controller:    "RV-CAP",
-		Processor:     "RV64GC",
-		CustomDrivers: true,
-		Res:           synth.RVCAPStandalone(),
-		ThroughputMBs: rv.ThroughputMBs(),
-		FreqMHz:       100,
-	})
-	return rows, nil
 }
 
 // FormatTable2 renders Table II.
@@ -284,25 +299,31 @@ type Table4Row struct {
 // run it on the 512x512 test image, measuring T_d, T_r and T_c with the
 // CLINT timer. T_c uses the blocking completion poll (the pure
 // accelerator time); reconfiguration uses the interrupt mode as §IV-B
-// describes.
-func Table4() ([]Table4Row, error) {
-	s, err := newSoC(soc.Config{})
-	if err != nil {
-		return nil, err
-	}
+// describes. Each filter runs as an independent scenario on its own
+// fresh SoC across parallel host workers (0 = all cores, 1 = serial);
+// the measurements are identical to a serial run because every scenario
+// starts from the same cold state.
+func Table4(parallel int) ([]Table4Row, error) {
+	// The input image is shared read-only; DDR.Load copies it.
 	img := accel.TestPattern(accel.DefaultWidth, accel.DefaultHeight)
 	const inAddr, outAddr = 0x200000, 0x300000
-	s.DDR.Load(inAddr, img.Pix)
-	d := driver.NewRVCAP(s)
-
-	var rows []Table4Row
-	var runErr error
-	s.Run("sw", func(p *sim.Proc) {
-		if runErr = d.SetupPLIC(p); runErr != nil {
-			return
+	filters := accel.Filters
+	return runner.Map(parallel, len(filters), func(i int) (Table4Row, error) {
+		f := filters[i]
+		s, err := newSoC(soc.Config{})
+		if err != nil {
+			return Table4Row{}, err
 		}
-		for i, f := range accel.Filters {
-			m, err := stage(s, s.RP, f, uint64(0x400000+i*0x100000), bitstream.DefaultBitstreamBytes)
+		s.DDR.Load(inAddr, img.Pix)
+		d := driver.NewRVCAP(s)
+
+		var row Table4Row
+		var runErr error
+		s.Run("sw", func(p *sim.Proc) {
+			if runErr = d.SetupPLIC(p); runErr != nil {
+				return
+			}
+			m, err := stage(s, s.RP, f, 0x400000, bitstream.DefaultBitstreamBytes)
 			if err != nil {
 				runErr = err
 				return
@@ -332,20 +353,20 @@ func Table4() ([]Table4Row, error) {
 					break
 				}
 			}
-			rows = append(rows, Table4Row{
+			row = Table4Row{
 				Accelerator:    f,
 				DecisionMicros: res.DecisionMicros,
 				ReconfigMicros: res.ReconfigMicros,
 				ComputeMicros:  ar.ComputeMicros,
 				TotalMicros:    res.DecisionMicros + res.ReconfigMicros + ar.ComputeMicros,
 				OutputCorrect:  correct,
-			})
+			}
+		})
+		if runErr != nil {
+			return Table4Row{}, runErr
 		}
+		return row, nil
 	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	return rows, nil
 }
 
 // FormatTable4 renders Table IV.

@@ -13,6 +13,7 @@ func AllRules() []*Rule {
 	return []*Rule{
 		simDeterminism,
 		goroutineDiscipline,
+		runnerTaskIsolation,
 		mapOrderDeterminism,
 		cycleAccounting,
 		errorDiscipline,
@@ -137,11 +138,14 @@ var simDeterminism = &Rule{
 
 var goroutineDiscipline = &Rule{
 	Name: "goroutine-discipline",
-	Doc: "flags raw go statements everywhere except inside internal/sim itself: " +
-		"the kernel's single-threaded cooperative model only holds when every " +
-		"concurrent activity is a sim.Kernel.Go process",
+	Doc: "flags raw go statements everywhere except inside internal/sim (the kernel's " +
+		"own process machinery) and internal/runner (the one sanctioned host-level " +
+		"fan-out point, which runs whole independent kernels on worker goroutines): " +
+		"anywhere else a raw goroutine runs concurrently with a kernel and breaks " +
+		"the deterministic one-at-a-time handoff",
 	Run: func(c *Context) {
-		if c.Module.internalPkg(c.Pkg.ImportPath, "sim") {
+		if c.Module.internalPkg(c.Pkg.ImportPath, "sim") ||
+			c.Module.internalPkg(c.Pkg.ImportPath, "runner") {
 			return
 		}
 		c.inspect(func(n ast.Node) bool {
@@ -151,6 +155,88 @@ var goroutineDiscipline = &Rule{
 			return true
 		})
 	},
+}
+
+// ---------------------------------------------------------------------------
+// Rule: runner-task-isolation
+
+var runnerTaskIsolation = &Rule{
+	Name: "runner-task-isolation",
+	Doc: "flags function literals passed to internal/runner that capture a " +
+		"*sim.Kernel declared outside the literal: runner tasks execute on host " +
+		"worker goroutines, so every task must construct (and exclusively own) " +
+		"its kernel — a captured outer kernel is shared across threads and races",
+	Run: func(c *Context) {
+		runnerPath := c.Module.Path + "/internal/runner"
+		if c.Pkg.ImportPath == runnerPath {
+			return
+		}
+		c.inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := callee(c.Pkg.Info, call.Fun)
+			if f == nil || pkgPath(f) != runnerPath {
+				return true
+			}
+			// Check the outermost function literals anywhere in the
+			// argument list: a task may be passed directly (runner.Map's
+			// fn) or wrapped in a composite literal ([]runner.Task{...}).
+			// Closures nested inside a task belong to that task, so the
+			// walk stops at the first literal on each path.
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if lit, ok := an.(*ast.FuncLit); ok {
+						c.checkTaskKernelCaptures(lit)
+						return false
+					}
+					return true
+				})
+			}
+			return true
+		})
+	},
+}
+
+// checkTaskKernelCaptures reports every use inside lit of a *sim.Kernel
+// variable declared outside the literal (parameters and locals of the
+// literal itself are its own and fine; struct fields are reached through
+// some captured base and are the base's problem, not a kernel capture).
+func (c *Context) checkTaskKernelCaptures(lit *ast.FuncLit) {
+	simPath := c.Module.Path + "/internal/sim"
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if isSimKernelPtr(v.Type(), simPath) {
+			c.Reportf(id.Pos(), "runner task captures *sim.Kernel %q declared outside the task: kernels are single-threaded and a task runs on a host worker goroutine; construct the kernel inside the task so each scenario owns its own", v.Name())
+		}
+		return true
+	})
+}
+
+// isSimKernelPtr reports whether t is *Kernel with Kernel defined in
+// simPath.
+func isSimKernelPtr(t types.Type, simPath string) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kernel" && obj.Pkg() != nil && obj.Pkg().Path() == simPath
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,32 @@
+// Package runner is a miniature stand-in for the real bounded worker
+// pool: the raw go statement below is host-level fan-out of whole
+// independent scenarios, the one place outside internal/sim where the
+// goroutine-discipline rule must NOT flag.
+package runner
+
+// Task is one unit of host-parallel work.
+type Task func() error
+
+// Map fans fn over n indexes and collects results in index order.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			results[i], _ = fn(i)
+		}
+		close(done)
+	}()
+	<-done
+	return results, nil
+}
+
+// Run executes tasks and returns the first error.
+func Run(workers int, tasks []Task) error {
+	for _, t := range tasks {
+		if err := t(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

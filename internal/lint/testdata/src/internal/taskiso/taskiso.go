@@ -1,0 +1,37 @@
+// Package taskiso exercises the runner-task-isolation rule.
+package taskiso
+
+import (
+	"rvcap/internal/runner"
+	"rvcap/internal/sim"
+)
+
+// Bad shares one kernel across every worker: the closure captures k from
+// the enclosing scope, so concurrent tasks would race on it.
+func Bad() ([]int, error) {
+	k := &sim.Kernel{}
+	return runner.Map(0, 4, func(i int) (int, error) {
+		k.Schedule(1, func() {}) // want "runner-task-isolation"
+		return i, nil
+	})
+}
+
+// BadRun captures an outer kernel in a Task wrapped in a composite
+// literal rather than passed directly.
+func BadRun(k *sim.Kernel) error {
+	return runner.Run(2, []runner.Task{func() error {
+		k.At(0, func() {}) // want "runner-task-isolation"
+		return nil
+	}})
+}
+
+// Good constructs the kernel inside the task, so each scenario owns its
+// own; the nested Schedule closure using it is part of the same task and
+// must not be flagged.
+func Good() ([]int, error) {
+	return runner.Map(0, 4, func(i int) (int, error) {
+		k := &sim.Kernel{}
+		k.Schedule(1, func() { k.At(2, func() {}) })
+		return i, nil
+	})
+}

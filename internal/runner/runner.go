@@ -1,0 +1,114 @@
+// Package runner is the host-level scenario executor behind the
+// experiment engine: a bounded worker pool that fans independent
+// simulation scenarios out across the machine's cores.
+//
+// The discrete-event kernel in internal/sim is strictly single-threaded
+// — one kernel, one event queue, deterministic handoffs — and the
+// goroutine-discipline lint rule bans raw goroutines everywhere so that
+// nothing races a kernel's event loop. Host parallelism is still safe at
+// exactly one granularity: *whole kernels*. Every table/figure
+// regeneration in internal/experiments builds a fresh, fully independent
+// sim.Kernel per measurement, so measurements can run concurrently as
+// long as no two tasks share a kernel (or anything hanging off one).
+// This package is the single sanctioned place where that fan-out
+// happens; the runner-task-isolation lint rule checks that no task
+// closure captures a *sim.Kernel constructed outside the task.
+//
+// Determinism contract: each task is a pure function of its index, every
+// result lands in its index's slot, and error selection is by lowest
+// index — so a parallel run is byte-identical to a serial run of the
+// same tasks, which check.sh verifies on the Fig. 3 sweep.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one independent unit of work: a closure that must construct
+// every piece of mutable simulation state it touches — in particular its
+// own sim.Kernel/SoC — inside the closure. Sharing one kernel between
+// tasks breaks the kernel's single-threaded execution model; sharing
+// read-only inputs (bitstream words, test images, sweep tables) is fine.
+type Task func() error
+
+// Workers resolves a requested worker count: n > 0 is taken as-is,
+// anything else means one worker per host core (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0), fn(1), ..., fn(n-1) across at most Workers(workers)
+// host goroutines and returns the n results in index order. A panicking
+// task is converted to an error (in both the serial and the parallel
+// path, so the two behave identically); when several tasks fail, the
+// error of the lowest index wins regardless of completion order. All
+// tasks run to completion even after a failure — experiment sweeps are
+// all-or-nothing, and cancellation would make the failure surface depend
+// on scheduling.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("runner: task %d panicked: %v", i, r)
+			}
+		}()
+		results[i], errs[i] = fn(i)
+	}
+
+	if w := Workers(workers); w > 1 && n > 1 {
+		if w > n {
+			w = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			// Raw goroutines are sanctioned here (and only here) by the
+			// goroutine-discipline allowlist: each worker executes whole,
+			// task-private kernels, never events of a shared one.
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: task %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Run executes the tasks across at most Workers(workers) goroutines and
+// returns the lowest-index error, if any. It is Map for closures that
+// deliver their results by writing state they own.
+func Run(workers int, tasks []Task) error {
+	_, err := Map(workers, len(tasks), func(i int) (struct{}, error) {
+		return struct{}{}, tasks[i]()
+	})
+	return err
+}

@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSerialParallelIdentical(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("row-%03d", i), nil }
+	serial, err := Map(1, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(8, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial %v != parallel %v", serial, parallel)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 30, func(i int) (int, error) {
+			if i == 7 || i == 23 {
+				return 0, fmt.Errorf("task %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error chain lost: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "task 7") {
+			t.Fatalf("workers=%d: error = %v, want the lowest failed index (7)", workers, err)
+		}
+	}
+}
+
+func TestMapConvertsPanicsToErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 10, func(i int) (int, error) {
+			if i == 3 {
+				panic("kernel wedged")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 3 panicked: kernel wedged") {
+			t.Fatalf("workers=%d: err = %v, want the panic surfaced as task 3's error", workers, err)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(workers, 64, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestMapEmptyAndRunHelpers(t *testing.T) {
+	if got, err := Map(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || got != nil {
+		t.Fatalf("empty Map = %v, %v", got, err)
+	}
+	var order [4]int
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() error { order[i] = i + 1; return nil }
+	}
+	if err := Run(2, tasks); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("task %d did not run (order = %v)", i, order)
+		}
+	}
+	if err := Run(2, []Task{func() error { return errors.New("nope") }}); err == nil {
+		t.Fatal("Run swallowed the task error")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS (%d)", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", w)
+	}
+}

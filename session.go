@@ -46,11 +46,13 @@ func (ses *Session) ReconfigureBlocking(m *Module) (Timing, error) {
 // baseline (the paper's Listing 2 flow) with the given store-loop
 // unroll factor (0 = the paper's 16).
 func (ses *Session) ReconfigureHWICAP(m *Module, unroll int) (Timing, error) {
+	prev := ses.sys.hwicap.Unroll
 	if unroll > 0 {
 		ses.sys.hwicap.Unroll = unroll
 	} else {
 		ses.sys.hwicap.Unroll = 16
 	}
+	defer func() { ses.sys.hwicap.Unroll = prev }()
 	res, err := ses.sys.hwicap.InitReconfigProcess(ses.p, m.desc)
 	if err != nil {
 		return Timing{}, err
@@ -77,8 +79,11 @@ func (ses *Session) FilterImage(src *Image) (*Image, Timing, error) {
 	ses.sys.hw.DDR.Load(filterInAddr, src.Pix)
 	prev := ses.sys.drv.Mode
 	ses.sys.drv.Mode = driver.Blocking // T_c is the pure accelerator time
+	// Restore via defer: a PanicError unwinding out of RunAccelerator
+	// (the kernel rethrows process panics) must not leave the shared
+	// driver stuck in Blocking mode for every later Session call.
+	defer func() { ses.sys.drv.Mode = prev }()
 	res, err := ses.sys.drv.RunAccelerator(ses.p, filterInAddr, filterOutAddr, uint32(len(src.Pix)))
-	ses.sys.drv.Mode = prev
 	if err != nil {
 		return nil, Timing{}, err
 	}

@@ -1,0 +1,86 @@
+package rvcap
+
+import (
+	"testing"
+
+	"rvcap/internal/dma"
+	"rvcap/internal/driver"
+	"rvcap/internal/sim"
+)
+
+// TestReconfigureHWICAPRestoresUnroll is the regression test for the
+// Unroll leak: ReconfigureHWICAP used to overwrite the driver's unroll
+// factor for the session's lifetime, so one call with a custom factor
+// silently changed every later HWICAP measurement.
+func TestReconfigureHWICAPRestoresUnroll(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.hwicap.Unroll; got != 16 {
+		t.Fatalf("default Unroll = %d, want 16", got)
+	}
+	err = sys.Run(func(s *Session) error {
+		if _, err := s.ReconfigureHWICAP(m, 4); err != nil {
+			return err
+		}
+		if got := s.sys.hwicap.Unroll; got != 16 {
+			t.Errorf("Unroll = %d after ReconfigureHWICAP(m, 4) returned, want restored 16", got)
+		}
+		_, err := s.ReconfigureHWICAP(m, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.hwicap.Unroll; got != 16 {
+		t.Errorf("Unroll = %d after session, want 16", got)
+	}
+}
+
+// TestFilterImageRestoresModeOnPanic is the regression test for the
+// Mode leak: FilterImage used to restore the driver mode with a plain
+// assignment after RunAccelerator, so a PanicError unwinding out of the
+// accelerator run left the shared driver stuck in Blocking mode. The
+// fault is injected through the S2MM DMA control register, which only
+// the acceleration path writes — and synchronously on the app process,
+// inside FilterImage's own extent, so its defer must run.
+func TestFilterImageRestoresModeOnPanic(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.DefineFilterModule(Sobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.HW().RVCAP.DMA.Regs.OnWrite(dma.S2MMDMACR, func(uint32) {
+		panic("injected DMA fault")
+	})
+
+	recovered := func() (r interface{}) {
+		defer func() { r = recover() }()
+		sys.Run(func(s *Session) error {
+			if _, err := s.Reconfigure(m); err != nil {
+				return err
+			}
+			_, _, err := s.FilterImage(TestPattern(512, 512))
+			return err
+		})
+		return nil
+	}()
+	pe, ok := recovered.(*sim.PanicError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *sim.PanicError", recovered, recovered)
+	}
+	if pe.Value != "injected DMA fault" {
+		t.Errorf("panic value = %v, want the injected fault", pe.Value)
+	}
+	if got := sys.drv.Mode; got != driver.NonBlocking {
+		t.Errorf("driver Mode = %v after panic, want restored NonBlocking", got)
+	}
+}
