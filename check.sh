@@ -32,4 +32,23 @@ cmp "$tmp/p1/BENCH_fig3.json" "$tmp/p4/BENCH_fig3.json"
 "$tmp/rvcap-bench" -experiment fig4 -json -outdir "$tmp/smoke" > /dev/null
 test -s "$tmp/smoke/BENCH_fig4.json"
 
+echo '== rvcap-bench sched determinism'
+# Same contract for the scheduling sweep: every scenario owns its
+# kernel, so BENCH_sched.json must not depend on the worker count.
+"$tmp/rvcap-bench" -experiment sched -parallel 1 -json -outdir "$tmp/s1" > /dev/null
+"$tmp/rvcap-bench" -experiment sched -parallel 4 -json -outdir "$tmp/s4" > /dev/null
+cmp "$tmp/s1/BENCH_sched.json" "$tmp/s4/BENCH_sched.json"
+
+echo '== examples smoke'
+# The examples are documentation that compiles; keep the canonical ones
+# actually running end to end. quickstart writes its PGM artifacts into
+# the working directory, so it runs from the scratch dir.
+go build -o "$tmp/quickstart" ./examples/quickstart
+(cd "$tmp" && ./quickstart > quickstart.out)
+grep -q 'sobel' "$tmp/quickstart.out"
+go run ./examples/multi-rp > "$tmp/multi-rp.out"
+grep -q 'bit-exact' "$tmp/multi-rp.out"
+go run ./examples/time-shared > "$tmp/time-shared.out"
+grep -q 'policy=affinity' "$tmp/time-shared.out"
+
 echo 'check.sh: all gates passed'

@@ -4,9 +4,10 @@
 // Usage:
 //
 //	rvcap-bench -experiment all
-//	rvcap-bench -experiment table1|reconfig|table2|table3|table4|fig3|fig4|ablations
+//	rvcap-bench -list                              # describe the experiments
 //	rvcap-bench -experiment fig3 -skip-hwicap      # fast RV-CAP-only sweep
 //	rvcap-bench -experiment fig3 -parallel 4       # 4 host workers (0 = all cores)
+//	rvcap-bench -experiment sched -seed 7          # scheduling sweep, custom seed
 //	rvcap-bench -experiment fig3 -json -outdir out # also write BENCH_fig3.json
 //
 // Sweeps fan their independent scenarios (one sim.Kernel each) across
@@ -22,38 +23,176 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"rvcap/internal/experiments"
 )
 
-// experimentNames is the dispatch order for -experiment all.
-var experimentNames = []string{
-	"table1", "reconfig", "table2", "table3", "table4", "fig3", "fig4", "ablations",
+// benchOpts carries the parsed flags into the experiment runners.
+type benchOpts struct {
+	skipHWICAP bool
+	unroll     int
+	parallel   int
+	seed       int64
+}
+
+// experiment is one registry entry: the -experiment name, the one-line
+// description shown by -list, and the runner returning the rows to
+// print and serialize.
+type experiment struct {
+	Name string
+	Desc string
+	// Run prints the formatted result to stdout and returns the rows
+	// for BENCH_<name>.json.
+	Run func(o benchOpts) (interface{}, error)
+}
+
+// registry is the single source of truth for -experiment: the flag's
+// help text, the -list output, the name validation and the dispatch
+// order of -experiment all are all derived from it.
+var registry = []experiment{
+	{"table1", "resource utilization of the RV-CAP controller (Table I)", func(o benchOpts) (interface{}, error) {
+		r, err := experiments.Table1()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(r)
+		return r, nil
+	}},
+	{"reconfig", "reconfiguration time of the filter modules", func(o benchOpts) (interface{}, error) {
+		r, err := experiments.ReconfigTimes(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(r)
+		return r, nil
+	}},
+	{"table2", "reconfiguration time vs. bitstream size (Table II)", func(o benchOpts) (interface{}, error) {
+		rows, err := experiments.Table2(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+		return rows, nil
+	}},
+	{"table3", "controller comparison against AXI_HWICAP (Table III)", func(o benchOpts) (interface{}, error) {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+		return rows, nil
+	}},
+	{"table4", "filter execution time hardware vs. software (Table IV)", func(o benchOpts) (interface{}, error) {
+		rows, err := experiments.Table4(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatTable4(rows))
+		return rows, nil
+	}},
+	{"fig3", "reconfiguration time across RP sizes (Fig. 3)", func(o benchOpts) (interface{}, error) {
+		points, err := experiments.Fig3(experiments.Fig3Options{
+			SkipHWICAP: o.skipHWICAP,
+			Unroll:     o.unroll,
+			Parallel:   o.parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatFig3(points))
+		return points, nil
+	}},
+	{"fig4", "end-to-end filter pipeline demo (Fig. 4)", func(o benchOpts) (interface{}, error) {
+		r, err := experiments.Fig4()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatFig4(r))
+		return r, nil
+	}},
+	{"ablations", "burst/FIFO/compression/validation design ablations", func(o benchOpts) (interface{}, error) {
+		bp, err := experiments.BurstAblation(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatBurstAblation(bp))
+		fp, err := experiments.FIFOAblation(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatFIFOAblation(fp))
+		cp, err := experiments.CompressionAblation(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatCompressionAblation(cp))
+		vr, err := experiments.ValidationAblation(o.parallel)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatValidationAblation(vr))
+		return struct {
+			Burst       []experiments.BurstPoint       `json:"burst"`
+			FIFO        []experiments.FIFOPoint        `json:"fifo"`
+			Compression []experiments.CompressionPoint `json:"compression"`
+			Validation  *experiments.ValidationResult  `json:"validation"`
+		}{bp, fp, cp, vr}, nil
+	}},
+	{"sched", "DPR scheduling sweep: load x policy x partitions", func(o benchOpts) (interface{}, error) {
+		points, err := experiments.Sched(experiments.SchedOptions{
+			Parallel: o.parallel,
+			Seed:     o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatSched(points))
+		return points, nil
+	}},
+}
+
+// experimentNames returns the registry names in dispatch order.
+func experimentNames() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	return names
 }
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"which experiment to run: table1, reconfig, table2, table3, table4, fig3, fig4, ablations, all")
+		"which experiment to run: "+strings.Join(experimentNames(), ", ")+", or all")
+	list := flag.Bool("list", false, "list the experiments and exit")
 	skipHWICAP := flag.Bool("skip-hwicap", false,
 		"omit the slow CPU-driven HWICAP series from fig3")
 	unroll := flag.Int("unroll", 16, "HWICAP store-loop unroll factor for fig3")
 	parallel := flag.Int("parallel", 0,
 		"host workers for the experiment sweeps (0 = all cores, 1 = serial)")
+	seed := flag.Int64("seed", 1, "base workload seed for the sched sweep")
 	jsonOut := flag.Bool("json", false,
 		"also write machine-readable BENCH_<experiment>.json files to -outdir")
 	outDir := flag.String("outdir", ".", "directory for -json output files")
 	flag.Parse()
 
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
 	// Validate before any work: an unknown experiment must fail fast,
 	// not after minutes of sweeping.
 	known := *exp == "all"
-	for _, name := range experimentNames {
-		if *exp == name {
+	for _, e := range registry {
+		if *exp == e.Name {
 			known = true
 		}
 	}
 	if !known {
-		fmt.Fprintf(os.Stderr, "rvcap-bench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "rvcap-bench: unknown experiment %q (try -list)\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -80,102 +219,24 @@ func main() {
 		return os.WriteFile(filepath.Join(*outDir, "BENCH_"+name+".json"), append(buf, '\n'), 0o644)
 	}
 
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
+	opts := benchOpts{
+		skipHWICAP: *skipHWICAP,
+		unroll:     *unroll,
+		parallel:   *parallel,
+		seed:       *seed,
+	}
+	for _, e := range registry {
+		if *exp != "all" && *exp != e.Name {
+			continue
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "rvcap-bench: %s: %v\n", name, err)
+		data, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if err := writeJSON(e.Name, data); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 	}
-
-	run("table1", func() error {
-		r, err := experiments.Table1()
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return writeJSON("table1", r)
-	})
-	run("reconfig", func() error {
-		r, err := experiments.ReconfigTimes(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return writeJSON("reconfig", r)
-	})
-	run("table2", func() error {
-		rows, err := experiments.Table2(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatTable2(rows))
-		return writeJSON("table2", rows)
-	})
-	run("table3", func() error {
-		rows, err := experiments.Table3()
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatTable3(rows))
-		return writeJSON("table3", rows)
-	})
-	run("table4", func() error {
-		rows, err := experiments.Table4(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatTable4(rows))
-		return writeJSON("table4", rows)
-	})
-	run("fig3", func() error {
-		points, err := experiments.Fig3(experiments.Fig3Options{
-			SkipHWICAP: *skipHWICAP,
-			Unroll:     *unroll,
-			Parallel:   *parallel,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatFig3(points))
-		return writeJSON("fig3", points)
-	})
-	run("fig4", func() error {
-		r, err := experiments.Fig4()
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatFig4(r))
-		return writeJSON("fig4", r)
-	})
-	run("ablations", func() error {
-		bp, err := experiments.BurstAblation(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatBurstAblation(bp))
-		fp, err := experiments.FIFOAblation(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatFIFOAblation(fp))
-		cp, err := experiments.CompressionAblation(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatCompressionAblation(cp))
-		vr, err := experiments.ValidationAblation(*parallel)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.FormatValidationAblation(vr))
-		return writeJSON("ablations", struct {
-			Burst       []experiments.BurstPoint       `json:"burst"`
-			FIFO        []experiments.FIFOPoint        `json:"fifo"`
-			Compression []experiments.CompressionPoint `json:"compression"`
-			Validation  *experiments.ValidationResult  `json:"validation"`
-		}{bp, fp, cp, vr})
-	})
 }

@@ -1,0 +1,53 @@
+// The time-shared example runs the DPR-as-a-service runtime from
+// internal/sched: a stream of Sobel/Median/Gaussian jobs competes for
+// two small reconfigurable partitions, and the same job stream is
+// played under each scheduling policy so the effect of configuration
+// reuse is directly visible — the affinity scheduler performs far fewer
+// reconfigurations than FCFS and loses a smaller fraction of machine
+// time to configuration switches.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rvcap/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "time-shared:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One contended scenario: two partitions, offered load near
+	// saturation, modest temporal locality in the module sequence. The
+	// seed fixes the job stream, so every policy schedules exactly the
+	// same arrivals.
+	base := sched.Config{
+		Seed:     7,
+		RPs:      2,
+		Jobs:     24,
+		Load:     0.8,
+		Locality: 0.45,
+	}
+
+	fmt.Println("time-shared DPR: one job stream, three scheduling policies")
+	fmt.Println()
+	for _, policy := range sched.Policies {
+		cfg := base
+		cfg.Policy = policy
+		rep, err := sched.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		fmt.Println()
+	}
+	fmt.Println("Fewer reconfigurations under affinity/shortest-reconfig is")
+	fmt.Println("configuration reuse at work: a job whose module is already")
+	fmt.Println("resident in some partition skips the ICAP transfer entirely.")
+	return nil
+}

@@ -348,6 +348,65 @@ func TestFig3SerialParallelIdentical(t *testing.T) {
 	}
 }
 
+func TestSchedSweepShape(t *testing.T) {
+	points, err := Sched(SchedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(schedRPCounts) * len(schedLoads) * 3; len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	// Within each (RPs, load) cell every policy must see the same seed,
+	// and therefore schedule the identical job stream.
+	bySeed := map[[2]int64][]SchedPoint{}
+	for _, p := range points {
+		bySeed[[2]int64{int64(p.RPs), p.Seed}] = append(bySeed[[2]int64{int64(p.RPs), p.Seed}], p)
+	}
+	var fcfs, affinity float64
+	for cell, ps := range bySeed {
+		if len(ps) != 3 {
+			t.Fatalf("cell %v has %d policies, want 3", cell, len(ps))
+		}
+		for _, p := range ps {
+			if p.Jobs != 24 {
+				t.Errorf("cell %v policy %s ran %d jobs", cell, p.Policy, p.Jobs)
+			}
+			switch p.Policy {
+			case "fcfs":
+				fcfs += p.ReconfigOverheadRatio
+			case "affinity":
+				affinity += p.ReconfigOverheadRatio
+			}
+		}
+	}
+	// Configuration reuse must pay off on the default sweep: summed over
+	// all cells (identical job streams per cell), affinity loses strictly
+	// less machine time to reconfiguration than FCFS.
+	if affinity >= fcfs {
+		t.Errorf("affinity total overhead %.3f not below FCFS %.3f", affinity, fcfs)
+	}
+	if out := FormatSched(points); !strings.Contains(out, "shortest-reconfig") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestSchedSerialParallelIdentical(t *testing.T) {
+	serial, err := Sched(SchedOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sched(SchedOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rows differ between -parallel 1 and -parallel 4:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	if a, b := FormatSched(serial), FormatSched(parallel); a != b {
+		t.Errorf("renderings differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestTable2SerialParallelIdentical(t *testing.T) {
 	serial, err := Table2(1)
 	if err != nil {

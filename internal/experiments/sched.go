@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rvcap/internal/runner"
+	"rvcap/internal/sched"
+)
+
+// SchedPoint is one cell of the scheduling sweep: a (load, policy,
+// partition-count) scenario and its service-level report.
+type SchedPoint struct {
+	// Load is the offered compute load relative to aggregate partition
+	// capacity.
+	Load float64 `json:"load"`
+	// Seed is the workload seed of this cell; every policy at the same
+	// (load, RPs) cell shares it, so policies are compared on identical
+	// job streams.
+	Seed int64 `json:"seed"`
+	*sched.Report
+}
+
+// SchedOptions tunes the scheduling sweep.
+type SchedOptions struct {
+	// Parallel is the host worker count (0 = all cores, 1 = serial).
+	// Rows are identical for every value; see Parallelism in the
+	// package comment.
+	Parallel int
+	// Jobs is the workload length per scenario (default 24).
+	Jobs int
+	// Seed is the base workload seed (default 1).
+	Seed int64
+}
+
+// schedLoads and schedRPCounts define the default sweep grid; together
+// with sched.Policies it spans light load, near-saturation and
+// overload on one and two partitions.
+var (
+	schedLoads    = []float64{0.35, 0.8, 1.5}
+	schedRPCounts = []int{1, 2}
+)
+
+// Sched sweeps the DPR scheduling runtime over load x policy x
+// partition count. Each scenario is an independent sim.Kernel and runs
+// across opts.Parallel host workers; within one (load, RPs) cell all
+// policies see the same seed — and therefore the byte-identical job
+// stream — so the policy columns are directly comparable.
+func Sched(opts SchedOptions) ([]SchedPoint, error) {
+	if opts.Jobs == 0 {
+		opts.Jobs = 24
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	nPol := len(sched.Policies)
+	nLoad := len(schedLoads)
+	total := len(schedRPCounts) * nLoad * nPol
+	return runner.Map(opts.Parallel, total, func(i int) (SchedPoint, error) {
+		ri := i / (nLoad * nPol)
+		li := i / nPol % nLoad
+		pi := i % nPol
+		seed := opts.Seed + int64(ri*nLoad+li)
+		rep, err := sched.Run(sched.Config{
+			Seed:   seed,
+			Policy: sched.Policies[pi],
+			RPs:    schedRPCounts[ri],
+			Jobs:   opts.Jobs,
+			Load:   schedLoads[li],
+		})
+		if err != nil {
+			return SchedPoint{}, err
+		}
+		return SchedPoint{Load: schedLoads[li], Seed: seed, Report: rep}, nil
+	})
+}
+
+// FormatSched renders the sweep as a comparison table.
+func FormatSched(points []SchedPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduling sweep: load x policy x partitions (%d jobs per cell)\n", pointsJobs(points))
+	fmt.Fprintf(&b, "%-4s %-5s %-18s %9s %9s %9s %6s %9s %6s\n",
+		"rps", "load", "policy", "p50 (us)", "p95 (us)", "p99 (us)", "reconf", "overhead", "cache")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-4d %-5.2f %-18s %9.0f %9.0f %9.0f %6d %9.3f %6.2f\n",
+			p.RPs, p.Load, p.Policy, p.P50Micros, p.P95Micros, p.P99Micros,
+			p.Reconfigs, p.ReconfigOverheadRatio, p.CacheHitRate)
+	}
+	return b.String()
+}
+
+func pointsJobs(points []SchedPoint) int {
+	if len(points) == 0 {
+		return 0
+	}
+	return points[0].Jobs
+}

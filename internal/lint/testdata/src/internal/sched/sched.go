@@ -1,0 +1,87 @@
+// Package sched pins the determinism patterns the real scheduling
+// runtime is built from: every PRNG is explicitly seeded, no process
+// reads the wall clock, concurrency stays on the kernel, and the only
+// map iteration that feeds a decision is a pure strict-minimum scan.
+package sched
+
+import (
+	"math/rand"
+	"time"
+
+	"rvcap/internal/sim"
+)
+
+// job is a miniature workload item.
+type job struct {
+	id      int
+	arrival sim.Time
+}
+
+// GoodWorkload draws every arrival from one explicitly seeded
+// generator: equal seeds give byte-identical job streams.
+func GoodWorkload(seed int64, n int) []job {
+	r := rand.New(rand.NewSource(seed))
+	jobs := make([]job, n)
+	var clock sim.Time
+	for i := range jobs {
+		clock += sim.Time(r.Intn(1000))
+		jobs[i] = job{id: i, arrival: clock}
+	}
+	return jobs
+}
+
+// BadWorkload seeds nothing and stamps jobs with host time: two runs of
+// the same scenario would diverge.
+func BadWorkload(n int) []job {
+	jobs := make([]job, n)
+	for i := range jobs {
+		jobs[i] = job{
+			id:      rand.Intn(1000),                 // want "sim-determinism"
+			arrival: sim.Time(time.Now().UnixNano()), // want "sim-determinism"
+		}
+	}
+	return jobs
+}
+
+// entry is a miniature cache entry with a unique LRU stamp.
+type entry struct {
+	addr    uint64
+	lastUse uint64
+}
+
+// GoodEvict is the LRU scan the bitstream cache uses: a pure strict
+// minimum over unique lastUse values, so map iteration order cannot
+// change the victim. Nothing is scheduled or accumulated in the loop.
+func GoodEvict(entries map[string]*entry) string {
+	var victim string
+	var best *entry
+	for key, e := range entries {
+		if best == nil || e.lastUse < best.lastUse {
+			victim, best = key, e
+		}
+	}
+	return victim
+}
+
+// BadEvictAll schedules the evictions while ranging the map: the event
+// queue would depend on iteration order.
+func BadEvictAll(k *sim.Kernel, entries map[string]*entry) {
+	for _, e := range entries {
+		e := e
+		k.Schedule(0, func() { e.lastUse = 0 }) // want "map-order-determinism"
+	}
+}
+
+// GoodFetcher keeps the staging engine on the kernel: a cooperative
+// process that the event loop interleaves deterministically.
+func GoodFetcher(k *sim.Kernel, bytes sim.Time) *sim.Proc {
+	return k.Go("sched.fetch", func(p *sim.Proc) {
+		p.Sleep(bytes)
+	})
+}
+
+// BadFetcher runs the staging engine as a raw goroutine, racing the
+// event loop.
+func BadFetcher(done *sim.Signal) {
+	go done.Fire() // want "goroutine-discipline"
+}

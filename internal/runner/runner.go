@@ -15,12 +15,14 @@
 // closure captures a *sim.Kernel constructed outside the task.
 //
 // Determinism contract: each task is a pure function of its index, every
-// result lands in its index's slot, and error selection is by lowest
-// index — so a parallel run is byte-identical to a serial run of the
-// same tasks, which check.sh verifies on the Fig. 3 sweep.
+// result lands in its index's slot, and failures are reported for every
+// failed index in ascending order — so a parallel run is byte-identical
+// to a serial run of the same tasks, which check.sh verifies on the
+// Fig. 3 sweep.
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,8 +49,10 @@ func Workers(n int) int {
 // host goroutines and returns the n results in index order. A panicking
 // task is converted to an error (in both the serial and the parallel
 // path, so the two behave identically); when several tasks fail, the
-// error of the lowest index wins regardless of completion order. All
-// tasks run to completion even after a failure — experiment sweeps are
+// returned error joins every failure in ascending index order
+// (errors.Is/As see each one), so a 30-point sweep with three bad
+// points reports all three, not just the first. All tasks run to
+// completion even after a failure — experiment sweeps are
 // all-or-nothing, and cancellation would make the failure surface depend
 // on scheduling.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
@@ -60,7 +64,8 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	run := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = fmt.Errorf("runner: task %d panicked: %v", i, r)
+				// The join below adds the "runner: task %d:" prefix.
+				errs[i] = fmt.Errorf("panicked: %v", r)
 			}
 		}()
 		results[i], errs[i] = fn(i)
@@ -95,10 +100,14 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 
+	var failed []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("runner: task %d: %w", i, err)
+			failed = append(failed, fmt.Errorf("runner: task %d: %w", i, err))
 		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
 	}
 	return results, nil
 }

@@ -61,6 +61,46 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
+func TestMapReportsAllFailuresInIndexOrder(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	third := errors.New("third")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 30, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, first
+			case 23:
+				return 0, second
+			case 29:
+				return 0, third
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		// Every failure survives the join for errors.Is.
+		for _, sentinel := range []error{first, second, third} {
+			if !errors.Is(err, sentinel) {
+				t.Errorf("workers=%d: %v lost from the chain: %v", workers, sentinel, err)
+			}
+		}
+		// The message lists failed indices in ascending order, whatever
+		// order the workers completed in.
+		msg := err.Error()
+		i7 := strings.Index(msg, "task 7")
+		i23 := strings.Index(msg, "task 23")
+		i29 := strings.Index(msg, "task 29")
+		if i7 < 0 || i23 < 0 || i29 < 0 {
+			t.Fatalf("workers=%d: missing failed index in %q", workers, msg)
+		}
+		if !(i7 < i23 && i23 < i29) {
+			t.Errorf("workers=%d: indices out of order in %q", workers, msg)
+		}
+	}
+}
+
 func TestMapConvertsPanicsToErrors(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		_, err := Map(workers, 10, func(i int) (int, error) {
@@ -69,7 +109,7 @@ func TestMapConvertsPanicsToErrors(t *testing.T) {
 			}
 			return i, nil
 		})
-		if err == nil || !strings.Contains(err.Error(), "task 3 panicked: kernel wedged") {
+		if err == nil || !strings.Contains(err.Error(), "task 3: panicked: kernel wedged") {
 			t.Fatalf("workers=%d: err = %v, want the panic surfaced as task 3's error", workers, err)
 		}
 	}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"rvcap/internal/bitstream"
+	"rvcap/internal/mem"
+	"rvcap/internal/sim"
+)
+
+// imgKey identifies one partial bitstream: partitions have disjoint
+// frame spans, so every (partition, module) pair is a distinct image.
+type imgKey struct {
+	rp     int
+	module string
+}
+
+// sdBytesPerCycle is the modelled SD→DDR staging bandwidth: 1 byte per
+// 100 MHz cycle = 100 MB/s (a fast SDHC read stream). A cache miss
+// therefore costs several times a reconfiguration — the asymmetry that
+// makes the DDR-resident cache and its prefetcher worth having.
+const sdBytesPerCycle = 1
+
+// cacheState tracks one image's residency in the DDR staging area.
+type cacheState int
+
+const (
+	stateFetching cacheState = iota
+	statePresent
+)
+
+// cacheEntry is one occupied cache slot.
+type cacheEntry struct {
+	key     imgKey
+	state   cacheState
+	addr    uint64
+	bytes   int
+	lastUse uint64 // LRU clock (unique per touch)
+	pinned  int    // >0 while the dispatcher needs the image in place
+}
+
+// bitCache is the DDR-resident bitstream cache: a fixed number of
+// equal-sized DDR slots holding partial bitstreams staged from the SD
+// card, filled by a dedicated fetch process and evicted LRU. All state
+// lives on the simulation kernel's single thread; determinism follows
+// from the unique LRU clock (eviction picks the strictly smallest
+// lastUse, so map iteration order is unobservable).
+type bitCache struct {
+	ddr     *mem.DDR
+	images  map[imgKey]*bitstream.Image
+	entries map[imgKey]*cacheEntry
+	free    []uint64 // unused slot base addresses, ascending
+
+	queue    []imgKey // FIFO of images awaiting the fetcher
+	fetchSig *sim.Signal
+	wake     *sim.Signal // the runtime's dispatcher wake-up
+
+	clock uint64
+
+	hits, misses, prefetches, evictions int
+}
+
+// cacheBase is where the staging slots start in DDR (clear of the
+// demo/image regions used elsewhere in the repo).
+const cacheBase = 0x0200_0000
+
+func newBitCache(ddr *mem.DDR, slots int, images map[imgKey]*bitstream.Image, fetchSig, wake *sim.Signal) *bitCache {
+	slotBytes := 0
+	for _, im := range images {
+		if im.SizeBytes() > slotBytes {
+			slotBytes = im.SizeBytes()
+		}
+	}
+	// Word-align slot strides.
+	slotBytes = (slotBytes + 3) &^ 3
+	c := &bitCache{
+		ddr:      ddr,
+		images:   images,
+		entries:  make(map[imgKey]*cacheEntry),
+		fetchSig: fetchSig,
+		wake:     wake,
+	}
+	for i := 0; i < slots; i++ {
+		c.free = append(c.free, cacheBase+uint64(i*slotBytes))
+	}
+	return c
+}
+
+func (c *bitCache) touch(e *cacheEntry) {
+	c.clock++
+	e.lastUse = c.clock
+}
+
+// request starts staging key into the cache unless it is already
+// present or in flight. It reports false when every slot is pinned or
+// still fetching (the caller retries after progress).
+func (c *bitCache) request(key imgKey, prefetch bool) bool {
+	if _, ok := c.entries[key]; ok {
+		return true
+	}
+	addr, ok := c.allocSlot()
+	if !ok {
+		return false
+	}
+	e := &cacheEntry{key: key, state: stateFetching, addr: addr, bytes: c.images[key].SizeBytes()}
+	c.touch(e)
+	c.entries[key] = e
+	c.queue = append(c.queue, key)
+	if prefetch {
+		c.prefetches++
+	}
+	c.fetchSig.Fire()
+	return true
+}
+
+// allocSlot returns a free slot base, evicting the least-recently-used
+// unpinned resident image if necessary.
+func (c *bitCache) allocSlot() (uint64, bool) {
+	if len(c.free) > 0 {
+		addr := c.free[0]
+		c.free = c.free[1:]
+		return addr, true
+	}
+	var victim *cacheEntry
+	for _, e := range c.entries {
+		if e.state != statePresent || e.pinned > 0 {
+			continue
+		}
+		// lastUse values are unique, so the minimum is well defined
+		// regardless of map iteration order.
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return 0, false
+	}
+	delete(c.entries, victim.key)
+	c.evictions++
+	return victim.addr, true
+}
+
+// ensure blocks the calling process until key's image is resident, and
+// returns its (pinned) entry. The dispatch-time lookup is what the hit
+// rate counts: present = hit, anything else = miss.
+func (c *bitCache) ensure(p *sim.Proc, key imgKey) *cacheEntry {
+	if e, ok := c.entries[key]; ok && e.state == statePresent {
+		c.hits++
+		c.touch(e)
+		e.pinned++
+		return e
+	}
+	c.misses++
+	for {
+		if e, ok := c.entries[key]; ok {
+			// Pin through the fetch so a concurrent prefetch cannot
+			// evict the image between completion and use.
+			e.pinned++
+			for e.state != statePresent {
+				p.Wait(c.wake)
+			}
+			c.touch(e)
+			return e
+		}
+		if !c.request(key, false) {
+			// Every slot pinned or fetching: wait for progress.
+			p.Wait(c.wake)
+		}
+	}
+}
+
+func (c *bitCache) unpin(e *cacheEntry) {
+	if e.pinned > 0 {
+		e.pinned--
+	}
+}
+
+// runFetcher is the SD staging engine: a kernel-confined process that
+// drains the fetch queue in FIFO order, charging the SD streaming time
+// and then materialising the image in its DDR slot. It models the SD
+// controller's autonomous DMA; the hart is not involved.
+func (c *bitCache) runFetcher(p *sim.Proc, stop *sim.Signal) {
+	for {
+		if len(c.queue) == 0 {
+			if p.WaitAny(c.fetchSig, stop) == 1 {
+				return
+			}
+			continue
+		}
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		e, ok := c.entries[key]
+		if !ok || e.state != stateFetching {
+			continue
+		}
+		im := c.images[key]
+		p.Sleep(sim.Time(im.SizeBytes() / sdBytesPerCycle))
+		c.ddr.Load(e.addr, im.Bytes())
+		e.state = statePresent
+		c.wake.Fire()
+	}
+}
+
+// hitRate returns the dispatch-time cache hit rate.
+func (c *bitCache) hitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}

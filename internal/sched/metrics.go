@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rvcap/internal/sim"
+)
+
+// RPStat is the service-level accounting of one partition.
+type RPStat struct {
+	// Name is the partition name on the fabric.
+	Name string `json:"name"`
+	// Jobs served by this partition.
+	Jobs int `json:"jobs"`
+	// Reconfigs actually performed on this partition.
+	Reconfigs int `json:"reconfigs"`
+	// BusyMicros is accelerator compute time.
+	BusyMicros float64 `json:"busy_micros"`
+	// ReconfigMicros is time spent loading modules (driver sequence
+	// included).
+	ReconfigMicros float64 `json:"reconfig_micros"`
+	// Utilization is BusyMicros over the scenario makespan.
+	Utilization float64 `json:"utilization"`
+}
+
+// Report is the service-level outcome of one scenario.
+type Report struct {
+	Policy string `json:"policy"`
+	RPs    int    `json:"rps"`
+	Jobs   int    `json:"jobs"`
+
+	// MakespanMicros is the completion time of the last job.
+	MakespanMicros float64 `json:"makespan_micros"`
+
+	// Queue-to-completion latency distribution.
+	P50Micros  float64 `json:"p50_micros"`
+	P95Micros  float64 `json:"p95_micros"`
+	P99Micros  float64 `json:"p99_micros"`
+	MeanMicros float64 `json:"mean_micros"`
+	MaxMicros  float64 `json:"max_micros"`
+
+	// Reconfigs is the number of module loads across all partitions;
+	// ResidentHits counts dispatches served by an already-resident
+	// module (configuration reuse).
+	Reconfigs    int `json:"reconfigs"`
+	ResidentHits int `json:"resident_hits"`
+
+	// ReconfigOverheadRatio is total reconfiguration time over total
+	// partition activity (busy + reconfig): the fraction of machine
+	// time lost to configuration switches.
+	ReconfigOverheadRatio float64 `json:"reconfig_overhead_ratio"`
+
+	// DDR bitstream cache counters.
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Prefetches   int     `json:"prefetches"`
+	Evictions    int     `json:"evictions"`
+
+	PerRP []RPStat `json:"per_rp"`
+}
+
+// percentile returns the nearest-rank percentile (q in (0,1]) of the
+// sorted values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// buildReport assembles the scenario report from the completed jobs and
+// partition accounting.
+func (r *Runtime) buildReport() *Report {
+	rep := &Report{
+		Policy:      r.cfg.Policy.String(),
+		RPs:         r.cfg.RPs,
+		Jobs:        len(r.jobs),
+		CacheHits:   r.cache.hits,
+		CacheMisses: r.cache.misses,
+		Prefetches:  r.cache.prefetches,
+		Evictions:   r.cache.evictions,
+	}
+	rep.CacheHitRate = r.cache.hitRate()
+
+	lat := make([]float64, 0, len(r.jobs))
+	var last sim.Time
+	var sum float64
+	for _, j := range r.jobs {
+		l := j.LatencyMicros()
+		lat = append(lat, l)
+		sum += l
+		if j.Completion > last {
+			last = j.Completion
+		}
+		if j.Reconfigured {
+			rep.Reconfigs++
+		} else {
+			rep.ResidentHits++
+		}
+	}
+	sort.Float64s(lat)
+	rep.MakespanMicros = sim.Micros(last)
+	rep.P50Micros = percentile(lat, 0.50)
+	rep.P95Micros = percentile(lat, 0.95)
+	rep.P99Micros = percentile(lat, 0.99)
+	rep.MaxMicros = percentile(lat, 1.00)
+	if len(lat) > 0 {
+		rep.MeanMicros = sum / float64(len(lat))
+	}
+
+	var busy, reconf float64
+	for _, rp := range r.rps {
+		st := RPStat{
+			Name:           rp.part.Name,
+			Jobs:           rp.jobsServed,
+			Reconfigs:      rp.reconfigs,
+			BusyMicros:     sim.Micros(rp.busyCycles),
+			ReconfigMicros: sim.Micros(rp.reconfigCycles),
+		}
+		if rep.MakespanMicros > 0 {
+			st.Utilization = st.BusyMicros / rep.MakespanMicros
+		}
+		busy += st.BusyMicros
+		reconf += st.ReconfigMicros
+		rep.PerRP = append(rep.PerRP, st)
+	}
+	if busy+reconf > 0 {
+		rep.ReconfigOverheadRatio = reconf / (busy + reconf)
+	}
+	return rep
+}
+
+// String renders the report as a compact service-level summary.
+func (rep *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched: policy=%s rps=%d jobs=%d makespan=%.0f us\n",
+		rep.Policy, rep.RPs, rep.Jobs, rep.MakespanMicros)
+	fmt.Fprintf(&b, "  latency p50/p95/p99 = %.0f / %.0f / %.0f us (mean %.0f, max %.0f)\n",
+		rep.P50Micros, rep.P95Micros, rep.P99Micros, rep.MeanMicros, rep.MaxMicros)
+	fmt.Fprintf(&b, "  reconfigs=%d resident-hits=%d overhead-ratio=%.3f cache-hit-rate=%.2f (hits %d, misses %d, prefetches %d, evictions %d)\n",
+		rep.Reconfigs, rep.ResidentHits, rep.ReconfigOverheadRatio,
+		rep.CacheHitRate, rep.CacheHits, rep.CacheMisses, rep.Prefetches, rep.Evictions)
+	for _, st := range rep.PerRP {
+		fmt.Fprintf(&b, "  %-6s jobs=%-3d reconfigs=%-3d busy=%.0f us reconfig=%.0f us util=%.2f\n",
+			st.Name, st.Jobs, st.Reconfigs, st.BusyMicros, st.ReconfigMicros, st.Utilization)
+	}
+	return b.String()
+}

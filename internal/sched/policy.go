@@ -1,0 +1,118 @@
+package sched
+
+import "fmt"
+
+// Policy selects which queued job runs next on which free partition.
+type Policy int
+
+const (
+	// FCFS dispatches the oldest queued job to the lowest-numbered free
+	// partition, ignoring what is resident where.
+	FCFS Policy = iota
+	// Affinity is configuration-reuse scheduling (Nguyen & Hoe): prefer
+	// a (job, partition) pair whose module is already resident, looking
+	// at most ReorderWindow jobs deep so no job is starved; otherwise
+	// fall back to FCFS.
+	Affinity
+	// ShortestReconfig picks, within the reorder window, the (job,
+	// partition) pair with the cheapest configuration switch — zero for
+	// a resident module, otherwise the bitstream transfer plus any SD
+	// staging still outstanding. Ties go to the older job.
+	ShortestReconfig
+)
+
+// Policies lists every policy in definition order.
+var Policies = []Policy{FCFS, Affinity, ShortestReconfig}
+
+// String returns the policy's stable identifier (used in reports and
+// BENCH_sched.json).
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case Affinity:
+		return "affinity"
+	case ShortestReconfig:
+		return "shortest-reconfig"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a stable identifier back to its policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
+}
+
+// pick chooses the next (queue index, partition index) to dispatch, or
+// (-1, -1) when nothing is dispatchable (no queued job or no free
+// partition). It never blocks; the dispatcher calls it whenever the
+// system state changes.
+func (r *Runtime) pick() (int, int) {
+	free := -1
+	for i, rp := range r.rps {
+		if !rp.busy {
+			free = i
+			break
+		}
+	}
+	if free < 0 || len(r.queue) == 0 {
+		return -1, -1
+	}
+
+	window := len(r.queue)
+	if window > r.cfg.ReorderWindow {
+		window = r.cfg.ReorderWindow
+	}
+
+	switch r.cfg.Policy {
+	case Affinity:
+		for qi := 0; qi < window; qi++ {
+			for pi, rp := range r.rps {
+				if !rp.busy && rp.part.Active() == r.queue[qi].Module {
+					return qi, pi
+				}
+			}
+		}
+		return 0, free
+
+	case ShortestReconfig:
+		bestQ, bestP, bestCost := 0, free, int(^uint(0)>>1)
+		for qi := 0; qi < window; qi++ {
+			job := r.queue[qi]
+			for pi, rp := range r.rps {
+				if rp.busy {
+					continue
+				}
+				cost := r.switchCost(job.Module, pi)
+				if cost < bestCost {
+					bestQ, bestP, bestCost = qi, pi, cost
+				}
+			}
+		}
+		return bestQ, bestP
+
+	default: // FCFS
+		return 0, free
+	}
+}
+
+// switchCost estimates the configuration-switch cost (in bytes still to
+// move) of running module on partition pi: zero when resident,
+// otherwise the partial bitstream size plus the SD staging still ahead
+// of it when the image is not yet DDR-resident.
+func (r *Runtime) switchCost(module string, pi int) int {
+	if r.rps[pi].part.Active() == module {
+		return 0
+	}
+	key := imgKey{rp: pi, module: module}
+	cost := r.images[key].SizeBytes()
+	if e, ok := r.cache.entries[key]; !ok || e.state != statePresent {
+		cost += r.images[key].SizeBytes() // staging is the same byte count again
+	}
+	return cost
+}

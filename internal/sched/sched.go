@@ -1,0 +1,390 @@
+// Package sched is a deterministic DPR-as-a-service runtime: many
+// competing filter jobs time-share a few reconfigurable partitions, the
+// runtime problem of time-shared DPR systems (Nguyen & Hoe, "Time-Shared
+// Execution of Realtime Computer Vision Pipelines by Dynamic Partial
+// Reconfiguration"). It runs entirely inside the simulation on one
+// sim.Kernel: arrivals, the SD staging engine, the partition servers and
+// the scheduling CPU are kernel-confined processes, so a scenario is a
+// pure function of its Config — byte-identical on every run and host.
+//
+// The moving parts:
+//
+//   - a seeded synthetic workload (open-loop Poisson-like arrivals of
+//     Sobel/Median/Gaussian jobs with temporal module locality),
+//   - N reconfigurable partitions placed on the fabric, each loaded
+//     through the existing RV-CAP driver path (decouple bit, stream
+//     switch to ICAP, DMA transfer, PLIC completion interrupt),
+//   - pluggable policies: FCFS, module-affinity (configuration reuse —
+//     skip reconfiguration when the module is already resident) and
+//     shortest-reconfig-first,
+//   - a DDR-resident bitstream cache with prefetch in front of the slow
+//     SD staging path, and
+//   - a service-level metrics layer (p50/p95/p99 latency, per-RP
+//     utilization, cache hit rate, reconfiguration-overhead ratio).
+//
+// Scheduling model: one hart runs the scheduler, so configuration
+// switches serialise on the CPU+DMA (there is one ICAP), while compute
+// proceeds concurrently on the partitions — exactly the asymmetry that
+// makes configuration reuse valuable.
+package sched
+
+import (
+	"fmt"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/core"
+	"rvcap/internal/driver"
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Config fully determines one scenario.
+type Config struct {
+	// Seed drives the workload generator.
+	Seed int64
+	// Policy selects the dispatch order (FCFS when zero).
+	Policy Policy
+	// RPs is the number of reconfigurable partitions (default 2,
+	// maximum len(rpColumnPairs)).
+	RPs int
+	// Jobs is the workload length (default 24).
+	Jobs int
+	// Load is the offered compute load relative to aggregate partition
+	// capacity (default 0.7).
+	Load float64
+	// Locality is the probability a job repeats the previous module
+	// (default 0.45).
+	Locality float64
+	// CacheSlots is the DDR bitstream cache capacity in slots (default
+	// 4, minimum 2).
+	CacheSlots int
+	// ReorderWindow bounds how deep Affinity/ShortestReconfig look into
+	// the queue (default 8), so no job is starved indefinitely.
+	ReorderWindow int
+	// NoPrefetch disables staging a job's bitstream at arrival time.
+	NoPrefetch bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.RPs == 0 {
+		c.RPs = 2
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 24
+	}
+	if c.Load == 0 {
+		c.Load = 0.7
+	}
+	if c.Locality == 0 {
+		c.Locality = 0.45
+	}
+	if c.CacheSlots == 0 {
+		c.CacheSlots = 4
+	}
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// rpColumnPairs are the CLB column pairs (avoiding BRAM/DSP columns, so
+// every partition has an identical frame count and bitstream size) used
+// to place scheduler partitions on row 0 of the Kintex-7 geometry. The
+// paper's default RP sits on rows 2-3 and is skipped here; the sched
+// partitions are deliberately small so configuration switches are the
+// same order of magnitude as compute.
+var rpColumnPairs = [][2]int{
+	{0, 1}, {2, 3}, {4, 5}, {7, 8}, {9, 10}, {11, 12}, {14, 15}, {16, 17},
+}
+
+// padFactorNum/Den give each module a distinct bitstream size (numerator
+// over denominator applied to the natural span size), so
+// shortest-reconfig-first has real cost differences to exploit.
+func padFactor(module string) (num, den int) {
+	switch module {
+	case accel.Sobel:
+		return 1, 1
+	case accel.Median:
+		return 5, 4
+	case accel.Gaussian:
+		return 3, 2
+	}
+	return 1, 1
+}
+
+// rpState is the runtime view of one partition.
+type rpState struct {
+	part  *fpga.Partition
+	start *sim.Signal
+	busy  bool
+	job   *Job
+
+	jobsServed     int
+	reconfigs      int
+	busyCycles     sim.Time
+	reconfigCycles sim.Time
+}
+
+// Runtime is one scenario in flight. Construct with Run.
+type Runtime struct {
+	cfg Config
+	s   *soc.SoC
+	d   *driver.RVCAP
+
+	jobs   []*Job
+	queue  []*Job
+	rps    []*rpState
+	images map[imgKey]*bitstream.Image
+	cache  *bitCache
+
+	wake *sim.Signal // pulses on arrival / completion / fetch-done
+	stop *sim.Signal // latched end-of-scenario
+
+	completed int
+}
+
+// Run plays one scenario to completion and returns its service-level
+// report. Everything — including the DMA transfers of every module load
+// — happens on a single fresh sim.Kernel, so equal Configs give
+// byte-identical Reports.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.RPs < 1 || cfg.RPs > len(rpColumnPairs) {
+		return nil, fmt.Errorf("sched: RPs = %d outside [1,%d]", cfg.RPs, len(rpColumnPairs))
+	}
+	if cfg.CacheSlots < 2 {
+		return nil, fmt.Errorf("sched: CacheSlots = %d, need at least 2", cfg.CacheSlots)
+	}
+	jobs, err := Workload{
+		Seed: cfg.Seed, Jobs: cfg.Jobs, Load: cfg.Load,
+		RPs: cfg.RPs, Locality: cfg.Locality,
+	}.Generate()
+	if err != nil {
+		return nil, err
+	}
+
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{SkipDefaultPartition: true})
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		s:      s,
+		d:      driver.NewRVCAP(s),
+		jobs:   jobs,
+		images: make(map[imgKey]*bitstream.Image),
+		wake:   sim.NewSignal(k, "sched.wake"),
+		stop:   sim.NewLatchedSignal(k, "sched.stop"),
+	}
+
+	// Partitions and their per-module partial bitstreams. Partitions
+	// have disjoint frame spans, so each (partition, module) pair is a
+	// distinct image with its own signature.
+	for i := 0; i < cfg.RPs; i++ {
+		cols := rpColumnPairs[i]
+		part, _, err := s.AddPartition(fmt.Sprintf("SRP%d", i), 0, 0, cols[0], cols[1], fpga.DefaultRPReserve)
+		if err != nil {
+			return nil, err
+		}
+		r.rps = append(r.rps, &rpState{
+			part:  part,
+			start: sim.NewSignal(k, part.Name+".start"),
+		})
+		natural := 0
+		for _, module := range accel.Filters {
+			if natural == 0 {
+				probe, err := bitstream.Partial(s.Fabric.Dev, part, module, bitstream.Options{})
+				if err != nil {
+					return nil, err
+				}
+				natural = probe.SizeBytes()
+			}
+			num, den := padFactor(module)
+			im, err := bitstream.Partial(s.Fabric.Dev, part, module,
+				bitstream.Options{PadToBytes: (natural*num/den + 3) &^ 3})
+			if err != nil {
+				return nil, err
+			}
+			bitstream.Register(s.Fabric, im)
+			r.images[imgKey{rp: i, module: module}] = im
+		}
+	}
+
+	fetchSig := sim.NewSignal(k, "sched.fetch")
+	r.cache = newBitCache(s.DDR, cfg.CacheSlots, r.images, fetchSig, r.wake)
+
+	// Kernel-confined processes: arrivals, SD staging, partition
+	// servers, and the scheduling CPU.
+	k.Go("sched.arrivals", r.runArrivals)
+	k.Go("sched.fetch", func(p *sim.Proc) { r.cache.runFetcher(p, r.stop) })
+	for i := range r.rps {
+		i := i
+		k.Go(r.rps[i].part.Name, func(p *sim.Proc) { r.runRP(p, i) })
+	}
+	var runErr error
+	k.Go("sched.cpu", func(p *sim.Proc) { runErr = r.runDispatcher(p) })
+	k.Run()
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if r.completed != len(r.jobs) {
+		return nil, fmt.Errorf("sched: only %d of %d jobs completed", r.completed, len(r.jobs))
+	}
+	return r.buildReport(), nil
+}
+
+// runArrivals releases jobs into the queue at their generated arrival
+// cycles and, unless disabled, prefetches each job's bitstream for the
+// partition it will most plausibly land on.
+func (r *Runtime) runArrivals(p *sim.Proc) {
+	for _, job := range r.jobs {
+		if job.Arrival > p.Now() {
+			p.Sleep(job.Arrival - p.Now())
+		}
+		r.queue = append(r.queue, job)
+		if !r.cfg.NoPrefetch {
+			r.cache.request(imgKey{rp: r.predictRP(job), module: job.Module}, true)
+		}
+		r.wake.Fire()
+	}
+}
+
+// predictRP guesses the partition an arriving job will be dispatched
+// to: one where its module is already resident, else a deterministic
+// spread by job ID. A misprediction only costs a later cache miss.
+func (r *Runtime) predictRP(job *Job) int {
+	for i, rp := range r.rps {
+		if rp.part.Active() == job.Module {
+			return i
+		}
+	}
+	return job.ID % len(r.rps)
+}
+
+// runRP is one partition server: it idles until the dispatcher hands it
+// a job, charges the compute time, and reports completion.
+func (r *Runtime) runRP(p *sim.Proc, pi int) {
+	rp := r.rps[pi]
+	for {
+		if rp.job == nil {
+			if p.WaitAny(rp.start, r.stop) == 1 {
+				return
+			}
+			continue
+		}
+		job := rp.job
+		p.Sleep(job.Service)
+		job.Completion = p.Now()
+		rp.busyCycles += job.Service
+		rp.job = nil
+		rp.busy = false
+		r.completed++
+		r.wake.Fire()
+	}
+}
+
+// runDispatcher is the scheduling CPU: the only process that touches
+// the hart, the RV-CAP driver and the DMA. It repeatedly applies the
+// policy, performs any configuration switch the pick requires, and
+// hands the job to its partition server.
+func (r *Runtime) runDispatcher(p *sim.Proc) error {
+	if err := r.d.SetupPLIC(p); err != nil {
+		return err
+	}
+	for r.completed < len(r.jobs) {
+		qi, pi := r.pick()
+		if qi < 0 {
+			p.Wait(r.wake)
+			continue
+		}
+		if err := r.dispatch(p, qi, pi); err != nil {
+			return err
+		}
+	}
+	r.stop.Fire()
+	return nil
+}
+
+// dispatch runs one pick: stage the bitstream if the module is not
+// resident, reconfigure through the RV-CAP driver, and start the job.
+// The partition is reserved up front so the policy cannot double-book
+// it while the dispatcher blocks on staging or the DMA interrupt.
+func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
+	job := r.queue[qi]
+	r.queue = append(r.queue[:qi], r.queue[qi+1:]...)
+	rp := r.rps[pi]
+	rp.busy = true
+	job.Dispatch = p.Now()
+	job.RP = pi
+
+	if rp.part.Active() != job.Module {
+		key := imgKey{rp: pi, module: job.Module}
+		e := r.cache.ensure(p, key)
+		t0 := p.Now()
+		err := r.reconfigure(p, rp, key, e)
+		r.cache.unpin(e)
+		if err != nil {
+			return err
+		}
+		rp.reconfigCycles += p.Now() - t0
+		rp.reconfigs++
+		job.Reconfigured = true
+	}
+
+	rp.job = job
+	rp.jobsServed++
+	rp.start.Fire()
+	return nil
+}
+
+// reconfigure loads key's module into rp through the paper's Listing 1
+// sequence, addressed at the partition's decouple bit: isolate the RP,
+// steer the stream switch to the ICAP, launch the non-blocking DMA read
+// of the staged bitstream, ride the PLIC completion interrupt, then
+// recouple.
+func (r *Runtime) reconfigure(p *sim.Proc, rp *rpState, key imgKey, e *cacheEntry) error {
+	h := r.s.Hart
+	bit := r.s.DecoupleBit(rp.part)
+	if bit < 0 {
+		return fmt.Errorf("sched: partition %s has no decouple bit", rp.part.Name)
+	}
+	if err := h.Store32(p, soc.RVCAPBase+core.RegControl, 1<<uint(bit)); err != nil {
+		return err
+	}
+	if err := r.d.SelectICAP(p, true); err != nil {
+		return err
+	}
+	m := &driver.ReconfigModule{
+		BitstreamName: key.module + ".bin",
+		Function:      key.module,
+		StartAddress:  e.addr,
+		PbitSize:      uint32(e.bytes),
+	}
+	if err := r.d.ReconfigureRP(p, m, driver.NonBlocking); err != nil {
+		return err
+	}
+	if err := r.d.WaitReconfigDone(p); err != nil {
+		return err
+	}
+	if err := r.d.SelectICAP(p, false); err != nil {
+		return err
+	}
+	if err := h.Store32(p, soc.RVCAPBase+core.RegControl, 0); err != nil {
+		return err
+	}
+	if err := r.s.ICAP.Err(); err != nil {
+		return fmt.Errorf("sched: loading %s into %s: %w", key.module, rp.part.Name, err)
+	}
+	if rp.part.Active() != key.module {
+		return fmt.Errorf("sched: module %s not active on %s after load", key.module, rp.part.Name)
+	}
+	return nil
+}

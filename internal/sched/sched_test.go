@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rvcap/internal/accel"
+)
+
+func TestWorkloadDeterministicPerSeed(t *testing.T) {
+	w := Workload{Seed: 42, Jobs: 50, Load: 0.8, RPs: 2, Locality: 0.45}
+	a, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different job streams")
+	}
+	w.Seed = 43
+	c, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical job streams")
+	}
+	// Arrivals are non-decreasing and service times positive.
+	for i, j := range a {
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if i > 0 && j.Arrival < a[i-1].Arrival {
+			t.Errorf("job %d arrives before job %d", i, i-1)
+		}
+		if j.Service <= 0 {
+			t.Errorf("job %d has service %d", i, j.Service)
+		}
+	}
+}
+
+func TestWorkloadLocalityShapesModuleRuns(t *testing.T) {
+	gen := func(locality float64) int {
+		jobs, err := Workload{Seed: 7, Jobs: 400, Load: 1, RPs: 1, Locality: locality}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		repeats := 0
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].Module == jobs[i-1].Module {
+				repeats++
+			}
+		}
+		return repeats
+	}
+	// High locality must produce clearly more module repeats than the
+	// near-uniform stream.
+	if hi, lo := gen(0.8), gen(0.05); hi <= lo {
+		t.Errorf("repeats at locality 0.8 = %d, at 0.05 = %d; want more at high locality", hi, lo)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := (Workload{Seed: 1, Jobs: 0, Load: 1, RPs: 1}).Generate(); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	if _, err := (Workload{Seed: 1, Jobs: 5, Load: 0, RPs: 1}).Generate(); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := (Workload{Seed: 1, Jobs: 5, Load: 1, RPs: 0}).Generate(); err == nil {
+		t.Error("zero RPs accepted")
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got != p {
+			t.Errorf("round trip %s -> %s", p, got)
+		}
+	}
+	if _, err := ParsePolicy("round-robin"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if s := Policy(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown policy rendered as %q", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{RPs: len(rpColumnPairs) + 1}); err == nil {
+		t.Error("RP count beyond placement table accepted")
+	}
+	if _, err := Run(Config{CacheSlots: 1}); err == nil {
+		t.Error("single cache slot accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Policy: Affinity, Load: 0.9, RPs: 2, Jobs: 16, Seed: 5}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same config produced different reports:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestRunCompletesAllJobsSingleRP(t *testing.T) {
+	rep, err := Run(Config{Policy: FCFS, Load: 1.2, RPs: 1, Jobs: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 12 {
+		t.Errorf("jobs = %d, want 12", rep.Jobs)
+	}
+	if len(rep.PerRP) != 1 || rep.PerRP[0].Jobs != 12 {
+		t.Errorf("per-RP accounting wrong: %+v", rep.PerRP)
+	}
+	// Every dispatch either reconfigured or reused the configuration.
+	if rep.Reconfigs+rep.ResidentHits != 12 {
+		t.Errorf("reconfigs %d + resident hits %d != 12", rep.Reconfigs, rep.ResidentHits)
+	}
+	// The first load of each module cannot be a resident hit.
+	if rep.Reconfigs < 1 {
+		t.Error("no reconfiguration at all")
+	}
+	if rep.P50Micros <= 0 || rep.P99Micros < rep.P95Micros || rep.P95Micros < rep.P50Micros {
+		t.Errorf("latency percentiles inconsistent: p50=%.0f p95=%.0f p99=%.0f",
+			rep.P50Micros, rep.P95Micros, rep.P99Micros)
+	}
+	if rep.MaxMicros < rep.P99Micros {
+		t.Errorf("max %.0f < p99 %.0f", rep.MaxMicros, rep.P99Micros)
+	}
+}
+
+func TestAffinityBeatsFCFSOnOverheadRatio(t *testing.T) {
+	base := Config{Load: 0.9, RPs: 2, Jobs: 24, Seed: 7}
+	fcfsCfg, affCfg := base, base
+	fcfsCfg.Policy = FCFS
+	affCfg.Policy = Affinity
+	f, err := Run(fcfsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(affCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReconfigOverheadRatio >= f.ReconfigOverheadRatio {
+		t.Errorf("affinity overhead ratio %.3f not below FCFS %.3f",
+			a.ReconfigOverheadRatio, f.ReconfigOverheadRatio)
+	}
+	if a.Reconfigs >= f.Reconfigs {
+		t.Errorf("affinity reconfigs %d not below FCFS %d", a.Reconfigs, f.Reconfigs)
+	}
+}
+
+func TestPrefetchImprovesCacheHitRate(t *testing.T) {
+	base := Config{Policy: Affinity, Load: 0.9, RPs: 2, Jobs: 24, Seed: 9}
+	with, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.NoPrefetch = true
+	without, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Prefetches != 0 {
+		t.Errorf("NoPrefetch still prefetched %d times", without.Prefetches)
+	}
+	if with.Prefetches == 0 {
+		t.Error("prefetch enabled but never used")
+	}
+	if with.CacheHitRate < without.CacheHitRate {
+		t.Errorf("prefetch hit rate %.2f below no-prefetch %.2f",
+			with.CacheHitRate, without.CacheHitRate)
+	}
+}
+
+func TestModuleBitstreamSizesDiffer(t *testing.T) {
+	// shortest-reconfig-first needs real cost differences: the padded
+	// images must be strictly ordered Sobel < Median < Gaussian.
+	rep, err := Run(Config{Policy: ShortestReconfig, Load: 0.5, RPs: 1, Jobs: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 6 {
+		t.Fatalf("jobs = %d", rep.Jobs)
+	}
+	// Rebuild the same partition the runtime used and compare image
+	// sizes via the pad factors.
+	sn, sd := padFactor(accel.Sobel)
+	mn, md := padFactor(accel.Median)
+	gn, gd := padFactor(accel.Gaussian)
+	if !(float64(sn)/float64(sd) < float64(mn)/float64(md) &&
+		float64(mn)/float64(md) < float64(gn)/float64(gd)) {
+		t.Error("pad factors not strictly increasing sobel < median < gaussian")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vals, 0.5); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(vals, 0.95); p != 10 {
+		t.Errorf("p95 = %v, want 10", p)
+	}
+	if p := percentile(vals, 1.0); p != 10 {
+		t.Errorf("p100 = %v, want 10", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	if p := percentile([]float64{7}, 0.99); p != 7 {
+		t.Errorf("single-value p99 = %v", p)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep, err := Run(Config{Policy: Affinity, Load: 0.8, RPs: 2, Jobs: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"policy=affinity", "p50/p95/p99", "cache-hit-rate", "SRP0", "SRP1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/sim"
+)
+
+// Job is one unit of work offered to the runtime: a request to run the
+// named filter module over one input frame. Arrival and service are
+// fixed by the workload generator before the simulation starts, so a
+// job stream is a pure function of the generator seed; dispatch and
+// completion are filled in by the runtime as the scenario plays out.
+type Job struct {
+	// ID is the arrival-order index (0-based).
+	ID int
+	// Module is the reconfigurable module the job needs (a filter name
+	// from internal/accel).
+	Module string
+	// Arrival is the cycle the job enters the queue.
+	Arrival sim.Time
+	// Service is the accelerator compute time once the module is
+	// resident in a partition.
+	Service sim.Time
+
+	// Dispatch is the cycle the scheduler picked the job (set by the
+	// runtime).
+	Dispatch sim.Time
+	// Completion is the cycle the job's compute finished (set by the
+	// runtime).
+	Completion sim.Time
+	// RP is the index of the partition that served the job (set by the
+	// runtime).
+	RP int
+	// Reconfigured reports whether serving the job required loading its
+	// module (false = configuration reuse).
+	Reconfigured bool
+}
+
+// LatencyMicros is the job's queue-to-completion latency.
+func (j *Job) LatencyMicros() float64 { return sim.Micros(j.Completion - j.Arrival) }
+
+// baseServiceMicros is the nominal accelerator compute time per module.
+// The values keep the paper's Table IV ordering (Sobel < Median <
+// Gaussian) at roughly quarter-frame scale, so compute and
+// reconfiguration are the same order of magnitude — the regime where
+// scheduling policy matters (Nguyen & Hoe).
+func baseServiceMicros(module string) float64 {
+	switch module {
+	case accel.Sobel:
+		return 140
+	case accel.Median:
+		return 165
+	case accel.Gaussian:
+		return 190
+	}
+	return 165
+}
+
+// meanServiceMicros is the stationary mean of baseServiceMicros under
+// the generator's uniform long-run module mix.
+func meanServiceMicros() float64 {
+	var sum float64
+	for _, m := range accel.Filters {
+		sum += baseServiceMicros(m)
+	}
+	return sum / float64(len(accel.Filters))
+}
+
+// Workload parameterises the synthetic job stream.
+type Workload struct {
+	// Seed drives the scenario's private PRNG; equal seeds produce
+	// byte-identical job streams.
+	Seed int64
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// Load is the offered compute load relative to the aggregate
+	// capacity of RPs partitions (1.0 = arrivals match what the
+	// partitions can compute with zero reconfiguration overhead; above
+	// that the system is overloaded and queues grow).
+	Load float64
+	// RPs is the partition count the load is normalised against.
+	RPs int
+	// Locality is the probability that a job requests the same module
+	// as the previous job (filter pipelines re-run stages; temporal
+	// locality is what configuration reuse exploits). The remainder is
+	// split uniformly over the other modules.
+	Locality float64
+}
+
+// Generate produces the job stream: open-loop arrivals with
+// exponential inter-arrival times (Poisson-like, as in time-shared DPR
+// schedulers), a first-order Markov module sequence with the given
+// locality, and per-job service jitter of ±20 %. Everything is drawn
+// from one rand.New(rand.NewSource(Seed)) stream, so the result is
+// deterministic and host-independent.
+func (w Workload) Generate() ([]*Job, error) {
+	if w.Jobs <= 0 {
+		return nil, fmt.Errorf("sched: workload needs a positive job count (got %d)", w.Jobs)
+	}
+	if w.Load <= 0 || w.RPs <= 0 {
+		return nil, fmt.Errorf("sched: workload load %.2f / RPs %d must be positive", w.Load, w.RPs)
+	}
+	r := rand.New(rand.NewSource(w.Seed))
+	meanGapMicros := meanServiceMicros() / (w.Load * float64(w.RPs))
+
+	jobs := make([]*Job, w.Jobs)
+	var clock float64 // arrival time in µs
+	prev := accel.Filters[r.Intn(len(accel.Filters))]
+	for i := range jobs {
+		clock += r.ExpFloat64() * meanGapMicros
+		module := prev
+		if r.Float64() >= w.Locality {
+			// Uniform over the other modules.
+			step := 1 + r.Intn(len(accel.Filters)-1)
+			for j, m := range accel.Filters {
+				if m == prev {
+					module = accel.Filters[(j+step)%len(accel.Filters)]
+					break
+				}
+			}
+		}
+		prev = module
+		jitter := 0.8 + 0.4*r.Float64()
+		jobs[i] = &Job{
+			ID:      i,
+			Module:  module,
+			Arrival: sim.FromMicros(clock),
+			Service: sim.FromMicros(baseServiceMicros(module) * jitter),
+		}
+	}
+	return jobs, nil
+}
