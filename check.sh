@@ -39,6 +39,14 @@ echo '== rvcap-bench sched determinism'
 "$tmp/rvcap-bench" -experiment sched -parallel 4 -json -outdir "$tmp/s4" > /dev/null
 cmp "$tmp/s1/BENCH_sched.json" "$tmp/s4/BENCH_sched.json"
 
+echo '== rvcap-bench faults determinism'
+# The fault plan is a pure function of (seed, site, sequence number),
+# so even the degraded-mode sweep must be byte-identical for every
+# worker count.
+"$tmp/rvcap-bench" -experiment faults -parallel 1 -json -outdir "$tmp/f1" > /dev/null
+"$tmp/rvcap-bench" -experiment faults -parallel 4 -json -outdir "$tmp/f4" > /dev/null
+cmp "$tmp/f1/BENCH_faults.json" "$tmp/f4/BENCH_faults.json"
+
 echo '== examples smoke'
 # The examples are documentation that compiles; keep the canonical ones
 # actually running end to end. quickstart writes its PGM artifacts into
@@ -50,5 +58,8 @@ go run ./examples/multi-rp > "$tmp/multi-rp.out"
 grep -q 'bit-exact' "$tmp/multi-rp.out"
 go run ./examples/time-shared > "$tmp/time-shared.out"
 grep -q 'policy=affinity' "$tmp/time-shared.out"
+go run ./examples/fault-tolerant > "$tmp/fault-tolerant.out"
+grep -q 'quarantined' "$tmp/fault-tolerant.out"
+grep -q 'faults:' "$tmp/fault-tolerant.out"
 
 echo 'check.sh: all gates passed'

@@ -150,6 +150,17 @@ var registry = []experiment{
 		fmt.Println(experiments.FormatSched(points))
 		return points, nil
 	}},
+	{"faults", "fault-injection sweep: fault rate x policy x partitions", func(o benchOpts) (interface{}, error) {
+		points, err := experiments.Faults(experiments.FaultsOptions{
+			Parallel: o.parallel,
+			Seed:     o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatFaults(points))
+		return points, nil
+	}},
 }
 
 // experimentNames returns the registry names in dispatch order.
@@ -170,7 +181,7 @@ func main() {
 	unroll := flag.Int("unroll", 16, "HWICAP store-loop unroll factor for fig3")
 	parallel := flag.Int("parallel", 0,
 		"host workers for the experiment sweeps (0 = all cores, 1 = serial)")
-	seed := flag.Int64("seed", 1, "base workload seed for the sched sweep")
+	seed := flag.Int64("seed", 1, "base workload seed for the sched/faults sweeps")
 	jsonOut := flag.Bool("json", false,
 		"also write machine-readable BENCH_<experiment>.json files to -outdir")
 	outDir := flag.String("outdir", ".", "directory for -json output files")

@@ -1,0 +1,64 @@
+// The fault-tolerant example runs the self-healing DPR runtime from
+// internal/sched under systematic fault injection: SD staging errors,
+// DMA transfer faults and stalls, corrupted bitstreams and a stuck
+// configuration engine, all drawn from one deterministic seeded fault
+// plan. Partition SRP1 additionally hard-fails after its first load, so
+// the runtime must quarantine it mid-run, put its job back at the head
+// of the queue and finish the whole workload on the surviving
+// partitions — every job completes, at a visible cost in goodput.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rvcap/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fault-tolerant:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The same workload fault-free first, as the baseline.
+	clean := sched.DefaultFaultScenario()
+	clean.FaultRate = 0
+	clean.KillRP = 0
+	baseline, err := sched.Run(clean)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("self-healing DPR: one job stream, fault-free vs. injected faults")
+	fmt.Println()
+	fmt.Println("fault-free baseline:")
+	fmt.Print(baseline)
+	fmt.Println()
+
+	cfg := sched.DefaultFaultScenario()
+	rep, err := sched.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("with %.0f%% per-event fault rate and %s hard-failing after its first load:\n",
+		100*cfg.FaultRate, rep.PerRP[cfg.KillRP-1].Name)
+	fmt.Print(rep)
+	fmt.Println()
+
+	quarantined := ""
+	for _, st := range rep.PerRP {
+		if st.Quarantined {
+			quarantined = st.Name
+		}
+	}
+	fmt.Printf("All %d jobs completed despite %d failed loads (%d retried) and\n",
+		rep.Jobs, rep.FailedLoads, rep.LoadRetries)
+	fmt.Printf("partition %s quarantined mid-run: failed transfers were healed by\n", quarantined)
+	fmt.Println("DMA reset + ICAP abort + re-stage, and the dead partition's queue")
+	fmt.Printf("was redistributed to the survivors (goodput %.2f vs. %.2f jobs/ms).\n",
+		rep.GoodputJobsPerMs, baseline.GoodputJobsPerMs)
+	return nil
+}

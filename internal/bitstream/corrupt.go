@@ -1,0 +1,31 @@
+package bitstream
+
+// Fault-campaign helpers: controlled damage applied to a serialized
+// bitstream between staging and the configuration engine. Both return
+// copies — the pristine image is never touched, so a retry can always
+// re-stage it.
+
+// FlipBit returns a copy of data with one bit inverted. Bit 0 is the
+// least-significant bit of data[0]; out-of-range offsets return an
+// unmodified copy.
+func FlipBit(data []byte, bit int) []byte {
+	out := append([]byte(nil), data...)
+	if bit >= 0 && bit/8 < len(out) {
+		out[bit/8] ^= 1 << (bit % 8)
+	}
+	return out
+}
+
+// Truncate returns a copy of data cut to at most n bytes, rounded down
+// to a whole 32-bit configuration word (the ICAP consumes whole words;
+// a transfer never ends mid-word).
+func Truncate(data []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	n &^= 3
+	return append([]byte(nil), data[:n]...)
+}

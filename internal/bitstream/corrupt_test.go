@@ -1,0 +1,46 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFlipBit(t *testing.T) {
+	src := []byte{0x00, 0xFF, 0x10, 0x20}
+	out := FlipBit(src, 9) // bit 1 of byte 1
+	if !bytes.Equal(src, []byte{0x00, 0xFF, 0x10, 0x20}) {
+		t.Fatal("FlipBit mutated its input")
+	}
+	if out[1] != 0xFD {
+		t.Fatalf("byte 1 = %#x, want 0xFD", out[1])
+	}
+	if out[0] != 0x00 || out[2] != 0x10 || out[3] != 0x20 {
+		t.Fatal("FlipBit touched other bytes")
+	}
+	if !bytes.Equal(FlipBit(src, len(src)*8), src) {
+		t.Fatal("out-of-range flip must be a no-op copy")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct{ n, want int }{
+		{10, 8}, // rounds down to a whole word
+		{8, 8},
+		{7, 4},
+		{3, 0},
+		{-1, 0},
+		{100, 8},
+	} {
+		out := Truncate(src, tc.n)
+		if len(out) != tc.want {
+			t.Errorf("Truncate(%d) kept %d bytes, want %d", tc.n, len(out), tc.want)
+		}
+		if !bytes.Equal(out, src[:len(out)]) {
+			t.Errorf("Truncate(%d) altered the prefix", tc.n)
+		}
+	}
+	if len(src) != 10 {
+		t.Fatal("Truncate mutated its input")
+	}
+}

@@ -40,8 +40,18 @@ const (
 const (
 	SRHalted = 1 << 0
 	SRIdle   = 1 << 1
-	SRIOCIrq = 1 << 12
+	// SRDMAIntErr latches when a transfer errors out (PG021's
+	// DMAIntErr). Write-1-to-clear, like the interrupt bit.
+	SRDMAIntErr = 1 << 4
+	SRIOCIrq    = 1 << 12
 )
+
+// Fault is an injected transfer fault: an arbitration stall before the
+// first beat and/or a transfer error after only part of the payload.
+type Fault struct {
+	Stall sim.Time
+	Fail  bool
+}
 
 // DefaultBurstBeats is the paper's configuration: "The maximum AXI burst
 // size of the DMA controller is set to 16" (§IV-A), i.e. 16 beats of 8
@@ -84,6 +94,13 @@ type DMA struct {
 
 	// BurstBeats is the maximum burst length in 8-byte beats.
 	BurstBeats int
+
+	// Inject, when set, is consulted at the start of every MM2S
+	// transfer with the channel's transfer sequence number (0-based).
+	// A failed transfer moves roughly half its payload, then latches
+	// SRDMAIntErr and completes with the usual interrupt — software
+	// sees a completion whose status carries the error.
+	Inject func(xfer uint64) Fault
 
 	mm2s channel
 	s2mm channel
@@ -144,12 +161,15 @@ func (d *DMA) writeCR(c *channel, v uint32, irq func(bool)) {
 }
 
 func (d *DMA) writeSR(c *channel, v uint32, irq func(bool)) {
-	// Write-1-to-clear interrupt bits.
+	// Write-1-to-clear interrupt and error bits.
 	if v&SRIOCIrq != 0 && c.sr&SRIOCIrq != 0 {
 		c.sr &^= SRIOCIrq
 		if irq != nil {
 			irq(false)
 		}
+	}
+	if v&SRDMAIntErr != 0 {
+		c.sr &^= SRDMAIntErr
 	}
 }
 
@@ -175,9 +195,23 @@ func (d *DMA) startMM2S(length uint32) {
 	c.sr &^= SRIdle
 	c.started++
 	addr := c.addr
+	var fault Fault
+	if d.Inject != nil {
+		fault = d.Inject(c.started - 1)
+	}
 	d.k.Go(c.name, func(p *sim.Proc) {
+		if fault.Stall > 0 {
+			p.Sleep(fault.Stall)
+		}
 		burstBytes := d.BurstBeats * 8
 		remaining := int(length)
+		if fault.Fail {
+			// The transfer dies mid-stream: move a beat-aligned half of
+			// the payload, then report the error.
+			if remaining = int(length) / 2 &^ 7; remaining == 0 {
+				remaining = 8
+			}
+		}
 		buf := make([]byte, burstBytes)
 		for remaining > 0 {
 			n := burstBytes
@@ -199,6 +233,9 @@ func (d *DMA) startMM2S(length uint32) {
 			addr += uint64(n)
 			remaining -= n
 			c.bytes += uint64(n)
+		}
+		if fault.Fail {
+			c.sr |= SRDMAIntErr
 		}
 		d.complete(c, d.OnMM2SIrq)
 	})

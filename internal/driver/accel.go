@@ -148,7 +148,24 @@ func (d *RVCAP) waitChannelIRQ(p *sim.Proc, srOffset uint64, wantSrc uint32) err
 	if id != wantSrc && id != 0 {
 		return fmt.Errorf("driver: unexpected interrupt source %d (want %d)", id, wantSrc)
 	}
-	return nil
+	return d.checkChannelErr(p, srOffset)
+}
+
+// checkChannelErr surfaces a latched DMA transfer error as ErrDMAFault,
+// acknowledging the sticky bit so the channel is clean for a retry.
+func (d *RVCAP) checkChannelErr(p *sim.Proc, srOffset uint64) error {
+	h := d.S.Hart
+	sr, err := h.Load32(p, soc.DMABase+srOffset)
+	if err != nil {
+		return err
+	}
+	if sr&dma.SRDMAIntErr == 0 {
+		return nil
+	}
+	if err := h.Store32(p, soc.DMABase+srOffset, dma.SRDMAIntErr); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w (SR %#x)", ErrDMAFault, sr)
 }
 
 func (d *RVCAP) pollIdle(p *sim.Proc, srOffset uint64) error {
@@ -160,7 +177,7 @@ func (d *RVCAP) pollIdle(p *sim.Proc, srOffset uint64) error {
 		}
 		h.BranchAfterMMIO(p)
 		if sr&dma.SRIdle != 0 {
-			return nil
+			return d.checkChannelErr(p, srOffset)
 		}
 	}
 }

@@ -1,0 +1,212 @@
+package driver
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/dma"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Injected-fault tests: the driver's retry and recovery paths against
+// the model-level injection hooks.
+
+func sdSoC(t *testing.T) *soc.SoC {
+	t.Helper()
+	img := make([]byte, 1024*512)
+	for i := range img {
+		img[i] = byte(i * 7)
+	}
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{SDImage: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSDReadRetryHeals(t *testing.T) {
+	s := sdSoC(t)
+	sd := NewSD(s)
+	// Fail the first two read attempts; the bounded retry must absorb
+	// them and still deliver the pristine block.
+	s.Card.InjectReadErr = func(n uint64) bool { return n < 2 }
+	var buf [512]byte
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := sd.ReadBlock(p, 3, buf[:]); err != nil {
+			t.Fatalf("ReadBlock did not heal: %v", err)
+		}
+	})
+	if !bytes.Equal(buf[:], s.Card.Image()[3*512:4*512]) {
+		t.Error("healed read returned wrong data")
+	}
+	if sd.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", sd.Retries())
+	}
+	if s.Card.ReadErrs() != 2 {
+		t.Errorf("card read errors = %d, want 2", s.Card.ReadErrs())
+	}
+}
+
+func TestSDRetryExhaustionTypedError(t *testing.T) {
+	s := sdSoC(t)
+	sd := NewSD(s)
+	sd.MaxRetries = 2
+	s.Card.InjectReadErr = func(n uint64) bool { return true }
+	var buf [512]byte
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		err := sd.ReadBlock(p, 0, buf[:])
+		if !errors.Is(err, ErrSDRetriesExhausted) {
+			t.Fatalf("err = %v, want ErrSDRetriesExhausted", err)
+		}
+		// The underlying media error stays visible in the chain.
+		if !errors.Is(err, ErrCardIO) {
+			t.Fatalf("err = %v does not wrap ErrCardIO", err)
+		}
+	})
+	if sd.Retries() != 2 {
+		t.Errorf("retries = %d, want 2 (MaxRetries)", sd.Retries())
+	}
+}
+
+func TestSDRetryBacksOff(t *testing.T) {
+	// The second attempt must start strictly later than the failure
+	// plus the configured backoff.
+	s := sdSoC(t)
+	sd := NewSD(s)
+	sd.RetryBackoff = sim.Time(50000)
+	s.Card.InjectReadErr = func(n uint64) bool { return n == 0 }
+	var buf [512]byte
+	var healed, direct sim.Time
+	s.Run("sw", func(p *sim.Proc) {
+		if err := sd.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.Now()
+		if err := sd.ReadBlock(p, 0, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		healed = p.Now() - t0
+		t0 = p.Now()
+		if err := sd.ReadBlock(p, 0, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		direct = p.Now() - t0
+	})
+	if healed < direct+50000 {
+		t.Errorf("healed read took %d cycles, want >= clean read %d + 50000 backoff", healed, direct)
+	}
+}
+
+func TestDMAFaultTypedErrorAndRecovery(t *testing.T) {
+	s, part := smallSoC(t)
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "healme", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	d := NewRVCAP(s)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+
+	// First transfer dies halfway with the error bit latched.
+	s.RVCAP.DMA.Inject = func(xfer uint64) dma.Fault {
+		if xfer == 0 {
+			return dma.Fault{Fail: true}
+		}
+		return dma.Fault{}
+	}
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DecoupleAccel(p, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SelectICAP(p, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReconfigureRP(p, m, NonBlocking); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WaitReconfigDone(p); !errors.Is(err, ErrDMAFault) {
+			t.Fatalf("err = %v, want ErrDMAFault", err)
+		}
+		if part.Active() == "healme" {
+			t.Fatal("half a bitstream activated the module")
+		}
+		if err := d.RecoverICAP(p); err != nil {
+			t.Fatal(err)
+		}
+		// Clean retry of the full sequence.
+		if err := d.ReconfigureRP(p, m, NonBlocking); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WaitReconfigDone(p); err != nil {
+			t.Fatalf("retry after recovery failed: %v", err)
+		}
+		if err := d.SelectICAP(p, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DecoupleAccel(p, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if part.Active() != "healme" {
+		t.Fatalf("active = %q after recovery reload", part.Active())
+	}
+	if err := s.ICAP.Err(); err != nil {
+		t.Fatalf("latched ICAP error after recovery: %v", err)
+	}
+}
+
+func TestStuckSyncRecovered(t *testing.T) {
+	s, part := smallSoC(t)
+	im, err := bitstream.Partial(s.Fabric.Dev, part, "stuck", bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitstream.Register(s.Fabric, im)
+	s.DDR.Load(0x100000, im.Bytes())
+	d := NewRVCAP(s)
+	m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(im.SizeBytes())}
+
+	// Swallow the first DESYNC: the engine stays synced and the fabric
+	// never evaluates the partition.
+	s.ICAP.StuckFault = func(n uint64) bool { return n == 0 }
+	s.Run("sw", func(p *sim.Proc) {
+		if err := d.SetupPLIC(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+		if part.Active() == "stuck" {
+			t.Fatal("module activated despite the swallowed DESYNC")
+		}
+		if !s.ICAP.Synced() {
+			t.Fatal("engine should be stuck synced")
+		}
+		if err := d.RecoverICAP(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.InitReconfigProcess(p, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if part.Active() != "stuck" {
+		t.Fatalf("active = %q after recovery reload", part.Active())
+	}
+	if s.ICAP.StuckFaults() != 1 {
+		t.Errorf("stuck faults = %d, want 1", s.ICAP.StuckFaults())
+	}
+}

@@ -1,0 +1,58 @@
+package driver
+
+import (
+	"errors"
+
+	"rvcap/internal/dma"
+	"rvcap/internal/hwicap"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Typed fault errors surfaced by the driver's recovery paths. Callers
+// branch on these with errors.Is to tell a recoverable datapath fault
+// from an infrastructure failure.
+var (
+	// ErrDMAFault: a DMA transfer completed with the error bit latched
+	// (the payload is incomplete).
+	ErrDMAFault = errors.New("driver: DMA transfer error")
+	// ErrSDRetriesExhausted: an SD block read kept answering error
+	// tokens past the retry budget.
+	ErrSDRetriesExhausted = errors.New("driver: SD read retries exhausted")
+	// ErrRecoverFailed: the abort sequence did not desynchronise the
+	// configuration engine.
+	ErrRecoverFailed = errors.New("driver: ICAP recovery failed")
+)
+
+// recoverDrainCycles is how long RecoverICAP lets the stream datapath
+// drain before aborting the packet engine: the AXIS2ICAP skid FIFO
+// holds 32 beats = 64 words at one word per cycle, plus in-flight
+// bursts; 512 cycles covers it with margin. Aborting before the drain
+// would let residual words hit a freshly reset engine — and a 32-bit
+// pattern equal to the sync word inside leftover FDRI payload would
+// re-synchronise it.
+const recoverDrainCycles = sim.Time(512)
+
+// RecoverICAP restores the configuration datapath after a failed or
+// interrupted reconfiguration, whatever the cause (truncated DMA
+// transfer, corrupted bitstream, stuck-synced engine): reset the DMA
+// read channel, let the stream converter drain, then drive the HWICAP
+// abort (which desynchronises the packet engine and clears its latched
+// error — configuration memory is untouched). After a successful
+// recovery the caller simply reloads the full bitstream.
+func (d *RVCAP) RecoverICAP(p *sim.Proc) error {
+	h := d.S.Hart
+	h.Exec(p, apiCallInstr)
+	// Drop any half-programmed transfer state on the read channel.
+	if err := h.Store32(p, soc.DMABase+dma.MM2SDMACR, dma.CRReset); err != nil {
+		return err
+	}
+	p.Sleep(recoverDrainCycles)
+	if err := h.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRAbort); err != nil {
+		return err
+	}
+	if d.S.ICAP.Synced() {
+		return ErrRecoverFailed
+	}
+	return nil
+}

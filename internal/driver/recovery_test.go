@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"rvcap/internal/bitstream"
-	"rvcap/internal/hwicap"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
 )
@@ -35,12 +34,12 @@ func TestTruncatedTransferThenRecovery(t *testing.T) {
 		if !s.ICAP.Synced() {
 			t.Fatal("engine should be stuck synced mid-packet after truncation")
 		}
-		// Recovery: the HWICAP abort sequence resets the packet engine.
-		if err := s.Hart.Store32(p, soc.HWICAPBase+hwicap.CR, hwicap.CRAbort); err != nil {
+		// Recovery through the driver API: DMA reset, drain, abort.
+		if err := NewRVCAP(s).RecoverICAP(p); err != nil {
 			t.Fatal(err)
 		}
 		if s.ICAP.Synced() {
-			t.Fatal("abort did not desynchronise the engine")
+			t.Fatal("recovery did not desynchronise the engine")
 		}
 		// Full reload now succeeds.
 		m := &ReconfigModule{StartAddress: 0x100000, PbitSize: uint32(good.SizeBytes())}

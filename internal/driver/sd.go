@@ -18,7 +18,26 @@ import (
 type SD struct {
 	s     *soc.SoC
 	ready bool
+
+	// MaxRetries bounds how many times ReadBlock re-issues CMD17 after
+	// a transient media error (data error token or token timeout);
+	// 0 means the default of 3.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt; 0 means the default of 2000 cycles (20 µs).
+	RetryBackoff sim.Time
+
+	retries uint64
 }
+
+// Default ReadBlock retry policy.
+const (
+	defaultSDRetries = 3
+	defaultSDBackoff = sim.Time(2000)
+)
+
+// Retries returns how many block-read retries the driver has issued.
+func (d *SD) Retries() uint64 { return d.retries }
 
 // Errors from the SD driver.
 var (
@@ -147,36 +166,73 @@ func (d *SD) Init(p *sim.Proc) error {
 	return nil
 }
 
-// ReadBlock implements fat32.BlockDevice.
+// ReadBlock implements fat32.BlockDevice with bounded
+// retry-with-backoff: a transient media error (data error token, token
+// timeout) is retried up to MaxRetries times with an exponentially
+// growing delay; exhaustion surfaces the typed ErrSDRetriesExhausted.
 func (d *SD) ReadBlock(p *sim.Proc, lba uint32, buf []byte) error {
 	if !d.ready {
 		return ErrCardInit
 	}
+	max := d.MaxRetries
+	if max == 0 {
+		max = defaultSDRetries
+	}
+	backoff := d.RetryBackoff
+	if backoff == 0 {
+		backoff = defaultSDBackoff
+	}
+	var last error
+	for attempt := 0; attempt <= max; attempt++ {
+		if attempt > 0 {
+			d.retries++
+			p.Sleep(backoff)
+			backoff *= 2
+		}
+		retryable, err := d.readBlockOnce(p, lba, buf)
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("%w: lba %d after %d attempts: %w", ErrSDRetriesExhausted, lba, max+1, last)
+}
+
+// readBlockOnce issues one CMD17 and reads the block. retryable marks
+// transient media errors worth re-issuing the command for.
+func (d *SD) readBlockOnce(p *sim.Proc, lba uint32, buf []byte) (retryable bool, err error) {
 	r, err := d.command(p, 17, lba)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if r != 0 {
-		return fmt.Errorf("%w: CMD17 R1=%#x (lba %d)", ErrCardIO, r, lba)
+		return false, fmt.Errorf("%w: CMD17 R1=%#x (lba %d)", ErrCardIO, r, lba)
 	}
-	// Clock until the start token.
+	// Clock until the start token; a byte with a zero high nibble here
+	// is a data error token (card ECC failure, internal error).
 	for i := 0; ; i++ {
 		if i > 1000 {
-			return fmt.Errorf("%w: no data token", ErrCardIO)
+			return true, fmt.Errorf("%w: no data token (lba %d)", ErrCardIO, lba)
 		}
 		t, err := d.xfer(p, 0xFF)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if t == sdcard.TokenStartBlock {
 			break
 		}
+		if t != 0xFF && t&0xF0 == 0 {
+			return true, fmt.Errorf("%w: data error token %#x (lba %d)", ErrCardIO, t, lba)
+		}
 	}
 	if err := d.xferBulk(p, buf[:sdcard.BlockSize]); err != nil {
-		return err
+		return false, err
 	}
 	var crc [2]byte
-	return d.xferBulk(p, crc[:])
+	return false, d.xferBulk(p, crc[:])
 }
 
 // WriteBlock implements fat32.BlockDevice.

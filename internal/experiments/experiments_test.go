@@ -407,6 +407,55 @@ func TestSchedSerialParallelIdentical(t *testing.T) {
 	}
 }
 
+func TestFaultsSweepShape(t *testing.T) {
+	points, err := Faults(FaultsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(faultRPCounts) * len(faultRates) * 3; len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Jobs != 24 {
+			t.Errorf("rate %.2f policy %s ran %d jobs", p.FaultRate, p.Policy, p.Jobs)
+		}
+		if p.FaultRate == 0 && p.FailedLoads+p.LoadRetries+p.StageRetries+p.Quarantines != 0 {
+			t.Errorf("fault-free baseline has nonzero fault counters: %+v", p)
+		}
+	}
+	// The hostile rate must actually exercise the healing machinery
+	// somewhere in the sweep.
+	healed := 0
+	for _, p := range points {
+		if p.FaultRate > 0 {
+			healed += p.FailedLoads + p.LoadRetries + p.StageRetries
+		}
+	}
+	if healed == 0 {
+		t.Error("no faults observed anywhere in the nonzero-rate cells")
+	}
+	if out := FormatFaults(points); !strings.Contains(out, "jobs/ms") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestFaultsSerialParallelIdentical(t *testing.T) {
+	serial, err := Faults(FaultsOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Faults(FaultsOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rows differ between -parallel 1 and -parallel 4:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	if a, b := FormatFaults(serial), FormatFaults(parallel); a != b {
+		t.Errorf("renderings differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestTable2SerialParallelIdentical(t *testing.T) {
 	serial, err := Table2(1)
 	if err != nil {

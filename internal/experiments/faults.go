@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rvcap/internal/runner"
+	"rvcap/internal/sched"
+)
+
+// FaultsPoint is one cell of the fault-injection sweep: a (fault rate,
+// policy, partition-count) scenario and its degraded-mode report.
+type FaultsPoint struct {
+	// FaultRate is the per-event fault probability across the datapath.
+	FaultRate float64 `json:"fault_rate"`
+	// Seed is the workload seed of this cell; every policy at the same
+	// (rate, RPs) cell shares it, so policies are compared on identical
+	// job streams and fault histories.
+	Seed int64 `json:"seed"`
+	*sched.Report
+}
+
+// FaultsOptions tunes the fault-injection sweep.
+type FaultsOptions struct {
+	// Parallel is the host worker count (0 = all cores, 1 = serial).
+	Parallel int
+	// Jobs is the workload length per scenario (default 24).
+	Jobs int
+	// Seed is the base workload seed (default 1).
+	Seed int64
+}
+
+// faultRates and faultRPCounts define the default sweep grid: fault-free
+// baseline, a realistic soft-error rate and a hostile one, on two and
+// three partitions.
+var (
+	faultRates    = []float64{0, 0.05, 0.12}
+	faultRPCounts = []int{2, 3}
+)
+
+// Faults sweeps the self-healing runtime over fault rate x policy x
+// partition count, under a moderately high load so retries and stalls
+// actually contend for partitions. Each scenario is an independent
+// sim.Kernel; within one (rate, RPs) cell every policy sees the same
+// seed, so the policy columns are directly comparable.
+func Faults(opts FaultsOptions) ([]FaultsPoint, error) {
+	if opts.Jobs == 0 {
+		opts.Jobs = 24
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	nPol := len(sched.Policies)
+	nRate := len(faultRates)
+	total := len(faultRPCounts) * nRate * nPol
+	return runner.Map(opts.Parallel, total, func(i int) (FaultsPoint, error) {
+		ri := i / (nRate * nPol)
+		fi := i / nPol % nRate
+		pi := i % nPol
+		seed := opts.Seed + int64(ri*nRate+fi)
+		rep, err := sched.Run(sched.Config{
+			Seed:      seed,
+			Policy:    sched.Policies[pi],
+			RPs:       faultRPCounts[ri],
+			Jobs:      opts.Jobs,
+			Load:      0.8,
+			FaultRate: faultRates[fi],
+		})
+		if err != nil {
+			return FaultsPoint{}, err
+		}
+		return FaultsPoint{FaultRate: faultRates[fi], Seed: seed, Report: rep}, nil
+	})
+}
+
+// FormatFaults renders the sweep as a degraded-mode comparison table.
+func FormatFaults(points []FaultsPoint) string {
+	var b strings.Builder
+	jobs := 0
+	if len(points) > 0 {
+		jobs = points[0].Jobs
+	}
+	fmt.Fprintf(&b, "Fault-injection sweep: fault rate x policy x partitions (%d jobs per cell)\n", jobs)
+	fmt.Fprintf(&b, "%-4s %-5s %-18s %9s %9s %7s %8s %6s %9s\n",
+		"rps", "rate", "policy", "p50 (us)", "p99 (us)", "failed", "retries", "quar", "jobs/ms")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-4d %-5.2f %-18s %9.0f %9.0f %7d %8d %6d %9.2f\n",
+			p.RPs, p.FaultRate, p.Policy, p.P50Micros, p.P99Micros,
+			p.FailedLoads, p.LoadRetries+p.StageRetries, p.Quarantines, p.GoodputJobsPerMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package fault provides deterministic, seeded fault plans for the
+// simulated RV-CAP datapath. A Plan is a pure function: every decision
+// is derived by hashing (seed, injection site, sequence number), so a
+// scenario with faults is exactly as reproducible as one without — no
+// wall clock, no shared PRNG state, no sensitivity to process
+// interleaving. Peripheral models consult the plan at their injection
+// points (SD block reads, DMA transfers, bitstream staging, the ICAP
+// desync handshake) with a monotonically advancing per-site sequence
+// number; retries therefore see fresh decisions and transient faults
+// heal, while the same Config always produces the same fault history.
+package fault
+
+import (
+	"fmt"
+
+	"rvcap/internal/sim"
+)
+
+// Site names one injection point. Each site draws from an independent
+// decision stream, so raising one rate never reshuffles another site's
+// fault history.
+type Site uint64
+
+const (
+	// SiteSDRead gates SD-card block reads (CMD17).
+	SiteSDRead Site = iota + 1
+	// SiteDMAFail gates DMA transfer errors (truncated transfer plus a
+	// latched error bit).
+	SiteDMAFail
+	// SiteDMAStall gates DMA arbitration stalls.
+	SiteDMAStall
+	// SiteStage gates corruption of bitstreams staged into DDR.
+	SiteStage
+	// SiteStuckSync gates the stuck-synced ICAP fault (a swallowed
+	// DESYNC leaves the packet engine wedged until an abort).
+	SiteStuckSync
+
+	// Shape sites draw the independent bits that parameterise a fault
+	// (stall length, flip position, truncation point) once the
+	// occurrence roll has fired.
+	siteDMAStallLen
+	siteStageShape
+)
+
+// Config sets the per-site fault probabilities of a Plan. Rates are
+// per-event probabilities in [0, 1); 1.0 is rejected because an
+// always-failing site can never heal and would livelock every bounded
+// retry loop.
+type Config struct {
+	// Seed keys the decision streams; equal Configs give equal plans.
+	Seed int64
+	// SDReadRate is the probability an SD block read answers a data
+	// error token.
+	SDReadRate float64
+	// DMAFailRate is the probability a DMA transfer errors out after
+	// moving only part of its payload.
+	DMAFailRate float64
+	// DMAStallRate is the probability a DMA transfer start is delayed.
+	DMAStallRate float64
+	// StallCycles bounds the injected stall length (default 2000).
+	StallCycles uint64
+	// CorruptRate is the probability a staged bitstream is corrupted
+	// (bit-flip or truncation) on its way into DDR.
+	CorruptRate float64
+	// StuckSyncRate is the probability a DESYNC is swallowed, leaving
+	// the ICAP packet engine synced (stuck) after the transfer.
+	StuckSyncRate float64
+}
+
+// Uniform returns a Config injecting at every site with the same rate.
+func Uniform(seed int64, rate float64) Config {
+	return Config{
+		Seed:          seed,
+		SDReadRate:    rate,
+		DMAFailRate:   rate,
+		DMAStallRate:  rate,
+		CorruptRate:   rate,
+		StuckSyncRate: rate,
+	}
+}
+
+// Plan is an immutable, stateless fault schedule. Methods may be
+// consulted in any order and any number of times: the answer for a
+// (site, n) pair never changes.
+type Plan struct {
+	cfg Config
+}
+
+// New validates cfg and returns its plan.
+func New(cfg Config) (*Plan, error) {
+	if cfg.StallCycles == 0 {
+		cfg.StallCycles = 2000
+	}
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"SDReadRate", cfg.SDReadRate},
+		{"DMAFailRate", cfg.DMAFailRate},
+		{"DMAStallRate", cfg.DMAStallRate},
+		{"CorruptRate", cfg.CorruptRate},
+		{"StuckSyncRate", cfg.StuckSyncRate},
+	} {
+		if r.rate < 0 || r.rate >= 1 {
+			return nil, fmt.Errorf("fault: %s = %v outside [0,1)", r.name, r.rate)
+		}
+	}
+	return &Plan{cfg: cfg}, nil
+}
+
+// splitmix64 is the standard 64-bit finalizer mix: a bijective hash
+// with full avalanche, so consecutive sequence numbers land on
+// statistically independent decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (pl *Plan) hash(site Site, n uint64) uint64 {
+	return splitmix64(splitmix64(uint64(pl.cfg.Seed)^uint64(site)<<48) + n)
+}
+
+// roll maps the (site, n) hash onto [0, 1) with 53 bits of precision.
+func (pl *Plan) roll(site Site, n uint64) float64 {
+	return float64(pl.hash(site, n)>>11) / (1 << 53)
+}
+
+// SDRead reports whether the n-th SD block read fails with a data
+// error token.
+func (pl *Plan) SDRead(n uint64) bool {
+	return pl.roll(SiteSDRead, n) < pl.cfg.SDReadRate
+}
+
+// DMA returns the fault, if any, injected into the n-th DMA transfer:
+// a start-of-transfer stall and/or a transfer error.
+func (pl *Plan) DMA(n uint64) (stall sim.Time, fail bool) {
+	if pl.roll(SiteDMAStall, n) < pl.cfg.DMAStallRate {
+		h := pl.hash(siteDMAStallLen, n)
+		stall = sim.Time(500 + h%pl.cfg.StallCycles)
+	}
+	fail = pl.roll(SiteDMAFail, n) < pl.cfg.DMAFailRate
+	return stall, fail
+}
+
+// StuckSync reports whether the n-th DESYNC attempt is swallowed.
+func (pl *Plan) StuckSync(n uint64) bool {
+	return pl.roll(SiteStuckSync, n) < pl.cfg.StuckSyncRate
+}
+
+// CorruptKind classifies a staging corruption.
+type CorruptKind int
+
+const (
+	// CorruptNone: the image stages intact.
+	CorruptNone CorruptKind = iota
+	// CorruptBitFlip: one bit of the staged image is inverted.
+	CorruptBitFlip
+	// CorruptTruncate: the staged image is cut short.
+	CorruptTruncate
+)
+
+// Corruption describes what happens to one staged bitstream.
+type Corruption struct {
+	Kind CorruptKind
+	// Bit is the flipped bit offset (Kind == CorruptBitFlip).
+	Bit int
+	// Bytes is the truncated length (Kind == CorruptTruncate).
+	Bytes int
+}
+
+// Stage returns the corruption applied to the n-th bitstream staging
+// of sizeBytes bytes. Bit-flips land in the first half of the image —
+// sync word, packet headers, FDRI payload or CRC — never in trailing
+// NOP padding where they could be benign; truncation cuts at a
+// word-aligned point in the second quarter, always mid-sequence.
+func (pl *Plan) Stage(n uint64, sizeBytes int) Corruption {
+	if sizeBytes < 16 || pl.roll(SiteStage, n) >= pl.cfg.CorruptRate {
+		return Corruption{}
+	}
+	h := pl.hash(siteStageShape, n)
+	if h&1 == 0 {
+		return Corruption{Kind: CorruptBitFlip, Bit: int((h >> 1) % uint64(sizeBytes/2*8))}
+	}
+	lo, hi := sizeBytes/4, sizeBytes/2
+	cut := (lo + int((h>>1)%uint64(hi-lo+1))) &^ 3
+	if cut < 4 {
+		cut = 4
+	}
+	return Corruption{Kind: CorruptTruncate, Bytes: cut}
+}

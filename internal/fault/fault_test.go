@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := New(Uniform(1, 0.2)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := New(Uniform(1, 1.0)); err == nil {
+		t.Fatal("rate 1.0 accepted; an always-failing site can never heal")
+	}
+	if _, err := New(Config{SDReadRate: -0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestPlanIsPure(t *testing.T) {
+	a, err := New(Uniform(42, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Uniform(42, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(0); n < 500; n++ {
+		if a.SDRead(n) != b.SDRead(n) || a.StuckSync(n) != b.StuckSync(n) {
+			t.Fatalf("plans with equal configs diverge at n=%d", n)
+		}
+		as, af := a.DMA(n)
+		bs, bf := b.DMA(n)
+		if as != bs || af != bf {
+			t.Fatalf("DMA decisions diverge at n=%d", n)
+		}
+		if a.Stage(n, 4096) != b.Stage(n, 4096) {
+			t.Fatalf("Stage decisions diverge at n=%d", n)
+		}
+		// Re-asking the same question must give the same answer.
+		if a.SDRead(n) != b.SDRead(n) {
+			t.Fatalf("SDRead(%d) is not stable across calls", n)
+		}
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	// Raising one site's rate must not reshuffle another site's
+	// history: the SD decisions under (sd=0.3, dma=0) and
+	// (sd=0.3, dma=0.5) are identical.
+	a, _ := New(Config{Seed: 7, SDReadRate: 0.3})
+	b, _ := New(Config{Seed: 7, SDReadRate: 0.3, DMAFailRate: 0.5, DMAStallRate: 0.5})
+	for n := uint64(0); n < 500; n++ {
+		if a.SDRead(n) != b.SDRead(n) {
+			t.Fatalf("SD history depends on the DMA rates (n=%d)", n)
+		}
+	}
+}
+
+func TestRatesConverge(t *testing.T) {
+	pl, err := New(Uniform(3, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	hits := 0
+	for n := uint64(0); n < trials; n++ {
+		if pl.SDRead(n) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.2) > 0.02 {
+		t.Fatalf("empirical SD fault rate %.3f, want ~0.2", got)
+	}
+}
+
+func TestZeroRatesNeverFire(t *testing.T) {
+	pl, err := New(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(0); n < 1000; n++ {
+		stall, fail := pl.DMA(n)
+		if pl.SDRead(n) || pl.StuckSync(n) || stall != 0 || fail ||
+			pl.Stage(n, 4096).Kind != CorruptNone {
+			t.Fatalf("zero-rate plan fired at n=%d", n)
+		}
+	}
+}
+
+func TestStageCorruptionShape(t *testing.T) {
+	pl, err := New(Config{Seed: 5, CorruptRate: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 4096
+	flips, cuts := 0, 0
+	for n := uint64(0); n < 1000; n++ {
+		c := pl.Stage(n, size)
+		switch c.Kind {
+		case CorruptBitFlip:
+			flips++
+			if c.Bit < 0 || c.Bit >= size/2*8 {
+				t.Fatalf("flip bit %d outside the first half of a %d-byte image", c.Bit, size)
+			}
+		case CorruptTruncate:
+			cuts++
+			if c.Bytes < 4 || c.Bytes >= size || c.Bytes%4 != 0 {
+				t.Fatalf("truncation to %d bytes is not a word-aligned mid-stream cut", c.Bytes)
+			}
+		}
+	}
+	if flips == 0 || cuts == 0 {
+		t.Fatalf("corruption shape never varied: %d flips, %d truncations", flips, cuts)
+	}
+	// Tiny images cannot be meaningfully corrupted.
+	if pl.Stage(0, 8).Kind != CorruptNone {
+		t.Fatal("corrupted an image below the minimum size")
+	}
+}

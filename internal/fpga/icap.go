@@ -87,6 +87,14 @@ var (
 type ICAP struct {
 	fab *Fabric
 
+	// StuckFault, when set, is consulted at every DESYNC command with
+	// the engine-lifetime desync attempt number (completed desyncs plus
+	// swallowed ones, so retries see fresh decisions). Returning true
+	// swallows the DESYNC: the engine stays synced and the fabric never
+	// sees end-of-sequence — the stuck-ICAP failure mode that only an
+	// abort clears.
+	StuckFault func(n uint64) bool
+
 	synced  bool
 	abort   bool
 	regs    [16]uint32
@@ -115,6 +123,7 @@ type ICAP struct {
 	frames    uint64
 	err       error
 	desyncs   uint64
+	stuck     uint64
 	staticWr  uint64
 	partWrite map[*Partition]uint64
 }
@@ -158,6 +167,9 @@ func (ic *ICAP) FramesWritten() uint64 { return ic.frames }
 // Desyncs returns how many complete configuration sequences (DESYNC
 // commands) the engine has seen.
 func (ic *ICAP) Desyncs() uint64 { return ic.desyncs }
+
+// StuckFaults returns how many DESYNCs were swallowed by StuckFault.
+func (ic *ICAP) StuckFaults() uint64 { return ic.stuck }
 
 // Synced reports whether the engine has seen the sync word and is
 // processing packets.
@@ -351,6 +363,10 @@ func (ic *ICAP) command(w uint32) {
 	case CmdNull, CmdLFRM, CmdStart, CmdAGHigh, CmdRCFG:
 		ic.wcfg = false
 	case CmdDesync:
+		if ic.StuckFault != nil && ic.StuckFault(ic.desyncs+ic.stuck) {
+			ic.stuck++
+			return
+		}
 		ic.synced = false
 		ic.wcfg = false
 		ic.desyncs++

@@ -1,0 +1,50 @@
+// Package fault pins the coding pattern for deterministic fault plans:
+// every injection decision is a pure function of (seed, site, sequence
+// number) through a counter-based hash — no global PRNG, no wall clock
+// — and the processes that act on those decisions stay on the kernel.
+package fault
+
+import (
+	"math/rand"
+	"time"
+
+	"rvcap/internal/sim"
+)
+
+// splitmix64 is the counter-based mixer the real plan uses: stateless,
+// so a decision can be recomputed from its coordinates alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// GoodRoll draws the n-th decision for one injection site purely from
+// the plan's coordinates: equal (seed, site, n) always give the same
+// verdict, on every host and worker count.
+func GoodRoll(seed int64, site, n uint64, rate float64) bool {
+	h := splitmix64(splitmix64(uint64(seed)^site<<48) + n)
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// BadRoll consults ambient entropy: the shared global PRNG and the wall
+// clock both change between runs, so the fault history would too.
+func BadRoll(rate float64) bool {
+	if rand.Float64() < rate { // want "sim-determinism"
+		return true
+	}
+	return time.Now().UnixNano()%2 == 0 // want "sim-determinism"
+}
+
+// GoodStall charges an injected DMA stall as simulated time on the
+// kernel-confined transfer process.
+func GoodStall(p *sim.Proc, cycles sim.Time) {
+	p.Sleep(cycles)
+}
+
+// BadStall delivers the fault from a raw goroutine, racing the event
+// loop the models run on.
+func BadStall(done *sim.Signal) {
+	go done.Fire() // want "goroutine-discipline"
+}

@@ -1,7 +1,11 @@
 package sched
 
 import (
+	"fmt"
+	"sort"
+
 	"rvcap/internal/bitstream"
+	"rvcap/internal/fault"
 	"rvcap/internal/mem"
 	"rvcap/internal/sim"
 )
@@ -18,6 +22,15 @@ type imgKey struct {
 // therefore costs several times a reconfiguration — the asymmetry that
 // makes the DDR-resident cache and its prefetcher worth having.
 const sdBytesPerCycle = 1
+
+// Staging retry policy: a failed SD stream is retried a few times with
+// a growing backoff (mirroring the driver's ReadBlock policy), then the
+// entry is dropped — a waiting dispatcher re-requests it, which draws a
+// fresh fault decision.
+const (
+	stageAttempts    = 4
+	stageBackoffBase = sim.Time(2000)
+)
 
 // cacheState tracks one image's residency in the DDR staging area.
 type cacheState int
@@ -53,16 +66,33 @@ type bitCache struct {
 	fetchSig *sim.Signal
 	wake     *sim.Signal // the runtime's dispatcher wake-up
 
+	// plan, when set, injects SD staging faults and bitstream
+	// corruption; stages counts staging attempts (the plan's sequence
+	// number, so retries draw fresh decisions).
+	plan   *fault.Plan
+	stages uint64
+
 	clock uint64
 
 	hits, misses, prefetches, evictions int
+	stageRetries, stageDrops, corrupted int
 }
 
 // cacheBase is where the staging slots start in DDR (clear of the
 // demo/image regions used elsewhere in the repo).
 const cacheBase = 0x0200_0000
 
-func newBitCache(ddr *mem.DDR, slots int, images map[imgKey]*bitstream.Image, fetchSig, wake *sim.Signal) *bitCache {
+// newBitCache validates the configuration up front: a zero-image map or
+// too few slots would leave ensure blocked forever (the fetcher has
+// nothing to stage, or every slot stays pinned), so both are
+// construction errors rather than runtime hangs.
+func newBitCache(ddr *mem.DDR, slots int, images map[imgKey]*bitstream.Image, fetchSig, wake *sim.Signal) (*bitCache, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("sched: bitstream cache needs at least one image")
+	}
+	if slots < 2 {
+		return nil, fmt.Errorf("sched: %d cache slots cannot hold a pinned image and a fetch in flight", slots)
+	}
 	slotBytes := 0
 	for _, im := range images {
 		if im.SizeBytes() > slotBytes {
@@ -81,7 +111,7 @@ func newBitCache(ddr *mem.DDR, slots int, images map[imgKey]*bitstream.Image, fe
 	for i := 0; i < slots; i++ {
 		c.free = append(c.free, cacheBase+uint64(i*slotBytes))
 	}
-	return c
+	return c, nil
 }
 
 func (c *bitCache) touch(e *cacheEntry) {
@@ -95,6 +125,9 @@ func (c *bitCache) touch(e *cacheEntry) {
 func (c *bitCache) request(key imgKey, prefetch bool) bool {
 	if _, ok := c.entries[key]; ok {
 		return true
+	}
+	if _, ok := c.images[key]; !ok {
+		return false
 	}
 	addr, ok := c.allocSlot()
 	if !ok {
@@ -140,13 +173,17 @@ func (c *bitCache) allocSlot() (uint64, bool) {
 
 // ensure blocks the calling process until key's image is resident, and
 // returns its (pinned) entry. The dispatch-time lookup is what the hit
-// rate counts: present = hit, anything else = miss.
-func (c *bitCache) ensure(p *sim.Proc, key imgKey) *cacheEntry {
+// rate counts: present = hit, anything else = miss. An unknown key is
+// a configuration error, not a hang.
+func (c *bitCache) ensure(p *sim.Proc, key imgKey) (*cacheEntry, error) {
+	if _, ok := c.images[key]; !ok {
+		return nil, fmt.Errorf("sched: no image for module %q on partition %d", key.module, key.rp)
+	}
 	if e, ok := c.entries[key]; ok && e.state == statePresent {
 		c.hits++
 		c.touch(e)
 		e.pinned++
-		return e
+		return e, nil
 	}
 	c.misses++
 	for {
@@ -154,11 +191,21 @@ func (c *bitCache) ensure(p *sim.Proc, key imgKey) *cacheEntry {
 			// Pin through the fetch so a concurrent prefetch cannot
 			// evict the image between completion and use.
 			e.pinned++
+			dropped := false
 			for e.state != statePresent {
 				p.Wait(c.wake)
+				if c.entries[key] != e {
+					// The fetcher dropped the entry after exhausting
+					// its staging retries; request it afresh.
+					dropped = true
+					break
+				}
+			}
+			if dropped {
+				continue
 			}
 			c.touch(e)
-			return e
+			return e, nil
 		}
 		if !c.request(key, false) {
 			// Every slot pinned or fetching: wait for progress.
@@ -167,16 +214,41 @@ func (c *bitCache) ensure(p *sim.Proc, key imgKey) *cacheEntry {
 	}
 }
 
+// unpin releases one pin. Unbalanced unpins are bugs that would
+// silently disable eviction protection, so underflow panics.
 func (c *bitCache) unpin(e *cacheEntry) {
-	if e.pinned > 0 {
-		e.pinned--
+	if e.pinned <= 0 {
+		panic(fmt.Sprintf("sched: unpin underflow on %s/rp%d", e.key.module, e.key.rp))
 	}
+	e.pinned--
+}
+
+// invalidate drops key's staged copy so the next ensure re-stages it
+// from the SD card — the dispatcher calls this after a failed load,
+// when the DDR copy may be the corrupted one. A pinned or in-flight
+// entry is left alone.
+func (c *bitCache) invalidate(key imgKey) {
+	e, ok := c.entries[key]
+	if !ok || e.pinned > 0 || e.state != statePresent {
+		return
+	}
+	delete(c.entries, key)
+	c.freeSlot(e.addr)
+}
+
+// freeSlot returns a slot to the free list, keeping it sorted so slot
+// assignment stays independent of release order.
+func (c *bitCache) freeSlot(addr uint64) {
+	c.free = append(c.free, addr)
+	sort.Slice(c.free, func(i, j int) bool { return c.free[i] < c.free[j] })
 }
 
 // runFetcher is the SD staging engine: a kernel-confined process that
 // drains the fetch queue in FIFO order, charging the SD streaming time
 // and then materialising the image in its DDR slot. It models the SD
-// controller's autonomous DMA; the hart is not involved.
+// controller's autonomous DMA; the hart is not involved. With a fault
+// plan attached, individual streams can fail (bounded retries, then
+// the entry is dropped) or deliver a corrupted image.
 func (c *bitCache) runFetcher(p *sim.Proc, stop *sim.Signal) {
 	for {
 		if len(c.queue) == 0 {
@@ -189,14 +261,60 @@ func (c *bitCache) runFetcher(p *sim.Proc, stop *sim.Signal) {
 		c.queue = c.queue[1:]
 		e, ok := c.entries[key]
 		if !ok || e.state != stateFetching {
+			// Stale queue entry: evicted or re-requested while queued.
 			continue
 		}
 		im := c.images[key]
-		p.Sleep(sim.Time(im.SizeBytes() / sdBytesPerCycle))
-		c.ddr.Load(e.addr, im.Bytes())
+		if !c.stage(p, e, im) {
+			// Retries exhausted: drop the entry so waiting dispatchers
+			// re-request (and draw a fresh fault decision).
+			c.stageDrops++
+			delete(c.entries, key)
+			c.freeSlot(e.addr)
+			c.wake.Fire()
+			continue
+		}
 		e.state = statePresent
 		c.wake.Fire()
 	}
+}
+
+// stage streams one image from SD into its DDR slot, retrying failed
+// streams with backoff. It reports false when the retry budget is
+// exhausted.
+func (c *bitCache) stage(p *sim.Proc, e *cacheEntry, im *bitstream.Image) bool {
+	backoff := stageBackoffBase
+	for attempt := 0; attempt < stageAttempts; attempt++ {
+		seq := c.stages
+		c.stages++
+		if attempt > 0 {
+			c.stageRetries++
+			p.Sleep(backoff)
+			backoff *= 2
+		}
+		if c.plan != nil && c.plan.SDRead(seq) {
+			// The stream died partway: charge half the transfer time.
+			p.Sleep(sim.Time(im.SizeBytes() / sdBytesPerCycle / 2))
+			continue
+		}
+		p.Sleep(sim.Time(im.SizeBytes() / sdBytesPerCycle))
+		data := im.Bytes()
+		e.bytes = im.SizeBytes()
+		if c.plan != nil {
+			switch cor := c.plan.Stage(seq, len(data)); cor.Kind {
+			case fault.CorruptBitFlip:
+				data = bitstream.FlipBit(data, cor.Bit)
+				c.corrupted++
+			case fault.CorruptTruncate:
+				data = bitstream.Truncate(data, cor.Bytes)
+				e.bytes = len(data)
+				c.corrupted++
+			}
+		}
+		c.ddr.Load(e.addr, data)
+		return true
+	}
+	return false
 }
 
 // hitRate returns the dispatch-time cache hit rate.

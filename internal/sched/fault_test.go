@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// TestPercentileExactRanks pins the nearest-rank definition with exact
+// integer arithmetic. The old implementation computed the rank as
+// int(q*n + 0.9999999) - 1; in float64, 0.95*100 is 95.000000000000014
+// and 0.99*200 is 198.00000000000003, so the epsilon pushed the rank
+// one too high exactly when q*n floats just above an integer — this
+// table fails against it.
+func TestPercentileExactRanks(t *testing.T) {
+	seq := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + 1)
+		}
+		return v
+	}
+	cases := []struct {
+		n    int
+		q    float64
+		want float64
+	}{
+		{1, 0.50, 1}, {1, 0.95, 1}, {1, 0.99, 1}, {1, 1.00, 1},
+		{100, 0.50, 50}, {100, 0.95, 95}, {100, 0.99, 99}, {100, 1.00, 100},
+		{200, 0.50, 100}, {200, 0.95, 190}, {200, 0.99, 198}, {200, 1.00, 200},
+	}
+	for _, c := range cases {
+		if got := percentile(seq(c.n), c.q); got != c.want {
+			t.Errorf("percentile(1..%d, %v) = %v, want %v", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+// cacheFixture builds a minimal kernel + image map for white-box cache
+// tests.
+func cacheFixture(t *testing.T, slots int) (*sim.Kernel, *bitCache, imgKey) {
+	t.Helper()
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{SkipDefaultPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := s.AddPartition("SRP0", 0, 0, 0, 1, fpga.DefaultRPReserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := bitstream.Partial(s.Fabric.Dev, part, accel.Sobel, bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := imgKey{rp: 0, module: accel.Sobel}
+	c, err := newBitCache(s.DDR, slots, map[imgKey]*bitstream.Image{key: im},
+		sim.NewSignal(k, "t.fetch"), sim.NewSignal(k, "t.wake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, c, key
+}
+
+func TestCacheConstructionValidation(t *testing.T) {
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{SkipDefaultPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := sim.NewSignal(k, "t.fetch")
+	wake := sim.NewSignal(k, "t.wake")
+	// No images: the fetcher would have nothing to stage and every
+	// ensure would hang.
+	if _, err := newBitCache(s.DDR, 4, nil, fetch, wake); err == nil {
+		t.Error("empty image map accepted")
+	}
+	// Fewer than two slots cannot hold a pinned image plus a fetch in
+	// flight; historically this deadlocked ensure instead of erroring.
+	part, _, err := s.AddPartition("SRP0", 0, 0, 0, 1, fpga.DefaultRPReserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := bitstream.Partial(s.Fabric.Dev, part, accel.Sobel, bitstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := map[imgKey]*bitstream.Image{{rp: 0, module: accel.Sobel}: im}
+	if _, err := newBitCache(s.DDR, 1, images, fetch, wake); err == nil {
+		t.Error("single-slot cache accepted")
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	_, c, _ := cacheFixture(t, 2)
+	e := &cacheEntry{key: imgKey{rp: 0, module: accel.Sobel}}
+	defer func() {
+		if recover() == nil {
+			t.Error("unpin on an unpinned entry did not panic")
+		}
+	}()
+	c.unpin(e)
+}
+
+// TestFetcherSkipsStaleQueueEntries exercises runFetcher's stale-entry
+// path: a queued key whose entry was evicted (or already completed) in
+// the meantime must be skipped without staging anything.
+func TestFetcherSkipsStaleQueueEntries(t *testing.T) {
+	k, c, key := cacheFixture(t, 2)
+	if !c.request(key, false) {
+		t.Fatal("request refused with free slots")
+	}
+	// Evict the entry while its queue slot is still pending — the
+	// fetcher must treat the queue entry as stale.
+	e := c.entries[key]
+	delete(c.entries, key)
+	c.freeSlot(e.addr)
+	// And queue a second stale case: an entry that is already present.
+	if !c.request(key, false) {
+		t.Fatal("re-request refused")
+	}
+	c.entries[key].state = statePresent
+	c.queue = append(c.queue, key)
+
+	stop := sim.NewLatchedSignal(k, "t.stop")
+	k.Go("t.fetcher", func(p *sim.Proc) { c.runFetcher(p, stop) })
+	k.Go("t.stopper", func(p *sim.Proc) {
+		p.Sleep(100)
+		stop.Fire()
+	})
+	k.Run()
+	if c.stages != 0 {
+		t.Errorf("fetcher staged %d times through stale queue entries", c.stages)
+	}
+	if len(c.queue) != 0 {
+		t.Errorf("fetcher left %d queue entries behind", len(c.queue))
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	if _, err := Run(Config{FaultRate: 1.0}); err == nil {
+		t.Error("FaultRate 1.0 accepted (an always-failing site cannot heal)")
+	}
+	if _, err := Run(Config{FaultRate: -0.1}); err == nil {
+		t.Error("negative FaultRate accepted")
+	}
+	if _, err := Run(Config{RPs: 3, KillRP: 4}); err == nil {
+		t.Error("KillRP beyond partition count accepted")
+	}
+}
+
+// TestFaultScenarioSelfHeals is the acceptance test for the tentpole:
+// with a nonzero fault rate and one partition hard-failing mid-run, the
+// default faults scenario must quarantine exactly that partition,
+// redistribute its queue, and still complete every job with nonzero
+// degraded-mode counters.
+func TestFaultScenarioSelfHeals(t *testing.T) {
+	cfg := DefaultFaultScenario()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != cfg.Jobs {
+		t.Fatalf("jobs = %d, want %d", rep.Jobs, cfg.Jobs)
+	}
+	served := 0
+	for _, st := range rep.PerRP {
+		served += st.Jobs
+	}
+	if served != cfg.Jobs {
+		t.Errorf("per-RP jobs sum to %d, want %d (lost jobs)", served, cfg.Jobs)
+	}
+	if rep.Quarantines != 1 {
+		t.Errorf("quarantines = %d, want 1", rep.Quarantines)
+	}
+	if !rep.PerRP[cfg.KillRP-1].Quarantined {
+		t.Errorf("partition %s not quarantined: %+v", rep.PerRP[cfg.KillRP-1].Name, rep.PerRP)
+	}
+	if rep.FailedLoads == 0 {
+		t.Error("no failed loads recorded under nonzero fault rate")
+	}
+	if rep.LoadRetries == 0 {
+		t.Error("no load retries recorded under nonzero fault rate")
+	}
+	if rep.GoodputJobsPerMs <= 0 {
+		t.Errorf("goodput = %v", rep.GoodputJobsPerMs)
+	}
+	out := rep.String()
+	for _, want := range []string{"faults:", "QUARANTINED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultScenarioDeterministic(t *testing.T) {
+	cfg := DefaultFaultScenario()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same fault config produced different reports:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestZeroFaultRateKeepsCountersZero: the fault machinery must be
+// invisible when disabled — no counters, no faults line in the report.
+func TestZeroFaultRateKeepsCountersZero(t *testing.T) {
+	rep, err := Run(Config{Policy: Affinity, Load: 0.9, RPs: 2, Jobs: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedLoads != 0 || rep.LoadRetries != 0 || rep.StageRetries != 0 || rep.Quarantines != 0 {
+		t.Errorf("fault counters nonzero in fault-free run: %+v", rep)
+	}
+	if strings.Contains(rep.String(), "faults:") {
+		t.Errorf("fault-free report renders a faults line:\n%s", rep.String())
+	}
+	for _, st := range rep.PerRP {
+		if st.Quarantined {
+			t.Errorf("%s quarantined in fault-free run", st.Name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -23,6 +24,9 @@ type RPStat struct {
 	ReconfigMicros float64 `json:"reconfig_micros"`
 	// Utilization is BusyMicros over the scenario makespan.
 	Utilization float64 `json:"utilization"`
+	// Quarantined marks a partition retired after exhausting its load
+	// retries.
+	Quarantined bool `json:"quarantined"`
 }
 
 // Report is the service-level outcome of one scenario.
@@ -59,36 +63,64 @@ type Report struct {
 	Prefetches   int     `json:"prefetches"`
 	Evictions    int     `json:"evictions"`
 
+	// Availability / degraded-mode counters (all zero in a fault-free
+	// scenario). FailedLoads counts reconfigurations that did not bring
+	// the module up; LoadRetries the dispatcher's heal-and-reload
+	// cycles; StageRetries the SD staging engine's stream retries;
+	// Quarantines the partitions retired after exhausting retries.
+	FailedLoads  int `json:"failed_loads"`
+	LoadRetries  int `json:"load_retries"`
+	StageRetries int `json:"stage_retries"`
+	Quarantines  int `json:"quarantines"`
+
+	// GoodputJobsPerMs is completed jobs per millisecond of makespan —
+	// the service-level throughput that degraded operation erodes.
+	GoodputJobsPerMs float64 `json:"goodput_jobs_per_ms"`
+
 	PerRP []RPStat `json:"per_rp"`
 }
 
+// percentileDenom is the resolution percentile quantiles are snapped
+// to: 1/10000 covers every conventional quantile (p50, p95, p99,
+// p99.9, p99.99) exactly.
+const percentileDenom = 10000
+
 // percentile returns the nearest-rank percentile (q in (0,1]) of the
-// sorted values.
+// sorted values: the element at rank ceil(q*n), 1-based. The rank is
+// computed in exact integer arithmetic — in float64, 0.95*100 is
+// 95.000000000000014, so both the old epsilon hack and a plain
+// math.Ceil land one rank too high for q*n just above an integer.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	rank := int(q*float64(len(sorted))+0.9999999) - 1
-	if rank < 0 {
-		rank = 0
+	num := int(math.Round(q * percentileDenom))
+	rank := (num*n + percentileDenom - 1) / percentileDenom // ceil(q*n)
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }
 
 // buildReport assembles the scenario report from the completed jobs and
 // partition accounting.
 func (r *Runtime) buildReport() *Report {
 	rep := &Report{
-		Policy:      r.cfg.Policy.String(),
-		RPs:         r.cfg.RPs,
-		Jobs:        len(r.jobs),
-		CacheHits:   r.cache.hits,
-		CacheMisses: r.cache.misses,
-		Prefetches:  r.cache.prefetches,
-		Evictions:   r.cache.evictions,
+		Policy:       r.cfg.Policy.String(),
+		RPs:          r.cfg.RPs,
+		Jobs:         len(r.jobs),
+		CacheHits:    r.cache.hits,
+		CacheMisses:  r.cache.misses,
+		Prefetches:   r.cache.prefetches,
+		Evictions:    r.cache.evictions,
+		FailedLoads:  r.failedLoads,
+		LoadRetries:  r.loadRetries,
+		StageRetries: r.cache.stageRetries,
+		Quarantines:  r.quarantines,
 	}
 	rep.CacheHitRate = r.cache.hitRate()
 
@@ -117,6 +149,9 @@ func (r *Runtime) buildReport() *Report {
 	if len(lat) > 0 {
 		rep.MeanMicros = sum / float64(len(lat))
 	}
+	if rep.MakespanMicros > 0 {
+		rep.GoodputJobsPerMs = float64(len(r.jobs)) / (rep.MakespanMicros / 1000)
+	}
 
 	var busy, reconf float64
 	for _, rp := range r.rps {
@@ -126,6 +161,7 @@ func (r *Runtime) buildReport() *Report {
 			Reconfigs:      rp.reconfigs,
 			BusyMicros:     sim.Micros(rp.busyCycles),
 			ReconfigMicros: sim.Micros(rp.reconfigCycles),
+			Quarantined:    rp.quarantined,
 		}
 		if rep.MakespanMicros > 0 {
 			st.Utilization = st.BusyMicros / rep.MakespanMicros
@@ -150,9 +186,17 @@ func (rep *Report) String() string {
 	fmt.Fprintf(&b, "  reconfigs=%d resident-hits=%d overhead-ratio=%.3f cache-hit-rate=%.2f (hits %d, misses %d, prefetches %d, evictions %d)\n",
 		rep.Reconfigs, rep.ResidentHits, rep.ReconfigOverheadRatio,
 		rep.CacheHitRate, rep.CacheHits, rep.CacheMisses, rep.Prefetches, rep.Evictions)
+	if rep.FailedLoads+rep.LoadRetries+rep.StageRetries+rep.Quarantines > 0 {
+		fmt.Fprintf(&b, "  faults: failed-loads=%d load-retries=%d stage-retries=%d quarantined=%d goodput=%.2f jobs/ms\n",
+			rep.FailedLoads, rep.LoadRetries, rep.StageRetries, rep.Quarantines, rep.GoodputJobsPerMs)
+	}
 	for _, st := range rep.PerRP {
-		fmt.Fprintf(&b, "  %-6s jobs=%-3d reconfigs=%-3d busy=%.0f us reconfig=%.0f us util=%.2f\n",
-			st.Name, st.Jobs, st.Reconfigs, st.BusyMicros, st.ReconfigMicros, st.Utilization)
+		flag := ""
+		if st.Quarantined {
+			flag = " QUARANTINED"
+		}
+		fmt.Fprintf(&b, "  %-6s jobs=%-3d reconfigs=%-3d busy=%.0f us reconfig=%.0f us util=%.2f%s\n",
+			st.Name, st.Jobs, st.Reconfigs, st.BusyMicros, st.ReconfigMicros, st.Utilization, flag)
 	}
 	return b.String()
 }

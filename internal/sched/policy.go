@@ -55,7 +55,7 @@ func ParsePolicy(s string) (Policy, error) {
 func (r *Runtime) pick() (int, int) {
 	free := -1
 	for i, rp := range r.rps {
-		if !rp.busy {
+		if !rp.busy && !rp.quarantined {
 			free = i
 			break
 		}
@@ -73,7 +73,7 @@ func (r *Runtime) pick() (int, int) {
 	case Affinity:
 		for qi := 0; qi < window; qi++ {
 			for pi, rp := range r.rps {
-				if !rp.busy && rp.part.Active() == r.queue[qi].Module {
+				if !rp.busy && !rp.quarantined && rp.part.Active() == r.queue[qi].Module {
 					return qi, pi
 				}
 			}
@@ -85,7 +85,7 @@ func (r *Runtime) pick() (int, int) {
 		for qi := 0; qi < window; qi++ {
 			job := r.queue[qi]
 			for pi, rp := range r.rps {
-				if rp.busy {
+				if rp.busy || rp.quarantined {
 					continue
 				}
 				cost := r.switchCost(job.Module, pi)

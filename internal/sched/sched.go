@@ -29,12 +29,15 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"rvcap/internal/accel"
 	"rvcap/internal/bitstream"
 	"rvcap/internal/core"
+	"rvcap/internal/dma"
 	"rvcap/internal/driver"
+	"rvcap/internal/fault"
 	"rvcap/internal/fpga"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
@@ -65,6 +68,27 @@ type Config struct {
 	ReorderWindow int
 	// NoPrefetch disables staging a job's bitstream at arrival time.
 	NoPrefetch bool
+
+	// FaultRate, when nonzero, injects faults across the datapath (SD
+	// staging errors, DMA transfer errors and stalls, bitstream
+	// corruption, stuck-synced ICAP) at this per-event probability.
+	// Must be in [0, 1): an always-failing site can never heal.
+	FaultRate float64
+	// FaultSeed keys the fault plan (default: Seed), so the fault
+	// history can be varied independently of the workload.
+	FaultSeed int64
+	// MaxRetries bounds how often a failed module load is retried
+	// (recover, re-stage, reload) before the partition is quarantined
+	// (default 2).
+	MaxRetries int
+	// KillRP, when nonzero, hard-fails partition KillRP-1: every load
+	// after its first KillAfterLoads successful ones wedges the ICAP,
+	// so retries exhaust and the partition is quarantined mid-run. The
+	// runtime must redistribute its queue to the survivors.
+	KillRP int
+	// KillAfterLoads is how many loads the killed partition completes
+	// before dying (default 1).
+	KillAfterLoads int
 }
 
 // withDefaults fills unset fields.
@@ -90,7 +114,34 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.KillAfterLoads == 0 {
+		c.KillAfterLoads = 1
+	}
 	return c
+}
+
+// DefaultFaultScenario is the canonical self-healing demo: three
+// partitions under near-saturation load, a ~8% per-event fault rate
+// across the datapath, and partition SRP1 hard-failing after its first
+// load. The runtime must quarantine SRP1, redistribute its queue and
+// still complete every job — examples/fault-tolerant runs exactly this
+// Config, and the acceptance tests pin its counters.
+func DefaultFaultScenario() Config {
+	return Config{
+		Seed:      11,
+		Policy:    Affinity,
+		RPs:       3,
+		Jobs:      36,
+		Load:      0.8,
+		FaultRate: 0.08,
+		KillRP:    2,
+	}
 }
 
 // rpColumnPairs are the CLB column pairs (avoiding BRAM/DSP columns, so
@@ -120,10 +171,11 @@ func padFactor(module string) (num, den int) {
 
 // rpState is the runtime view of one partition.
 type rpState struct {
-	part  *fpga.Partition
-	start *sim.Signal
-	busy  bool
-	job   *Job
+	part        *fpga.Partition
+	start       *sim.Signal
+	busy        bool
+	quarantined bool
+	job         *Job
 
 	jobsServed     int
 	reconfigs      int
@@ -146,7 +198,15 @@ type Runtime struct {
 	wake *sim.Signal // pulses on arrival / completion / fetch-done
 	stop *sim.Signal // latched end-of-scenario
 
-	completed int
+	// plan, when set, schedules the injected faults; killArmed is true
+	// while the dispatcher is loading the hard-failed partition.
+	plan      *fault.Plan
+	killArmed bool
+
+	completed   int
+	failedLoads int
+	loadRetries int
+	quarantines int
 }
 
 // Run plays one scenario to completion and returns its service-level
@@ -160,6 +220,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.CacheSlots < 2 {
 		return nil, fmt.Errorf("sched: CacheSlots = %d, need at least 2", cfg.CacheSlots)
+	}
+	if cfg.KillRP < 0 || cfg.KillRP > cfg.RPs {
+		return nil, fmt.Errorf("sched: KillRP = %d outside [0,%d]", cfg.KillRP, cfg.RPs)
+	}
+	if cfg.FaultRate < 0 || cfg.FaultRate >= 1 {
+		return nil, fmt.Errorf("sched: FaultRate = %v outside [0,1)", cfg.FaultRate)
 	}
 	jobs, err := Workload{
 		Seed: cfg.Seed, Jobs: cfg.Jobs, Load: cfg.Load,
@@ -182,6 +248,29 @@ func Run(cfg Config) (*Report, error) {
 		images: make(map[imgKey]*bitstream.Image),
 		wake:   sim.NewSignal(k, "sched.wake"),
 		stop:   sim.NewLatchedSignal(k, "sched.stop"),
+	}
+
+	if cfg.FaultRate > 0 {
+		plan, err := fault.New(fault.Uniform(cfg.FaultSeed, cfg.FaultRate))
+		if err != nil {
+			return nil, err
+		}
+		r.plan = plan
+		// DMA transfer faults on the reconfiguration read channel.
+		s.RVCAP.DMA.Inject = func(xfer uint64) dma.Fault {
+			stall, fail := plan.DMA(xfer)
+			return dma.Fault{Stall: stall, Fail: fail}
+		}
+	}
+	if r.plan != nil || cfg.KillRP > 0 {
+		// Stuck-synced ICAP: the plan's transient faults plus the
+		// hard-failed partition's permanent one.
+		s.ICAP.StuckFault = func(n uint64) bool {
+			if r.killArmed {
+				return true
+			}
+			return r.plan != nil && r.plan.StuckSync(n)
+		}
 	}
 
 	// Partitions and their per-module partial bitstreams. Partitions
@@ -218,7 +307,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	fetchSig := sim.NewSignal(k, "sched.fetch")
-	r.cache = newBitCache(s.DDR, cfg.CacheSlots, r.images, fetchSig, r.wake)
+	r.cache, err = newBitCache(s.DDR, cfg.CacheSlots, r.images, fetchSig, r.wake)
+	if err != nil {
+		return nil, err
+	}
+	r.cache.plan = r.plan
 
 	// Kernel-confined processes: arrivals, SD staging, partition
 	// servers, and the scheduling CPU.
@@ -262,7 +355,7 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 // spread by job ID. A misprediction only costs a later cache miss.
 func (r *Runtime) predictRP(job *Job) int {
 	for i, rp := range r.rps {
-		if rp.part.Active() == job.Module {
+		if !rp.quarantined && rp.part.Active() == job.Module {
 			return i
 		}
 	}
@@ -316,7 +409,9 @@ func (r *Runtime) runDispatcher(p *sim.Proc) error {
 // dispatch runs one pick: stage the bitstream if the module is not
 // resident, reconfigure through the RV-CAP driver, and start the job.
 // The partition is reserved up front so the policy cannot double-book
-// it while the dispatcher blocks on staging or the DMA interrupt.
+// it while the dispatcher blocks on staging or the DMA interrupt. A
+// load whose retries exhaust quarantines the partition and puts the
+// job back at the head of the queue for the surviving partitions.
 func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 	job := r.queue[qi]
 	r.queue = append(r.queue[:qi], r.queue[qi+1:]...)
@@ -327,10 +422,11 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 
 	if rp.part.Active() != job.Module {
 		key := imgKey{rp: pi, module: job.Module}
-		e := r.cache.ensure(p, key)
 		t0 := p.Now()
-		err := r.reconfigure(p, rp, key, e)
-		r.cache.unpin(e)
+		err := r.loadModule(p, rp, pi, key)
+		if isLoadFault(err) {
+			return r.quarantine(p, pi, job)
+		}
 		if err != nil {
 			return err
 		}
@@ -343,6 +439,91 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 	rp.jobsServed++
 	rp.start.Fire()
 	return nil
+}
+
+// loadRetryBackoff is the delay before the first load retry; it
+// doubles per attempt.
+const loadRetryBackoff = sim.Time(1000)
+
+// errLoadFaulty marks a load that failed for a datapath reason — the
+// module did not come up, or the configuration engine latched an error
+// — as opposed to an infrastructure failure of the simulation itself.
+var errLoadFaulty = errors.New("sched: module load failed")
+
+// isLoadFault reports whether err is a recoverable datapath fault
+// (retry, then quarantine) rather than a hard runtime error.
+func isLoadFault(err error) bool {
+	return errors.Is(err, errLoadFaulty) || errors.Is(err, driver.ErrDMAFault)
+}
+
+// loadModule loads key's module onto rp, healing datapath faults:
+// every failed attempt recovers the ICAP, drops the possibly corrupt
+// DDR copy and retries with backoff; after MaxRetries the fault is
+// surfaced to the caller, which quarantines the partition.
+func (r *Runtime) loadModule(p *sim.Proc, rp *rpState, pi int, key imgKey) error {
+	backoff := loadRetryBackoff
+	var last error
+	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.loadRetries++
+			p.Sleep(backoff)
+			backoff *= 2
+		}
+		e, err := r.cache.ensure(p, key)
+		if err != nil {
+			return err
+		}
+		r.killArmed = r.cfg.KillRP == pi+1 && rp.reconfigs >= r.cfg.KillAfterLoads
+		err = r.reconfigure(p, rp, key, e)
+		r.killArmed = false
+		r.cache.unpin(e)
+		if err == nil {
+			return nil
+		}
+		if !isLoadFault(err) {
+			return err
+		}
+		r.failedLoads++
+		last = err
+		// Heal the datapath: reset the DMA channel, drain, abort the
+		// packet engine, and drop the staged copy — it may be the
+		// corrupted artifact, and a fresh staging draws a fresh fault
+		// decision.
+		if rerr := r.d.RecoverICAP(p); rerr != nil {
+			return rerr
+		}
+		r.cache.invalidate(key)
+	}
+	return last
+}
+
+// quarantine retires partition pi after a load whose retries
+// exhausted: the partition is excluded from every future pick, its job
+// returns to the head of the queue for the surviving partitions, and
+// the datapath is restored to acceleration mode. Losing the last
+// partition is fatal — the scenario cannot complete.
+func (r *Runtime) quarantine(p *sim.Proc, pi int, job *Job) error {
+	rp := r.rps[pi]
+	rp.quarantined = true
+	rp.busy = false
+	r.quarantines++
+	r.queue = append([]*Job{job}, r.queue...)
+	// The failed load may have left the partition decoupled and the
+	// stream switch steered to the ICAP; restore acceleration mode.
+	if err := r.s.Hart.Store32(p, soc.RVCAPBase+core.RegControl, 0); err != nil {
+		return err
+	}
+	if err := r.d.SelectICAP(p, false); err != nil {
+		return err
+	}
+	for _, other := range r.rps {
+		if !other.quarantined {
+			r.wake.Fire()
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: all %d partitions quarantined with %d jobs unfinished",
+		len(r.rps), len(r.jobs)-r.completed)
 }
 
 // reconfigure loads key's module into rp through the paper's Listing 1
@@ -381,10 +562,10 @@ func (r *Runtime) reconfigure(p *sim.Proc, rp *rpState, key imgKey, e *cacheEntr
 		return err
 	}
 	if err := r.s.ICAP.Err(); err != nil {
-		return fmt.Errorf("sched: loading %s into %s: %w", key.module, rp.part.Name, err)
+		return fmt.Errorf("%w: %s into %s: %v", errLoadFaulty, key.module, rp.part.Name, err)
 	}
 	if rp.part.Active() != key.module {
-		return fmt.Errorf("sched: module %s not active on %s after load", key.module, rp.part.Name)
+		return fmt.Errorf("%w: %s not active on %s after load", errLoadFaulty, key.module, rp.part.Name)
 	}
 	return nil
 }

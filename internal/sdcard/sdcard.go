@@ -15,11 +15,15 @@ const BlockSize = 512
 // SPI-mode tokens.
 const (
 	TokenStartBlock = 0xFE
-	dataAccepted    = 0x05
-	r1Idle          = 0x01
-	r1Ready         = 0x00
-	r1IllegalCmd    = 0x04
-	r1AddressError  = 0x20
+	// TokenErrECC is the data error token for an uncorrectable ECC
+	// failure: error tokens have a zero high nibble, so drivers can
+	// tell them from the 0xFE start token while scanning.
+	TokenErrECC    = 0x04
+	dataAccepted   = 0x05
+	r1Idle         = 0x01
+	r1Ready        = 0x00
+	r1IllegalCmd   = 0x04
+	r1AddressError = 0x20
 )
 
 // state machine phases
@@ -37,6 +41,12 @@ const (
 type Card struct {
 	image []byte
 
+	// InjectReadErr, when set, is consulted once per CMD17 with the
+	// card-lifetime read attempt number (successes and failures both
+	// advance it, so a retry sees a fresh decision); returning true
+	// makes the card answer a data error token instead of the block.
+	InjectReadErr func(n uint64) bool
+
 	selected    bool
 	initialised bool   // ACMD41 completed
 	acmd        bool   // last command was CMD55
@@ -50,8 +60,9 @@ type Card struct {
 	writeLBA  uint32
 	busyLeft  int
 
-	reads  uint64
-	writes uint64
+	reads    uint64
+	writes   uint64
+	readErrs uint64
 }
 
 // New returns a card backed by image (its capacity in blocks is
@@ -70,6 +81,9 @@ func (c *Card) Image() []byte { return c.image }
 // Reads and Writes return block transfer counters.
 func (c *Card) Reads() uint64  { return c.reads }
 func (c *Card) Writes() uint64 { return c.writes }
+
+// ReadErrs returns how many block reads answered an error token.
+func (c *Card) ReadErrs() uint64 { return c.readErrs }
 
 // CSEdge implements spi.Device.
 func (c *Card) CSEdge(selected bool) {
@@ -178,6 +192,13 @@ func (c *Card) execute(cmd byte, arg uint32) {
 		}
 		if arg >= c.Blocks() {
 			c.resp = []byte{r1AddressError}
+			return
+		}
+		if c.InjectReadErr != nil && c.InjectReadErr(c.reads+c.readErrs) {
+			// The read fails on the wire: R1 accepts the command, then
+			// a data error token arrives where the start token would.
+			c.readErrs++
+			c.resp = []byte{r1Ready, 0xFF, TokenErrECC}
 			return
 		}
 		blk := c.image[int(arg)*BlockSize : int(arg+1)*BlockSize]

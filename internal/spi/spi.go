@@ -48,6 +48,12 @@ type Master struct {
 	// Dev is the attached device (the SD card).
 	Dev Device
 
+	// CorruptRx, when set, is consulted once per register-level byte
+	// exchange with the master-lifetime byte sequence number; a
+	// nonzero return is XOR-ed onto the received byte, modelling
+	// corruption on the wire.
+	CorruptRx func(n uint64) byte
+
 	control uint32
 	div     uint32
 	rx      byte
@@ -97,6 +103,9 @@ func (m *Master) writeData(v uint32) {
 		return
 	}
 	m.rx = m.Dev.Exchange(byte(v), m.control&CtrlSelected != 0)
+	if m.CorruptRx != nil {
+		m.rx ^= m.CorruptRx(m.bytes)
+	}
 	m.bytes++
 }
 

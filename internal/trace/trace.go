@@ -122,23 +122,59 @@ func (r *Recorder) WriteVCD(w io.Writer) error {
 		return sorted[i].seq < sorted[j].seq
 	})
 
+	// $dumpvars gives every signal a value at #0, in registration
+	// order: its first recorded change if that lands at time zero,
+	// otherwise unknown (x). Without this section viewers render
+	// late-starting signals as empty space instead of x until their
+	// first edge.
+	fmt.Fprintf(bw, "#0\n$dumpvars\n")
+	firstAt0 := make(map[*Signal]int)
+	for i, c := range sorted {
+		if c.at != 0 {
+			break
+		}
+		if _, ok := firstAt0[c.sig]; !ok {
+			firstAt0[c.sig] = i
+		}
+	}
+	consumed := make(map[int]bool)
+	for _, s := range r.signals {
+		if i, ok := firstAt0[s]; ok {
+			emitChange(bw, sorted[i])
+			consumed[i] = true
+			continue
+		}
+		if s.width == 1 {
+			fmt.Fprintf(bw, "x%s\n", s.id)
+		} else {
+			fmt.Fprintf(bw, "bx %s\n", s.id)
+		}
+	}
+	fmt.Fprintf(bw, "$end\n")
+
 	cur := sim.Time(0)
-	first := true
-	for _, c := range sorted {
-		if first || c.at != cur {
+	for i, c := range sorted {
+		if consumed[i] {
+			continue
+		}
+		if c.at != cur {
 			fmt.Fprintf(bw, "#%d\n", c.at)
 			cur = c.at
-			first = false
 		}
-		if c.sig.width == 1 {
-			fmt.Fprintf(bw, "%d%s\n", c.val&1, c.sig.id)
-		} else {
-			fmt.Fprintf(bw, "b%b %s\n", c.val, c.sig.id)
-		}
+		emitChange(bw, c)
 	}
 	// Final timestamp so viewers show the full horizon.
 	if r.k.Now() > cur {
 		fmt.Fprintf(bw, "#%d\n", r.k.Now())
 	}
 	return bw.Flush()
+}
+
+// emitChange writes one value change in VCD syntax.
+func emitChange(w io.Writer, c change) {
+	if c.sig.width == 1 {
+		fmt.Fprintf(w, "%d%s\n", c.val&1, c.sig.id)
+	} else {
+		fmt.Fprintf(w, "b%b %s\n", c.val, c.sig.id)
+	}
 }

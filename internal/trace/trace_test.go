@@ -45,6 +45,45 @@ func TestRecorderBasics(t *testing.T) {
 	}
 }
 
+func TestVCDDumpvarsInitialValues(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k)
+	a := r.Signal("a", 1)
+	b := r.Signal("bus", 8)
+	c := r.Signal("late", 1)
+	k.Schedule(0, func() { a.Set(1) })
+	k.Schedule(0, func() { b.Set(0x5A) })
+	k.Schedule(40, func() { c.Set(1) })
+	k.Run()
+	var buf bytes.Buffer
+	if err := r.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#0\n$dumpvars\n") {
+		t.Fatalf("no #0 $dumpvars section:\n%s", out)
+	}
+	_, rest, _ := strings.Cut(out, "$dumpvars\n")
+	section, tail, found := strings.Cut(rest, "$end\n")
+	if !found {
+		t.Fatalf("unterminated $dumpvars section:\n%s", out)
+	}
+	// Time-zero values appear inside $dumpvars; the late signal dumps
+	// as unknown until its first edge.
+	for _, want := range []string{"1!", "b1011010 \"", "x#"} {
+		if !strings.Contains(section, want) {
+			t.Errorf("$dumpvars section missing %q:\n%s", want, section)
+		}
+	}
+	// Time-zero changes are consumed by $dumpvars, not emitted twice.
+	if strings.Contains(tail, "1!\n") {
+		t.Errorf("time-zero change re-emitted after $dumpvars:\n%s", out)
+	}
+	if !strings.Contains(tail, "#40\n1#") {
+		t.Errorf("late edge missing:\n%s", out)
+	}
+}
+
 func TestVCDIDsUnique(t *testing.T) {
 	k := sim.NewKernel()
 	r := NewRecorder(k)
