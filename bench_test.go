@@ -190,6 +190,8 @@ func BenchmarkEndToEndSwapAndCompute(b *testing.B) {
 		mods = append(mods, m)
 	}
 	img := TestPattern(512, 512)
+	startEvents := sys.HW().K.Events()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := mods[i%len(mods)]
@@ -203,5 +205,10 @@ func BenchmarkEndToEndSwapAndCompute(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if ev := sys.HW().K.Events() - startEvents; ev > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(float64(ev)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ev), "ns/event")
 	}
 }

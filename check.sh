@@ -19,6 +19,12 @@ go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/
 echo '== rvcap-lint ./...'
 go run ./cmd/rvcap-lint ./...
 
+echo '== cycle equivalence: legacy heap vs calendar queue'
+# Every regenerated table, sweep and trace hash must be byte-identical
+# between the two event-queue implementations; a single displaced event
+# anywhere shows up here.
+go test -run TestCycleEquivalenceLegacyVsCalendar -count=1 .
+
 echo '== rvcap-bench parallel determinism + -json smoke'
 # The parallel experiment engine must be invisible in the results: the
 # fig3 sweep rows (and the BENCH_*.json files built from them) have to
@@ -46,6 +52,17 @@ echo '== rvcap-bench faults determinism'
 "$tmp/rvcap-bench" -experiment faults -parallel 1 -json -outdir "$tmp/f1" > /dev/null
 "$tmp/rvcap-bench" -experiment faults -parallel 4 -json -outdir "$tmp/f4" > /dev/null
 cmp "$tmp/f1/BENCH_faults.json" "$tmp/f4/BENCH_faults.json"
+
+echo '== rvcap-bench -benchjson smoke (BENCH_5.json)'
+# The kernel fast-path benchmark must produce a well-formed BENCH_5.json
+# with one run per queue and identical event counts on both (the cheap
+# always-on equivalence signal).
+"$tmp/rvcap-bench" -benchjson -benchiters 1 -outdir "$tmp/b5" > /dev/null
+test -s "$tmp/b5/BENCH_5.json"
+grep -q '"queue": "legacy"' "$tmp/b5/BENCH_5.json"
+grep -q '"queue": "calendar"' "$tmp/b5/BENCH_5.json"
+events=$(grep -c "\"events\": $(grep -m1 '"events"' "$tmp/b5/BENCH_5.json" | tr -dc 0-9)" "$tmp/b5/BENCH_5.json")
+test "$events" = 2
 
 echo '== examples smoke'
 # The examples are documentation that compiles; keep the canonical ones

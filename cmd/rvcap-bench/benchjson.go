@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"rvcap"
+	"rvcap/internal/sim"
+)
+
+// benchRun is one measured configuration of the end-to-end
+// swap-and-compute scenario in BENCH_5.json.
+type benchRun struct {
+	Queue        string  `json:"queue"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	Events       uint64  `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchDoc is the BENCH_5.json payload: the same scenario measured on
+// the legacy heap and the calendar queue, plus the headline ratios.
+type benchDoc struct {
+	Benchmark        string     `json:"benchmark"`
+	Image            string     `json:"image"`
+	Runs             []benchRun `json:"runs"`
+	SpeedupVsLegacy  float64    `json:"speedup_vs_legacy"`
+	AllocRatioLegacy float64    `json:"alloc_ratio_vs_legacy"`
+}
+
+// runEndToEnd measures iters iterations of the paper's case-study inner
+// loop (reconfigure + filter a 512x512 image) on the given queue and
+// returns the per-op cost, allocation counts and kernel event totals.
+func runEndToEnd(queue sim.QueueKind, iters int) (benchRun, error) {
+	old := sim.DefaultQueue
+	sim.DefaultQueue = queue
+	defer func() { sim.DefaultQueue = old }()
+
+	name := "calendar"
+	if queue == sim.LegacyHeap {
+		name = "legacy"
+	}
+	run := benchRun{Queue: name, Iterations: iters}
+
+	sys, err := rvcap.New(rvcap.WithUnpaddedBitstreams())
+	if err != nil {
+		return run, err
+	}
+	var mods []*rvcap.Module
+	for _, f := range []string{rvcap.Gaussian, rvcap.Median, rvcap.Sobel} {
+		m, err := sys.DefineFilterModule(f)
+		if err != nil {
+			return run, err
+		}
+		mods = append(mods, m)
+	}
+	img := rvcap.TestPattern(512, 512)
+
+	var ms0, ms1 runtime.MemStats
+	startEvents := sys.HW().K.Events()
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		m := mods[i%len(mods)]
+		err := sys.Run(func(s *rvcap.Session) error {
+			if _, err := s.Reconfigure(m); err != nil {
+				return err
+			}
+			_, _, err := s.FilterImage(img)
+			return err
+		})
+		if err != nil {
+			return run, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	run.NsPerOp = elapsed.Nanoseconds() / int64(iters)
+	run.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(iters)
+	run.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters)
+	run.Events = sys.HW().K.Events() - startEvents
+	if run.Events > 0 {
+		run.NsPerEvent = float64(elapsed.Nanoseconds()) / float64(run.Events)
+		run.EventsPerSec = float64(run.Events) / elapsed.Seconds()
+	}
+	return run, nil
+}
+
+// runBenchJSON executes the kernel fast-path benchmark on both event
+// queues and writes BENCH_5.json under outDir.
+func runBenchJSON(outDir string, iters int) error {
+	doc := benchDoc{Benchmark: "EndToEndSwapAndCompute", Image: "512x512"}
+	for _, q := range []sim.QueueKind{sim.LegacyHeap, sim.CalendarQueue} {
+		run, err := runEndToEnd(q, iters)
+		if err != nil {
+			return err
+		}
+		doc.Runs = append(doc.Runs, run)
+		fmt.Printf("%-8s  %12d ns/op  %9d allocs/op  %11.0f events/sec  %6.1f ns/event\n",
+			run.Queue, run.NsPerOp, run.AllocsPerOp, run.EventsPerSec, run.NsPerEvent)
+	}
+	legacy, calendar := doc.Runs[0], doc.Runs[1]
+	if calendar.NsPerOp > 0 {
+		doc.SpeedupVsLegacy = float64(legacy.NsPerOp) / float64(calendar.NsPerOp)
+	}
+	if calendar.AllocsPerOp > 0 {
+		doc.AllocRatioLegacy = float64(legacy.AllocsPerOp) / float64(calendar.AllocsPerOp)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	payload := struct {
+		Experiment string   `json:"experiment"`
+		Data       benchDoc `json:"data"`
+	}{Experiment: "kernel-fastpath", Data: doc}
+	buf, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outDir, "BENCH_5.json"), append(buf, '\n'), 0o644)
+}

@@ -9,6 +9,8 @@
 //	rvcap-bench -experiment fig3 -parallel 4       # 4 host workers (0 = all cores)
 //	rvcap-bench -experiment sched -seed 7          # scheduling sweep, custom seed
 //	rvcap-bench -experiment fig3 -json -outdir out # also write BENCH_fig3.json
+//	rvcap-bench -benchjson -outdir out             # kernel fast-path bench -> BENCH_5.json
+//	rvcap-bench -experiment table4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Sweeps fan their independent scenarios (one sim.Kernel each) across
 // -parallel host workers through internal/runner; rows and JSON files
@@ -23,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rvcap/internal/experiments"
@@ -185,11 +189,55 @@ func main() {
 	jsonOut := flag.Bool("json", false,
 		"also write machine-readable BENCH_<experiment>.json files to -outdir")
 	outDir := flag.String("outdir", ".", "directory for -json output files")
+	benchJSON := flag.Bool("benchjson", false,
+		"run the kernel fast-path benchmark (end-to-end swap+compute on both event queues) and write BENCH_5.json to -outdir instead of running experiments")
+	benchIters := flag.Int("benchiters", 3, "iterations per queue for -benchjson")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range registry {
 			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rvcap-bench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rvcap-bench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	if *benchJSON {
+		if err := runBenchJSON(*outDir, *benchIters); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -benchjson: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -127,12 +127,14 @@ func (e *Engine) run(p *sim.Proc) {
 	var queue []outRow
 	avail := sim.NewSignal(k, e.name+".rows")
 	k.Go("rm."+e.name+".wb", func(wp *sim.Proc) {
+		rowBeats := make([]axi.Beat, 0, e.w/8)
 		for {
 			for len(queue) == 0 {
 				wp.Wait(avail)
 			}
 			row := queue[0]
 			queue = queue[1:]
+			rowBeats = rowBeats[:0]
 			for b := 0; b < len(row.pix); b += 8 {
 				var beat axi.Beat
 				for i := 0; i < 8; i++ {
@@ -140,9 +142,11 @@ func (e *Engine) run(p *sim.Proc) {
 				}
 				beat.Keep = axi.FullKeep
 				beat.Last = row.last && b+8 >= len(row.pix)
-				e.out.Push(wp, beat)
-				e.beatsOut++
+				rowBeats = append(rowBeats, beat)
 			}
+			// A whole pixel row per handoff against S2MM back-pressure.
+			e.out.PushBurst(wp, rowBeats)
+			e.beatsOut += uint64(len(rowBeats))
 		}
 	})
 	emit := func(row []byte, last bool) {
@@ -151,24 +155,31 @@ func (e *Engine) run(p *sim.Proc) {
 	}
 
 	beatsPerRow := e.w / 8
+	inBuf := make([]axi.Beat, e.in.Cap())
 	for {
 		src := NewImage(e.w, e.h)
 		credit := 0
-		charge := func() {
-			credit += e.iiNum
-			for credit >= e.iiDen {
-				p.Sleep(1)
-				credit -= e.iiDen
-			}
-		}
 		for row := 0; row < e.h; row++ {
-			for b := 0; b < beatsPerRow; b++ {
-				beat := e.in.Pop(p)
-				e.beatsIn++
-				for i := 0; i < 8; i++ {
-					src.Set(b*8+i, row, byte(beat.Data>>(8*i)))
+			for b := 0; b < beatsPerRow; {
+				want := beatsPerRow - b
+				if want > len(inBuf) {
+					want = len(inBuf)
 				}
-				charge()
+				got := e.in.PopBurst(p, inBuf[:want])
+				for j, beat := range inBuf[:got] {
+					for i := 0; i < 8; i++ {
+						src.Set((b+j)*8+i, row, byte(beat.Data>>(8*i)))
+					}
+				}
+				e.beatsIn += uint64(got)
+				b += got
+				// Credit-based pacing, charged per burst: the cycle
+				// total is identical to charging each beat in turn.
+				credit += got * e.iiNum
+				if credit >= e.iiDen {
+					p.Sleep(sim.Time(credit / e.iiDen))
+					credit %= e.iiDen
+				}
 			}
 			if row == 1 {
 				p.Sleep(e.fillLatency)

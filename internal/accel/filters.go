@@ -1,7 +1,5 @@
 package accel
 
-import "sort"
-
 // Filter names, matching the reconfigurable-module identities used in
 // bitstreams and the fabric registry.
 const (
@@ -46,11 +44,38 @@ func sobelPix(n *[9]byte) byte {
 	return byte(s)
 }
 
-// medianPix selects the middle of the 9 neighbourhood values.
+// order sorts a pair in place.
+func order(a, b *byte) {
+	if *b < *a {
+		*a, *b = *b, *a
+	}
+}
+
+// medianPix selects the middle of the 9 neighbourhood values with the
+// 19-exchange median-of-9 network (Smith, via Devillard's "Fast median
+// search" note) — the same comparator tree HLS would synthesize, and
+// allocation-free unlike a general sort.
 func medianPix(n *[9]byte) byte {
-	var v [9]byte
-	copy(v[:], n[:])
-	sort.Slice(v[:], func(i, j int) bool { return v[i] < v[j] })
+	v := *n
+	order(&v[1], &v[2])
+	order(&v[4], &v[5])
+	order(&v[7], &v[8])
+	order(&v[0], &v[1])
+	order(&v[3], &v[4])
+	order(&v[6], &v[7])
+	order(&v[1], &v[2])
+	order(&v[4], &v[5])
+	order(&v[7], &v[8])
+	order(&v[0], &v[3])
+	order(&v[5], &v[8])
+	order(&v[4], &v[7])
+	order(&v[3], &v[6])
+	order(&v[1], &v[4])
+	order(&v[2], &v[5])
+	order(&v[4], &v[7])
+	order(&v[4], &v[2])
+	order(&v[6], &v[4])
+	order(&v[4], &v[2])
 	return v[4]
 }
 

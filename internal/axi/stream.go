@@ -77,6 +77,59 @@ func (s *Stream) Push(p *sim.Proc, b Beat) {
 	s.notEmpty.Fire()
 }
 
+// PushBurst enqueues all of beats in FIFO order, blocking while the
+// channel is full, and returns only after the final beat is buffered. It
+// is semantically identical to pushing each beat in sequence — consumers
+// are woken at the same points, back-pressure applies beat-by-beat — but
+// costs one kernel handoff per buffer-full instead of four goroutine
+// switches per beat. The caller keeps ownership of beats.
+func (s *Stream) PushBurst(p *sim.Proc, beats []Beat) {
+	for len(beats) > 0 {
+		for s.count == s.capacity {
+			p.Wait(s.notFull)
+		}
+		n := s.capacity - s.count
+		if n > len(beats) {
+			n = len(beats)
+		}
+		for _, b := range beats[:n] {
+			s.buf[(s.head+s.count)%s.capacity] = b
+			s.count++
+		}
+		s.pushed += uint64(n)
+		beats = beats[n:]
+		s.notEmpty.Fire()
+	}
+}
+
+// PopBurst dequeues into dst, blocking until at least one beat is
+// available, then draining buffered beats without yielding. It stops
+// early after a Last beat so a packet boundary is never overrun, and
+// never returns more than len(dst) beats. Returns the number of beats
+// written.
+func (s *Stream) PopBurst(p *sim.Proc, dst []Beat) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	for s.count == 0 {
+		p.Wait(s.notEmpty)
+	}
+	n := 0
+	for n < len(dst) && s.count > 0 {
+		b := s.buf[s.head]
+		s.head = (s.head + 1) % s.capacity
+		s.count--
+		dst[n] = b
+		n++
+		if b.Last {
+			break
+		}
+	}
+	s.popped += uint64(n)
+	s.notFull.Fire()
+	return n
+}
+
 // TryPush enqueues a beat if space is available, without blocking.
 func (s *Stream) TryPush(b Beat) bool {
 	if s.count == s.capacity {
@@ -116,14 +169,20 @@ func (s *Stream) TryPop() (Beat, bool) {
 }
 
 // StreamSink is anything beats can be pushed into: a Stream, the
-// StreamSwitch, or an isolator gate.
+// StreamSwitch, or an isolator gate. PushBurst is the bulk path device
+// engines should prefer (see the burst-accounting lint rule): it moves a
+// whole DMA burst or pixel row per kernel handoff while observing the
+// same beat-level back-pressure.
 type StreamSink interface {
 	Push(p *sim.Proc, b Beat)
+	PushBurst(p *sim.Proc, beats []Beat)
 }
 
-// StreamSource is anything beats can be popped from.
+// StreamSource is anything beats can be popped from. PopBurst drains up
+// to len(dst) buffered beats per handoff, stopping after TLAST.
 type StreamSource interface {
 	Pop(p *sim.Proc) Beat
+	PopBurst(p *sim.Proc, dst []Beat) int
 }
 
 var (
@@ -189,6 +248,11 @@ func (sw *StreamSwitch) Push(p *sim.Proc, b Beat) {
 	sw.outs[sw.sel].Push(p, b)
 }
 
+// PushBurst forwards the whole burst to the selected output.
+func (sw *StreamSwitch) PushBurst(p *sim.Proc, beats []Beat) {
+	sw.outs[sw.sel].PushBurst(p, beats)
+}
+
 var _ StreamSink = (*StreamSwitch)(nil)
 
 // StreamIsolator is the AXI-Stream side of a PR decoupler: while
@@ -223,6 +287,17 @@ func (g *StreamIsolator) Push(p *sim.Proc, b Beat) {
 		return
 	}
 	g.Next.Push(p, b)
+}
+
+// PushBurst forwards or swallows the whole burst depending on the gate
+// state. The gate cannot change mid-burst: decoupling is a register
+// write, and register writes never interleave with a burst in flight.
+func (g *StreamIsolator) PushBurst(p *sim.Proc, beats []Beat) {
+	if g.decoupled {
+		g.dropped += uint64(len(beats))
+		return
+	}
+	g.Next.PushBurst(p, beats)
 }
 
 var _ StreamSink = (*StreamIsolator)(nil)

@@ -170,25 +170,39 @@ func (c *Controller) status() uint32 {
 // low-address bytes interpreted most-significant-byte first.
 func (c *Controller) startConverter() {
 	c.k.Go("rvcap.axis2icap", func(p *sim.Proc) {
+		burst := make([]axi.Beat, dma.DefaultBurstBeats)
 		for {
-			beat := c.icapIn.Pop(p)
-			for half := 0; half < 2; half++ {
-				var w uint32
-				valid := false
-				for i := 0; i < 4; i++ {
-					lane := half*4 + i
-					if beat.Keep&(1<<lane) != 0 {
-						valid = true
+			got := c.icapIn.PopBurst(p, burst)
+			words := 0
+			last := false
+			for _, beat := range burst[:got] {
+				for half := 0; half < 2; half++ {
+					var w uint32
+					valid := false
+					for i := 0; i < 4; i++ {
+						lane := half*4 + i
+						if beat.Keep&(1<<lane) != 0 {
+							valid = true
+						}
+						w = w<<8 | uint32(byte(beat.Data>>(8*lane)))
 					}
-					w = w<<8 | uint32(byte(beat.Data>>(8*lane)))
+					if !valid {
+						continue
+					}
+					c.icap.WriteWord(w)
+					words++
 				}
-				if !valid {
-					continue
+				if beat.Last {
+					last = true
 				}
-				c.icap.WriteWord(w)
-				p.Sleep(1)
 			}
-			if beat.Last {
+			// One cycle per 32-bit word, charged in a single sleep; the
+			// TLAST pulse lands on the same absolute cycle as with
+			// per-word pacing.
+			if words > 0 {
+				p.Sleep(sim.Time(words))
+			}
+			if last {
 				c.icapDone.Fire()
 			}
 		}

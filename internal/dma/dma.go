@@ -213,6 +213,7 @@ func (d *DMA) startMM2S(length uint32) {
 			}
 		}
 		buf := make([]byte, burstBytes)
+		beats := make([]axi.Beat, 0, d.BurstBeats)
 		for remaining > 0 {
 			n := burstBytes
 			if n > remaining {
@@ -221,6 +222,7 @@ func (d *DMA) startMM2S(length uint32) {
 			if err := d.Mem.Read(p, addr, buf[:n]); err != nil {
 				panic(fmt.Sprintf("dma: %s read %#x: %v", c.name, addr, err))
 			}
+			beats = beats[:0]
 			for off := 0; off < n; off += 8 {
 				var beat axi.Beat
 				for i := 0; i < 8 && off+i < n; i++ {
@@ -228,8 +230,11 @@ func (d *DMA) startMM2S(length uint32) {
 					beat.Keep |= 1 << i
 				}
 				beat.Last = remaining == n && off+8 >= n
-				d.MM2SOut.Push(p, beat)
+				beats = append(beats, beat)
 			}
+			// One kernel handoff per AXI burst, matching how the bus
+			// actually moves the data.
+			d.MM2SOut.PushBurst(p, beats)
 			addr += uint64(n)
 			remaining -= n
 			c.bytes += uint64(n)
@@ -269,20 +274,32 @@ func (d *DMA) startS2MM(length uint32) {
 			c.bytes += uint64(len(buf))
 			buf = buf[:0]
 		}
-		for total < int(length) {
-			beat := d.S2MMIn.Pop(p)
-			for i := 0; i < 8 && total < int(length); i++ {
-				if beat.Keep&(1<<i) == 0 {
-					continue
+		beats := make([]axi.Beat, d.BurstBeats)
+		done := false
+		for !done && total < int(length) {
+			// Cap the pop at the beats the remaining byte count can
+			// need, so beats past the programmed length stay in the
+			// stream for the next consumer — as with per-beat pops.
+			maxBeats := (int(length) - total + 7) / 8
+			if maxBeats > len(beats) {
+				maxBeats = len(beats)
+			}
+			got := d.S2MMIn.PopBurst(p, beats[:maxBeats])
+			for _, beat := range beats[:got] {
+				for i := 0; i < 8 && total < int(length); i++ {
+					if beat.Keep&(1<<i) == 0 {
+						continue
+					}
+					buf = append(buf, byte(beat.Data>>(8*i)))
+					total++
 				}
-				buf = append(buf, byte(beat.Data>>(8*i)))
-				total++
-			}
-			if len(buf) >= burstBytes {
-				flush()
-			}
-			if beat.Last {
-				break
+				if len(buf) >= burstBytes {
+					flush()
+				}
+				if beat.Last {
+					done = true
+					break
+				}
 			}
 		}
 		flush()

@@ -189,10 +189,16 @@ func (ic *ICAP) fail(err error) {
 // at the CRC check. The bitstream writer uses the same function, so
 // generated streams always carry the value the engine will compute.
 func UpdateCRC(crc uint32, reg, w uint32) uint32 {
-	var b [5]byte
-	b[0] = byte(reg)
-	b[1], b[2], b[3], b[4] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
-	return crc32.Update(crc, crcTable, b[:])
+	// Equivalent to crc32.Update over the 5 bytes {reg, w LSB-first},
+	// unrolled so the argument bytes never escape to the heap — this
+	// runs once per configuration word on the reconfiguration hot path.
+	crc = ^crc
+	crc = crcTable[byte(crc)^byte(reg)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w>>8)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w>>16)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w>>24)] ^ (crc >> 8)
+	return ^crc
 }
 
 func (ic *ICAP) crcUpdate(reg uint32, w uint32) {

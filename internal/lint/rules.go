@@ -16,6 +16,7 @@ func AllRules() []*Rule {
 		runnerTaskIsolation,
 		mapOrderDeterminism,
 		cycleAccounting,
+		burstAccounting,
 		errorDiscipline,
 	}
 }
@@ -424,6 +425,58 @@ func (c *Context) checkRegisterOffsets() {
 			}
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule: burst-accounting
+
+var burstAccounting = &Rule{
+	Name: "burst-accounting",
+	Doc: "flags per-beat axi Push calls inside loop bodies in internal/ device " +
+		"packages (outside internal/axi itself): a beat-by-beat push loop costs a " +
+		"full kernel handoff per beat; move whole bursts or rows with PushBurst, " +
+		"which charges identical cycle counts at a fraction of the host cost",
+	Run: func(c *Context) {
+		if !strings.HasPrefix(c.Pkg.ImportPath, c.Module.Path+"/internal/") ||
+			c.Module.internalPkg(c.Pkg.ImportPath, "axi") {
+			return
+		}
+		axiPath := c.Module.Path + "/internal/axi"
+		seen := make(map[token.Pos]bool)
+		checkLoopBody := func(body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				// A nested function literal runs on its own schedule;
+				// its loops are inspected separately when the walk
+				// reaches them.
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || seen[call.Pos()] {
+					return true
+				}
+				f := callee(c.Pkg.Info, call.Fun)
+				if f == nil || f.Name() != "Push" || pkgPath(f) != axiPath {
+					return true
+				}
+				if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() == nil {
+					return true
+				}
+				seen[call.Pos()] = true
+				c.Reportf(call.Pos(), "per-beat axi Push inside a loop: each call costs a full kernel handoff; batch the beats and use PushBurst (identical cycle accounting, one handoff per burst)")
+				return true
+			})
+		}
+		c.inspect(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				checkLoopBody(n.Body)
+			case *ast.RangeStmt:
+				checkLoopBody(n.Body)
+			}
+			return true
+		})
+	},
 }
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,15 @@ type Proc struct {
 	yield  chan struct{}
 	done   bool
 	panicv *PanicError
+
+	// waitGen invalidates signal subscriptions: a waiter whose recorded
+	// generation no longer matches is stale (its process was already
+	// woken by another signal or is past that wait) and is skipped by
+	// Fire. It is bumped on every signal wake-up.
+	waitGen uint64
+	// wake records which signal won a Wait/WaitAny, so WaitAny can
+	// return the index without allocating a closure per subscription.
+	wake *Signal
 }
 
 // Go starts fn as a simulation process. fn begins executing at the
@@ -70,7 +79,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.Schedule(0, func() { k.dispatch(p) })
+	k.push(k.now, entry{proc: p})
 	return p
 }
 
@@ -104,15 +113,10 @@ func (p *Proc) Name() string { return p.name }
 // Done reports whether the process function has returned.
 func (p *Proc) Done() bool { return p.done }
 
-// Sleep suspends the process for d cycles of simulated time.
+// Sleep suspends the process for d cycles of simulated time. A zero
+// delay still yields so same-cycle events interleave fairly.
 func (p *Proc) Sleep(d Time) {
-	if d == 0 {
-		// Still yield so same-cycle events interleave fairly.
-		p.k.Schedule(0, func() { p.k.dispatch(p) })
-		p.pause()
-		return
-	}
-	p.k.Schedule(d, func() { p.k.dispatch(p) })
+	p.k.push(p.k.now+d, entry{proc: p})
 	p.pause()
 }
 
@@ -122,31 +126,40 @@ func (p *Proc) Wait(s *Signal) {
 	if s.latched {
 		return
 	}
-	s.subscribe(func() { p.k.dispatch(p) })
+	s.waiters = append(s.waiters, waiter{p: p, gen: p.waitGen})
 	p.pause()
 }
 
 // WaitAny suspends until any one of the given signals fires and returns
 // its index. Latched signals win immediately (lowest index first).
+//
+// On wake-up the losing signals' subscriptions are swept immediately:
+// without the sweep a polling loop (WaitAny in a for loop, as the
+// scheduler's partition workers do) grows every non-firing signal's
+// waiter list without bound.
 func (p *Proc) WaitAny(sigs ...*Signal) int {
 	for i, s := range sigs {
 		if s.latched {
 			return i
 		}
 	}
-	fired := -1
-	for i, s := range sigs {
-		i := i
-		s.subscribe(func() {
-			if fired >= 0 {
-				return // another signal already woke us
-			}
-			fired = i
-			p.k.dispatch(p)
-		})
+	gen := p.waitGen
+	for _, s := range sigs {
+		s.waiters = append(s.waiters, waiter{p: p, gen: gen})
 	}
 	p.pause()
-	return fired
+	winner := p.wake
+	p.wake = nil
+	idx := -1
+	for i, s := range sigs {
+		if s == winner && idx < 0 {
+			// The winner cleared its whole list when it fired.
+			idx = i
+			continue
+		}
+		s.sweep(p, gen)
+	}
+	return idx
 }
 
 // Join suspends the calling process until other finishes.
@@ -156,13 +169,22 @@ func (p *Proc) Join(other *Proc, done *Signal) {
 	}
 }
 
+// waiter is one subscription on a Signal. Storing the process and its
+// wait generation (instead of a per-call closure) keeps Wait/WaitAny
+// and Fire allocation-free on the steady state and lets Fire detect
+// stale WaitAny subscriptions without running them.
+type waiter struct {
+	p   *Proc
+	gen uint64
+}
+
 // Signal is a broadcast wake-up: processes Wait on it, Fire wakes all
 // current waiters. With Latch set, a fired signal stays "on" so that
 // late waiters return immediately (completion semantics); Reset rearms it.
 type Signal struct {
 	k       *Kernel
 	name    string
-	waiters []func()
+	waiters []waiter
 	latched bool
 	latch   bool
 }
@@ -178,18 +200,34 @@ func NewLatchedSignal(k *Kernel, name string) *Signal {
 	return &Signal{k: k, name: name, latch: true}
 }
 
-func (s *Signal) subscribe(fn func()) { s.waiters = append(s.waiters, fn) }
+// sweep removes p's subscription with the given generation, preserving
+// the order of the remaining waiters.
+func (s *Signal) sweep(p *Proc, gen uint64) {
+	for i, w := range s.waiters {
+		if w.p == p && w.gen == gen {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
 
 // Fire wakes every current waiter (each as a fresh same-cycle event) and,
-// for latched signals, sets the latch.
+// for latched signals, sets the latch. Stale subscriptions — waiters
+// whose process was already woken by another signal of a WaitAny set —
+// are dropped without scheduling anything.
 func (s *Signal) Fire() {
 	if s.latch {
 		s.latched = true
 	}
-	w := s.waiters
-	s.waiters = nil
-	for _, fn := range w {
-		s.k.Schedule(0, fn)
+	ws := s.waiters
+	s.waiters = s.waiters[:0]
+	for _, w := range ws {
+		if w.gen != w.p.waitGen {
+			continue
+		}
+		w.p.waitGen++
+		w.p.wake = s
+		s.k.push(s.k.now, entry{proc: w.p})
 	}
 }
 
@@ -205,7 +243,7 @@ type Resource struct {
 	k     *Kernel
 	name  string
 	busy  bool
-	queue []func()
+	queue []*Proc
 }
 
 // NewResource returns an idle resource.
@@ -220,7 +258,7 @@ func (r *Resource) Acquire(p *Proc) {
 		r.busy = true
 		return
 	}
-	r.queue = append(r.queue, func() { p.k.dispatch(p) })
+	r.queue = append(r.queue, p)
 	p.pause()
 	// Ownership was transferred to us by Release before the wake-up.
 }
@@ -235,9 +273,10 @@ func (r *Resource) Release() {
 		return
 	}
 	next := r.queue[0]
-	r.queue = r.queue[1:]
+	copy(r.queue, r.queue[1:])
+	r.queue = r.queue[:len(r.queue)-1]
 	// Stay busy: the waiter inherits ownership.
-	r.k.Schedule(0, next)
+	r.k.push(r.k.now, entry{proc: next})
 }
 
 // Busy reports whether the resource is currently held.
