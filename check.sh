@@ -13,8 +13,8 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/'
-go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/
+echo '== go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/ ./internal/sched/ ./internal/fault/'
+go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/ ./internal/sched/ ./internal/fault/
 
 echo '== rvcap-lint ./...'
 go run ./cmd/rvcap-lint ./...
@@ -56,13 +56,10 @@ cmp "$tmp/f1/BENCH_faults.json" "$tmp/f4/BENCH_faults.json"
 echo '== rvcap-bench -benchjson smoke (BENCH_5.json)'
 # The kernel fast-path benchmark must produce a well-formed BENCH_5.json
 # with one run per queue and identical event counts on both (the cheap
-# always-on equivalence signal).
+# always-on equivalence signal). benchcheck parses the JSON properly
+# instead of grepping for duplicated lines.
 "$tmp/rvcap-bench" -benchjson -benchiters 1 -outdir "$tmp/b5" > /dev/null
-test -s "$tmp/b5/BENCH_5.json"
-grep -q '"queue": "legacy"' "$tmp/b5/BENCH_5.json"
-grep -q '"queue": "calendar"' "$tmp/b5/BENCH_5.json"
-events=$(grep -c "\"events\": $(grep -m1 '"events"' "$tmp/b5/BENCH_5.json" | tr -dc 0-9)" "$tmp/b5/BENCH_5.json")
-test "$events" = 2
+go run ./cmd/benchcheck "$tmp/b5/BENCH_5.json"
 
 echo '== examples smoke'
 # The examples are documentation that compiles; keep the canonical ones

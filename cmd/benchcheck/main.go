@@ -1,0 +1,93 @@
+// Command benchcheck validates a BENCH_5.json produced by
+// rvcap-bench -benchjson: the kernel fast-path benchmark must report
+// exactly one run per event-queue implementation, and both runs must
+// have processed the same number of events — the cheap always-on
+// queue-equivalence signal check.sh leans on. It replaces a fragile
+// grep/tr pipeline that only counted duplicated "events" lines and
+// would accept a malformed document.
+//
+// Usage:
+//
+//	benchcheck <path/to/BENCH_5.json>
+//
+// Exits 0 when the document holds, 1 with a diagnostic when it does
+// not, 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// payload mirrors the slice of the BENCH_5.json schema the gate cares
+// about (see cmd/rvcap-bench/benchjson.go for the full writer).
+type payload struct {
+	Experiment string `json:"experiment"`
+	Data       struct {
+		Benchmark string `json:"benchmark"`
+		Runs      []struct {
+			Queue      string `json:"queue"`
+			Iterations int    `json:"iterations"`
+			Events     uint64 `json:"events"`
+		} `json:"runs"`
+	} `json:"data"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_5.json>")
+		return 2
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return 2
+	}
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: invalid JSON: %v\n", args[0], err)
+		return 1
+	}
+	if err := validate(&p); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", args[0], err)
+		return 1
+	}
+	fmt.Printf("benchcheck: %s ok (%d events on both queues)\n", args[0], p.Data.Runs[0].Events)
+	return 0
+}
+
+// validate enforces the gate's contract on the parsed document.
+func validate(p *payload) error {
+	if p.Experiment != "kernel-fastpath" {
+		return fmt.Errorf("experiment = %q, want %q", p.Experiment, "kernel-fastpath")
+	}
+	runs := p.Data.Runs
+	if len(runs) != 2 {
+		return fmt.Errorf("got %d runs, want exactly 2 (legacy and calendar)", len(runs))
+	}
+	seen := make(map[string]int)
+	for _, r := range runs {
+		seen[r.Queue]++
+		if r.Iterations <= 0 {
+			return fmt.Errorf("queue %q ran %d iterations, want > 0", r.Queue, r.Iterations)
+		}
+		if r.Events == 0 {
+			return fmt.Errorf("queue %q processed 0 events", r.Queue)
+		}
+	}
+	for _, q := range []string{"legacy", "calendar"} {
+		if seen[q] != 1 {
+			return fmt.Errorf("queue %q appears %d times, want exactly once", q, seen[q])
+		}
+	}
+	if a, b := runs[0], runs[1]; a.Events != b.Events {
+		return fmt.Errorf("event counts diverge: %s=%d vs %s=%d — the queues did not schedule identically",
+			a.Queue, a.Events, b.Queue, b.Events)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// doc builds a payload from a JSON literal, failing the test on bad
+// syntax so the cases below stay honest about what the parser sees.
+func doc(t *testing.T, src string) *payload {
+	t.Helper()
+	var p payload
+	if err := json.Unmarshal([]byte(src), &p); err != nil {
+		t.Fatal(err)
+	}
+	return &p
+}
+
+const goodDoc = `{
+  "experiment": "kernel-fastpath",
+  "data": {
+    "benchmark": "BenchmarkKernelFastpath",
+    "runs": [
+      {"queue": "legacy", "iterations": 3, "events": 120934},
+      {"queue": "calendar", "iterations": 3, "events": 120934}
+    ]
+  }
+}`
+
+func TestValidateGood(t *testing.T) {
+	if err := validate(doc(t, goodDoc)); err != nil {
+		t.Fatalf("validate(good) = %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"wrong experiment",
+			strings.Replace(goodDoc, "kernel-fastpath", "fig3", 1),
+			"experiment",
+		},
+		{
+			"diverging event counts",
+			strings.Replace(goodDoc, `"calendar", "iterations": 3, "events": 120934`,
+				`"calendar", "iterations": 3, "events": 120935`, 1),
+			"diverge",
+		},
+		{
+			"missing run",
+			`{"experiment":"kernel-fastpath","data":{"runs":[
+				{"queue":"legacy","iterations":1,"events":5}]}}`,
+			"want exactly 2",
+		},
+		{
+			"duplicate queue",
+			`{"experiment":"kernel-fastpath","data":{"runs":[
+				{"queue":"legacy","iterations":1,"events":5},
+				{"queue":"legacy","iterations":1,"events":5}]}}`,
+			"appears",
+		},
+		{
+			"zero iterations",
+			strings.Replace(goodDoc, `"legacy", "iterations": 3`, `"legacy", "iterations": 0`, 1),
+			"iterations",
+		},
+		{
+			"zero events",
+			strings.Replace(goodDoc, `"legacy", "iterations": 3, "events": 120934`,
+				`"legacy", "iterations": 3, "events": 0`, 1),
+			"0 events",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(doc(t, tc.src))
+			if err == nil {
+				t.Fatal("validate accepted a bad document")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

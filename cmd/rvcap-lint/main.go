@@ -7,9 +7,16 @@
 //
 //	rvcap-lint ./...                 # whole module, human-readable
 //	rvcap-lint -json ./...           # machine-readable report
+//	rvcap-lint -explain ./...        # findings plus witness chains
 //	rvcap-lint ./internal/...        # subtree only
 //	rvcap-lint -rules sim-determinism,cycle-accounting ./...
 //	rvcap-lint -list                 # describe the rules
+//
+// The interprocedural rules (determinism-taint, map-order-flow,
+// wait-graph) attach a witness chain to each finding — the call path
+// from a process spawn down to the wall-clock read, or the edge list of
+// a wait-for cycle. -explain prints it indented under the finding;
+// -json carries it in the finding's "witness" array.
 //
 // Findings are suppressed per line with
 //
@@ -44,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the rules and exit")
 	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	showSup := fs.Bool("show-suppressed", false, "also print suppressed findings (text mode)")
+	explain := fs.Bool("explain", false, "print each finding's witness chain (interprocedural call paths, wait-graph edges)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +108,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", f, f.Reason)
 			} else {
 				fmt.Fprintln(stdout, f)
+			}
+			if *explain {
+				for _, w := range f.Witness {
+					fmt.Fprintf(stdout, "\t%s\n", w)
+				}
 			}
 		}
 		fmt.Fprintf(stderr, "rvcap-lint: %d finding(s), %d suppressed\n",

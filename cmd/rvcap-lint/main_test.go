@@ -129,6 +129,128 @@ func Stamp() time.Time { return time.Now() }
 	}
 }
 
+// taintModule is a throwaway module in which a simulated process
+// reaches time.Now through a helper, so the determinism-taint rule
+// produces a finding with a multi-hop witness path.
+func taintModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/sim/sim.go": `package sim
+
+type Kernel struct{}
+type Proc struct{}
+
+func (k *Kernel) Go(name string, fn func(*Proc)) {}
+`,
+		"internal/x/x.go": `package x
+
+import (
+	"time"
+
+	"rvcap/internal/sim"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func helper() int64 { return stamp() }
+
+func Spawn(k *sim.Kernel) {
+	k.Go("x.worker", func(p *sim.Proc) {
+		_ = helper()
+	})
+}
+`,
+	})
+}
+
+func TestRunExplainPrintsWitness(t *testing.T) {
+	root := taintModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-rules", "determinism-taint", "-explain", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "determinism-taint") {
+		t.Fatalf("finding not printed: %q", out)
+	}
+	var witness int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "\t") {
+			witness++
+			if !strings.Contains(line, ".go:") {
+				t.Errorf("witness line without position: %q", line)
+			}
+		}
+	}
+	if witness < 2 {
+		t.Errorf("want >= 2 indented witness lines (spawn -> helper -> source), got %d:\n%s", witness, out)
+	}
+
+	// Without -explain the same finding prints with no witness lines.
+	stdout.Reset()
+	stderr.Reset()
+	run([]string{"-root", root, "-rules", "determinism-taint", "./..."}, &stdout, &stderr)
+	if strings.Contains(stdout.String(), "\t") {
+		t.Errorf("witness printed without -explain:\n%s", &stdout)
+	}
+}
+
+func TestRunJSONWitnessAndSuppressedCount(t *testing.T) {
+	root := taintModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-root", root, "-rules", "determinism-taint", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, &stderr)
+	}
+	var rep struct {
+		SuppressedCount int `json:"suppressed_count"`
+		Findings        []struct {
+			Rule    string   `json:"rule"`
+			Witness []string `json:"witness"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, &stdout)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Rule != "determinism-taint" {
+		t.Fatalf("findings = %+v, want one determinism-taint finding", rep.Findings)
+	}
+	if len(rep.Findings[0].Witness) < 2 {
+		t.Errorf("witness = %q, want the full spawn->helper->source path", rep.Findings[0].Witness)
+	}
+	if rep.SuppressedCount != 0 {
+		t.Errorf("suppressed_count = %d, want 0", rep.SuppressedCount)
+	}
+
+	// A suppressed module reports the count and exits clean.
+	root = writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore sim-determinism host timestamp for log banner
+	return time.Now()
+}
+`,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", "-root", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, &stderr)
+	}
+	var rep2 struct {
+		SuppressedCount int `json:"suppressed_count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep2); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, &stdout)
+	}
+	if rep2.SuppressedCount != 1 {
+		t.Errorf("suppressed_count = %d, want 1", rep2.SuppressedCount)
+	}
+}
+
 func TestRunUnknownRuleExitsTwo(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-rules", "no-such-rule", "."}, &stdout, &stderr); code != 2 {

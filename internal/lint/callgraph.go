@@ -1,0 +1,353 @@
+// Interprocedural layer, part 1: the module call graph.
+//
+// The per-callsite rules in rules.go see one expression at a time; the
+// three interprocedural rules (taint.go, waitgraph.go) need to reason
+// about what a simulation process can *reach*, which requires (a) a
+// call graph over every function, method and function literal in the
+// module and (b) the set of simulation entry points — the callbacks
+// handed to sim.Kernel.Go (processes) and sim.Kernel.Schedule/At
+// (events), including ones forwarded through module-internal spawn
+// wrappers (e.g. soc.SoC methods that pass their fn parameter on to
+// Kernel.Go).
+//
+// The graph is intentionally conservative and purely static:
+//
+//   - Calls are resolved through go/types to declared functions and
+//     methods; calls through interfaces or function-typed variables are
+//     not resolved (no edges), so the analyses under-approximate
+//     reachability rather than guessing.
+//   - Every function literal is its own node. A literal is normally
+//     linked from its enclosing function (it may run synchronously, via
+//     sort.Slice, defer, an immediate call, ...), except when it is
+//     spawned as a process/event callback — then it becomes an entry
+//     point of its own and the enclosing link is dropped, so taint
+//     inside a process body is attributed to the process, not to the
+//     function that happened to start it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// funcNode is one vertex of the call graph: a declared function or
+// method (obj != nil) or a function literal (lit != nil).
+type funcNode struct {
+	obj  *types.Func
+	lit  *ast.FuncLit
+	pkg  *Package
+	body *ast.BlockStmt
+	pos  token.Pos
+	name string
+
+	calls   []callEdge
+	sites   []callSite
+	spawned bool // literal registered as a process/event entry point
+
+	// Per-node facts filled lazily by the analyses.
+	taintSrcs []taintSource
+	waitOps   []waitOp
+}
+
+// callEdge is one static call (or enclosing-function -> literal link).
+type callEdge struct {
+	to  *funcNode
+	pos token.Pos
+}
+
+// callSite records one resolved call expression inside a node's body,
+// kept for spawn detection (the edge list alone loses the arguments).
+type callSite struct {
+	call *ast.CallExpr
+	fn   *types.Func
+}
+
+// spawnSite is one statically resolved registration of a simulation
+// callback: the fn argument of Kernel.Go/Schedule/At or of a wrapper
+// that forwards its parameter there.
+type spawnSite struct {
+	entry  *funcNode
+	pos    token.Pos // position of the spawning call
+	pkg    *Package  // package containing the spawn
+	label  string    // process name when the spawn's first arg is a string constant
+	isProc bool      // Kernel.Go (cooperative process, may wait) vs Schedule/At (event)
+}
+
+// displayName renders the site for findings: the constant process name
+// when one was passed, the entry function's name otherwise.
+func (s *spawnSite) displayName() string {
+	if s.label != "" {
+		return s.label
+	}
+	return s.entry.name
+}
+
+type callGraph struct {
+	m      *Module
+	decls  map[*types.Func]*funcNode
+	lits   map[*ast.FuncLit]*funcNode
+	nodes  []*funcNode // declaration/position order: deterministic
+	spawns []*spawnSite
+}
+
+// out returns n's outgoing edges minus links to literals that were
+// re-rooted as spawn entries (their bodies run as processes/events, not
+// inline in n).
+func (n *funcNode) out() []callEdge {
+	edges := make([]callEdge, 0, len(n.calls))
+	for _, e := range n.calls {
+		if e.to.spawned && e.to.lit != nil {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// callgraph builds (once) and returns the module call graph.
+func (m *Module) callgraph() *callGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m)
+	}
+	return m.cg
+}
+
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{
+		m:     m,
+		decls: make(map[*types.Func]*funcNode),
+		lits:  make(map[*ast.FuncLit]*funcNode),
+	}
+	// Pass 1: a node per declared function/method with a body. Packages
+	// are already sorted by import path and files by name, so node
+	// order is deterministic.
+	type declBody struct {
+		node *funcNode
+		body *ast.BlockStmt
+	}
+	var bodies []declBody
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{obj: obj, pkg: pkg, body: fd.Body, pos: fd.Pos(), name: declDisplayName(fd)}
+				g.decls[obj] = n
+				g.nodes = append(g.nodes, n)
+				bodies = append(bodies, declBody{n, fd.Body})
+			}
+		}
+	}
+	// Pass 2: walk each body, creating literal nodes and call edges.
+	for _, db := range bodies {
+		g.walkBody(db.node, db.body)
+	}
+	// Pass 3: spawn wrappers + spawn sites.
+	g.resolveSpawns()
+	return g
+}
+
+// declDisplayName renders "Recv.Name" for methods, "Name" otherwise.
+func declDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// walkBody records owner's call sites and edges, descending into
+// function literals as child nodes.
+func (g *callGraph) walkBody(owner *funcNode, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			child := &funcNode{lit: n, pkg: owner.pkg, body: n.Body, pos: n.Pos(), name: owner.name + ".func"}
+			g.lits[n] = child
+			g.nodes = append(g.nodes, child)
+			owner.calls = append(owner.calls, callEdge{to: child, pos: n.Pos()})
+			g.walkBody(child, n.Body)
+			return false
+		case *ast.CallExpr:
+			f := callee(owner.pkg.Info, n.Fun)
+			if f == nil {
+				return true
+			}
+			owner.sites = append(owner.sites, callSite{call: n, fn: f})
+			if target := g.decls[f]; target != nil {
+				owner.calls = append(owner.calls, callEdge{to: target, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// spawnParam describes a function that registers a sim callback: the
+// index of the callback parameter and whether the callback runs as a
+// full process (Kernel.Go lineage) or a one-shot event (Schedule/At).
+type spawnParam struct {
+	idx    int
+	isProc bool
+}
+
+// baseSpawnParam recognizes the kernel's own registration points.
+func (g *callGraph) baseSpawnParam(f *types.Func) (spawnParam, bool) {
+	if f == nil || pkgPath(f) != g.m.Path+"/internal/sim" {
+		return spawnParam{}, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return spawnParam{}, false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Kernel" {
+		return spawnParam{}, false
+	}
+	switch f.Name() {
+	case "Go":
+		return spawnParam{idx: 1, isProc: true}, true
+	case "Schedule", "At":
+		return spawnParam{idx: 1, isProc: false}, true
+	}
+	return spawnParam{}, false
+}
+
+// resolveSpawns computes the spawn-wrapper fixpoint (a function that
+// forwards a parameter into a spawn position is itself a spawner) and
+// then records every spawn site whose callback argument resolves to a
+// literal or a declared function.
+func (g *callGraph) resolveSpawns() {
+	derived := make(map[*types.Func]spawnParam)
+	spawnOf := func(f *types.Func) (spawnParam, bool) {
+		if sp, ok := g.baseSpawnParam(f); ok {
+			return sp, true
+		}
+		sp, ok := derived[f]
+		return sp, ok
+	}
+	// paramIndex returns which parameter of n's function obj v is, or -1.
+	paramIndex := func(n *funcNode, v types.Object) int {
+		if n.obj == nil {
+			return -1
+		}
+		sig, ok := n.obj.Type().(*types.Signature)
+		if !ok {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if n.obj == nil {
+				continue
+			}
+			if _, done := derived[n.obj]; done {
+				continue
+			}
+			for _, site := range n.sites {
+				sp, ok := spawnOf(site.fn)
+				if !ok || sp.idx >= len(site.call.Args) {
+					continue
+				}
+				id, ok := ast.Unparen(site.call.Args[sp.idx]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := n.pkg.Info.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				if j := paramIndex(n, v); j >= 0 {
+					derived[n.obj] = spawnParam{idx: j, isProc: sp.isProc}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, n := range g.nodes {
+		for _, site := range n.sites {
+			sp, ok := spawnOf(site.fn)
+			if !ok || sp.idx >= len(site.call.Args) {
+				continue
+			}
+			arg := ast.Unparen(site.call.Args[sp.idx])
+			var entry *funcNode
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				entry = g.lits[lit]
+				if entry != nil {
+					entry.spawned = true
+				}
+			} else if f := callee(n.pkg.Info, arg); f != nil {
+				entry = g.decls[f]
+			}
+			if entry == nil {
+				continue // forwarded parameter or unresolved function value
+			}
+			label := ""
+			if len(site.call.Args) > 0 {
+				if tv, ok := n.pkg.Info.Types[site.call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					label = constant.StringVal(tv.Value)
+				}
+			}
+			g.spawns = append(g.spawns, &spawnSite{
+				entry:  entry,
+				pos:    site.call.Pos(),
+				pkg:    n.pkg,
+				label:  label,
+				isProc: sp.isProc,
+			})
+		}
+	}
+}
+
+// posString renders pos as "file:line" relative to the module root.
+func (m *Module) posString(pos token.Pos) string {
+	file, line, _ := m.position(pos)
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// reachable returns every node reachable from entry (entry included),
+// in deterministic BFS order.
+func (g *callGraph) reachable(entry *funcNode) []*funcNode {
+	seen := map[*funcNode]bool{entry: true}
+	order := []*funcNode{entry}
+	for i := 0; i < len(order); i++ {
+		for _, e := range order[i].out() {
+			if !seen[e.to] {
+				seen[e.to] = true
+				order = append(order, e.to)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadModule materializes a throwaway module under t.TempDir and loads
+// it, so the //lint:ignore parser can be exercised against exact line
+// placements without growing the golden fixtures.
+func loadModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module rvcap\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Load(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// findingsByRule buckets an Analyze result for easy assertions.
+func findingsByRule(finds []Finding) map[string][]Finding {
+	out := make(map[string][]Finding)
+	for _, f := range finds {
+		out[f.Rule] = append(out[f.Rule], f)
+	}
+	return out
+}
+
+func TestDirectiveEndOfLine(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //lint:ignore sim-determinism host banner timestamp
+}
+`,
+	})
+	by := findingsByRule(m.Analyze(AllRules()))
+	fs := by["sim-determinism"]
+	if len(fs) != 1 || !fs[0].Suppressed {
+		t.Fatalf("want one suppressed sim-determinism finding, got %+v", fs)
+	}
+	if fs[0].Reason != "host banner timestamp" {
+		t.Errorf("reason = %q", fs[0].Reason)
+	}
+	if n := len(by[RuleDirective]); n != 0 {
+		t.Errorf("unexpected lint-directive findings: %v", by[RuleDirective])
+	}
+}
+
+func TestDirectiveLineAbove(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore sim-determinism host banner timestamp
+	return time.Now()
+}
+`,
+	})
+	fs := findingsByRule(m.Analyze(AllRules()))["sim-determinism"]
+	if len(fs) != 1 || !fs[0].Suppressed {
+		t.Fatalf("want one suppressed finding for a line-above directive, got %+v", fs)
+	}
+}
+
+func TestDirectiveTwoLinesAboveDoesNotSuppress(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore sim-determinism too far away
+
+	return time.Now()
+}
+`,
+	})
+	fs := findingsByRule(m.Analyze(AllRules()))["sim-determinism"]
+	if len(fs) != 1 || fs[0].Suppressed {
+		t.Fatalf("directive two lines above must not suppress, got %+v", fs)
+	}
+}
+
+func TestDirectiveMultiRuleList(t *testing.T) {
+	// One line carrying two violations: the raw go statement and the
+	// wall-clock read inside it. A single comma-list directive must
+	// cover both.
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Leak() {
+	//lint:ignore goroutine-discipline,sim-determinism profiling scaffold, removed before runs
+	go func() { _ = time.Now() }()
+}
+`,
+	})
+	by := findingsByRule(m.Analyze(AllRules()))
+	for _, rule := range []string{"goroutine-discipline", "sim-determinism"} {
+		fs := by[rule]
+		if len(fs) != 1 || !fs[0].Suppressed {
+			t.Errorf("rule %s: want one suppressed finding, got %+v", rule, fs)
+		}
+	}
+	if n := len(by[RuleDirective]); n != 0 {
+		t.Errorf("unexpected lint-directive findings: %v", by[RuleDirective])
+	}
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore sim-determinism
+	return time.Now()
+}
+`,
+	})
+	by := findingsByRule(m.Analyze(AllRules()))
+	if fs := by["sim-determinism"]; len(fs) != 1 || fs[0].Suppressed {
+		t.Errorf("reason-less directive must not suppress, got %+v", fs)
+	}
+	if fs := by[RuleDirective]; len(fs) != 1 || fs[0].Suppressed {
+		t.Errorf("want one lint-directive finding for the missing reason, got %+v", fs)
+	}
+}
+
+func TestDirectiveUnknownRule(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore no-such-rule,sim-determinism believable reason
+	return time.Now()
+}
+`,
+	})
+	by := findingsByRule(m.Analyze(AllRules()))
+	// An unknown rule poisons the whole directive: nothing is
+	// suppressed, and the directive itself is reported.
+	if fs := by["sim-determinism"]; len(fs) != 1 || fs[0].Suppressed {
+		t.Errorf("directive naming an unknown rule must not suppress, got %+v", fs)
+	}
+	if fs := by[RuleDirective]; len(fs) != 1 {
+		t.Errorf("want one lint-directive finding for the unknown rule, got %+v", fs)
+	}
+}
+
+func TestDirectiveMalformedBare(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"internal/x/x.go": `package x
+
+//lint:ignore
+func Fine() int { return 1 }
+`,
+	})
+	by := findingsByRule(m.Analyze(AllRules()))
+	if fs := by[RuleDirective]; len(fs) != 1 {
+		t.Errorf("want one lint-directive finding for a bare directive, got %+v", fs)
+	}
+}

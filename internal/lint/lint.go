@@ -43,6 +43,12 @@ type Finding struct {
 	// Reason carries the directive's justification.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// Witness, for interprocedural findings, is the step-by-step
+	// evidence chain (one "file:line: explanation" entry per hop) from
+	// the reported position to the root cause — e.g. the call path from
+	// a process spawn down to the time.Now call it can reach. Rendered
+	// by rvcap-lint -explain and carried verbatim in -json output.
+	Witness []string `json:"witness,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -65,12 +71,18 @@ type Context struct {
 	Pkg    *Package
 
 	rule   string
-	report func(pos token.Pos, rule, msg string)
+	report func(pos token.Pos, rule, msg string, witness []string)
 }
 
 // Reportf files a finding for the rule at pos.
 func (c *Context) Reportf(pos token.Pos, format string, args ...interface{}) {
-	c.report(pos, c.rule, fmt.Sprintf(format, args...))
+	c.report(pos, c.rule, fmt.Sprintf(format, args...), nil)
+}
+
+// ReportWitness files a finding that carries an evidence chain (the
+// interprocedural rules' witness call paths).
+func (c *Context) ReportWitness(pos token.Pos, witness []string, format string, args ...interface{}) {
+	c.report(pos, c.rule, fmt.Sprintf(format, args...), witness)
 }
 
 // Rule names reserved by the engine itself (reported but produced by no
@@ -92,15 +104,15 @@ func (m *Module) Analyze(rules []*Rule) []Finding {
 	}
 
 	var finds []Finding
-	add := func(pos token.Pos, rule, msg string) {
+	add := func(pos token.Pos, rule, msg string, witness []string) {
 		file, line, col := m.position(pos)
-		finds = append(finds, Finding{File: file, Line: line, Col: col, Rule: rule, Message: msg})
+		finds = append(finds, Finding{File: file, Line: line, Col: col, Rule: rule, Message: msg, Witness: witness})
 	}
 
 	for _, pkg := range m.Pkgs {
 		for _, terr := range pkg.TypeErrors {
 			if te, ok := terr.(types.Error); ok {
-				add(te.Pos, RuleTypecheck, te.Msg)
+				add(te.Pos, RuleTypecheck, te.Msg, nil)
 			} else {
 				finds = append(finds, Finding{File: pkg.Dir, Rule: RuleTypecheck, Message: terr.Error()})
 			}
@@ -188,7 +200,7 @@ const directivePrefix = "lint:ignore"
 // collectDirectives parses every //lint:ignore comment in the module.
 // Malformed directives (missing reason, unknown rule) are reported to
 // add under the lint-directive rule and do not suppress anything.
-func (m *Module) collectDirectives(known map[string]bool, add func(token.Pos, string, string)) suppressions {
+func (m *Module) collectDirectives(known map[string]bool, add func(token.Pos, string, string, []string)) suppressions {
 	sup := make(suppressions)
 	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
@@ -208,14 +220,14 @@ func (m *Module) collectDirectives(known map[string]bool, add func(token.Pos, st
 					fields := strings.Fields(args)
 					if len(fields) < 2 {
 						add(c.Slash, RuleDirective,
-							"malformed directive: want //lint:ignore <rule>[,<rule>] <reason>")
+							"malformed directive: want //lint:ignore <rule>[,<rule>] <reason>", nil)
 						continue
 					}
 					d := directive{rules: make(map[string]bool), reason: strings.TrimSpace(args[len(fields[0]):])}
 					bad := false
 					for _, r := range strings.Split(fields[0], ",") {
 						if !known[r] {
-							add(c.Slash, RuleDirective, fmt.Sprintf("directive names unknown rule %q", r))
+							add(c.Slash, RuleDirective, fmt.Sprintf("directive names unknown rule %q", r), nil)
 							bad = true
 							break
 						}
@@ -238,10 +250,14 @@ func (m *Module) collectDirectives(known map[string]bool, add func(token.Pos, st
 
 // Report is the machine-readable result of one lint run (-json).
 type Report struct {
-	Module     string    `json:"module"`
-	Rules      []string  `json:"rules"`
-	Findings   []Finding `json:"findings"`
-	Suppressed []Finding `json:"suppressed,omitempty"`
+	Module string   `json:"module"`
+	Rules  []string `json:"rules"`
+	// SuppressedCount is always present (even when zero) so report
+	// consumers can track the suppression budget without summing the
+	// optional Suppressed list.
+	SuppressedCount int       `json:"suppressed_count"`
+	Findings        []Finding `json:"findings"`
+	Suppressed      []Finding `json:"suppressed,omitempty"`
 }
 
 // NewReport splits findings into gating and suppressed sets.
@@ -257,6 +273,7 @@ func NewReport(m *Module, rules []*Rule, finds []Finding) Report {
 			rep.Findings = append(rep.Findings, f)
 		}
 	}
+	rep.SuppressedCount = len(rep.Suppressed)
 	if rep.Findings == nil {
 		rep.Findings = []Finding{} // encode as [], not null
 	}

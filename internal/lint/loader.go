@@ -53,6 +53,11 @@ type Module struct {
 
 	byPath map[string]*Package
 	std    types.Importer
+
+	// Lazily built interprocedural state, shared by the rules that need
+	// whole-module reasoning (see callgraph.go).
+	cg  *callGraph
+	ipr *interprocResults
 }
 
 // Options configure Load.

@@ -8,7 +8,10 @@ import (
 	"strings"
 )
 
-// AllRules returns the project rule set, in reporting order.
+// AllRules returns the project rule set, in reporting order. The last
+// three are the interprocedural rules (callgraph.go, taint.go,
+// waitgraph.go): they reason over the whole-module call graph instead
+// of one callsite at a time.
 func AllRules() []*Rule {
 	return []*Rule{
 		simDeterminism,
@@ -18,6 +21,9 @@ func AllRules() []*Rule {
 		cycleAccounting,
 		burstAccounting,
 		errorDiscipline,
+		determinismTaint,
+		mapOrderFlow,
+		waitGraph,
 	}
 }
 

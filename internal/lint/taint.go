@@ -1,0 +1,674 @@
+// Interprocedural layer, part 2: determinism taint.
+//
+// Two analyses share the call graph built in callgraph.go:
+//
+//   - determinism-taint marks host-nondeterminism sources (wall-clock
+//     time, the globally seeded math/rand source, os environment/host
+//     state, order-sensitive iteration over a map) and propagates
+//     reachability backwards over the call graph. Any simulation entry
+//     point — a callback passed to Kernel.Go/Schedule/At, directly or
+//     through a spawn wrapper — that can transitively reach a source is
+//     reported at its spawn site, with the full witness call path down
+//     to the source attached to the finding.
+//
+//   - map-order-flow extends the per-callsite map-order-determinism
+//     rule across function boundaries: a slice built inside a range
+//     over a map without a sort ("map-ordered producer") is tracked
+//     through return values and parameters, and every place such a
+//     slice is consumed order-sensitively (ranged into scheduling
+//     calls, passed to an order-sensitive consumer, or handed to
+//     internal/trace output) is reported with the producer chain as
+//     witness.
+//
+// Both analyses under-approximate: calls through interfaces and
+// function-typed variables contribute no edges, and value flow is
+// tracked only through direct returns, single-call assignments and
+// parameter positions. What they do report is a real static path.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// interprocResults caches the whole-module findings of the three
+// interprocedural rules, keyed for per-package reporting.
+type interprocResults struct {
+	findings []iprFinding
+}
+
+type iprFinding struct {
+	pkg     *Package
+	pos     token.Pos
+	rule    string
+	msg     string
+	witness []string
+}
+
+// interproc computes (once) every interprocedural finding.
+func (m *Module) interproc() *interprocResults {
+	if m.ipr != nil {
+		return m.ipr
+	}
+	g := m.callgraph()
+	r := &interprocResults{}
+	runDeterminismTaint(g, r)
+	runMapOrderFlow(g, r)
+	runWaitGraph(g, r)
+	m.ipr = r
+	return r
+}
+
+// reportInterproc is the shared Run body of the interprocedural rules:
+// surface the cached module-level findings that belong to the package
+// under inspection.
+func reportInterproc(c *Context, rule string) {
+	for _, f := range c.Module.interproc().findings {
+		if f.rule == rule && f.pkg == c.Pkg {
+			c.ReportWitness(f.pos, f.witness, "%s", f.msg)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// determinism-taint
+
+// taintSource is one direct occurrence of host nondeterminism inside a
+// function body.
+type taintSource struct {
+	pos  token.Pos
+	desc string
+}
+
+// hostStateFuncs are the os package entry points that read per-host or
+// per-invocation state; observable in simulation behavior they make a
+// run irreproducible across machines and shells.
+var hostStateFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Hostname": true, "Getpid": true, "Getppid": true, "Getwd": true,
+}
+
+var determinismTaint = &Rule{
+	Name: "determinism-taint",
+	Doc: "interprocedural: flags sim process/event entry points (callbacks passed to " +
+		"Kernel.Go/Schedule/At, including through spawn wrappers) that can transitively " +
+		"reach host nondeterminism — wall-clock time, globally seeded math/rand, os " +
+		"environment/host state, or order-sensitive map iteration — anywhere in their " +
+		"static call graph; the finding carries the full witness call path (-explain)",
+	Run: func(c *Context) { reportInterproc(c, "determinism-taint") },
+}
+
+func runDeterminismTaint(g *callGraph, r *interprocResults) {
+	simPath := g.m.Path + "/internal/sim"
+	for _, n := range g.nodes {
+		n.taintSrcs = collectTaintSources(n, simPath)
+	}
+	// tainted[n] = n has a direct source or calls a tainted node.
+	// Reverse-propagate to a fixpoint; the graph is small enough that
+	// the naive iteration converges in a handful of passes.
+	tainted := make(map[*funcNode]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if tainted[n] {
+				continue
+			}
+			if len(n.taintSrcs) > 0 {
+				tainted[n] = true
+				changed = true
+				continue
+			}
+			for _, e := range n.out() {
+				if tainted[e.to] {
+					tainted[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool) // one finding per spawn site
+	for _, s := range g.spawns {
+		if !tainted[s.entry] || reported[s.pos] {
+			continue
+		}
+		reported[s.pos] = true
+		path, src := g.taintWitness(s.entry)
+		kind := "event"
+		if s.isProc {
+			kind = "process"
+		}
+		var chain []string
+		for _, pn := range path {
+			chain = append(chain, pn.name)
+		}
+		witness := []string{fmt.Sprintf("%s: sim %s %q registered here", g.m.posString(s.pos), kind, s.displayName())}
+		for i := 0; i+1 < len(path); i++ {
+			witness = append(witness, fmt.Sprintf("%s: %s calls %s", g.m.posString(pathEdgePos(path[i], path[i+1])), path[i].name, path[i+1].name))
+		}
+		witness = append(witness, fmt.Sprintf("%s: %s", g.m.posString(src.pos), src.desc))
+		r.findings = append(r.findings, iprFinding{
+			pkg:  s.pkg,
+			pos:  s.pos,
+			rule: "determinism-taint",
+			msg: fmt.Sprintf("sim %s %q can reach host nondeterminism: %s (call path %s; run rvcap-lint -explain for the witness)",
+				kind, s.displayName(), src.desc, strings.Join(chain, " -> ")),
+			witness: witness,
+		})
+	}
+}
+
+// taintWitness returns the shortest (BFS) call path from entry to a
+// node carrying a direct source, plus that source.
+func (g *callGraph) taintWitness(entry *funcNode) ([]*funcNode, taintSource) {
+	parent := map[*funcNode]*funcNode{entry: nil}
+	queue := []*funcNode{entry}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if len(n.taintSrcs) > 0 {
+			var path []*funcNode
+			for at := n; at != nil; at = parent[at] {
+				path = append([]*funcNode{at}, path...)
+			}
+			return path, n.taintSrcs[0]
+		}
+		for _, e := range n.out() {
+			if _, seen := parent[e.to]; !seen {
+				parent[e.to] = n
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	// Unreachable when the caller checked tainted[entry]; keep a sane
+	// fallback anyway.
+	return []*funcNode{entry}, taintSource{pos: entry.pos, desc: "host nondeterminism"}
+}
+
+// pathEdgePos finds the call site from to to' recorded on the edge.
+func pathEdgePos(from, to *funcNode) token.Pos {
+	for _, e := range from.calls {
+		if e.to == to {
+			return e.pos
+		}
+	}
+	return from.pos
+}
+
+// collectTaintSources scans one node's body (nested literals excluded —
+// they are nodes of their own) for direct nondeterminism sources.
+func collectTaintSources(n *funcNode, simPath string) []taintSource {
+	info := n.pkg.Info
+	var srcs []taintSource
+	sortCalls := sortCallPositions(info, n.body)
+	inspectSkipLits(n.body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			f, ok := info.Uses[node.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch path := pkgPath(f); path {
+			case "time":
+				if wallClockFuncs[f.Name()] && isPackageFunc(f, path, f.Name()) {
+					srcs = append(srcs, taintSource{node.Pos(), fmt.Sprintf("time.%s reads the host wall clock", f.Name())})
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[f.Name()] && isPackageFunc(f, path, f.Name()) {
+					srcs = append(srcs, taintSource{node.Pos(), fmt.Sprintf("%s.%s draws from the globally (randomly) seeded source", path, f.Name())})
+				}
+			case "os":
+				if hostStateFuncs[f.Name()] && isPackageFunc(f, path, f.Name()) {
+					srcs = append(srcs, taintSource{node.Pos(), fmt.Sprintf("os.%s reads host/environment state", f.Name())})
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					if pos, why := orderSensitiveMapBody(info, node, simPath, sortCalls); pos.IsValid() {
+						srcs = append(srcs, taintSource{pos, "map iteration order (randomized per run) is observable here: " + why})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return srcs
+}
+
+// inspectSkipLits walks body without descending into function literals.
+func inspectSkipLits(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// sortCallPositions records every sort.*/slices.Sort* call position in
+// body, for the append-without-sort excusal (same coarse heuristic as
+// the per-callsite map-order rule).
+func sortCallPositions(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := callee(info, call.Fun); f != nil {
+			switch pkgPath(f) {
+			case "sort":
+				out = append(out, call.Pos())
+			case "slices":
+				if strings.HasPrefix(f.Name(), "Sort") {
+					out = append(out, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func sortedAfterPos(sortCalls []token.Pos, end token.Pos) bool {
+	for _, p := range sortCalls {
+		if p > end {
+			return true
+		}
+	}
+	return false
+}
+
+// orderSensitiveMapBody reports the first order-sensitive operation in
+// a range-over-map body: a channel op, a sim scheduling call, an early
+// return of the iteration variables, or a bare append with no sort
+// following in the enclosing body.
+func orderSensitiveMapBody(info *types.Info, rs *ast.RangeStmt, simPath string, sortCalls []token.Pos) (token.Pos, string) {
+	var pos token.Pos
+	var why string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pos, why = n.Pos(), "channel send per iteration"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, why = n.Pos(), "channel receive per iteration"
+			}
+		case *ast.ReturnStmt:
+			pos, why = n.Pos(), "returns mid-iteration, so the result depends on which key came first"
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !sortedAfterPos(sortCalls, rs.End()) {
+					pos, why = n.Pos(), "appends in iteration order with no sort afterwards"
+				}
+				return true
+			}
+			if f := callee(info, n.Fun); f != nil && pkgPath(f) == simPath && simSchedulingFuncs[f.Name()] {
+				pos, why = n.Pos(), "sim."+f.Name()+" per iteration"
+			}
+		}
+		return true
+	})
+	return pos, why
+}
+
+// ---------------------------------------------------------------------------
+// map-order-flow
+
+var mapOrderFlow = &Rule{
+	Name: "map-order-flow",
+	Doc: "interprocedural: tracks slices built inside a range over a map without a " +
+		"sort (map-ordered producers) through return values and parameters, and flags " +
+		"call sites where such a slice is consumed order-sensitively — ranged into " +
+		"scheduling work, passed to an order-sensitive consumer function, or handed " +
+		"to internal/trace output; the witness chain names the producer",
+	Run: func(c *Context) { reportInterproc(c, "map-order-flow") },
+}
+
+// producerInfo marks a declared function whose result (index 0) is a
+// slice carrying raw map-iteration order; rangePos is the originating
+// range statement.
+type producerInfo struct {
+	rangePos token.Pos
+	origin   string // name of the function holding the range
+}
+
+func runMapOrderFlow(g *callGraph, r *interprocResults) {
+	simPath := g.m.Path + "/internal/sim"
+	tracePath := g.m.Path + "/internal/trace"
+
+	producers := make(map[*types.Func]producerInfo)
+	type forward struct {
+		from *types.Func
+		node *funcNode
+		to   *types.Func
+	}
+	var forwards []forward
+
+	// Producer detection per declared function.
+	for _, n := range g.nodes {
+		if n.obj == nil {
+			continue
+		}
+		info := n.pkg.Info
+		sortCalls := sortCallPositions(info, n.body)
+		mapOrdered := make(map[types.Object]token.Pos) // local var -> range pos
+		inspectSkipLits(n.body, func(node ast.Node) bool {
+			rs, ok := node.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sortedAfterPos(sortCalls, rs.End()) {
+				return true // a sort downstream launders the order
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				as, ok := inner.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+					return true
+				}
+				call, ok := as.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+					if v, ok := resolveVar(info, lhs); ok && !v.IsField() {
+						mapOrdered[v] = rs.Pos()
+					}
+				}
+				return true
+			})
+			return true
+		})
+		if len(mapOrdered) == 0 && n.obj.Type().(*types.Signature).Results().Len() == 0 {
+			continue
+		}
+		inspectSkipLits(n.body, func(node ast.Node) bool {
+			ret, ok := node.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				return true
+			}
+			switch e := ast.Unparen(ret.Results[0]).(type) {
+			case *ast.Ident:
+				if v, ok := resolveVar(info, e); ok {
+					if pos, ok := mapOrdered[v]; ok {
+						if _, have := producers[n.obj]; !have {
+							producers[n.obj] = producerInfo{rangePos: pos, origin: n.name}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if f := callee(info, e.Fun); f != nil && f != n.obj {
+					forwards = append(forwards, forward{from: n.obj, node: n, to: f})
+				}
+			}
+			return true
+		})
+	}
+	// Forwarding fixpoint: `return producer(...)` makes the caller a
+	// producer with the same origin.
+	for changed := true; changed; {
+		changed = false
+		for _, fw := range forwards {
+			if _, have := producers[fw.from]; have {
+				continue
+			}
+			if pi, ok := producers[fw.to]; ok {
+				producers[fw.from] = pi
+				changed = true
+			}
+		}
+	}
+	if len(producers) == 0 {
+		return
+	}
+
+	// Consumer detection: parameters ranged order-sensitively, plus a
+	// forwarding fixpoint for params passed straight to a consumer.
+	consumers := make(map[*types.Func]map[int]token.Pos)
+	addConsumer := func(f *types.Func, idx int, pos token.Pos) bool {
+		if consumers[f] == nil {
+			consumers[f] = make(map[int]token.Pos)
+		}
+		if _, have := consumers[f][idx]; have {
+			return false
+		}
+		consumers[f][idx] = pos
+		return true
+	}
+	paramIndexOf := func(n *funcNode, v types.Object) int {
+		sig, ok := n.obj.Type().(*types.Signature)
+		if !ok {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, n := range g.nodes {
+		if n.obj == nil {
+			continue
+		}
+		info := n.pkg.Info
+		inspectSkipLits(n.body, func(node ast.Node) bool {
+			rs, ok := node.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(rs.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := resolveVar(info, id)
+			if !ok {
+				return true
+			}
+			idx := paramIndexOf(n, v)
+			if idx < 0 {
+				return true
+			}
+			if pos, _ := orderSensitiveBody(info, rs.Body, simPath, tracePath); pos.IsValid() {
+				addConsumer(n.obj, idx, pos)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if n.obj == nil {
+				continue
+			}
+			info := n.pkg.Info
+			for _, site := range n.sites {
+				idxs, ok := consumers[site.fn]
+				if !ok {
+					continue
+				}
+				for i, arg := range site.call.Args {
+					if _, consumed := idxs[i]; !consumed {
+						continue
+					}
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if v, ok := resolveVar(info, id); ok {
+							if j := paramIndexOf(n, v); j >= 0 {
+								if addConsumer(n.obj, j, site.call.Pos()) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Sink detection.
+	report := func(n *funcNode, pos token.Pos, pi producerInfo, how string) {
+		r.findings = append(r.findings, iprFinding{
+			pkg:  n.pkg,
+			pos:  pos,
+			rule: "map-order-flow",
+			msg: fmt.Sprintf("map-iteration order escapes %s and is consumed order-sensitively here (%s); sort the slice before it crosses the function boundary",
+				pi.origin, how),
+			witness: []string{
+				fmt.Sprintf("%s: %s builds this slice inside a range over a map, unsorted", g.m.posString(pi.rangePos), pi.origin),
+				fmt.Sprintf("%s: consumed order-sensitively (%s)", g.m.posString(pos), how),
+			},
+		})
+	}
+	producerOf := func(info *types.Info, e ast.Expr) (producerInfo, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return producerInfo{}, false
+		}
+		f := callee(info, call.Fun)
+		if f == nil {
+			return producerInfo{}, false
+		}
+		pi, ok := producers[f]
+		return pi, ok
+	}
+	for _, n := range g.nodes {
+		info := n.pkg.Info
+		// Locals holding a producer result: v := producer(...).
+		tainted := make(map[types.Object]producerInfo)
+		inspectSkipLits(n.body, func(node ast.Node) bool {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			pi, ok := producerOf(info, as.Rhs[0])
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+				if v, ok := resolveVar(info, id); ok {
+					tainted[v] = pi
+				}
+			}
+			return true
+		})
+		inspectSkipLits(n.body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.RangeStmt:
+				pi, ok := producerOf(info, node.X)
+				if !ok {
+					if id, isIdent := ast.Unparen(node.X).(*ast.Ident); isIdent {
+						if v, vok := resolveVar(info, id); vok {
+							pi, ok = tainted[v]
+						}
+					}
+				}
+				if !ok {
+					return true
+				}
+				if pos, how := orderSensitiveBody(info, node.Body, simPath, tracePath); pos.IsValid() {
+					report(n, node.X.Pos(), pi, how)
+				}
+			case *ast.CallExpr:
+				f := callee(info, node.Fun)
+				if f == nil {
+					return true
+				}
+				idxs := consumers[f]
+				isTrace := pkgPath(f) == tracePath
+				if idxs == nil && !isTrace {
+					return true
+				}
+				for i, arg := range node.Args {
+					pi, ok := producerOf(info, arg)
+					if !ok {
+						if id, isIdent := ast.Unparen(arg).(*ast.Ident); isIdent {
+							if v, vok := resolveVar(info, id); vok {
+								pi, ok = tainted[v]
+							}
+						}
+					}
+					if !ok {
+						continue
+					}
+					if _, consumed := idxs[i]; consumed {
+						report(n, node.Pos(), pi, fmt.Sprintf("passed to order-sensitive consumer %s.%s", f.Pkg().Name(), f.Name()))
+					} else if isTrace {
+						report(n, node.Pos(), pi, fmt.Sprintf("handed to trace output %s.%s", f.Pkg().Name(), f.Name()))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitiveBody reports the first order-sensitive operation in a
+// loop body over an already-suspect slice: channel ops, sim scheduling
+// calls, or internal/trace emission.
+func orderSensitiveBody(info *types.Info, body *ast.BlockStmt, simPath, tracePath string) (token.Pos, string) {
+	var pos token.Pos
+	var how string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pos, how = n.Pos(), "channel send per element"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, how = n.Pos(), "channel receive per element"
+			}
+		case *ast.CallExpr:
+			if f := callee(info, n.Fun); f != nil {
+				switch {
+				case pkgPath(f) == simPath && simSchedulingFuncs[f.Name()]:
+					pos, how = n.Pos(), "sim."+f.Name()+" per element"
+				case pkgPath(f) == tracePath:
+					pos, how = n.Pos(), "trace."+f.Name()+" per element"
+				}
+			}
+		}
+		return true
+	})
+	return pos, how
+}
+
+// resolveVar resolves an identifier to the *types.Var it uses.
+func resolveVar(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}

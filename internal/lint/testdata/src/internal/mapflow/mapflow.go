@@ -1,0 +1,83 @@
+// Package mapflow exercises the map-order-flow rule: a slice built in
+// map-iteration order must be caught when it crosses a function
+// boundary into scheduling or trace output — one call away from the
+// range the per-callsite rule can see.
+package mapflow
+
+import (
+	"sort"
+
+	"rvcap/internal/sim"
+	"rvcap/internal/trace"
+)
+
+// keysOf is a map-ordered producer: the per-callsite rule flags the
+// raw append, and the flow rule tracks the returned slice.
+func keysOf(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "map-order-determinism"
+	}
+	return keys
+}
+
+// sortedKeys is the clean producer: the sort launders the order.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// forward propagates producer-ness through a direct return.
+func forward(m map[string]int) []string { return keysOf(m) }
+
+// dispatch is an order-sensitive consumer: one scheduled event per
+// element, in slice order.
+func dispatch(k *sim.Kernel, names []string) {
+	for range names {
+		k.Schedule(1, func() {})
+	}
+}
+
+// relay forwards its parameter to a consumer, so it is one itself.
+func relay(k *sim.Kernel, names []string) {
+	dispatch(k, names)
+}
+
+// BadRange ranges a producer result straight into scheduling calls.
+func BadRange(k *sim.Kernel, m map[string]int) {
+	for range keysOf(m) { // want "map-order-flow"
+		k.Schedule(1, func() {})
+	}
+}
+
+// BadVar stores the producer result first; the local flows into an
+// order-sensitive range anyway.
+func BadVar(k *sim.Kernel, m map[string]int) {
+	names := keysOf(m)
+	for range names { // want "map-order-flow"
+		k.Schedule(1, func() {})
+	}
+}
+
+// BadConsumer hands a forwarded producer result to the consumer chain.
+func BadConsumer(k *sim.Kernel, m map[string]int) {
+	names := forward(m)
+	relay(k, names) // want "map-order-flow"
+}
+
+// BadTrace hands raw map order to the trace writer.
+func BadTrace(m map[string]int) {
+	trace.EmitAll(keysOf(m)...) // want "map-order-flow"
+}
+
+// Good consumes only the sorted variant: no findings.
+func Good(k *sim.Kernel, m map[string]int) {
+	dispatch(k, sortedKeys(m))
+	for range sortedKeys(m) {
+		k.Schedule(1, func() {})
+	}
+}

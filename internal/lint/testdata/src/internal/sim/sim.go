@@ -35,7 +35,36 @@ func (p *Proc) Sleep(d Time) {}
 func (p *Proc) Wait(s *Signal) {}
 
 // Signal is a broadcast wake-up.
-type Signal struct{}
+type Signal struct{ latched bool }
 
 // Fire wakes every waiter.
 func (s *Signal) Fire() {}
+
+// WaitAny suspends the process until any signal fires; the lowest
+// ready index wins, deterministically.
+func (p *Proc) WaitAny(sigs ...*Signal) int { return 0 }
+
+// Join blocks until other finishes, using done as the completion
+// signal.
+func (p *Proc) Join(other *Proc, done *Signal) {}
+
+// NewSignal builds an edge-triggered signal.
+func NewSignal(k *Kernel, name string) *Signal { return &Signal{} }
+
+// NewLatchedSignal builds a signal that stays set once fired.
+func NewLatchedSignal(k *Kernel, name string) *Signal { return &Signal{latched: true} }
+
+// Set reports whether a latched signal has fired.
+func (s *Signal) Set() bool { return s.latched }
+
+// Resource is a single-owner mutex analogue.
+type Resource struct{ busy bool }
+
+// NewResource builds an idle resource.
+func NewResource(k *Kernel, name string) *Resource { return &Resource{} }
+
+// Acquire blocks p until the resource is free, then takes it.
+func (r *Resource) Acquire(p *Proc) { r.busy = true }
+
+// Release frees the resource and wakes one waiter.
+func (r *Resource) Release() { r.busy = false }

@@ -1,0 +1,75 @@
+// Package taint exercises the interprocedural determinism-taint rule:
+// host nondeterminism that is invisible at the spawn site must be
+// reported there anyway, with the witness call path attached.
+package taint
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"rvcap/internal/sim"
+)
+
+// stamp is the taint source, two hops below the process entry. The
+// per-callsite sim-determinism rule also fires here — the two rules
+// report different positions on purpose.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "sim-determinism"
+}
+
+// helper is the middle of the witness chain.
+func helper() int64 { return stamp() }
+
+// BadLiteral spawns a process whose body reaches the wall clock only
+// transitively; the finding lands on the spawn call.
+func BadLiteral(k *sim.Kernel) {
+	k.Go("taint.literal", func(p *sim.Proc) { // want "determinism-taint"
+		_ = helper()
+	})
+}
+
+// env reads host state that the per-callsite rules do not track.
+func env() string { return os.Getenv("RVCAP_MODE") }
+
+// worker is a named process entry passed by reference.
+func worker(p *sim.Proc) { _ = env() }
+
+// BadNamed registers a declared function as the process body.
+func BadNamed(k *sim.Kernel) {
+	k.Go("taint.named", worker) // want "determinism-taint"
+}
+
+// spawnNamed is a spawn wrapper: it forwards fn into Kernel.Go, so its
+// own callers become spawn sites.
+func spawnNamed(k *sim.Kernel, name string, fn func(p *sim.Proc)) {
+	k.Go(name, fn)
+}
+
+// BadWrapped spawns through the wrapper; the forwarding fixpoint must
+// still attribute the entry (and the taint) to this call.
+func BadWrapped(k *sim.Kernel) {
+	spawnNamed(k, "taint.wrapped", worker) // want "determinism-taint"
+}
+
+// jitter draws from the globally seeded source.
+func jitter() int { return rand.Int() } // want "sim-determinism"
+
+// BadEvent registers a one-shot event callback (Schedule, not Go) that
+// reaches the global rand source.
+func BadEvent(k *sim.Kernel) {
+	k.Schedule(1, func() { // want "determinism-taint"
+		_ = jitter()
+	})
+}
+
+// seeded is deterministic: explicitly seeded generators are allowed.
+func seeded() int { return rand.New(rand.NewSource(42)).Int() }
+
+// Good spawns a process that only touches sim time and seeded
+// randomness: no finding.
+func Good(k *sim.Kernel) {
+	k.Go("taint.good", func(p *sim.Proc) {
+		p.Sleep(sim.Time(seeded() % 8))
+	})
+}

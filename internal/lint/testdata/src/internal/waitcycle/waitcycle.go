@@ -1,0 +1,76 @@
+// Package waitcycle exercises the wait-graph rule: cross-process
+// wait-for cycles (deadlock candidates) and fires with no waiter
+// anywhere (lost wakeups).
+package waitcycle
+
+import "rvcap/internal/sim"
+
+// handshake couples two processes through a pair of signals.
+type handshake struct {
+	ping   *sim.Signal
+	pong   *sim.Signal
+	orphan *sim.Signal
+}
+
+// Deadlock builds the canonical two-process cycle: a blocks on ping,
+// which only b fires; b blocks on pong, which only a fires. Neither
+// fire can ever run. The finding anchors on the lexically first wait
+// of the cycle.
+func Deadlock(k *sim.Kernel) {
+	h := &handshake{
+		ping:   sim.NewSignal(k, "ping"),
+		pong:   sim.NewSignal(k, "pong"),
+		orphan: sim.NewSignal(k, "orphan"),
+	}
+	k.Go("cycle.a", func(p *sim.Proc) {
+		p.Wait(h.ping) // want "wait-graph"
+		h.pong.Fire()
+	})
+	k.Go("cycle.b", func(p *sim.Proc) {
+		p.Wait(h.pong)
+		h.ping.Fire()
+	})
+	k.Go("cycle.orphan", func(p *sim.Proc) {
+		h.orphan.Fire() // want "wait-graph"
+	})
+}
+
+// ResourceCycle mixes a resource and a signal: m0 blocks acquiring the
+// bus, which only m1 releases; m1 blocks on grant, which only m0
+// fires.
+func ResourceCycle(k *sim.Kernel) {
+	bus := sim.NewResource(k, "bus")
+	grant := sim.NewSignal(k, "grant")
+	k.Go("cycle.m0", func(p *sim.Proc) {
+		bus.Acquire(p) // want "wait-graph"
+		grant.Fire()
+		bus.Release()
+	})
+	k.Go("cycle.m1", func(p *sim.Proc) {
+		p.Wait(grant)
+		bus.Release()
+	})
+}
+
+// Pipeline is the clean one-directional pattern: the driver fires, the
+// worker waits, nothing waits on the driver. No cycle, no orphan.
+func Pipeline(k *sim.Kernel) {
+	req := sim.NewSignal(k, "req")
+	k.Go("pipe.worker", func(p *sim.Proc) {
+		p.Wait(req)
+	})
+	k.Go("pipe.driver", func(p *sim.Proc) {
+		req.Fire()
+	})
+}
+
+// Latched fires a latched completion flag nobody waits on: latched
+// signals hold their state for polling via Set, so this is not a lost
+// wakeup.
+func Latched(k *sim.Kernel) bool {
+	done := sim.NewLatchedSignal(k, "done")
+	k.Go("latched.t", func(p *sim.Proc) {
+		done.Fire()
+	})
+	return done.Set()
+}

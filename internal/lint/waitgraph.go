@@ -1,0 +1,667 @@
+// Interprocedural layer, part 3: the cross-process wait-for graph.
+//
+// Every cooperative process (a callback spawned through Kernel.Go,
+// directly or via a wrapper) is statically assigned the set of
+// synchronization operations — Proc.Wait/WaitAny/Join, Resource.Acquire
+// (blocking) and Signal.Fire, Resource.Release (waking) — that it can
+// reach in the call graph. Signals and resources are identified by the
+// variable or struct field that holds them, so `s.notEmpty` is the same
+// vertex no matter which instance or which process touches it.
+//
+// From those per-process operation sets the analysis builds the
+// process-level wait-for graph: an edge P -> Q for every object that P
+// blocks on and Q wakes. Two findings come out of it:
+//
+//   - wait-for cycles (strongly connected components of two or more
+//     processes): static deadlock candidates. A WaitAny arm counts as a
+//     blocking edge even though the process could be released through a
+//     different arm, so a cycle is a *candidate*, not a proof — which
+//     is exactly what a reviewer wants pointed at.
+//   - fire-without-waiter: a non-latched signal that some process
+//     fires but that nothing in the module ever waits on. A fire with
+//     no waiter is dropped on the floor by the kernel, so this is the
+//     static shadow of a lost wakeup.
+//
+// Both findings carry witness chains (-explain) naming the processes,
+// the objects, and the wait/fire sites involved.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var waitGraph = &Rule{
+	Name: "wait-graph",
+	Doc: "interprocedural: builds the cross-process wait-for graph over sim.Signal " +
+		"and sim.Resource (Wait/WaitAny/Join/Acquire block, Fire/Release wake) and " +
+		"flags wait-for cycles between processes (static deadlock candidates) and " +
+		"non-latched signals that are fired but never waited on (lost wakeups)",
+	Run: func(c *Context) { reportInterproc(c, "wait-graph") },
+}
+
+type opKind int
+
+const (
+	opWait opKind = iota
+	opWaitAny
+	opAcquire
+	opFire
+	opRelease
+)
+
+func (k opKind) blocking() bool { return k == opWait || k == opWaitAny || k == opAcquire }
+
+func (k opKind) String() string {
+	switch k {
+	case opWait:
+		return "Wait"
+	case opWaitAny:
+		return "WaitAny"
+	case opAcquire:
+		return "Acquire"
+	case opFire:
+		return "Fire"
+	case opRelease:
+		return "Release"
+	}
+	return "?"
+}
+
+// waitOp is one statically resolved synchronization operation.
+type waitOp struct {
+	kind opKind
+	obj  types.Object // the Signal/Resource variable or field
+	pos  token.Pos
+}
+
+func runWaitGraph(g *callGraph, r *interprocResults) {
+	simPath := g.m.Path + "/internal/sim"
+	for _, n := range g.nodes {
+		n.waitOps = collectWaitOps(n, simPath)
+	}
+	latched := latchedSignals(g, simPath)
+	params := paramObjs(g)
+	applyParamSummaries(g)
+
+	// Processes: one per Kernel.Go spawn site, with the ops reachable
+	// from its entry.
+	type process struct {
+		site  *spawnSite
+		name  string
+		waits map[types.Object]waitOp // first blocking op per object
+		fires map[types.Object]waitOp // first waking op per object
+	}
+	var procs []*process
+	for _, s := range g.spawns {
+		if !s.isProc {
+			continue
+		}
+		p := &process{
+			site:  s,
+			name:  s.displayName(),
+			waits: make(map[types.Object]waitOp),
+			fires: make(map[types.Object]waitOp),
+		}
+		for _, node := range g.reachable(s.entry) {
+			for _, op := range node.waitOps {
+				if op.obj == nil {
+					continue
+				}
+				set := p.fires
+				if op.kind.blocking() {
+					set = p.waits
+				}
+				if prev, ok := set[op.obj]; !ok || op.pos < prev.pos {
+					set[op.obj] = op
+				}
+			}
+		}
+		procs = append(procs, p)
+	}
+
+	// Wait-for edges: P blocks on obj, Q wakes obj, P != Q.
+	type edge struct {
+		from, to int
+		wait     waitOp
+		fire     waitOp
+	}
+	var edges []edge
+	adj := make(map[int][]int)
+	objs := make(map[types.Object]bool)
+	for _, p := range procs {
+		for o := range p.waits {
+			objs[o] = true
+		}
+		for o := range p.fires {
+			objs[o] = true
+		}
+	}
+	sortedObjs := sortObjects(objs)
+	for _, o := range sortedObjs {
+		for pi, p := range procs {
+			w, waits := p.waits[o]
+			if !waits {
+				continue
+			}
+			for qi, q := range procs {
+				if qi == pi {
+					continue
+				}
+				f, fires := q.fires[o]
+				if !fires {
+					continue
+				}
+				edges = append(edges, edge{from: pi, to: qi, wait: w, fire: f})
+				adj[pi] = append(adj[pi], len(edges)-1)
+			}
+		}
+	}
+
+	// Tarjan SCCs over the process graph (iterative, deterministic:
+	// processes in spawn order, edges in object order).
+	nproc := len(procs)
+	index := make([]int, nproc)
+	low := make([]int, nproc)
+	onStack := make([]bool, nproc)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, ei := range adj[v] {
+			w := edges[ei].to
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < nproc; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		member := make(map[int]bool, len(scc))
+		for _, v := range scc {
+			member[v] = true
+		}
+		// Intra-SCC edges, for the witness and the anchor position: the
+		// lexically first wait site in the component.
+		var intra []edge
+		for _, e := range edges {
+			if member[e.from] && member[e.to] {
+				intra = append(intra, e)
+			}
+		}
+		anchor := intra[0]
+		for _, e := range intra[1:] {
+			if e.wait.pos < anchor.wait.pos {
+				anchor = e
+			}
+		}
+		names := make([]string, 0, len(scc))
+		seenName := make(map[string]bool)
+		for _, v := range scc {
+			if !seenName[procs[v].name] {
+				seenName[procs[v].name] = true
+				names = append(names, procs[v].name)
+			}
+		}
+		witness := make([]string, 0, len(intra)+1)
+		witness = append(witness, fmt.Sprintf("%s: wait-for cycle among processes %s", g.m.posString(anchor.wait.pos), strings.Join(names, ", ")))
+		for _, e := range intra {
+			witness = append(witness, fmt.Sprintf("%s: process %q %ss on %q, woken by %q (%s at %s)",
+				g.m.posString(e.wait.pos), procs[e.from].name, e.wait.kind, e.wait.obj.Name(),
+				procs[e.to].name, e.fire.kind, g.m.posString(e.fire.pos)))
+		}
+		r.findings = append(r.findings, iprFinding{
+			pkg:  posPackage(g, anchor.wait.pos),
+			pos:  anchor.wait.pos,
+			rule: "wait-graph",
+			msg: fmt.Sprintf("static wait-for cycle among sim processes %s (through %q and %d more edge(s)): deadlock candidate — every process in the cycle blocks on a wake owned by another member; run rvcap-lint -explain for the edge list",
+				strings.Join(names, " -> "), anchor.wait.obj.Name(), len(intra)-1),
+			witness: witness,
+		})
+	}
+
+	// Fire-without-waiter: module-wide (not just process-reachable — a
+	// fire buried in an unresolved callback still needs a waiter
+	// *somewhere*), restricted to non-latched signals.
+	waitedAnywhere := make(map[types.Object]bool)
+	firstFire := make(map[types.Object]waitOp)
+	fireNode := make(map[types.Object]*funcNode)
+	for _, n := range g.nodes {
+		for _, op := range n.waitOps {
+			if op.obj == nil {
+				continue
+			}
+			if op.kind.blocking() {
+				waitedAnywhere[op.obj] = true
+			} else if op.kind == opFire {
+				if prev, ok := firstFire[op.obj]; !ok || op.pos < prev.pos {
+					firstFire[op.obj] = op
+					fireNode[op.obj] = n
+				}
+			}
+		}
+	}
+	for _, o := range sortObjects(objsOf(firstFire)) {
+		// A parameter is an alias of some caller's signal: its creation
+		// (and its other waiters) live outside this function, so a fire
+		// through it is never reported standalone — the param-summary
+		// pass already credited the op to the caller's object.
+		if waitedAnywhere[o] || latched[o] || params[o] {
+			continue
+		}
+		op := firstFire[o]
+		n := fireNode[o]
+		r.findings = append(r.findings, iprFinding{
+			pkg:  n.pkg,
+			pos:  op.pos,
+			rule: "wait-graph",
+			msg: fmt.Sprintf("signal %q is fired here but nothing in the module ever waits on it: a Fire with no waiter is dropped by the kernel (lost-wakeup candidate) — latch the signal, add the waiter, or delete the fire",
+				o.Name()),
+			witness: []string{
+				fmt.Sprintf("%s: %q fired in %s", g.m.posString(op.pos), o.Name(), n.name),
+				fmt.Sprintf("%s: %q declared here; no Wait/WaitAny/Join anywhere in the module", g.m.posString(o.Pos()), o.Name()),
+			},
+		})
+	}
+}
+
+func objsOf(m map[types.Object]waitOp) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m))
+	for o := range m {
+		out[o] = true
+	}
+	return out
+}
+
+// sortObjects orders a set of objects by declaration position (stable
+// across runs; token.Pos is assigned in load order, which is sorted).
+func sortObjects(set map[types.Object]bool) []types.Object {
+	out := make([]types.Object, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// posPackage finds the module package whose directory contains pos.
+func posPackage(g *callGraph, pos token.Pos) *Package {
+	file, _, _ := g.m.position(pos)
+	for _, pkg := range g.m.Pkgs {
+		rel, err := relDir(g.m, pkg)
+		if err != nil {
+			continue
+		}
+		if dirOf(file) == rel {
+			return pkg
+		}
+	}
+	return g.m.Pkgs[0]
+}
+
+func relDir(m *Module, pkg *Package) (string, error) {
+	if pkg.ImportPath == m.Path {
+		return ".", nil
+	}
+	return strings.TrimPrefix(pkg.ImportPath, m.Path+"/"), nil
+}
+
+func dirOf(file string) string {
+	if i := strings.LastIndex(file, "/"); i >= 0 {
+		return file[:i]
+	}
+	return "."
+}
+
+// paramObjs collects every parameter and receiver variable of every
+// function and literal in the module. Sync operations through them are
+// aliases of some caller's object: the param-summary pass maps them
+// back to the call sites, and they are never reported standalone.
+func paramObjs(g *callGraph) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	for _, n := range g.nodes {
+		if n.obj != nil {
+			sig, ok := n.obj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			if sig.Recv() != nil {
+				set[sig.Recv()] = true
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				set[sig.Params().At(i)] = true
+			}
+			continue
+		}
+		if n.lit != nil && n.lit.Type.Params != nil {
+			for _, field := range n.lit.Type.Params.List {
+				for _, name := range field.Names {
+					if o := n.pkg.Info.Defs[name]; o != nil {
+						set[o] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// paramSummary records, per parameter of a declared function, whether
+// the function (transitively) blocks on it or wakes it.
+type paramSummary struct {
+	waits, fires []bool
+	variadic     bool
+}
+
+// paramSummaries computes the blocking/waking parameter summaries to a
+// fixpoint: a function that passes its parameter into a blocking
+// position of another function blocks on that parameter too.
+func paramSummaries(g *callGraph) map[*types.Func]*paramSummary {
+	sums := make(map[*types.Func]*paramSummary)
+	get := func(f *types.Func) *paramSummary {
+		if s, ok := sums[f]; ok {
+			return s
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		s := &paramSummary{
+			waits:    make([]bool, sig.Params().Len()),
+			fires:    make([]bool, sig.Params().Len()),
+			variadic: sig.Variadic(),
+		}
+		sums[f] = s
+		return s
+	}
+	paramIndex := func(n *funcNode, o types.Object) int {
+		sig, ok := n.obj.Type().(*types.Signature)
+		if !ok {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == o {
+				return i
+			}
+		}
+		return -1
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(f *types.Func, j int, blocking bool) {
+			s := get(f)
+			if s == nil || j < 0 || j >= len(s.waits) {
+				return
+			}
+			flags := s.fires
+			if blocking {
+				flags = s.waits
+			}
+			if !flags[j] {
+				flags[j] = true
+				changed = true
+			}
+		}
+		for _, n := range g.nodes {
+			if n.obj == nil {
+				continue
+			}
+			for _, op := range n.waitOps {
+				if op.obj == nil {
+					continue
+				}
+				if j := paramIndex(n, op.obj); j >= 0 {
+					mark(n.obj, j, op.kind.blocking())
+				}
+			}
+			for _, site := range n.sites {
+				cs, ok := sums[site.fn]
+				if !ok {
+					continue
+				}
+				for i, arg := range site.call.Args {
+					ci := summaryIndex(cs, i)
+					if ci < 0 || (!cs.waits[ci] && !cs.fires[ci]) {
+						continue
+					}
+					o := resolveSyncObj(n.pkg.Info, arg)
+					if o == nil {
+						continue
+					}
+					if j := paramIndex(n, o); j >= 0 {
+						if cs.waits[ci] {
+							mark(n.obj, j, true)
+						}
+						if cs.fires[ci] {
+							mark(n.obj, j, false)
+						}
+					}
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// summaryIndex maps argument position i to a parameter index, folding
+// extra variadic arguments onto the last parameter.
+func summaryIndex(s *paramSummary, i int) int {
+	if i < len(s.waits) {
+		return i
+	}
+	if s.variadic && len(s.waits) > 0 {
+		return len(s.waits) - 1
+	}
+	return -1
+}
+
+// applyParamSummaries turns callee parameter summaries into synthetic
+// ops at the call sites: `helper(sig)` where helper blocks on its
+// parameter is a Wait on sig right here, attributed to the caller.
+func applyParamSummaries(g *callGraph) {
+	sums := paramSummaries(g)
+	for _, n := range g.nodes {
+		for _, site := range n.sites {
+			cs, ok := sums[site.fn]
+			if !ok {
+				continue
+			}
+			for i, arg := range site.call.Args {
+				ci := summaryIndex(cs, i)
+				if ci < 0 || (!cs.waits[ci] && !cs.fires[ci]) {
+					continue
+				}
+				o := resolveSyncObj(n.pkg.Info, arg)
+				if o == nil {
+					continue
+				}
+				if cs.waits[ci] {
+					n.waitOps = append(n.waitOps, waitOp{kind: opWait, obj: o, pos: site.call.Pos()})
+				}
+				if cs.fires[ci] {
+					n.waitOps = append(n.waitOps, waitOp{kind: opFire, obj: o, pos: site.call.Pos()})
+				}
+			}
+		}
+	}
+}
+
+// collectWaitOps scans one node's body (nested literals excluded) for
+// synchronization operations on sim.Signal / sim.Resource values that
+// resolve to a variable or struct field.
+func collectWaitOps(n *funcNode, simPath string) []waitOp {
+	info := n.pkg.Info
+	var ops []waitOp
+	add := func(kind opKind, expr ast.Expr, pos token.Pos) {
+		ops = append(ops, waitOp{kind: kind, obj: resolveSyncObj(info, expr), pos: pos})
+	}
+	inspectSkipLits(n.body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := callee(info, call.Fun)
+		if f == nil || pkgPath(f) != simPath {
+			return true
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		switch f.Name() {
+		case "Wait":
+			if len(call.Args) >= 1 {
+				add(opWait, call.Args[0], call.Pos())
+			}
+		case "WaitAny":
+			if call.Ellipsis.IsValid() {
+				break // sigs... slice: object identity unknown
+			}
+			for _, arg := range call.Args {
+				add(opWaitAny, arg, call.Pos())
+			}
+		case "Join":
+			if len(call.Args) >= 2 {
+				add(opWait, call.Args[1], call.Pos())
+			}
+		case "Fire":
+			if sel != nil {
+				add(opFire, sel.X, call.Pos())
+			}
+		case "Acquire":
+			if sel != nil {
+				add(opAcquire, sel.X, call.Pos())
+			}
+		case "Release":
+			if sel != nil {
+				add(opRelease, sel.X, call.Pos())
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// resolveSyncObj maps an expression denoting a Signal/Resource to the
+// variable or field object that holds it, or nil when the value comes
+// from a call, an index expression or anything else without a stable
+// static identity.
+func resolveSyncObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// latchedSignals collects the variables/fields ever assigned a
+// sim.NewLatchedSignal result: direct assignments, var declarations and
+// keyed composite-literal fields. Latched signals stay set until Reset,
+// so firing one with no waiter parked is not a lost wakeup.
+func latchedSignals(g *callGraph, simPath string) map[types.Object]bool {
+	latched := make(map[types.Object]bool)
+	isNewLatched := func(info *types.Info, e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		f := callee(info, call.Fun)
+		return f != nil && isPackageFunc(f, simPath, "NewLatchedSignal")
+	}
+	for _, pkg := range g.m.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if i < len(n.Lhs) && isNewLatched(info, rhs) {
+							if o := resolveSyncObjOrDef(info, n.Lhs[i]); o != nil {
+								latched[o] = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, v := range n.Values {
+						if i < len(n.Names) && isNewLatched(info, v) {
+							if o := info.Defs[n.Names[i]]; o != nil {
+								latched[o] = true
+							}
+						}
+					}
+				case *ast.KeyValueExpr:
+					if isNewLatched(info, n.Value) {
+						if id, ok := n.Key.(*ast.Ident); ok {
+							if o := info.Uses[id]; o != nil {
+								latched[o] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return latched
+}
+
+// resolveSyncObjOrDef resolves an assignment LHS, covering both uses
+// (x = ...) and short-variable definitions (x := ...).
+func resolveSyncObjOrDef(info *types.Info, expr ast.Expr) types.Object {
+	if o := resolveSyncObj(info, expr); o != nil {
+		return o
+	}
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -193,6 +193,7 @@ func (c *bitCache) ensure(p *sim.Proc, key imgKey) (*cacheEntry, error) {
 			e.pinned++
 			dropped := false
 			for e.state != statePresent {
+				//lint:ignore wait-graph fetcher/dispatcher wake heartbeat: wake is re-fired on every queue and cache state change and each wait re-checks its condition, so the cycle is designed progress signalling, not a deadlock
 				p.Wait(c.wake)
 				if c.entries[key] != e {
 					// The fetcher dropped the entry after exhausting
