@@ -13,8 +13,8 @@ go vet ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/ ./internal/sched/ ./internal/fault/'
-go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/ ./internal/sched/ ./internal/fault/
+echo '== go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/ ./internal/sched/ ./internal/fault/ ./internal/cluster/'
+go test -race ./internal/sim/ ./internal/trace/ ./internal/runner/ ./internal/sched/ ./internal/fault/ ./internal/cluster/
 
 echo '== rvcap-lint ./...'
 go run ./cmd/rvcap-lint ./...
@@ -53,6 +53,14 @@ echo '== rvcap-bench faults determinism'
 "$tmp/rvcap-bench" -experiment faults -parallel 4 -json -outdir "$tmp/f4" > /dev/null
 cmp "$tmp/f1/BENCH_faults.json" "$tmp/f4/BENCH_faults.json"
 
+echo '== rvcap-bench fleet determinism'
+# The cluster dispatcher routes before any board runs and every board
+# owns its kernel, so the fleet sweep must be byte-identical whether
+# each cell's boards run serially or fanned across host workers.
+"$tmp/rvcap-bench" -experiment fleet -parallel 1 -json -outdir "$tmp/fl1" > /dev/null
+"$tmp/rvcap-bench" -experiment fleet -parallel 4 -json -outdir "$tmp/fl4" > /dev/null
+cmp "$tmp/fl1/BENCH_fleet.json" "$tmp/fl4/BENCH_fleet.json"
+
 echo '== rvcap-bench -benchjson smoke (BENCH_5.json)'
 # The kernel fast-path benchmark must produce a well-formed BENCH_5.json
 # with one run per queue and identical event counts on both (the cheap
@@ -60,6 +68,14 @@ echo '== rvcap-bench -benchjson smoke (BENCH_5.json)'
 # instead of grepping for duplicated lines.
 "$tmp/rvcap-bench" -benchjson -benchiters 1 -outdir "$tmp/b5" > /dev/null
 go run ./cmd/benchcheck "$tmp/b5/BENCH_5.json"
+
+echo '== rvcap-bench -fleetjson smoke (BENCH_6.json)'
+# The fleet weak-scaling benchmark runs every board count serial and
+# parallel within one invocation and digests the deterministic per-board
+# reports; benchcheck enforces that every rung's digests matched (wall
+# times in the file rule out a byte-level compare across invocations).
+"$tmp/rvcap-bench" -fleetjson -fleetjobs 40 -outdir "$tmp/b6" > /dev/null
+go run ./cmd/benchcheck "$tmp/b6/BENCH_6.json"
 
 echo '== examples smoke'
 # The examples are documentation that compiles; keep the canonical ones
@@ -75,5 +91,8 @@ grep -q 'policy=affinity' "$tmp/time-shared.out"
 go run ./examples/fault-tolerant > "$tmp/fault-tolerant.out"
 grep -q 'quarantined' "$tmp/fault-tolerant.out"
 grep -q 'faults:' "$tmp/fault-tolerant.out"
+go run ./examples/fleet > "$tmp/fleet.out"
+grep -q 'policy=bitstream-locality' "$tmp/fleet.out"
+grep -q 'cross-board-moves' "$tmp/fleet.out"
 
 echo 'check.sh: all gates passed'

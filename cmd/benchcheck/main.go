@@ -1,14 +1,23 @@
-// Command benchcheck validates a BENCH_5.json produced by
-// rvcap-bench -benchjson: the kernel fast-path benchmark must report
-// exactly one run per event-queue implementation, and both runs must
-// have processed the same number of events — the cheap always-on
-// queue-equivalence signal check.sh leans on. It replaces a fragile
-// grep/tr pipeline that only counted duplicated "events" lines and
-// would accept a malformed document.
+// Command benchcheck validates the benchmark JSON files rvcap-bench
+// produces, dispatching on the document's experiment field:
+//
+//   - kernel-fastpath (BENCH_5.json, from -benchjson): exactly one run
+//     per event-queue implementation, both having processed the same
+//     number of events — the cheap always-on queue-equivalence signal
+//     check.sh leans on.
+//   - fleet-throughput (BENCH_6.json, from -fleetjson): a strictly
+//     growing board-count ladder where every rung's serial and parallel
+//     per-board report digests match — the fleet's parallel-determinism
+//     proof (the file carries wall times, so a byte-level compare of two
+//     invocations cannot gate it; the equality check lives inside one
+//     invocation and this tool enforces that it held).
+//
+// It replaces a fragile grep/tr pipeline that only counted duplicated
+// "events" lines and would accept a malformed document.
 //
 // Usage:
 //
-//	benchcheck <path/to/BENCH_5.json>
+//	benchcheck <path/to/BENCH_5.json | path/to/BENCH_6.json>
 //
 // Exits 0 when the document holds, 1 with a diagnostic when it does
 // not, 2 on usage or read errors.
@@ -20,16 +29,25 @@ import (
 	"os"
 )
 
-// payload mirrors the slice of the BENCH_5.json schema the gate cares
-// about (see cmd/rvcap-bench/benchjson.go for the full writer).
+// payload mirrors the slices of the BENCH_5/BENCH_6 schemas the gates
+// care about (see cmd/rvcap-bench/benchjson.go and fleetjson.go for
+// the writers). The two documents share the experiment/data envelope;
+// Runs carries the union of both runs' fields and validation dispatches
+// on Experiment.
 type payload struct {
 	Experiment string `json:"experiment"`
 	Data       struct {
 		Benchmark string `json:"benchmark"`
 		Runs      []struct {
+			// kernel-fastpath fields.
 			Queue      string `json:"queue"`
 			Iterations int    `json:"iterations"`
 			Events     uint64 `json:"events"`
+			// fleet-throughput fields (Events is shared).
+			Boards       int    `json:"boards"`
+			Jobs         int    `json:"jobs"`
+			Digest       string `json:"digest"`
+			DigestsMatch bool   `json:"digests_match"`
 		} `json:"runs"`
 	} `json:"data"`
 }
@@ -40,7 +58,7 @@ func main() {
 
 func run(args []string) int {
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_5.json>")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_5.json|BENCH_6.json>")
 		return 2
 	}
 	raw, err := os.ReadFile(args[0])
@@ -57,15 +75,30 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", args[0], err)
 		return 1
 	}
-	fmt.Printf("benchcheck: %s ok (%d events on both queues)\n", args[0], p.Data.Runs[0].Events)
+	switch p.Experiment {
+	case "kernel-fastpath":
+		fmt.Printf("benchcheck: %s ok (%d events on both queues)\n", args[0], p.Data.Runs[0].Events)
+	case "fleet-throughput":
+		last := p.Data.Runs[len(p.Data.Runs)-1]
+		fmt.Printf("benchcheck: %s ok (%d fleet sizes up to %d boards, all serial/parallel digests match)\n",
+			args[0], len(p.Data.Runs), last.Boards)
+	}
 	return 0
 }
 
-// validate enforces the gate's contract on the parsed document.
+// validate enforces the gates' contracts on the parsed document,
+// dispatching on the experiment field.
 func validate(p *payload) error {
-	if p.Experiment != "kernel-fastpath" {
-		return fmt.Errorf("experiment = %q, want %q", p.Experiment, "kernel-fastpath")
+	switch p.Experiment {
+	case "kernel-fastpath":
+		return validateFastpath(p)
+	case "fleet-throughput":
+		return validateFleet(p)
 	}
+	return fmt.Errorf("experiment = %q, want %q or %q", p.Experiment, "kernel-fastpath", "fleet-throughput")
+}
+
+func validateFastpath(p *payload) error {
 	runs := p.Data.Runs
 	if len(runs) != 2 {
 		return fmt.Errorf("got %d runs, want exactly 2 (legacy and calendar)", len(runs))
@@ -88,6 +121,36 @@ func validate(p *payload) error {
 	if a, b := runs[0], runs[1]; a.Events != b.Events {
 		return fmt.Errorf("event counts diverge: %s=%d vs %s=%d — the queues did not schedule identically",
 			a.Queue, a.Events, b.Queue, b.Events)
+	}
+	return nil
+}
+
+func validateFleet(p *payload) error {
+	runs := p.Data.Runs
+	if len(runs) < 2 {
+		return fmt.Errorf("got %d fleet sizes, want at least 2 to show scaling", len(runs))
+	}
+	for i, r := range runs {
+		if r.Boards <= 0 {
+			return fmt.Errorf("run %d has %d boards, want > 0", i, r.Boards)
+		}
+		if i > 0 && r.Boards <= runs[i-1].Boards {
+			return fmt.Errorf("board counts not strictly increasing: run %d has %d boards after %d",
+				i, r.Boards, runs[i-1].Boards)
+		}
+		if r.Jobs <= 0 {
+			return fmt.Errorf("fleet of %d boards ran %d jobs, want > 0", r.Boards, r.Jobs)
+		}
+		if r.Events == 0 {
+			return fmt.Errorf("fleet of %d boards fired 0 kernel events", r.Boards)
+		}
+		if r.Digest == "" {
+			return fmt.Errorf("fleet of %d boards has no report digest", r.Boards)
+		}
+		if !r.DigestsMatch {
+			return fmt.Errorf("fleet of %d boards: serial and parallel per-board reports diverge — board runs are not deterministic",
+				r.Boards)
+		}
 	}
 	return nil
 }

@@ -39,7 +39,7 @@ func TestValidateRejections(t *testing.T) {
 		name, src, wantErr string
 	}{
 		{
-			"wrong experiment",
+			"unknown experiment",
 			strings.Replace(goodDoc, "kernel-fastpath", "fig3", 1),
 			"experiment",
 		},
@@ -79,6 +79,69 @@ func TestValidateRejections(t *testing.T) {
 			err := validate(doc(t, tc.src))
 			if err == nil {
 				t.Fatal("validate accepted a bad document")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+const goodFleetDoc = `{
+  "experiment": "fleet-throughput",
+  "data": {
+    "benchmark": "FleetWeakScaling",
+    "runs": [
+      {"boards": 1, "jobs": 600, "events": 610000, "digest": "aa11", "digests_match": true},
+      {"boards": 2, "jobs": 1200, "events": 1220000, "digest": "bb22", "digests_match": true},
+      {"boards": 4, "jobs": 2400, "events": 2440000, "digest": "cc33", "digests_match": true}
+    ]
+  }
+}`
+
+func TestValidateFleetGood(t *testing.T) {
+	if err := validate(doc(t, goodFleetDoc)); err != nil {
+		t.Fatalf("validate(good fleet) = %v", err)
+	}
+}
+
+func TestValidateFleetRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"diverging digests",
+			strings.Replace(goodFleetDoc, `"digest": "bb22", "digests_match": true`,
+				`"digest": "bb22", "digests_match": false`, 1),
+			"not deterministic",
+		},
+		{
+			"non-increasing board counts",
+			strings.Replace(goodFleetDoc, `"boards": 4`, `"boards": 2`, 1),
+			"strictly increasing",
+		},
+		{
+			"zero events",
+			strings.Replace(goodFleetDoc, `"events": 1220000`, `"events": 0`, 1),
+			"0 kernel events",
+		},
+		{
+			"missing digest",
+			strings.Replace(goodFleetDoc, `"digest": "cc33", `, ``, 1),
+			"no report digest",
+		},
+		{
+			"single fleet size",
+			`{"experiment":"fleet-throughput","data":{"runs":[
+				{"boards":1,"jobs":600,"events":5,"digest":"aa","digests_match":true}]}}`,
+			"at least 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(doc(t, tc.src))
+			if err == nil {
+				t.Fatal("validate accepted a bad fleet document")
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("error = %q, want substring %q", err, tc.wantErr)

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rvcap/internal/cluster"
+	"rvcap/internal/sched"
+)
+
+// fleetRun is one measured fleet size in BENCH_6.json. Every board
+// count is run twice — boards serial (Workers=1) and boards fanned
+// across all host cores (Workers=0) — and the per-board reports of the
+// two runs are digested: DigestsMatch is the file's built-in parallel
+// determinism proof (wall times make a byte-level file compare
+// meaningless here, so the equality check moves inside one invocation).
+type fleetRun struct {
+	Boards int `json:"boards"`
+	Jobs   int `json:"jobs"`
+	// Events is the fleet total of kernel events (identical in both
+	// runs; a mismatch would also break the digests).
+	Events uint64 `json:"events"`
+	// SerialWallNs / ParallelWallNs are host wall times for Workers=1
+	// and Workers=0.
+	SerialWallNs   int64 `json:"serial_wall_ns"`
+	ParallelWallNs int64 `json:"parallel_wall_ns"`
+	// EventsPerSec is the aggregate simulation throughput of the faster
+	// run: fleet kernel events over host wall seconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Digest is the SHA-256 over the serial run's deterministic Result
+	// JSON; DigestsMatch reports whether the parallel run produced the
+	// byte-identical Result.
+	Digest       string `json:"digest"`
+	DigestsMatch bool   `json:"digests_match"`
+	// ScaleVsOneBoard is this run's EventsPerSec over the single-board
+	// run's (1.0 for the first row).
+	ScaleVsOneBoard float64 `json:"scale_vs_one_board"`
+}
+
+// fleetDoc is the BENCH_6.json payload.
+type fleetDoc struct {
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	// JobsPerBoard is the weak-scaling knob: every fleet runs
+	// JobsPerBoard x Boards jobs, so each board shard carries the same
+	// offered load and aggregate throughput measures fleet capacity.
+	JobsPerBoard int        `json:"jobs_per_board"`
+	HostCores    int        `json:"host_cores"`
+	Runs         []fleetRun `json:"runs"`
+	// AggregateEventsPerSec is the best fleet throughput observed (the
+	// headline number ROADMAP's events/sec goal tracks).
+	AggregateEventsPerSec float64 `json:"aggregate_events_per_sec"`
+}
+
+// fleetBoardCounts is the weak-scaling ladder BENCH_6 measures.
+var fleetBoardCounts = []int{1, 2, 4, 8}
+
+// runFleetSize measures one fleet size: the same Config serial and
+// parallel, timed, with the deterministic Results digested for the
+// determinism proof.
+func runFleetSize(boards, jobsPerBoard int) (fleetRun, error) {
+	// LeastLoaded keeps every board busy (locality routing concentrates
+	// work on as many boards as there are distinct modules), and RPs=2
+	// against three filter modules sustains reconfiguration traffic —
+	// the event-dense regime the throughput measure should weigh.
+	cfg := cluster.Config{
+		Seed:    11,
+		Boards:  boards,
+		Policy:  cluster.LeastLoaded,
+		Tenants: 2 * boards,
+		Jobs:    jobsPerBoard * boards,
+		Load:    0.85,
+		Board:   sched.Config{RPs: 2, CacheSlots: 4},
+	}
+	run := fleetRun{Boards: boards, Jobs: cfg.Jobs}
+
+	cfg.Workers = 1
+	start := time.Now()
+	serial, err := cluster.Run(cfg)
+	if err != nil {
+		return run, err
+	}
+	run.SerialWallNs = time.Since(start).Nanoseconds()
+
+	cfg.Workers = 0
+	start = time.Now()
+	parallel, err := cluster.Run(cfg)
+	if err != nil {
+		return run, err
+	}
+	run.ParallelWallNs = time.Since(start).Nanoseconds()
+
+	sd, err := resultDigest(serial)
+	if err != nil {
+		return run, err
+	}
+	pd, err := resultDigest(parallel)
+	if err != nil {
+		return run, err
+	}
+	run.Digest = sd
+	run.DigestsMatch = sd == pd
+	run.Events = serial.KernelEvents
+
+	best := run.ParallelWallNs
+	if run.SerialWallNs < best {
+		best = run.SerialWallNs
+	}
+	if best > 0 {
+		run.EventsPerSec = float64(run.Events) / (float64(best) / 1e9)
+	}
+	return run, nil
+}
+
+// resultDigest hashes the canonical JSON of a fleet Result. The Result
+// carries only simulation-deterministic fields (no wall times), so
+// equal digests mean the serial and parallel runs produced
+// byte-identical per-board reports.
+func resultDigest(res *cluster.Result) (string, error) {
+	buf, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// runFleetJSON executes the fleet throughput benchmark across the
+// board-count ladder and writes BENCH_6.json under outDir.
+func runFleetJSON(outDir string, jobsPerBoard, hostCores int) error {
+	doc := fleetDoc{
+		Benchmark:    "FleetWeakScaling",
+		Policy:       cluster.LeastLoaded.String(),
+		JobsPerBoard: jobsPerBoard,
+		HostCores:    hostCores,
+	}
+	var base float64
+	for _, boards := range fleetBoardCounts {
+		run, err := runFleetSize(boards, jobsPerBoard)
+		if err != nil {
+			return err
+		}
+		if !run.DigestsMatch {
+			return fmt.Errorf("fleet of %d boards: serial and parallel per-board reports diverge", boards)
+		}
+		if boards == fleetBoardCounts[0] {
+			base = run.EventsPerSec
+		}
+		if base > 0 {
+			run.ScaleVsOneBoard = run.EventsPerSec / base
+		}
+		if run.EventsPerSec > doc.AggregateEventsPerSec {
+			doc.AggregateEventsPerSec = run.EventsPerSec
+		}
+		doc.Runs = append(doc.Runs, run)
+		fmt.Printf("%2d boards  %8d jobs  %10d events  %11.0f events/sec  x%.2f vs 1 board  digests-match=%v\n",
+			run.Boards, run.Jobs, run.Events, run.EventsPerSec, run.ScaleVsOneBoard, run.DigestsMatch)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	payload := struct {
+		Experiment string   `json:"experiment"`
+		Data       fleetDoc `json:"data"`
+	}{Experiment: "fleet-throughput", Data: doc}
+	buf, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outDir, "BENCH_6.json"), append(buf, '\n'), 0o644)
+}

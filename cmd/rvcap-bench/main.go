@@ -10,6 +10,8 @@
 //	rvcap-bench -experiment sched -seed 7          # scheduling sweep, custom seed
 //	rvcap-bench -experiment fig3 -json -outdir out # also write BENCH_fig3.json
 //	rvcap-bench -benchjson -outdir out             # kernel fast-path bench -> BENCH_5.json
+//	rvcap-bench -fleetjson -outdir out             # fleet weak-scaling bench -> BENCH_6.json
+//	rvcap-bench -experiment fleet -parallel 4      # cluster sweep, boards on 4 workers
 //	rvcap-bench -experiment table4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Sweeps fan their independent scenarios (one sim.Kernel each) across
@@ -165,6 +167,17 @@ var registry = []experiment{
 		fmt.Println(experiments.FormatFaults(points))
 		return points, nil
 	}},
+	{"fleet", "cluster sweep: boards x load x routing policy", func(o benchOpts) (interface{}, error) {
+		points, err := experiments.Fleet(experiments.FleetOptions{
+			Parallel: o.parallel,
+			Seed:     o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatFleet(points))
+		return points, nil
+	}},
 }
 
 // experimentNames returns the registry names in dispatch order.
@@ -192,6 +205,9 @@ func main() {
 	benchJSON := flag.Bool("benchjson", false,
 		"run the kernel fast-path benchmark (end-to-end swap+compute on both event queues) and write BENCH_5.json to -outdir instead of running experiments")
 	benchIters := flag.Int("benchiters", 3, "iterations per queue for -benchjson")
+	fleetJSON := flag.Bool("fleetjson", false,
+		"run the fleet weak-scaling benchmark (board ladder, serial vs parallel digests) and write BENCH_6.json to -outdir instead of running experiments")
+	fleetJobs := flag.Int("fleetjobs", 600, "jobs per board for -fleetjson")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -237,6 +253,13 @@ func main() {
 	if *benchJSON {
 		if err := runBenchJSON(*outDir, *benchIters); err != nil {
 			fmt.Fprintf(os.Stderr, "rvcap-bench: -benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetJSON {
+		if err := runFleetJSON(*outDir, *fleetJobs, runtime.NumCPU()); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -fleetjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,259 @@
+// Package cluster shards the DPR-as-a-service simulation across a
+// fleet of Boards behind one dispatcher — the cluster analogue of the
+// single-board runtime in internal/sched, pointed at by the Cross-Chip
+// PR line of work (a fleet of FPGA boards initialised and managed as
+// one system).
+//
+// The split of responsibilities is what makes the fleet both parallel
+// and deterministic:
+//
+//   - The *router* is pure host-side code: it walks the merged
+//     multi-tenant job stream once, in arrival order, and assigns every
+//     job to a board using only its own deterministic models of board
+//     state (estimated backlog, modelled module residency, modelled
+//     bitstream-cache contents). It never reads simulation results, so
+//     its decisions are a pure function of (workload, policy, fleet
+//     shape).
+//   - Each *board* then plays its routed share on its own private
+//     sim.Kernel — one SoC, one RV-CAP datapath, one sched runtime per
+//     shard — via the internal/runner pool, one host goroutine per
+//     board. Boards share nothing, so fleet throughput scales with
+//     host cores while every board's trace stays byte-deterministic:
+//     the same fleet Config produces byte-identical per-board reports
+//     at every worker count.
+//
+// Jobs keep their global arrival cycles when routed, so all boards run
+// on one common timeline: fleet makespan is the latest completion on
+// any board, and cluster-wide latency percentiles are computed over
+// the union of all jobs.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"rvcap/internal/runner"
+	"rvcap/internal/sched"
+	"rvcap/internal/sim"
+)
+
+// Config fully determines one fleet scenario.
+type Config struct {
+	// Seed drives the multi-tenant workload and, offset per board, the
+	// boards' fault plans.
+	Seed int64
+	// Boards is the number of board shards (default 2).
+	Boards int
+	// Policy selects the routing policy (default LeastLoaded).
+	Policy Policy
+	// Tenants is the number of independent workload streams merged into
+	// the offered job stream (default 3).
+	Tenants int
+	// Jobs is the total fleet workload length (default 48; must be at
+	// least Tenants so every tenant offers work).
+	Jobs int
+	// Load is the offered compute load relative to the aggregate
+	// capacity of the whole fleet (Boards x per-board partitions;
+	// default 0.7).
+	Load float64
+	// Locality is each tenant's module temporal locality (default 0.45).
+	Locality float64
+	// Board is the per-board template: Policy, RPs, CacheSlots,
+	// ReorderWindow and the fault fields apply to every board. Its
+	// Seed/Jobs/Load/Locality fields are ignored — the cluster owns the
+	// workload, and board i's fault plan is keyed by Seed+i.
+	Board sched.Config
+	// Workers is the host worker count for running boards (0 = one per
+	// core, 1 = serial). Results are byte-identical for every value.
+	Workers int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Boards == 0 {
+		c.Boards = 2
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 3
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 48
+	}
+	if c.Load == 0 {
+		c.Load = 0.7
+	}
+	if c.Locality == 0 {
+		c.Locality = 0.45
+	}
+	return c
+}
+
+// BoardStat is one board's slice of the fleet outcome: its routed share
+// and the routing-model hits, wrapped around the board's own
+// service-level report.
+type BoardStat struct {
+	// Routed is the number of jobs the dispatcher sent to this board.
+	Routed int `json:"routed"`
+	// LocalityHits counts jobs routed here while the router's model had
+	// the job's bitstream already in this board's DDR cache.
+	LocalityHits int `json:"locality_hits"`
+	// AffinityHits counts jobs routed here while the router's model had
+	// the job's module resident in one of this board's partitions.
+	AffinityHits int `json:"affinity_hits"`
+	*sched.Report
+}
+
+// Result is the cluster-wide outcome of one fleet scenario.
+type Result struct {
+	Policy  string  `json:"policy"`
+	Boards  int     `json:"boards"`
+	Tenants int     `json:"tenants"`
+	Jobs    int     `json:"jobs"`
+	Load    float64 `json:"load"`
+
+	// MakespanMicros is the latest completion on any board (all boards
+	// share the workload's global arrival timeline).
+	MakespanMicros float64 `json:"makespan_micros"`
+
+	// Fleet-wide queue-to-completion latency distribution, over the
+	// union of every board's jobs.
+	P50Micros  float64 `json:"p50_micros"`
+	P95Micros  float64 `json:"p95_micros"`
+	P99Micros  float64 `json:"p99_micros"`
+	MeanMicros float64 `json:"mean_micros"`
+	MaxMicros  float64 `json:"max_micros"`
+
+	// GoodputJobsPerMs is completed jobs per millisecond of fleet
+	// makespan.
+	GoodputJobsPerMs float64 `json:"goodput_jobs_per_ms"`
+
+	// Reconfigs is the fleet total of module load attempts (Σ boards,
+	// each of which is Σ its partitions). CrossBoardMoves counts jobs
+	// whose module's previous job ran on a different board — the
+	// cross-board reconfiguration pressure bitstream-locality routing
+	// exists to reduce. LocalityHits/AffinityHits are the fleet sums of
+	// the per-board routing-model hits.
+	Reconfigs       int `json:"reconfigs"`
+	CrossBoardMoves int `json:"cross_board_moves"`
+	LocalityHits    int `json:"locality_hits"`
+	AffinityHits    int `json:"affinity_hits"`
+
+	// KernelEvents is the fleet total of simulation events fired across
+	// all board kernels (aggregate events/sec = KernelEvents over host
+	// wall time; the host timing lives in the bench harness, not here,
+	// so this struct stays byte-deterministic).
+	KernelEvents uint64 `json:"kernel_events"`
+
+	PerBoard []BoardStat `json:"per_board"`
+}
+
+// Run plays one fleet scenario: generate the multi-tenant workload,
+// route it across the boards, run every board on the runner pool, and
+// aggregate. Equal Configs give byte-identical Results at every
+// Workers value.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Boards < 1 {
+		return nil, fmt.Errorf("cluster: Boards = %d, need at least 1", cfg.Boards)
+	}
+	if cfg.Jobs < cfg.Tenants {
+		return nil, fmt.Errorf("cluster: Jobs = %d below Tenants = %d (every tenant must offer work)", cfg.Jobs, cfg.Tenants)
+	}
+
+	// Build the boards first: a bad template must fail before any
+	// workload is generated or routed.
+	boards := make([]*sched.Board, cfg.Boards)
+	for i := range boards {
+		bcfg := cfg.Board
+		// The cluster owns the workload; the board seed only keys the
+		// per-board fault plan, offset so boards draw distinct fault
+		// histories from one fleet seed.
+		bcfg.Seed = cfg.Seed + int64(i)
+		b, err := sched.NewBoard(fmt.Sprintf("B%d", i), bcfg)
+		if err != nil {
+			return nil, err
+		}
+		boards[i] = b
+	}
+	boardRPs := boards[0].Config().RPs
+
+	jobs, err := FleetWorkload{
+		Seed: cfg.Seed, Tenants: cfg.Tenants, Jobs: cfg.Jobs,
+		Load: cfg.Load, Locality: cfg.Locality,
+		Boards: cfg.Boards, BoardRPs: boardRPs,
+	}.Generate()
+	if err != nil {
+		return nil, err
+	}
+
+	ro := newRouter(cfg.Policy, cfg.Boards, boardRPs, boards[0].Config().CacheSlots)
+	perBoard := make([][]*sched.Job, cfg.Boards)
+	stats := make([]BoardStat, cfg.Boards)
+	res := &Result{
+		Policy:  cfg.Policy.String(),
+		Boards:  cfg.Boards,
+		Tenants: cfg.Tenants,
+		Jobs:    len(jobs),
+		Load:    cfg.Load,
+	}
+	for _, job := range jobs {
+		d := ro.route(job)
+		perBoard[d.board] = append(perBoard[d.board], job)
+		stats[d.board].Routed++
+		if d.localityHit {
+			stats[d.board].LocalityHits++
+			res.LocalityHits++
+		}
+		if d.affinityHit {
+			stats[d.board].AffinityHits++
+			res.AffinityHits++
+		}
+		if d.crossBoard {
+			res.CrossBoardMoves++
+		}
+	}
+
+	// Every board runs its routed share on its own kernel; the runner
+	// fans the boards across host cores and delivers reports in board
+	// order, so the fleet result does not depend on Workers.
+	reports, err := runner.Map(cfg.Workers, cfg.Boards, func(i int) (*sched.Report, error) {
+		return boards[i].Run(perBoard[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	lat := make([]float64, 0, len(jobs))
+	var sum float64
+	var last sim.Time
+	for _, j := range jobs {
+		l := j.LatencyMicros()
+		lat = append(lat, l)
+		sum += l
+		if j.Completion > last {
+			last = j.Completion
+		}
+	}
+	sort.Float64s(lat)
+	res.MakespanMicros = sim.Micros(last)
+	res.P50Micros = sched.Percentile(lat, 0.50)
+	res.P95Micros = sched.Percentile(lat, 0.95)
+	res.P99Micros = sched.Percentile(lat, 0.99)
+	res.MaxMicros = sched.Percentile(lat, 1.00)
+	if len(lat) > 0 {
+		res.MeanMicros = sum / float64(len(lat))
+	}
+	if res.MakespanMicros > 0 {
+		res.GoodputJobsPerMs = float64(len(jobs)) / (res.MakespanMicros / 1000)
+	}
+	for i, rep := range reports {
+		stats[i].Report = rep
+		res.Reconfigs += rep.Reconfigs
+		res.KernelEvents += rep.KernelEvents
+		res.PerBoard = append(res.PerBoard, stats[i])
+	}
+	return res, nil
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rvcap/internal/sched"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Seed:    7,
+		Boards:  3,
+		Tenants: 4,
+		Jobs:    60,
+		Load:    0.8,
+		Board:   sched.Config{RPs: 3, CacheSlots: 4},
+	}
+}
+
+// The fleet contract: the same Config produces byte-identical results
+// at every worker count — serial, bounded pool, one-per-core.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	for _, policy := range Policies {
+		cfg := testConfig(t)
+		cfg.Policy = policy
+
+		cfg.Workers = 1
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v serial: %v", policy, err)
+		}
+		cfg.Workers = 4
+		pooled, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v pooled: %v", policy, err)
+		}
+		cfg.Workers = 0
+		perCore, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v per-core: %v", policy, err)
+		}
+		if !reflect.DeepEqual(serial, pooled) {
+			t.Errorf("%v: Workers=1 vs Workers=4 results differ", policy)
+		}
+		if !reflect.DeepEqual(serial, perCore) {
+			t.Errorf("%v: Workers=1 vs Workers=0 results differ", policy)
+		}
+	}
+}
+
+func TestFleetAccounting(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Policy = ModuleAffinity
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != cfg.Jobs {
+		t.Errorf("Jobs = %d, want %d", res.Jobs, cfg.Jobs)
+	}
+	if len(res.PerBoard) != cfg.Boards {
+		t.Fatalf("PerBoard has %d entries, want %d", len(res.PerBoard), cfg.Boards)
+	}
+	routed := 0
+	var events uint64
+	reconfigs := 0
+	for i, bs := range res.PerBoard {
+		want := "B" + string(rune('0'+i))
+		if bs.Board != want {
+			t.Errorf("board %d named %q, want %q", i, bs.Board, want)
+		}
+		if bs.Report == nil {
+			t.Fatalf("board %d has no report", i)
+		}
+		if bs.Report.Jobs != bs.Routed {
+			t.Errorf("board %d completed %d jobs but was routed %d", i, bs.Report.Jobs, bs.Routed)
+		}
+		routed += bs.Routed
+		events += bs.KernelEvents
+		reconfigs += bs.Reconfigs
+	}
+	if routed != cfg.Jobs {
+		t.Errorf("boards were routed %d jobs total, want %d", routed, cfg.Jobs)
+	}
+	if res.KernelEvents != events {
+		t.Errorf("KernelEvents = %d, want per-board sum %d", res.KernelEvents, events)
+	}
+	if res.Reconfigs != reconfigs {
+		t.Errorf("Reconfigs = %d, want per-board sum %d", res.Reconfigs, reconfigs)
+	}
+	if res.KernelEvents == 0 {
+		t.Error("fleet fired no kernel events")
+	}
+	if res.MakespanMicros <= 0 || res.P50Micros <= 0 || res.GoodputJobsPerMs <= 0 {
+		t.Errorf("degenerate fleet metrics: makespan %v p50 %v goodput %v",
+			res.MakespanMicros, res.P50Micros, res.GoodputJobsPerMs)
+	}
+	if res.P50Micros > res.P95Micros || res.P95Micros > res.P99Micros || res.P99Micros > res.MaxMicros {
+		t.Errorf("percentiles not monotone: p50 %v p95 %v p99 %v max %v",
+			res.P50Micros, res.P95Micros, res.P99Micros, res.MaxMicros)
+	}
+}
+
+// Bitstream-locality routing exists to cut cross-board module
+// migration; against the locality-blind baseline it must not lose.
+func TestLocalityRoutingReducesCrossBoardMoves(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Jobs = 120
+
+	cfg.Policy = LeastLoaded
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = BitstreamLocality
+	loc, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.CrossBoardMoves >= base.CrossBoardMoves {
+		t.Errorf("bitstream-locality made %d cross-board moves, least-loaded %d; locality routing should reduce them",
+			loc.CrossBoardMoves, base.CrossBoardMoves)
+	}
+	if loc.LocalityHits == 0 {
+		t.Error("bitstream-locality routing never hit its own cache model")
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p, err)
+		}
+		if got != p {
+			t.Errorf("round-trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+	if _, err := ParsePolicy("round-robin"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Boards = -1
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Boards") {
+		t.Errorf("negative board count not rejected: %v", err)
+	}
+	cfg = testConfig(t)
+	cfg.Tenants = 80 // above Jobs=60
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Tenants") {
+		t.Errorf("Jobs < Tenants not rejected: %v", err)
+	}
+	cfg = testConfig(t)
+	cfg.Board.CacheSlots = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("bad board template not rejected")
+	}
+}
+
+func TestFleetWorkloadMerge(t *testing.T) {
+	w := FleetWorkload{Seed: 5, Tenants: 3, Jobs: 40, Load: 0.7, Locality: 0.45, Boards: 2, BoardRPs: 3}
+	jobs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != w.Jobs {
+		t.Fatalf("generated %d jobs, want %d", len(jobs), w.Jobs)
+	}
+	tenants := make(map[int]int)
+	for i, job := range jobs {
+		if job.ID != i {
+			t.Errorf("job %d has ID %d; IDs must be the global arrival order", i, job.ID)
+		}
+		if i > 0 && job.Arrival < jobs[i-1].Arrival {
+			t.Errorf("job %d arrives at %d, before job %d at %d", i, job.Arrival, i-1, jobs[i-1].Arrival)
+		}
+		tenants[job.Tenant]++
+	}
+	if len(tenants) != w.Tenants {
+		t.Errorf("merged stream covers %d tenants, want %d", len(tenants), w.Tenants)
+	}
+	again, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, again) {
+		t.Error("FleetWorkload.Generate is not deterministic")
+	}
+}
+
+// A single-board fleet must degenerate cleanly: every job routes to B0
+// and the board report covers the whole stream.
+func TestSingleBoardFleet(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Boards = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossBoardMoves != 0 {
+		t.Errorf("single board made %d cross-board moves", res.CrossBoardMoves)
+	}
+	if res.PerBoard[0].Routed != cfg.Jobs {
+		t.Errorf("B0 routed %d jobs, want all %d", res.PerBoard[0].Routed, cfg.Jobs)
+	}
+}

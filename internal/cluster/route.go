@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rvcap/internal/sched"
+	"rvcap/internal/sim"
+)
+
+// Policy selects how the dispatcher routes jobs across boards.
+type Policy int
+
+const (
+	// LeastLoaded routes every job to the board with the smallest
+	// modelled backlog (estimated service plus reconfiguration cost of
+	// everything already routed there). Ties go to the lowest-numbered
+	// board.
+	LeastLoaded Policy = iota
+	// ModuleAffinity prefers a board whose modelled partition set
+	// already holds the job's module — the cross-board generalisation of
+	// configuration reuse: a routed job that lands where its module is
+	// resident skips the ICAP transfer entirely. Among affine boards
+	// (or all boards when none is), least-loaded breaks the tie.
+	ModuleAffinity
+	// BitstreamLocality routes jobs where the bitstream is already
+	// staged: it prefers a board whose modelled DDR cache holds the
+	// job's image (skipping the slow SD staging path), then a board
+	// where the module is resident, then least-loaded. This exploits
+	// the same configuration-reuse asymmetry as ModuleAffinity one
+	// level down the storage hierarchy.
+	BitstreamLocality
+)
+
+// Policies lists every routing policy in definition order.
+var Policies = []Policy{LeastLoaded, ModuleAffinity, BitstreamLocality}
+
+// String returns the policy's stable identifier (used in reports and
+// BENCH_fleet.json).
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case ModuleAffinity:
+		return "module-affinity"
+	case BitstreamLocality:
+		return "bitstream-locality"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a stable identifier back to its policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown routing policy %q", s)
+}
+
+// Routing cost model, in cycles. The router never sees simulation
+// results (that would couple board kernels and break parallel
+// determinism), so it prices a routed job with nominal costs: a
+// reconfiguration when the module is not modelled resident, plus the
+// SD staging ahead of it when the image is not modelled cached. The
+// absolute values only need the right ordering — staging costs several
+// reconfigurations, a resident hit costs nothing — for the policies to
+// differentiate.
+var (
+	estReconfigCycles = sim.FromMicros(60)
+	estStageCycles    = sim.FromMicros(240)
+)
+
+// boardModel is the router's deterministic view of one board: the
+// modelled backlog and LRU models of the partitions' resident modules
+// and the DDR bitstream cache. Both models mirror the board runtime's
+// real structures in capacity only; they are intentionally coarse —
+// a mismodel costs a cache miss on the board, never correctness.
+type boardModel struct {
+	backlog  sim.Time
+	resident []string // most-recent last, capacity = board RPs
+	cached   []string // most-recent last, capacity = board CacheSlots
+}
+
+// touchLRU appends m as the most recent entry of set (capacity cap),
+// deduplicating and evicting the oldest entry on overflow.
+func touchLRU(set []string, m string, capacity int) []string {
+	for i, s := range set {
+		if s == m {
+			return append(append(set[:i:i], set[i+1:]...), m)
+		}
+	}
+	set = append(set, m)
+	if len(set) > capacity {
+		set = set[1:]
+	}
+	return set
+}
+
+func contains(set []string, m string) bool {
+	for _, s := range set {
+		if s == m {
+			return true
+		}
+	}
+	return false
+}
+
+// router assigns jobs to boards. All state is host-side and updated
+// only by route, in arrival order, so the assignment is a pure
+// function of the job stream.
+type router struct {
+	policy     Policy
+	rps, slots int
+	boards     []boardModel
+	lastBoard  map[string]int // module -> board of its previous job
+}
+
+func newRouter(policy Policy, boards, rps, slots int) *router {
+	return &router{
+		policy:    policy,
+		rps:       rps,
+		slots:     slots,
+		boards:    make([]boardModel, boards),
+		lastBoard: make(map[string]int),
+	}
+}
+
+// decision is one routing outcome plus the model state that produced
+// it (for the fleet metrics).
+type decision struct {
+	board       int
+	localityHit bool // image modelled cached on the chosen board
+	affinityHit bool // module modelled resident on the chosen board
+	crossBoard  bool // module's previous job ran on a different board
+}
+
+// route assigns job to a board and updates the models.
+func (ro *router) route(job *sched.Job) decision {
+	pick := -1
+	switch ro.policy {
+	case BitstreamLocality:
+		pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.cached, job.Module) })
+		if pick < 0 {
+			pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.resident, job.Module) })
+		}
+	case ModuleAffinity:
+		pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.resident, job.Module) })
+	}
+	if pick < 0 {
+		pick = ro.leastLoadedWhere(func(*boardModel) bool { return true })
+	}
+
+	b := &ro.boards[pick]
+	d := decision{
+		board:       pick,
+		localityHit: contains(b.cached, job.Module),
+		affinityHit: contains(b.resident, job.Module),
+	}
+	if prev, ok := ro.lastBoard[job.Module]; ok && prev != pick {
+		d.crossBoard = true
+	}
+	ro.lastBoard[job.Module] = pick
+
+	// Charge the modelled cost and teach the models the new state.
+	cost := job.Service
+	if !d.affinityHit {
+		cost += estReconfigCycles
+		if !d.localityHit {
+			cost += estStageCycles
+		}
+	}
+	b.backlog += cost
+	b.resident = touchLRU(b.resident, job.Module, ro.rps)
+	b.cached = touchLRU(b.cached, job.Module, ro.slots)
+	return d
+}
+
+// leastLoadedWhere returns the lowest-backlog board satisfying ok, or
+// -1 when none does. Ties go to the lowest index, so the pick is
+// deterministic.
+func (ro *router) leastLoadedWhere(ok func(*boardModel) bool) int {
+	pick := -1
+	for i := range ro.boards {
+		if !ok(&ro.boards[i]) {
+			continue
+		}
+		if pick < 0 || ro.boards[i].backlog < ro.boards[pick].backlog {
+			pick = i
+		}
+	}
+	return pick
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"rvcap/internal/sched"
+)
+
+// FleetWorkload parameterises the merged multi-tenant job stream the
+// dispatcher routes across the fleet. Each tenant is an independent
+// sched.Workload stream with its own seed; the merge interleaves them
+// by arrival cycle into one open-loop offered load.
+type FleetWorkload struct {
+	// Seed drives every tenant's stream (tenant t uses Seed*1000+t, so
+	// fleet seeds and board fault seeds never collide).
+	Seed int64
+	// Tenants is the number of independent streams.
+	Tenants int
+	// Jobs is the total stream length; each tenant offers Jobs/Tenants
+	// jobs (remainder spread over the first tenants).
+	Jobs int
+	// Load is the offered compute load relative to the aggregate
+	// capacity of the whole fleet (Boards x BoardRPs partitions).
+	Load float64
+	// Locality is each tenant's module temporal locality.
+	Locality float64
+	// Boards and BoardRPs describe the fleet the load is normalised
+	// against.
+	Boards, BoardRPs int
+}
+
+// Generate produces the merged stream: per-tenant sched.Workload
+// streams scaled so their sum offers Load against the whole fleet,
+// merged by arrival cycle with a deterministic (arrival, tenant)
+// tie-break, IDs reassigned to the global arrival order. The result is
+// a pure function of the FleetWorkload value.
+func (w FleetWorkload) Generate() ([]*sched.Job, error) {
+	if w.Tenants <= 0 {
+		return nil, fmt.Errorf("cluster: workload needs a positive tenant count (got %d)", w.Tenants)
+	}
+	if w.Jobs < w.Tenants {
+		return nil, fmt.Errorf("cluster: %d jobs cannot cover %d tenants", w.Jobs, w.Tenants)
+	}
+	if w.Boards <= 0 || w.BoardRPs <= 0 {
+		return nil, fmt.Errorf("cluster: fleet shape %dx%d must be positive", w.Boards, w.BoardRPs)
+	}
+	var merged []*sched.Job
+	for t := 0; t < w.Tenants; t++ {
+		n := w.Jobs / w.Tenants
+		if t < w.Jobs%w.Tenants {
+			n++
+		}
+		// Each tenant offers its share of the fleet-wide load. The
+		// per-tenant generator normalises against RPs partitions, so
+		// spreading Load*Boards over Tenants streams of BoardRPs
+		// partitions makes the merged stream offer Load against the
+		// whole fleet.
+		stream, err := sched.Workload{
+			Seed:     w.Seed*1000 + int64(t),
+			Jobs:     n,
+			Load:     w.Load * float64(w.Boards) / float64(w.Tenants),
+			RPs:      w.BoardRPs,
+			Locality: w.Locality,
+		}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		for _, job := range stream {
+			job.Tenant = t
+		}
+		merged = append(merged, stream...)
+	}
+	// Stable sort plus the tenant tie-break makes the merged order a
+	// pure function of the streams even when two tenants' jobs land on
+	// the same cycle.
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Arrival != merged[j].Arrival {
+			return merged[i].Arrival < merged[j].Arrival
+		}
+		return merged[i].Tenant < merged[j].Tenant
+	})
+	for i, job := range merged {
+		job.ID = i
+	}
+	return merged, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rvcap/internal/cluster"
+	"rvcap/internal/sched"
+)
+
+// FleetPoint is one cell of the fleet sweep: a (boards, load, policy)
+// scenario and its cluster-wide result.
+type FleetPoint struct {
+	// Seed is the fleet seed of this cell; every policy at the same
+	// (boards, load) cell shares it, so routing policies are compared on
+	// identical multi-tenant job streams.
+	Seed int64 `json:"seed"`
+	*cluster.Result
+}
+
+// FleetOptions tunes the fleet sweep.
+type FleetOptions struct {
+	// Parallel is the host worker count used *inside* each cell to run
+	// that fleet's boards (0 = all cores, 1 = serial). Cells themselves
+	// run serially — the boards are the unit of host parallelism here,
+	// and per-board reports are identical for every value.
+	Parallel int
+	// Jobs is the fleet workload length per scenario (default 48).
+	Jobs int
+	// Tenants is the number of merged workload streams (default 3).
+	Tenants int
+	// Seed is the base fleet seed (default 1).
+	Seed int64
+}
+
+// fleetBoards and fleetLoads define the default sweep grid: a single
+// board (the degenerate fleet, for baselines), a pair, and a quad,
+// each at moderate load and near saturation.
+var (
+	fleetBoards = []int{1, 2, 4}
+	fleetLoads  = []float64{0.5, 0.9}
+)
+
+// Fleet sweeps the cluster dispatcher over boards x load x routing
+// policy. Within one (boards, load) cell every policy sees the same
+// seed — and therefore the byte-identical merged tenant stream — so
+// the policy columns are directly comparable. Host parallelism lives
+// inside each cell (cluster.Run fans the fleet's boards across
+// opts.Parallel workers); the sweep loop itself is serial.
+func Fleet(opts FleetOptions) ([]FleetPoint, error) {
+	if opts.Jobs == 0 {
+		opts.Jobs = 48
+	}
+	if opts.Tenants == 0 {
+		opts.Tenants = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var points []FleetPoint
+	for bi, boards := range fleetBoards {
+		for li, load := range fleetLoads {
+			seed := opts.Seed + int64(bi*len(fleetLoads)+li)
+			for _, policy := range cluster.Policies {
+				res, err := cluster.Run(cluster.Config{
+					Seed:    seed,
+					Boards:  boards,
+					Policy:  policy,
+					Tenants: opts.Tenants,
+					Jobs:    opts.Jobs,
+					Load:    load,
+					Board:   sched.Config{RPs: 3, CacheSlots: 4},
+					Workers: opts.Parallel,
+				})
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, FleetPoint{Seed: seed, Result: res})
+			}
+		}
+	}
+	return points, nil
+}
+
+// FormatFleet renders the sweep as a comparison table.
+func FormatFleet(points []FleetPoint) string {
+	var b strings.Builder
+	jobs := 0
+	if len(points) > 0 {
+		jobs = points[0].Jobs
+	}
+	fmt.Fprintf(&b, "Fleet sweep: boards x load x routing policy (%d jobs per cell)\n", jobs)
+	fmt.Fprintf(&b, "%-6s %-5s %-18s %9s %9s %9s %7s %6s %6s %8s\n",
+		"boards", "load", "policy", "p50 (us)", "p95 (us)", "p99 (us)", "goodput", "reconf", "xboard", "events")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d %-5.2f %-18s %9.0f %9.0f %9.0f %7.2f %6d %6d %8d\n",
+			p.Boards, p.Load, p.Policy, p.P50Micros, p.P95Micros, p.P99Micros,
+			p.GoodputJobsPerMs, p.Reconfigs, p.CrossBoardMoves, p.KernelEvents)
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"fmt"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/bitstream"
+	"rvcap/internal/driver"
+	"rvcap/internal/dma"
+	"rvcap/internal/fault"
+	"rvcap/internal/fpga"
+	"rvcap/internal/sim"
+	"rvcap/internal/soc"
+)
+
+// Board is one simulated SoC shard: a named bundle of one sim.Kernel,
+// one soc.SoC, one RV-CAP driver and one sched runtime. A Board is the
+// unit the cluster dispatcher shards over — each Run builds the whole
+// stack fresh on a private kernel, so boards are fully independent and
+// a fleet of them can execute on separate host goroutines (via
+// internal/runner) while every board's trace stays byte-deterministic.
+//
+// The Config is validated once at construction; Run can then be called
+// any number of times (each call is an independent scenario) and with
+// any externally supplied job stream, which is how the cluster
+// dispatcher feeds a board its routed share of a multi-tenant workload.
+type Board struct {
+	// Name labels the board in reports ("B0", "B1", ... in a fleet).
+	Name string
+
+	cfg Config
+}
+
+// NewBoard validates cfg (after applying defaults) and returns the
+// board. The same Config template can safely be used for every board of
+// a fleet: Run never mutates it.
+func NewBoard(name string, cfg Config) (*Board, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Board{Name: name, cfg: cfg}, nil
+}
+
+// Config returns the board's validated configuration (defaults applied).
+func (b *Board) Config() Config { return b.cfg }
+
+// validate rejects configurations that cannot run. Split from Run so
+// the cluster dispatcher can fail fast on a bad board template before
+// generating or routing any workload.
+func (c Config) validate() error {
+	if c.RPs < 1 || c.RPs > len(rpColumnPairs) {
+		return fmt.Errorf("sched: RPs = %d outside [1,%d]", c.RPs, len(rpColumnPairs))
+	}
+	if c.CacheSlots < 2 {
+		return fmt.Errorf("sched: CacheSlots = %d, need at least 2", c.CacheSlots)
+	}
+	if c.KillRP < 0 || c.KillRP > c.RPs {
+		return fmt.Errorf("sched: KillRP = %d outside [0,%d]", c.KillRP, c.RPs)
+	}
+	if c.FaultRate < 0 || c.FaultRate >= 1 {
+		return fmt.Errorf("sched: FaultRate = %v outside [0,1)", c.FaultRate)
+	}
+	return nil
+}
+
+// Run plays the supplied job stream to completion on a fresh kernel and
+// returns the board's service-level report. jobs must be sorted by
+// arrival cycle (the workload generators and the cluster router both
+// preserve that order); job IDs may be arbitrary — in a fleet they are
+// the global arrival indices, which keeps the prefetch spread
+// deterministic per board. The job structs are mutated in place
+// (Dispatch/Completion/RP/Reconfigured), which is how the cluster
+// layer recovers per-job latencies for fleet-wide percentiles.
+func (b *Board) Run(jobs []*Job) (*Report, error) {
+	cfg := b.cfg
+	for i, job := range jobs {
+		if job == nil {
+			return nil, fmt.Errorf("sched: board %s: job %d is nil", b.Name, i)
+		}
+		if i > 0 && job.Arrival < jobs[i-1].Arrival {
+			return nil, fmt.Errorf("sched: board %s: job %d arrives at %d, before job %d at %d",
+				b.Name, i, job.Arrival, i-1, jobs[i-1].Arrival)
+		}
+	}
+
+	k := sim.NewKernel()
+	s, err := soc.New(k, soc.Config{SkipDefaultPartition: true})
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		board:  b,
+		cfg:    cfg,
+		s:      s,
+		d:      driver.NewRVCAP(s),
+		jobs:   jobs,
+		images: make(map[imgKey]*bitstream.Image),
+		wake:   sim.NewSignal(k, "sched.wake"),
+		stop:   sim.NewLatchedSignal(k, "sched.stop"),
+	}
+
+	if cfg.FaultRate > 0 {
+		plan, err := fault.New(fault.Uniform(cfg.FaultSeed, cfg.FaultRate))
+		if err != nil {
+			return nil, err
+		}
+		r.plan = plan
+		// DMA transfer faults on the reconfiguration read channel.
+		s.RVCAP.DMA.Inject = func(xfer uint64) dma.Fault {
+			stall, fail := plan.DMA(xfer)
+			return dma.Fault{Stall: stall, Fail: fail}
+		}
+	}
+	if r.plan != nil || cfg.KillRP > 0 {
+		// Stuck-synced ICAP: the plan's transient faults plus the
+		// hard-failed partition's permanent one.
+		s.ICAP.StuckFault = func(n uint64) bool {
+			if r.killArmed {
+				return true
+			}
+			return r.plan != nil && r.plan.StuckSync(n)
+		}
+	}
+
+	// Partitions and their per-module partial bitstreams. Partitions
+	// have disjoint frame spans, so each (partition, module) pair is a
+	// distinct image with its own signature.
+	for i := 0; i < cfg.RPs; i++ {
+		cols := rpColumnPairs[i]
+		part, _, err := s.AddPartition(fmt.Sprintf("SRP%d", i), 0, 0, cols[0], cols[1], fpga.DefaultRPReserve)
+		if err != nil {
+			return nil, err
+		}
+		r.rps = append(r.rps, &rpState{
+			part:  part,
+			start: sim.NewSignal(k, part.Name+".start"),
+		})
+		natural := 0
+		for _, module := range accel.Filters {
+			if natural == 0 {
+				probe, err := bitstream.Partial(s.Fabric.Dev, part, module, bitstream.Options{})
+				if err != nil {
+					return nil, err
+				}
+				natural = probe.SizeBytes()
+			}
+			num, den := padFactor(module)
+			im, err := bitstream.Partial(s.Fabric.Dev, part, module,
+				bitstream.Options{PadToBytes: (natural*num/den + 3) &^ 3})
+			if err != nil {
+				return nil, err
+			}
+			bitstream.Register(s.Fabric, im)
+			r.images[imgKey{rp: i, module: module}] = im
+		}
+	}
+
+	fetchSig := sim.NewSignal(k, "sched.fetch")
+	r.cache, err = newBitCache(s.DDR, cfg.CacheSlots, r.images, fetchSig, r.wake)
+	if err != nil {
+		return nil, err
+	}
+	r.cache.plan = r.plan
+
+	// Kernel-confined processes: arrivals, SD staging, partition
+	// servers, and the scheduling CPU.
+	k.Go("sched.arrivals", r.runArrivals)
+	//lint:ignore wait-graph fetcher/dispatcher/partition wake heartbeat: wake is re-fired on every queue and cache state change, stop is latched at end-of-scenario, and each wait re-checks its condition, so the static cycle is designed progress signalling, not a deadlock
+	k.Go("sched.fetch", func(p *sim.Proc) { r.cache.runFetcher(p, r.stop) })
+	for i := range r.rps {
+		i := i
+		k.Go(r.rps[i].part.Name, func(p *sim.Proc) { r.runRP(p, i) })
+	}
+	var runErr error
+	k.Go("sched.cpu", func(p *sim.Proc) { runErr = r.runDispatcher(p) })
+	k.Run()
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if r.completed != len(r.jobs) {
+		return nil, fmt.Errorf("sched: board %s: only %d of %d jobs completed", b.Name, r.completed, len(r.jobs))
+	}
+	r.kernelEvents = k.Events()
+	return r.buildReport(), nil
+}

@@ -193,7 +193,9 @@ func (c *bitCache) ensure(p *sim.Proc, key imgKey) (*cacheEntry, error) {
 			e.pinned++
 			dropped := false
 			for e.state != statePresent {
-				//lint:ignore wait-graph fetcher/dispatcher wake heartbeat: wake is re-fired on every queue and cache state change and each wait re-checks its condition, so the cycle is designed progress signalling, not a deadlock
+				// The wake heartbeat cycle this wait participates in is
+				// suppressed at its anchor, the sched.fetch spawn in
+				// Board.Run (board.go).
 				p.Wait(c.wake)
 				if c.entries[key] != e {
 					// The fetcher dropped the entry after exhausting
@@ -268,8 +270,15 @@ func (c *bitCache) runFetcher(p *sim.Proc, stop *sim.Signal) {
 		im := c.images[key]
 		if !c.stage(p, e, im) {
 			// Retries exhausted: drop the entry so waiting dispatchers
-			// re-request (and draw a fresh fault decision).
+			// re-request (and draw a fresh fault decision). Dispatchers
+			// may be pinned-and-waiting on this very entry — ensure pins
+			// before its wait loop — so the drop must forcibly release
+			// those pins: the waiters detect the replacement and pin a
+			// fresh entry, and nobody will ever unpin the dropped one.
+			// Deleting it with pins still counted would orphan them and
+			// make the unpin-underflow invariant unenforceable.
 			c.stageDrops++
+			e.pinned = 0
 			delete(c.entries, key)
 			c.freeSlot(e.addr)
 			c.wake.Fire()

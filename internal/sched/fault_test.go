@@ -7,6 +7,7 @@ import (
 
 	"rvcap/internal/accel"
 	"rvcap/internal/bitstream"
+	"rvcap/internal/fault"
 	"rvcap/internal/fpga"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
@@ -36,8 +37,8 @@ func TestPercentileExactRanks(t *testing.T) {
 		{200, 0.50, 100}, {200, 0.95, 190}, {200, 0.99, 198}, {200, 1.00, 200},
 	}
 	for _, c := range cases {
-		if got := percentile(seq(c.n), c.q); got != c.want {
-			t.Errorf("percentile(1..%d, %v) = %v, want %v", c.n, c.q, got, c.want)
+		if got := Percentile(seq(c.n), c.q); got != c.want {
+			t.Errorf("Percentile(1..%d, %v) = %v, want %v", c.n, c.q, got, c.want)
 		}
 	}
 }
@@ -196,6 +197,147 @@ func TestFaultScenarioSelfHeals(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendering missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestPrefetchAvoidsQuarantinedRPs pins the predictRP fix: after a
+// partition is quarantined, the arrival-time prefetch spread must be
+// confined to the survivors. The old fallback `job.ID % len(r.rps)`
+// kept keying prefetches to the retired partition, burning cache slots
+// on images no dispatcher could ever use.
+func TestPrefetchAvoidsQuarantinedRPs(t *testing.T) {
+	cfg := DefaultFaultScenario()
+	// Lengthen the arrival stream so jobs keep arriving — and keep
+	// prefetching — well after the hard-failed partition is retired (the
+	// default 36 jobs have all arrived by the time the quarantine lands).
+	cfg.Jobs = 120
+	sawQuarantine := false
+	postQuarantinePrefetches := 0
+	cfg.onPrefetch = func(rp int, quarantined []bool) {
+		for _, q := range quarantined {
+			if q {
+				sawQuarantine = true
+			}
+		}
+		if quarantined[rp] {
+			t.Errorf("prefetch keyed to quarantined partition %d (state %v)", rp, quarantined)
+		}
+		if sawQuarantine {
+			postQuarantinePrefetches++
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !sawQuarantine {
+		t.Fatal("scenario never quarantined a partition; the regression is not exercised")
+	}
+	if postQuarantinePrefetches == 0 {
+		t.Fatal("no arrivals after the quarantine; the regression is not exercised")
+	}
+}
+
+// TestReconfigsSumPerRPUnderFaults pins the Reconfigs accounting
+// contract: the report's total is Σ per-RP load attempts, so retried
+// and quarantine-replayed loads are included — under faults it must
+// exceed the per-job successful-load count by exactly FailedLoads.
+func TestReconfigsSumPerRPUnderFaults(t *testing.T) {
+	rep, err := Run(DefaultFaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, st := range rep.PerRP {
+		sum += st.Reconfigs
+	}
+	if rep.Reconfigs != sum {
+		t.Errorf("Reconfigs = %d, want Σ per-RP = %d", rep.Reconfigs, sum)
+	}
+	okLoads := rep.Jobs - rep.ResidentHits
+	if rep.Reconfigs != okLoads+rep.FailedLoads {
+		t.Errorf("Reconfigs = %d, want successful loads %d + failed loads %d",
+			rep.Reconfigs, okLoads, rep.FailedLoads)
+	}
+	if rep.FailedLoads == 0 {
+		t.Fatal("no failed loads; the undercount regression is not exercised")
+	}
+	if rep.Reconfigs <= okLoads {
+		t.Errorf("Reconfigs = %d does not exceed the per-job count %d despite %d failed loads (the old undercount)",
+			rep.Reconfigs, okLoads, rep.FailedLoads)
+	}
+}
+
+// TestDropReleasesPinnedWaiters drives runFetcher's drop path while a
+// dispatcher is pinned-and-waiting on the fetching entry: the drop must
+// clear the orphaned pins (the waiters re-request and pin a fresh
+// entry, and nobody will ever unpin the dropped one), keeping the
+// unpin-underflow invariant enforceable.
+func TestDropReleasesPinnedWaiters(t *testing.T) {
+	// Find a seed whose SD-read fault sequence exhausts exactly the
+	// first staging (attempts 0-3 fail) and lets the re-request's first
+	// attempt (4) through. The plan is a pure function of (seed, site,
+	// n), so this search is deterministic.
+	seed := int64(-1)
+	for s := int64(1); s < 10_000; s++ {
+		plan, err := fault.New(fault.Config{Seed: s, SDReadRate: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.SDRead(0) && plan.SDRead(1) && plan.SDRead(2) && plan.SDRead(3) && !plan.SDRead(4) {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed with the wanted SD fault pattern in range")
+	}
+	plan, err := fault.New(fault.Config{Seed: seed, SDReadRate: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k, c, key := cacheFixture(t, 2)
+	c.plan = plan
+	// Queue the fetch before the kernel starts so the test can hold the
+	// doomed entry.
+	if !c.request(key, false) {
+		t.Fatal("request refused with free slots")
+	}
+	first := c.entries[key]
+
+	stop := sim.NewLatchedSignal(k, "t.stop")
+	var got *cacheEntry
+	k.Go("t.dispatcher", func(p *sim.Proc) {
+		e, err := c.ensure(p, key)
+		if err != nil {
+			t.Error(err)
+			stop.Fire()
+			return
+		}
+		got = e
+		c.unpin(e)
+		stop.Fire()
+	})
+	k.Go("t.fetcher", func(p *sim.Proc) { c.runFetcher(p, stop) })
+	k.Run()
+
+	if c.stageDrops != 1 {
+		t.Fatalf("stageDrops = %d, want 1", c.stageDrops)
+	}
+	if first.pinned != 0 {
+		t.Errorf("dropped entry still carries %d orphaned pin(s)", first.pinned)
+	}
+	if got == nil {
+		t.Fatal("dispatcher never obtained the image")
+	}
+	if got == first {
+		t.Error("dispatcher was handed the dropped entry")
+	}
+	if got.state != statePresent {
+		t.Errorf("final entry state = %v, want present", got.state)
+	}
+	if got.pinned != 0 {
+		t.Errorf("final entry pinned = %d after unpin, want 0 (balanced)", got.pinned)
 	}
 }
 

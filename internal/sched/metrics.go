@@ -31,6 +31,9 @@ type RPStat struct {
 
 // Report is the service-level outcome of one scenario.
 type Report struct {
+	// Board names the board the scenario ran on ("board" for the
+	// package-level Run, "B0"/"B1"/... in a fleet).
+	Board  string `json:"board"`
 	Policy string `json:"policy"`
 	RPs    int    `json:"rps"`
 	Jobs   int    `json:"jobs"`
@@ -45,9 +48,13 @@ type Report struct {
 	MeanMicros float64 `json:"mean_micros"`
 	MaxMicros  float64 `json:"max_micros"`
 
-	// Reconfigs is the number of module loads across all partitions;
-	// ResidentHits counts dispatches served by an already-resident
-	// module (configuration reuse).
+	// Reconfigs is the number of module loads across all partitions —
+	// the sum of the per-partition counters, so retried attempts and
+	// loads replayed after a quarantine are included (a per-job flag
+	// would lose them). ResidentHits counts dispatches served by an
+	// already-resident module (configuration reuse); its complement
+	// Jobs-ResidentHits is the number of *successful* loads, so under
+	// faults Reconfigs == Jobs - ResidentHits + FailedLoads.
 	Reconfigs    int `json:"reconfigs"`
 	ResidentHits int `json:"resident_hits"`
 
@@ -77,6 +84,11 @@ type Report struct {
 	// the service-level throughput that degraded operation erodes.
 	GoodputJobsPerMs float64 `json:"goodput_jobs_per_ms"`
 
+	// KernelEvents is the number of simulation events the board's kernel
+	// fired for the whole scenario — the denominator-free measure fleet
+	// throughput (aggregate events/sec) is built on.
+	KernelEvents uint64 `json:"kernel_events"`
+
 	PerRP []RPStat `json:"per_rp"`
 }
 
@@ -85,12 +97,12 @@ type Report struct {
 // p99.9, p99.99) exactly.
 const percentileDenom = 10000
 
-// percentile returns the nearest-rank percentile (q in (0,1]) of the
+// Percentile returns the nearest-rank percentile (q in (0,1]) of the
 // sorted values: the element at rank ceil(q*n), 1-based. The rank is
 // computed in exact integer arithmetic — in float64, 0.95*100 is
 // 95.000000000000014, so both the old epsilon hack and a plain
 // math.Ceil land one rank too high for q*n just above an integer.
-func percentile(sorted []float64, q float64) float64 {
+func Percentile(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 0 {
 		return 0
@@ -110,6 +122,7 @@ func percentile(sorted []float64, q float64) float64 {
 // partition accounting.
 func (r *Runtime) buildReport() *Report {
 	rep := &Report{
+		Board:        r.board.Name,
 		Policy:       r.cfg.Policy.String(),
 		RPs:          r.cfg.RPs,
 		Jobs:         len(r.jobs),
@@ -121,6 +134,7 @@ func (r *Runtime) buildReport() *Report {
 		LoadRetries:  r.loadRetries,
 		StageRetries: r.cache.stageRetries,
 		Quarantines:  r.quarantines,
+		KernelEvents: r.kernelEvents,
 	}
 	rep.CacheHitRate = r.cache.hitRate()
 
@@ -134,18 +148,16 @@ func (r *Runtime) buildReport() *Report {
 		if j.Completion > last {
 			last = j.Completion
 		}
-		if j.Reconfigured {
-			rep.Reconfigs++
-		} else {
+		if !j.Reconfigured {
 			rep.ResidentHits++
 		}
 	}
 	sort.Float64s(lat)
 	rep.MakespanMicros = sim.Micros(last)
-	rep.P50Micros = percentile(lat, 0.50)
-	rep.P95Micros = percentile(lat, 0.95)
-	rep.P99Micros = percentile(lat, 0.99)
-	rep.MaxMicros = percentile(lat, 1.00)
+	rep.P50Micros = Percentile(lat, 0.50)
+	rep.P95Micros = Percentile(lat, 0.95)
+	rep.P99Micros = Percentile(lat, 0.99)
+	rep.MaxMicros = Percentile(lat, 1.00)
 	if len(lat) > 0 {
 		rep.MeanMicros = sum / float64(len(lat))
 	}
@@ -168,6 +180,10 @@ func (r *Runtime) buildReport() *Report {
 		}
 		busy += st.BusyMicros
 		reconf += st.ReconfigMicros
+		// Reconfigs is Σ per-RP by definition: the per-partition counter
+		// sees every attempt that drove the ICAP, where the per-job
+		// Reconfigured flag loses retried and quarantine-replayed loads.
+		rep.Reconfigs += st.Reconfigs
 		rep.PerRP = append(rep.PerRP, st)
 	}
 	if busy+reconf > 0 {

@@ -35,7 +35,6 @@ import (
 	"rvcap/internal/accel"
 	"rvcap/internal/bitstream"
 	"rvcap/internal/core"
-	"rvcap/internal/dma"
 	"rvcap/internal/driver"
 	"rvcap/internal/fault"
 	"rvcap/internal/fpga"
@@ -89,6 +88,11 @@ type Config struct {
 	// KillAfterLoads is how many loads the killed partition completes
 	// before dying (default 1).
 	KillAfterLoads int
+
+	// onPrefetch, when set, observes every arrival-time prefetch with
+	// the predicted partition and the quarantine state at that instant.
+	// Test-only instrumentation; external packages cannot set it.
+	onPrefetch func(rp int, quarantined []bool)
 }
 
 // withDefaults fills unset fields.
@@ -177,17 +181,25 @@ type rpState struct {
 	quarantined bool
 	job         *Job
 
-	jobsServed     int
+	jobsServed int
+	// reconfigs counts every module load attempt actually driven through
+	// the ICAP on this partition — including failed attempts that were
+	// retried and loads replayed after a quarantine. loadsOK counts only
+	// the attempts that brought the module up (it feeds the KillRP
+	// trigger, which is defined in successful loads).
 	reconfigs      int
+	loadsOK        int
 	busyCycles     sim.Time
 	reconfigCycles sim.Time
 }
 
-// Runtime is one scenario in flight. Construct with Run.
+// Runtime is one scenario in flight on one Board. Construct with
+// Board.Run (or the package-level Run convenience wrapper).
 type Runtime struct {
-	cfg Config
-	s   *soc.SoC
-	d   *driver.RVCAP
+	board *Board
+	cfg   Config
+	s     *soc.SoC
+	d     *driver.RVCAP
 
 	jobs   []*Job
 	queue  []*Job
@@ -207,25 +219,21 @@ type Runtime struct {
 	failedLoads int
 	loadRetries int
 	quarantines int
+
+	// kernelEvents is the kernel's fired-event total, captured after the
+	// scenario completes (fleet throughput is reported in events/sec).
+	kernelEvents uint64
 }
 
-// Run plays one scenario to completion and returns its service-level
-// report. Everything — including the DMA transfers of every module load
-// — happens on a single fresh sim.Kernel, so equal Configs give
+// Run generates cfg's seeded workload and plays it on a fresh Board.
+// Everything — including the DMA transfers of every module load —
+// happens on a single fresh sim.Kernel, so equal Configs give
 // byte-identical Reports.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if cfg.RPs < 1 || cfg.RPs > len(rpColumnPairs) {
-		return nil, fmt.Errorf("sched: RPs = %d outside [1,%d]", cfg.RPs, len(rpColumnPairs))
-	}
-	if cfg.CacheSlots < 2 {
-		return nil, fmt.Errorf("sched: CacheSlots = %d, need at least 2", cfg.CacheSlots)
-	}
-	if cfg.KillRP < 0 || cfg.KillRP > cfg.RPs {
-		return nil, fmt.Errorf("sched: KillRP = %d outside [0,%d]", cfg.KillRP, cfg.RPs)
-	}
-	if cfg.FaultRate < 0 || cfg.FaultRate >= 1 {
-		return nil, fmt.Errorf("sched: FaultRate = %v outside [0,1)", cfg.FaultRate)
+	b, err := NewBoard("board", cfg)
+	if err != nil {
+		return nil, err
 	}
 	jobs, err := Workload{
 		Seed: cfg.Seed, Jobs: cfg.Jobs, Load: cfg.Load,
@@ -234,104 +242,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	k := sim.NewKernel()
-	s, err := soc.New(k, soc.Config{SkipDefaultPartition: true})
-	if err != nil {
-		return nil, err
-	}
-	r := &Runtime{
-		cfg:    cfg,
-		s:      s,
-		d:      driver.NewRVCAP(s),
-		jobs:   jobs,
-		images: make(map[imgKey]*bitstream.Image),
-		wake:   sim.NewSignal(k, "sched.wake"),
-		stop:   sim.NewLatchedSignal(k, "sched.stop"),
-	}
-
-	if cfg.FaultRate > 0 {
-		plan, err := fault.New(fault.Uniform(cfg.FaultSeed, cfg.FaultRate))
-		if err != nil {
-			return nil, err
-		}
-		r.plan = plan
-		// DMA transfer faults on the reconfiguration read channel.
-		s.RVCAP.DMA.Inject = func(xfer uint64) dma.Fault {
-			stall, fail := plan.DMA(xfer)
-			return dma.Fault{Stall: stall, Fail: fail}
-		}
-	}
-	if r.plan != nil || cfg.KillRP > 0 {
-		// Stuck-synced ICAP: the plan's transient faults plus the
-		// hard-failed partition's permanent one.
-		s.ICAP.StuckFault = func(n uint64) bool {
-			if r.killArmed {
-				return true
-			}
-			return r.plan != nil && r.plan.StuckSync(n)
-		}
-	}
-
-	// Partitions and their per-module partial bitstreams. Partitions
-	// have disjoint frame spans, so each (partition, module) pair is a
-	// distinct image with its own signature.
-	for i := 0; i < cfg.RPs; i++ {
-		cols := rpColumnPairs[i]
-		part, _, err := s.AddPartition(fmt.Sprintf("SRP%d", i), 0, 0, cols[0], cols[1], fpga.DefaultRPReserve)
-		if err != nil {
-			return nil, err
-		}
-		r.rps = append(r.rps, &rpState{
-			part:  part,
-			start: sim.NewSignal(k, part.Name+".start"),
-		})
-		natural := 0
-		for _, module := range accel.Filters {
-			if natural == 0 {
-				probe, err := bitstream.Partial(s.Fabric.Dev, part, module, bitstream.Options{})
-				if err != nil {
-					return nil, err
-				}
-				natural = probe.SizeBytes()
-			}
-			num, den := padFactor(module)
-			im, err := bitstream.Partial(s.Fabric.Dev, part, module,
-				bitstream.Options{PadToBytes: (natural*num/den + 3) &^ 3})
-			if err != nil {
-				return nil, err
-			}
-			bitstream.Register(s.Fabric, im)
-			r.images[imgKey{rp: i, module: module}] = im
-		}
-	}
-
-	fetchSig := sim.NewSignal(k, "sched.fetch")
-	r.cache, err = newBitCache(s.DDR, cfg.CacheSlots, r.images, fetchSig, r.wake)
-	if err != nil {
-		return nil, err
-	}
-	r.cache.plan = r.plan
-
-	// Kernel-confined processes: arrivals, SD staging, partition
-	// servers, and the scheduling CPU.
-	k.Go("sched.arrivals", r.runArrivals)
-	k.Go("sched.fetch", func(p *sim.Proc) { r.cache.runFetcher(p, r.stop) })
-	for i := range r.rps {
-		i := i
-		k.Go(r.rps[i].part.Name, func(p *sim.Proc) { r.runRP(p, i) })
-	}
-	var runErr error
-	k.Go("sched.cpu", func(p *sim.Proc) { runErr = r.runDispatcher(p) })
-	k.Run()
-
-	if runErr != nil {
-		return nil, runErr
-	}
-	if r.completed != len(r.jobs) {
-		return nil, fmt.Errorf("sched: only %d of %d jobs completed", r.completed, len(r.jobs))
-	}
-	return r.buildReport(), nil
+	return b.Run(jobs)
 }
 
 // runArrivals releases jobs into the queue at their generated arrival
@@ -344,7 +255,15 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 		}
 		r.queue = append(r.queue, job)
 		if !r.cfg.NoPrefetch {
-			r.cache.request(imgKey{rp: r.predictRP(job), module: job.Module}, true)
+			rp := r.predictRP(job)
+			if r.cfg.onPrefetch != nil {
+				q := make([]bool, len(r.rps))
+				for i, s := range r.rps {
+					q[i] = s.quarantined
+				}
+				r.cfg.onPrefetch(rp, q)
+			}
+			r.cache.request(imgKey{rp: rp, module: job.Module}, true)
 		}
 		r.wake.Fire()
 	}
@@ -352,14 +271,37 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 
 // predictRP guesses the partition an arriving job will be dispatched
 // to: one where its module is already resident, else a deterministic
-// spread by job ID. A misprediction only costs a later cache miss.
+// spread by job ID over the partitions that can still serve jobs. A
+// misprediction only costs a later cache miss — but the spread must
+// skip quarantined partitions, or every post-quarantine prefetch keyed
+// to the dead partition burns a cache slot on an image no dispatcher
+// can ever use and forces evictions of live ones.
 func (r *Runtime) predictRP(job *Job) int {
+	alive := 0
 	for i, rp := range r.rps {
 		if !rp.quarantined && rp.part.Active() == job.Module {
 			return i
 		}
+		if !rp.quarantined {
+			alive++
+		}
 	}
-	return job.ID % len(r.rps)
+	if alive == 0 {
+		// Nothing can serve the job anyway; the dispatcher will fail the
+		// scenario. Keep the legacy spread so the prefetch stays defined.
+		return job.ID % len(r.rps)
+	}
+	n := job.ID % alive
+	for i, rp := range r.rps {
+		if rp.quarantined {
+			continue
+		}
+		if n == 0 {
+			return i
+		}
+		n--
+	}
+	return job.ID % len(r.rps) // unreachable
 }
 
 // runRP is one partition server: it idles until the dispatcher hands it
@@ -431,7 +373,7 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 			return err
 		}
 		rp.reconfigCycles += p.Now() - t0
-		rp.reconfigs++
+		rp.loadsOK++
 		job.Reconfigured = true
 	}
 
@@ -473,7 +415,13 @@ func (r *Runtime) loadModule(p *sim.Proc, rp *rpState, pi int, key imgKey) error
 		if err != nil {
 			return err
 		}
-		r.killArmed = r.cfg.KillRP == pi+1 && rp.reconfigs >= r.cfg.KillAfterLoads
+		// Every attempt from here on drives the full driver sequence
+		// through the ICAP, so it is a module load whether or not the
+		// module comes up — count it on the partition. The KillRP
+		// trigger is defined in *successful* loads (loadsOK), so a dying
+		// partition's retried attempts do not re-arm it differently.
+		rp.reconfigs++
+		r.killArmed = r.cfg.KillRP == pi+1 && rp.loadsOK >= r.cfg.KillAfterLoads
 		err = r.reconfigure(p, rp, key, e)
 		r.killArmed = false
 		r.cache.unpin(e)

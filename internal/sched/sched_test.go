@@ -214,19 +214,19 @@ func TestModuleBitstreamSizesDiffer(t *testing.T) {
 
 func TestPercentileNearestRank(t *testing.T) {
 	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if p := percentile(vals, 0.5); p != 5 {
+	if p := Percentile(vals, 0.5); p != 5 {
 		t.Errorf("p50 = %v, want 5", p)
 	}
-	if p := percentile(vals, 0.95); p != 10 {
+	if p := Percentile(vals, 0.95); p != 10 {
 		t.Errorf("p95 = %v, want 10", p)
 	}
-	if p := percentile(vals, 1.0); p != 10 {
+	if p := Percentile(vals, 1.0); p != 10 {
 		t.Errorf("p100 = %v, want 10", p)
 	}
-	if p := percentile(nil, 0.5); p != 0 {
+	if p := Percentile(nil, 0.5); p != 0 {
 		t.Errorf("empty percentile = %v", p)
 	}
-	if p := percentile([]float64{7}, 0.99); p != 7 {
+	if p := Percentile([]float64{7}, 0.99); p != 7 {
 		t.Errorf("single-value p99 = %v", p)
 	}
 }

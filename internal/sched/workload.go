@@ -14,8 +14,13 @@ import (
 // job stream is a pure function of the generator seed; dispatch and
 // completion are filled in by the runtime as the scenario plays out.
 type Job struct {
-	// ID is the arrival-order index (0-based).
+	// ID is the arrival-order index (0-based; global across the fleet
+	// when the job stream is multi-tenant and cluster-routed).
 	ID int
+	// Tenant identifies the workload stream the job belongs to (always
+	// 0 for the single-tenant generator; the cluster workload merges
+	// several tenants into one arrival-ordered stream).
+	Tenant int
 	// Module is the reconfigurable module the job needs (a filter name
 	// from internal/accel).
 	Module string

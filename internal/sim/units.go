@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // The whole design runs from a single 100 MHz clock (paper §III-B: "The
 // clock frequency is set to 100 MHz due to the ICAP maximum frequency on
 // FPGAs of 7 series"). These helpers convert between cycles of that clock
@@ -17,8 +19,13 @@ func Micros(t Time) float64 { return float64(t) / CyclesPerMicrosecond }
 // Millis converts a cycle count to milliseconds.
 func Millis(t Time) float64 { return Micros(t) / 1000 }
 
-// FromMicros converts microseconds to cycles (rounding down).
-func FromMicros(us float64) Time { return Time(us * CyclesPerMicrosecond) }
+// FromMicros converts microseconds to cycles, rounding to the nearest
+// cycle. Truncation would lose a cycle whenever the float product lands
+// just under an integer (0.29 µs * 100 = 28.999999999999996 cycles),
+// which the workload generators hit routinely; rounding makes
+// Micros(FromMicros(us)) exact for every µs value that is itself a
+// whole number of cycles.
+func FromMicros(us float64) Time { return Time(math.Round(us * CyclesPerMicrosecond)) }
 
 // MBPerSec returns the throughput in MB/s (decimal megabytes, as the
 // paper reports: 400 MB/s theoretical ICAP maximum = 4 bytes x 100 MHz)

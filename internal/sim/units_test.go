@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFromMicrosCycleBoundaries pins the rounding contract: any µs value
+// that is itself a whole number of cycles must round-trip exactly
+// through FromMicros/Micros. Under the old truncating conversion,
+// 0.29 µs * 100 floats to 28.999999999999996 and came back as 28
+// cycles — one cycle short.
+func TestFromMicrosCycleBoundaries(t *testing.T) {
+	for k := 0; k <= 100_000; k++ {
+		us := float64(k) / CyclesPerMicrosecond // exactly k cycles
+		if got := FromMicros(us); got != Time(k) {
+			t.Fatalf("FromMicros(%v) = %d cycles, want %d", us, got, k)
+		}
+	}
+	// The motivating case from the workload generator's range.
+	if got := FromMicros(0.29); got != 29 {
+		t.Errorf("FromMicros(0.29) = %d, want 29", got)
+	}
+}
+
+// TestFromMicrosGeneratorRange is a property test over the µs range the
+// sched/cluster workload generators actually produce (arrival clocks up
+// to seconds, service times of tens to hundreds of µs, both with full
+// float fractions): the conversion must stay within half a cycle of the
+// exact value and must be monotone, so sorting jobs by float µs and by
+// converted cycles agree.
+func TestFromMicrosGeneratorRange(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200_000; i++ {
+		// Mix of magnitudes: sub-µs jitter up to multi-second clocks.
+		us := r.Float64() * math.Pow(10, float64(r.Intn(7)))
+		c := FromMicros(us)
+		if diff := math.Abs(float64(c) - us*CyclesPerMicrosecond); diff > 0.5 {
+			t.Fatalf("FromMicros(%v) = %d cycles, off by %v cycles", us, c, diff)
+		}
+		// Micros is exact for cycle counts this small (< 2^53).
+		if back := Micros(c); math.Abs(back-us) > 0.5/CyclesPerMicrosecond {
+			t.Fatalf("Micros(FromMicros(%v)) = %v, drifted more than half a cycle", us, back)
+		}
+	}
+	// Explicit monotonicity sweep on an ordered grid.
+	last := Time(0)
+	for i := 0; i < 100_000; i++ {
+		us := float64(i) * 0.0137
+		c := FromMicros(us)
+		if c < last {
+			t.Fatalf("FromMicros not monotone: FromMicros(%v) = %d < %d", us, c, last)
+		}
+		last = c
+	}
+}
