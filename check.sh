@@ -77,6 +77,18 @@ echo '== rvcap-bench -fleetjson smoke (BENCH_6.json)'
 "$tmp/rvcap-bench" -fleetjson -fleetjobs 40 -outdir "$tmp/b6" > /dev/null
 go run ./cmd/benchcheck "$tmp/b6/BENCH_6.json"
 
+echo '== rvcap-bench amorphous determinism + -fragjson (BENCH_7.json)'
+# The placement sweep replays seeded request streams against both
+# partitioning models in independent cells, so its rows (and BENCH_7)
+# must not depend on the worker count; benchcheck then enforces the
+# headline claims (a mix fixed slots reject that amorphous serves with
+# zero failures, and defrag passes that lower fragmentation).
+"$tmp/rvcap-bench" -experiment amorphous -parallel 1 -json -outdir "$tmp/a1" > /dev/null
+"$tmp/rvcap-bench" -experiment amorphous -parallel 4 -json -outdir "$tmp/a4" > /dev/null
+cmp "$tmp/a1/BENCH_amorphous.json" "$tmp/a4/BENCH_amorphous.json"
+"$tmp/rvcap-bench" -fragjson -outdir "$tmp/b7" > /dev/null
+go run ./cmd/benchcheck "$tmp/b7/BENCH_7.json"
+
 echo '== examples smoke'
 # The examples are documentation that compiles; keep the canonical ones
 # actually running end to end. quickstart writes its PGM artifacts into
@@ -94,5 +106,8 @@ grep -q 'faults:' "$tmp/fault-tolerant.out"
 go run ./examples/fleet > "$tmp/fleet.out"
 grep -q 'policy=bitstream-locality' "$tmp/fleet.out"
 grep -q 'cross-board-moves' "$tmp/fleet.out"
+go run ./examples/amorphous > "$tmp/amorphous.out"
+grep -q 'placement: policy=first-fit' "$tmp/amorphous.out"
+grep -q 'defrag: 3 passes' "$tmp/amorphous.out"
 
 echo 'check.sh: all gates passed'

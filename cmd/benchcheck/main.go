@@ -11,13 +11,19 @@
 //     proof (the file carries wall times, so a byte-level compare of two
 //     invocations cannot gate it; the equality check lives inside one
 //     invocation and this tool enforces that it held).
+//   - amorphous-frag (BENCH_7.json, from -fragjson): the placement
+//     sweep's headline claims — at least one module mix the fixed
+//     pre-cut slots reject that amorphous placement serves with zero
+//     failures, amorphous never failing more than fixed on any row,
+//     and every defrag pass that moved regions having lowered the
+//     external-fragmentation gauge.
 //
 // It replaces a fragile grep/tr pipeline that only counted duplicated
 // "events" lines and would accept a malformed document.
 //
 // Usage:
 //
-//	benchcheck <path/to/BENCH_5.json | path/to/BENCH_6.json>
+//	benchcheck <path/to/BENCH_5.json | path/to/BENCH_6.json | path/to/BENCH_7.json>
 //
 // Exits 0 when the document holds, 1 with a diagnostic when it does
 // not, 2 on usage or read errors.
@@ -48,6 +54,18 @@ type payload struct {
 			Jobs         int    `json:"jobs"`
 			Digest       string `json:"digest"`
 			DigestsMatch bool   `json:"digests_match"`
+			// amorphous-frag fields.
+			Mix                 string  `json:"mix"`
+			Policy              string  `json:"policy"`
+			Requests            int     `json:"requests"`
+			FixedFailed         int     `json:"fixed_failed"`
+			FixedFailRate       float64 `json:"fixed_fail_rate"`
+			AmorphousFailed     int     `json:"amorphous_failed"`
+			AmorphousFailRate   float64 `json:"amorphous_fail_rate"`
+			Defrags             int     `json:"defrags"`
+			FramesMoved         int     `json:"frames_moved"`
+			DefragFragBeforePct float64 `json:"defrag_frag_before_pct"`
+			DefragFragAfterPct  float64 `json:"defrag_frag_after_pct"`
 		} `json:"runs"`
 	} `json:"data"`
 }
@@ -82,6 +100,15 @@ func run(args []string) int {
 		last := p.Data.Runs[len(p.Data.Runs)-1]
 		fmt.Printf("benchcheck: %s ok (%d fleet sizes up to %d boards, all serial/parallel digests match)\n",
 			args[0], len(p.Data.Runs), last.Boards)
+	case "amorphous-frag":
+		clean := 0
+		for _, r := range p.Data.Runs {
+			if r.FixedFailed > 0 && r.AmorphousFailed == 0 {
+				clean++
+			}
+		}
+		fmt.Printf("benchcheck: %s ok (%d placement rows, %d served amorphously that fixed slots reject)\n",
+			args[0], len(p.Data.Runs), clean)
 	}
 	return 0
 }
@@ -94,8 +121,11 @@ func validate(p *payload) error {
 		return validateFastpath(p)
 	case "fleet-throughput":
 		return validateFleet(p)
+	case "amorphous-frag":
+		return validateFrag(p)
 	}
-	return fmt.Errorf("experiment = %q, want %q or %q", p.Experiment, "kernel-fastpath", "fleet-throughput")
+	return fmt.Errorf("experiment = %q, want %q, %q or %q",
+		p.Experiment, "kernel-fastpath", "fleet-throughput", "amorphous-frag")
 }
 
 func validateFastpath(p *payload) error {
@@ -151,6 +181,46 @@ func validateFleet(p *payload) error {
 			return fmt.Errorf("fleet of %d boards: serial and parallel per-board reports diverge — board runs are not deterministic",
 				r.Boards)
 		}
+	}
+	return nil
+}
+
+func validateFrag(p *payload) error {
+	runs := p.Data.Runs
+	if len(runs) < 2 {
+		return fmt.Errorf("got %d placement rows, want at least 2 to compare mixes", len(runs))
+	}
+	clean := false
+	for i, r := range runs {
+		id := fmt.Sprintf("row %d (%s/%s)", i, r.Mix, r.Policy)
+		if r.Mix == "" || r.Policy == "" {
+			return fmt.Errorf("row %d has no mix/policy labels", i)
+		}
+		if r.Requests <= 0 {
+			return fmt.Errorf("%s replayed %d requests, want > 0", id, r.Requests)
+		}
+		for _, rate := range []float64{r.FixedFailRate, r.AmorphousFailRate} {
+			if rate < 0 || rate > 1 {
+				return fmt.Errorf("%s has failure rate %v outside [0,1]", id, rate)
+			}
+		}
+		// The paper's claim is an ordering, not just a delta: amorphous
+		// placement never fails a request the fixed slots would serve.
+		if r.AmorphousFailed > r.FixedFailed {
+			return fmt.Errorf("%s: amorphous failed %d placements but fixed slots only %d",
+				id, r.AmorphousFailed, r.FixedFailed)
+		}
+		if r.FixedFailed > 0 && r.AmorphousFailed == 0 {
+			clean = true
+		}
+		// A compaction pass that moved regions must have been worth it.
+		if r.Defrags > 0 && r.FramesMoved > 0 && r.DefragFragBeforePct <= r.DefragFragAfterPct {
+			return fmt.Errorf("%s: defrag moved %d frames but fragmentation went %.1f%% -> %.1f%%",
+				id, r.FramesMoved, r.DefragFragBeforePct, r.DefragFragAfterPct)
+		}
+	}
+	if !clean {
+		return fmt.Errorf("no row where fixed slots reject placements (fixed_failed > 0) while amorphous serves all (amorphous_failed == 0)")
 	}
 	return nil
 }

@@ -149,3 +149,93 @@ func TestValidateFleetRejections(t *testing.T) {
 		})
 	}
 }
+
+const goodFragDoc = `{
+  "experiment": "amorphous-frag",
+  "data": {
+    "benchmark": "AmorphousPlacement",
+    "runs": [
+      {"mix": "narrow", "policy": "first-fit", "requests": 64,
+       "fixed_failed": 0, "fixed_fail_rate": 0,
+       "amorphous_failed": 0, "amorphous_fail_rate": 0},
+      {"mix": "balanced", "policy": "first-fit", "requests": 64,
+       "fixed_failed": 12, "fixed_fail_rate": 0.1875,
+       "amorphous_failed": 0, "amorphous_fail_rate": 0,
+       "defrags": 1, "frames_moved": 180,
+       "defrag_frag_before_pct": 62.5, "defrag_frag_after_pct": 0},
+      {"mix": "gaussian-heavy", "policy": "first-fit", "requests": 64,
+       "fixed_failed": 50, "fixed_fail_rate": 0.78125,
+       "amorphous_failed": 8, "amorphous_fail_rate": 0.125,
+       "defrags": 8, "frames_moved": 0}
+    ]
+  }
+}`
+
+func TestValidateFragGood(t *testing.T) {
+	if err := validate(doc(t, goodFragDoc)); err != nil {
+		t.Fatalf("validate(good frag) = %v", err)
+	}
+}
+
+func TestValidateFragRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"no amorphous win",
+			strings.Replace(goodFragDoc, `"amorphous_failed": 0, "amorphous_fail_rate": 0,
+       "defrags": 1`, `"amorphous_failed": 2, "amorphous_fail_rate": 0.03125,
+       "defrags": 1`, 1),
+			"no row where fixed slots reject",
+		},
+		{
+			"amorphous worse than fixed",
+			strings.Replace(goodFragDoc, `"fixed_failed": 0, "fixed_fail_rate": 0,
+       "amorphous_failed": 0`, `"fixed_failed": 0, "fixed_fail_rate": 0,
+       "amorphous_failed": 3`, 1),
+			"but fixed slots only",
+		},
+		{
+			"defrag raised fragmentation",
+			strings.Replace(goodFragDoc, `"defrag_frag_before_pct": 62.5, "defrag_frag_after_pct": 0`,
+				`"defrag_frag_before_pct": 10, "defrag_frag_after_pct": 40`, 1),
+			"fragmentation went",
+		},
+		{
+			"rate out of range",
+			strings.Replace(goodFragDoc, `"fixed_fail_rate": 0.78125`, `"fixed_fail_rate": 1.5`, 1),
+			"outside [0,1]",
+		},
+		{
+			"missing labels",
+			strings.Replace(goodFragDoc, `"mix": "narrow", "policy": "first-fit", `, ``, 1),
+			"no mix/policy labels",
+		},
+		{
+			"zero requests",
+			strings.Replace(goodFragDoc, `"policy": "first-fit", "requests": 64,
+       "fixed_failed": 0`, `"policy": "first-fit", "requests": 0,
+       "fixed_failed": 0`, 1),
+			"0 requests",
+		},
+		{
+			"single row",
+			`{"experiment":"amorphous-frag","data":{"runs":[
+				{"mix":"balanced","policy":"first-fit","requests":64,
+				 "fixed_failed":12,"fixed_fail_rate":0.1875,
+				 "amorphous_failed":0,"amorphous_fail_rate":0}]}}`,
+			"at least 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(doc(t, tc.src))
+			if err == nil {
+				t.Fatal("validate accepted a bad placement document")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

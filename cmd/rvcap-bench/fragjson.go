@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rvcap/internal/experiments"
+)
+
+// fragDoc is the BENCH_7.json payload: the amorphous placement sweep's
+// rows under the same experiment/data envelope as the other BENCH
+// files. Every field is simulation-deterministic (the sweep pins its
+// stream seed), so two invocations diff byte-for-byte and check.sh can
+// gate on that.
+type fragDoc struct {
+	Benchmark string `json:"benchmark"`
+	// Requests is the stream length each cell replays against both
+	// partitioning models.
+	Requests int                          `json:"requests"`
+	Runs     []experiments.AmorphousPoint `json:"runs"`
+}
+
+// runFragJSON executes the amorphous placement sweep and writes
+// BENCH_7.json under outDir: per module mix and policy, the fixed
+// pre-cut slots' failed-placement rate against the frame-granular
+// allocator's, plus the fragmentation and defrag gauges.
+func runFragJSON(outDir string, requests, parallel int) error {
+	points, err := experiments.Amorphous(experiments.AmorphousOptions{
+		Parallel: parallel,
+		Requests: requests,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAmorphous(points))
+
+	doc := fragDoc{Benchmark: "AmorphousPlacement", Runs: points}
+	if len(points) > 0 {
+		doc.Requests = points[0].Requests
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	payload := struct {
+		Experiment string  `json:"experiment"`
+		Data       fragDoc `json:"data"`
+	}{Experiment: "amorphous-frag", Data: doc}
+	buf, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outDir, "BENCH_7.json"), append(buf, '\n'), 0o644)
+}

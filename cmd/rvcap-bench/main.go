@@ -11,6 +11,7 @@
 //	rvcap-bench -experiment fig3 -json -outdir out # also write BENCH_fig3.json
 //	rvcap-bench -benchjson -outdir out             # kernel fast-path bench -> BENCH_5.json
 //	rvcap-bench -fleetjson -outdir out             # fleet weak-scaling bench -> BENCH_6.json
+//	rvcap-bench -fragjson -outdir out              # amorphous placement sweep -> BENCH_7.json
 //	rvcap-bench -experiment fleet -parallel 4      # cluster sweep, boards on 4 workers
 //	rvcap-bench -experiment table4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
@@ -178,6 +179,16 @@ var registry = []experiment{
 		fmt.Println(experiments.FormatFleet(points))
 		return points, nil
 	}},
+	{"amorphous", "placement sweep: fixed pre-cut slots vs frame-granular allocator (pinned seed)", func(o benchOpts) (interface{}, error) {
+		points, err := experiments.Amorphous(experiments.AmorphousOptions{
+			Parallel: o.parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.FormatAmorphous(points))
+		return points, nil
+	}},
 }
 
 // experimentNames returns the registry names in dispatch order.
@@ -208,6 +219,9 @@ func main() {
 	fleetJSON := flag.Bool("fleetjson", false,
 		"run the fleet weak-scaling benchmark (board ladder, serial vs parallel digests) and write BENCH_6.json to -outdir instead of running experiments")
 	fleetJobs := flag.Int("fleetjobs", 600, "jobs per board for -fleetjson")
+	fragJSON := flag.Bool("fragjson", false,
+		"run the amorphous placement sweep (fixed pre-cut slots vs frame-granular allocator) and write BENCH_7.json to -outdir instead of running experiments")
+	fragReqs := flag.Int("fragreqs", 0, "requests per cell for -fragjson (0 = sweep default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -260,6 +274,13 @@ func main() {
 	if *fleetJSON {
 		if err := runFleetJSON(*outDir, *fleetJobs, runtime.NumCPU()); err != nil {
 			fmt.Fprintf(os.Stderr, "rvcap-bench: -fleetjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fragJSON {
+		if err := runFragJSON(*outDir, *fragReqs, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -fragjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

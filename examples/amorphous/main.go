@@ -1,0 +1,74 @@
+// The amorphous example runs the frame-granular placement mode of the
+// internal/sched runtime: a stream of mixed-size modules (Sobel 2
+// columns, Median 3, Gaussian 4) competes for region slots carved out
+// of one clock-region window at load time. The same job stream is
+// first played against the fixed pre-cut partitions for contrast —
+// fixed slots pay a per-slot bitstream per module, while amorphous
+// placement relocates one prototype per module to wherever the
+// allocator finds room, defragmenting the window when arrivals would
+// otherwise be rejected.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rvcap/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amorphous:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One contended scenario: three slots, offered load near
+	// saturation, mixed-width modules. The seed pins a stream where the
+	// window fills, placements fail and the dispatcher must defragment
+	// — so the compaction path is exercised on every run.
+	base := sched.Config{
+		Seed:   1,
+		RPs:    3,
+		Jobs:   30,
+		Load:   0.8,
+		Policy: sched.Affinity,
+	}
+
+	fmt.Println("amorphous DPR: one job stream, fixed partitions vs frame-granular placement")
+	fmt.Println()
+
+	fixed := base
+	rep, err := sched.Run(fixed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- fixed pre-cut partitions ---")
+	fmt.Print(rep)
+	fmt.Println()
+
+	amor := base
+	amor.Amorphous = true
+	arep, err := sched.Run(amor)
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- amorphous placement ---")
+	fmt.Print(arep)
+	fmt.Println()
+
+	if arep.Defrags == 0 {
+		return fmt.Errorf("scenario did not force a defrag pass (seed drifted?)")
+	}
+	fmt.Printf("fragmentation: mean %.1f%%, final %.1f%%\n", arep.MeanFragPct, arep.FinalFragPct)
+	fmt.Printf("defrag: %d passes, %d relocations, %d frames moved, frag %.1f%% -> %.1f%% around the passes that moved regions\n",
+		arep.Defrags, arep.Relocations, arep.FramesMoved,
+		arep.DefragFragBeforePct, arep.DefragFragAfterPct)
+	fmt.Println()
+	fmt.Println("Every load above went through one prototype bitstream per module,")
+	fmt.Println("relocated on the hart to the region the allocator assigned; the")
+	fmt.Println("defrag passes compacted idle regions (carrying their configuration")
+	fmt.Println("along) to open a contiguous span for a wider arrival.")
+	return nil
+}

@@ -16,6 +16,7 @@ package bitstream
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"rvcap/internal/fpga"
 )
@@ -131,16 +132,10 @@ func (b *builder) fdriType2(frames [][]uint32) {
 	}
 }
 
-// Partial generates the partial bitstream that loads module into part on
-// dev. The stream writes each contiguous frame run of the partition as
-// one FAR + FDRI burst with a trailing pad frame (the 7-series frame
-// buffer requires N+1 frames of data to write N frames).
-func Partial(dev *fpga.Device, part *fpga.Partition, module string, opts Options) (*Image, error) {
-	content := make(map[int][]uint32, part.NumFrames())
-	for _, idx := range part.Frames() {
-		content[idx] = frameContent(part.Name, module, idx)
-	}
-
+// emitStream builds the full configuration word stream for the given
+// frame runs, fetching each frame's payload through content. It is the
+// shared core of Partial and BlankFrames.
+func emitStream(dev *fpga.Device, runs [][2]int, content func(idx int) []uint32, opts Options) ([]uint32, int, error) {
 	var b builder
 	// Standard preamble: dummies, bus-width detect, sync.
 	b.raw(fpga.DummyWord, fpga.DummyWord, fpga.DummyWord, fpga.DummyWord,
@@ -153,16 +148,16 @@ func Partial(dev *fpga.Device, part *fpga.Partition, module string, opts Options
 	b.raw(fpga.NoopWord)
 
 	frames := 0
-	for _, run := range part.Runs() {
+	for _, run := range runs {
 		far, err := dev.IndexToFAR(run[0])
 		if err != nil {
-			return nil, fmt.Errorf("bitstream: partition %s: %v", part.Name, err)
+			return nil, 0, fmt.Errorf("bitstream: %v", err)
 		}
 		b.write(fpga.RegFAR, far)
 		b.raw(fpga.NoopWord)
 		var payload [][]uint32
 		for idx := run[0]; idx <= run[1]; idx++ {
-			payload = append(payload, content[idx])
+			payload = append(payload, content(idx))
 			frames++
 		}
 		payload = append(payload, make([]uint32, fpga.FrameWords)) // pad frame
@@ -183,7 +178,7 @@ func Partial(dev *fpga.Device, part *fpga.Partition, module string, opts Options
 		want := opts.PadToBytes / 4
 		have := len(b.words) + trailerWords
 		if want < have {
-			return nil, fmt.Errorf("bitstream: PadToBytes %d smaller than stream (%d bytes)",
+			return nil, 0, fmt.Errorf("bitstream: PadToBytes %d smaller than stream (%d bytes)",
 				opts.PadToBytes, have*4)
 		}
 		for i := have; i < want; i++ {
@@ -192,15 +187,61 @@ func Partial(dev *fpga.Device, part *fpga.Partition, module string, opts Options
 	}
 	b.cmd(fpga.CmdDesync)
 	b.raw(fpga.NoopWord, fpga.NoopWord, fpga.NoopWord, fpga.NoopWord)
+	return b.words, frames, nil
+}
 
+// Partial generates the partial bitstream that loads module into part on
+// dev. The stream writes each contiguous frame run of the partition as
+// one FAR + FDRI burst with a trailing pad frame (the 7-series frame
+// buffer requires N+1 frames of data to write N frames).
+func Partial(dev *fpga.Device, part *fpga.Partition, module string, opts Options) (*Image, error) {
+	content := make(map[int][]uint32, part.NumFrames())
+	for _, idx := range part.Frames() {
+		content[idx] = frameContent(part.Name, module, idx)
+	}
+	words, frames, err := emitStream(dev, part.Runs(),
+		func(idx int) []uint32 { return content[idx] }, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bitstream: partition %s: %v", part.Name, err)
+	}
 	sig := fpga.HashFrames(func(idx int) []uint32 { return content[idx] }, part.Frames())
 	return &Image{
 		Module:    module,
 		Partition: part.Name,
-		Words:     b.words,
+		Words:     words,
 		Signature: sig,
 		Frames:    frames,
 	}, nil
+}
+
+// BlankFrames generates the blanking bitstream for the given linear
+// frame indices: all-zero content over every contiguous run, with the
+// same preamble, pad-frame and CRC structure as Partial. Loading it
+// clears whatever logic the span realised — the placement layer blanks
+// a vacated span after relocating or destroying the region that covered
+// it. The frames need not belong to any partition.
+func BlankFrames(dev *fpga.Device, frames []int, opts Options) (*Image, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("bitstream: blanking an empty frame set")
+	}
+	sorted := append([]int(nil), frames...)
+	sort.Ints(sorted)
+	var runs [][2]int
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		runs = append(runs, [2]int{sorted[i], sorted[j]})
+		i = j + 1
+	}
+	zero := make([]uint32, fpga.FrameWords)
+	words, n, err := emitStream(dev, runs, func(int) []uint32 { return zero }, opts)
+	if err != nil {
+		return nil, err
+	}
+	sig := fpga.HashFrames(func(int) []uint32 { return zero }, sorted)
+	return &Image{Module: "", Partition: "", Words: words, Signature: sig, Frames: n}, nil
 }
 
 // Register makes the fabric recognise the image's content signature as

@@ -1,0 +1,146 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"rvcap/internal/fpga"
+)
+
+// Relocation: a partial bitstream compiled for one region is retargeted
+// to another by rewriting only its FAR packets — the FDRI frame
+// payloads are copied bit-for-bit, so a relocated load realises exactly
+// the compiled logic at the shifted addresses. Because the 7-series
+// configuration CRC covers the FAR writes, every embedded CRC check
+// word is recomputed for the shifted stream; the original stream's CRC
+// is verified on the way through, so a corrupted image is refused
+// rather than silently re-sealed with a fresh checksum.
+
+// ErrCorrupt marks a stream Relocate refused: malformed packets,
+// truncated payloads, or an embedded CRC that does not match the
+// original stream's contents.
+var ErrCorrupt = fmt.Errorf("bitstream: refusing to relocate corrupt stream")
+
+// Relocate rewrites every FAR write of a configuration word stream
+// through shift and re-seals the embedded CRC check words. All other
+// words — preamble, commands, FDRI frame payloads including the
+// trailing pad frames, NOP padding and the post-DESYNC trailer — are
+// copied verbatim. The input is never modified.
+func Relocate(words []uint32, shift func(far uint32) (uint32, error)) ([]uint32, error) {
+	out := make([]uint32, 0, len(words))
+	i := 0
+	synced := false
+	for ; i < len(words); i++ {
+		out = append(out, words[i])
+		if words[i] == fpga.SyncWord {
+			synced = true
+			i++
+			break
+		}
+	}
+	if !synced {
+		return nil, fmt.Errorf("%w: no sync word in %d-word stream", ErrCorrupt, len(words))
+	}
+
+	// origCRC runs over the incoming words, outCRC over the shifted
+	// ones; they diverge at the first relocated FAR and re-converge to
+	// zero at every check word.
+	var origCRC, outCRC uint32
+	var lastReg, lastOp uint32
+	desynced := false
+	consume := func(reg uint32, count int) error {
+		if i+count > len(words) {
+			return fmt.Errorf("%w: truncated payload for reg %#x at word %d", ErrCorrupt, reg, i)
+		}
+		for n := 0; n < count; n++ {
+			w := words[i]
+			i++
+			switch reg {
+			case fpga.RegCRC:
+				if w != origCRC {
+					return fmt.Errorf("%w: embedded CRC %#08x does not match contents (%#08x)",
+						ErrCorrupt, w, origCRC)
+				}
+				out = append(out, outCRC)
+				origCRC, outCRC = 0, 0
+				continue
+			case fpga.RegFAR:
+				nw, err := shift(w)
+				if err != nil {
+					return fmt.Errorf("bitstream: relocating FAR %#08x: %v", w, err)
+				}
+				out = append(out, nw)
+				origCRC = fpga.UpdateCRC(origCRC, reg, w)
+				outCRC = fpga.UpdateCRC(outCRC, reg, nw)
+				continue
+			case fpga.RegCMD:
+				out = append(out, w)
+				origCRC = fpga.UpdateCRC(origCRC, reg, w)
+				outCRC = fpga.UpdateCRC(outCRC, reg, w)
+				if w&0x1F == fpga.CmdRCRC {
+					origCRC, outCRC = 0, 0
+				}
+				if w&0x1F == fpga.CmdDesync {
+					desynced = true
+				}
+				continue
+			}
+			out = append(out, w)
+			origCRC = fpga.UpdateCRC(origCRC, reg, w)
+			outCRC = fpga.UpdateCRC(outCRC, reg, w)
+		}
+		return nil
+	}
+	for i < len(words) {
+		if desynced {
+			// Post-desync trailer: copied verbatim.
+			out = append(out, words[i])
+			i++
+			continue
+		}
+		h := words[i]
+		i++
+		out = append(out, h)
+		switch h >> 29 {
+		case 1:
+			reg := h >> 13 & 0x3FFF
+			op := h >> 27 & 0x3
+			lastReg, lastOp = reg, op
+			if op == 2 {
+				if err := consume(reg, int(h&0x7FF)); err != nil {
+					return nil, err
+				}
+			}
+		case 2:
+			if lastOp == 1 {
+				continue // readback request: no payload in the stream
+			}
+			if err := consume(lastReg, int(h&0x7FFFFFF)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: bad packet header %#08x at word %d", ErrCorrupt, h, i-1)
+		}
+	}
+	if !desynced {
+		return nil, fmt.Errorf("%w: stream does not end with DESYNC", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// RelocateImage retargets im through shift, returning a new image. The
+// frame contents — and therefore the content signature the load
+// produces — are unchanged; only the addresses move, so the relocated
+// image activates the same registered module in its new region.
+func RelocateImage(im *Image, partition string, shift func(far uint32) (uint32, error)) (*Image, error) {
+	words, err := Relocate(im.Words, shift)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{
+		Module:    im.Module,
+		Partition: partition,
+		Words:     words,
+		Signature: im.Signature,
+		Frames:    im.Frames,
+	}, nil
+}

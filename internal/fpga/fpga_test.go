@@ -669,3 +669,51 @@ func TestArtix7Geometry(t *testing.T) {
 		t.Error("devices share an IDCODE")
 	}
 }
+
+func TestRemovePartitionFreesFrames(t *testing.T) {
+	fab := NewFabric(testDevice())
+	frames, _ := fab.Dev.ColumnSpanFrames(0, 0, 0, 1)
+	p, err := fab.AddPartition("A", frames, Resources{}, Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fab.Owner(frames[0]) != p {
+		t.Fatal("Owner does not report the partition")
+	}
+	// Overlap is rejected while the partition is live...
+	if _, err := fab.AddPartition("B", frames[:3], Resources{}, Resources{}); err == nil {
+		t.Fatal("overlapping partition accepted")
+	}
+	if err := fab.RemovePartition(p); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the frames are reusable (and the name too) once removed.
+	if fab.Owner(frames[0]) != nil {
+		t.Error("removed partition still owns its frames")
+	}
+	if fab.Partition("A") != nil {
+		t.Error("removed partition still listed")
+	}
+	q, err := fab.AddPartition("A", frames[:3], Resources{}, Resources{})
+	if err != nil {
+		t.Fatalf("re-adding over a removed span: %v", err)
+	}
+	if fab.Owner(frames[0]) != q {
+		t.Error("re-added partition does not own its frames")
+	}
+	// Double removal (or removing a foreign partition) is an error.
+	if err := fab.RemovePartition(p); err == nil {
+		t.Error("removing a removed partition succeeded")
+	}
+}
+
+func TestAddPartitionRejectsDuplicateName(t *testing.T) {
+	fab := NewFabric(testDevice())
+	frames, _ := fab.Dev.ColumnSpanFrames(0, 0, 0, 1)
+	if _, err := fab.AddPartition("A", frames[:3], Resources{}, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.AddPartition("A", frames[3:6], Resources{}, Resources{}); err == nil {
+		t.Error("duplicate partition name accepted")
+	}
+}

@@ -85,8 +85,15 @@ func NewFabric(dev *Device) *Fabric {
 }
 
 // AddPartition reserves the given frames as a reconfigurable partition.
-// Frames must be inside the device and not belong to another partition.
+// Frames must be inside the device and not belong to another partition,
+// and the name must not collide with a live partition — partitions are
+// created and destroyed at runtime by the placement layer, so both
+// invariants are enforced here, at the fabric level, rather than in any
+// one caller.
 func (f *Fabric) AddPartition(name string, frames []int, reserve, span Resources) (*Partition, error) {
+	if f.Partition(name) != nil {
+		return nil, fmt.Errorf("fpga: partition %s already exists", name)
+	}
 	sorted := append([]int(nil), frames...)
 	sort.Ints(sorted)
 	p := &Partition{
@@ -129,6 +136,34 @@ func (f *Fabric) Partition(name string) *Partition {
 }
 
 func (f *Fabric) partOf(idx int) *Partition { return f.byIdx[idx] }
+
+// Owner returns the partition owning frame idx, or nil for static (or
+// out-of-device) frames. The frame-granular allocator scans it to find
+// free fabric.
+func (f *Fabric) Owner(idx int) *Partition { return f.byIdx[idx] }
+
+// RemovePartition releases p's frames back to the static fabric and
+// forgets the partition. The configuration memory is untouched — the
+// caller blanks the vacated span (or lets the next load overwrite it);
+// what is removed is only the reservation. Removing a partition that is
+// not on this fabric is an error.
+func (f *Fabric) RemovePartition(p *Partition) error {
+	at := -1
+	for i, q := range f.parts {
+		if q == p {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return fmt.Errorf("fpga: partition %s not on this fabric", p.Name)
+	}
+	for _, idx := range p.frames {
+		delete(f.byIdx, idx)
+	}
+	f.parts = append(f.parts[:at], f.parts[at+1:]...)
+	return nil
+}
 
 // RegisterModule associates a frame-content signature with a module
 // name. The bitstream builder computes the signature when it generates a

@@ -1,0 +1,77 @@
+// Package place pins the determinism patterns the frame-granular
+// placement allocator is built from: regions are scanned in anchor
+// order (never map order), free-space decisions come from ordered
+// column walks, and nothing in the allocator touches a PRNG or the
+// wall clock.
+package place
+
+import (
+	"sort"
+	"time"
+)
+
+// region is a miniature placed region.
+type region struct {
+	name string
+	col  int
+}
+
+// GoodDefragOrder visits regions sorted by anchor column: the
+// compaction sequence (and therefore every relocation) is reproducible.
+func GoodDefragOrder(regions map[string]*region) []string {
+	ordered := make([]*region, 0, len(regions))
+	for _, r := range regions {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].col < ordered[j].col })
+	var moves []string
+	for _, r := range ordered {
+		moves = append(moves, r.name)
+	}
+	return moves
+}
+
+// BadDefragOrder compacts in map-iteration order: two runs of the same
+// scenario would relocate regions in different sequences and the
+// fabric states would diverge.
+func BadDefragOrder(regions map[string]*region) []string {
+	var moves []string
+	for name := range regions {
+		moves = append(moves, name) // want "map-order-determinism"
+	}
+	return moves
+}
+
+// GoodFirstFit scans candidate anchors in ascending column order: the
+// chosen anchor is a pure function of the occupancy set.
+func GoodFirstFit(freeCols []bool, width int) int {
+	for col := 0; col+width <= len(freeCols); col++ {
+		fits := true
+		for c := col; c < col+width; c++ {
+			if !freeCols[c] {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			return col
+		}
+	}
+	return -1
+}
+
+// BadVictimQueue queues defrag victims in map order instead of anchor
+// order: the relocation sequence depends on the run.
+func BadVictimQueue(regions map[string]*region) []*region {
+	var victims []*region
+	for _, r := range regions {
+		victims = append(victims, r) // want "map-order-determinism"
+	}
+	return victims
+}
+
+// BadTimestampedMove stamps moves with host time, which would leak the
+// wall clock into the placement trace.
+func BadTimestampedMove(r *region) int64 {
+	return time.Now().UnixNano() // want "sim-determinism"
+}

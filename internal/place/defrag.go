@@ -1,0 +1,93 @@
+package place
+
+import "fmt"
+
+// Move records one region relocation performed by Defrag. When apply is
+// called the region already sits at its new anchor (Region.Row/Col/Part
+// are updated); OldRow/OldCol/OldFrames describe where it came from.
+type Move struct {
+	Region *Region
+	OldRow int
+	OldCol int
+	// OldFrames is the frame set the region vacated.
+	OldFrames []int
+}
+
+// VacatedFrames returns the old frames not covered by the region's new
+// span — the span to blank after the relocated image is loaded. Old and
+// new spans may overlap (compaction slides regions into gaps smaller
+// than themselves), which is safe because the relocated load rewrites
+// the overlap from the staged image.
+func (m Move) VacatedFrames() []int {
+	var out []int
+	for _, idx := range m.OldFrames {
+		if !m.Region.Part.Contains(idx) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Defrag compacts live regions toward the window origin: regions are
+// visited in (row, col) order and each movable one is re-placed at the
+// lowest first-fit anchor. For every region that actually moves, apply
+// is invoked to carry the configuration along — relocate the staged
+// bitstream to the new anchor, load it, and blank Move.VacatedFrames —
+// before the pass proceeds to the next region. movable filters which
+// regions may move (nil moves everything); busy regions stay put.
+//
+// An apply error aborts the pass with the fabric still consistent: the
+// failed move's region keeps its new reservation, and the moves
+// performed so far are returned alongside the error.
+func (a *Allocator) Defrag(movable func(*Region) bool, apply func(Move) error) ([]Move, error) {
+	var moves []Move
+	a.met.Defrags++
+	for _, r := range a.sortedByAnchor() {
+		if movable != nil && !movable(r) {
+			continue
+		}
+		oldRow, oldCol := r.Row, r.Col
+		oldFrames := append([]int(nil), r.Part.Frames()...)
+		// Free the region first so its own span counts as available —
+		// that is what lets a region slide into a gap smaller than
+		// itself (overlapping move).
+		if err := a.fab.RemovePartition(r.Part); err != nil {
+			return moves, err
+		}
+		row, col, ok := a.firstFitAnchor(r.FP)
+		if !ok || row > oldRow || (row == oldRow && col >= oldCol) {
+			row, col = oldRow, oldCol // no better anchor: stay put
+		}
+		p, err := a.addPart(r.Name, row, col, r.FP)
+		if err != nil {
+			return moves, fmt.Errorf("place: defrag re-placing %s: %v", r.Name, err)
+		}
+		r.Part, r.Row, r.Col = p, row, col
+		if row == oldRow && col == oldCol {
+			continue
+		}
+		m := Move{Region: r, OldRow: oldRow, OldCol: oldCol, OldFrames: oldFrames}
+		moves = append(moves, m)
+		a.met.Relocations++
+		a.met.FramesMoved += len(oldFrames)
+		if apply != nil {
+			if err := apply(m); err != nil {
+				return moves, err
+			}
+		}
+	}
+	return moves, nil
+}
+
+// firstFitAnchor is the compaction scan: lowest (row, col) anchor
+// regardless of the allocator's policy.
+func (a *Allocator) firstFitAnchor(fp Footprint) (int, int, bool) {
+	for r := a.win.Row0; r <= a.win.Row1; r++ {
+		for c := a.win.Col0; c <= a.win.Col1; c++ {
+			if a.fits(r, c, fp) {
+				return r, c, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,65 @@
+package place
+
+import "fmt"
+
+// Metrics counts what the allocator and defragmenter did. External
+// fragmentation is a gauge, not a counter — read it from
+// ExternalFragPct at the moments of interest.
+type Metrics struct {
+	// Placements and FailedPlacements count Alloc outcomes.
+	Placements       int
+	FailedPlacements int
+	// Defrags counts defragmentation passes; Relocations and
+	// FramesMoved count the region moves they performed.
+	Defrags     int
+	Relocations int
+	FramesMoved int
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("placed %d (failed %d), defrags %d, relocations %d, frames moved %d",
+		m.Placements, m.FailedPlacements, m.Defrags, m.Relocations, m.FramesMoved)
+}
+
+// Metrics returns the counters so far.
+func (a *Allocator) Metrics() Metrics { return a.met }
+
+// ExternalFragPct measures external fragmentation of the window right
+// now: 100 x (1 - largest free column run / total free columns), over
+// per-clock-region runs of fully-free columns. 0 means all free fabric
+// is one contiguous run (or none is free); approaching 100 means the
+// free fabric is shattered into slivers no footprint can use.
+func (a *Allocator) ExternalFragPct() float64 {
+	total, largest, run := 0, 0, 0
+	for r := a.win.Row0; r <= a.win.Row1; r++ {
+		run = 0
+		for c := a.win.Col0; c <= a.win.Col1; c++ {
+			if !a.colFree(r, c) {
+				run = 0
+				continue
+			}
+			total++
+			run++
+			if run > largest {
+				largest = run
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(largest)/float64(total))
+}
+
+// FreeCols returns the number of fully-free columns in the window.
+func (a *Allocator) FreeCols() int {
+	n := 0
+	for r := a.win.Row0; r <= a.win.Row1; r++ {
+		for c := a.win.Col0; c <= a.win.Col1; c++ {
+			if a.colFree(r, c) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+// Package place implements amorphous placement for the RV-CAP runtime:
+// instead of fixed reconfigurable partitions cut at build time (the
+// paper's Fig. 4 floorplan), modules declare a frame-span footprint and
+// a frame-granular allocator carves a region for each one out of the
+// fabric at load time. A relocation engine retargets one compiled
+// bitstream to whichever region a module was assigned by rewriting its
+// FAR packets (the FDRI frame payloads move bit-for-bit), and a
+// defragmentation pass compacts live regions toward the window origin
+// when external fragmentation blocks a placement.
+//
+// The approach follows the Amorphous DPR line of work (PAPERS.md,
+// arXiv 1710.08270): fixed pre-cut partitions reject any module mix
+// whose shapes don't match the cut, while flexible boundaries serve the
+// same mix from the same fabric. Everything here is deterministic —
+// anchors are found by ordered scans, regions are tracked in slices,
+// and no decision depends on map iteration order.
+package place
+
+import (
+	"fmt"
+
+	"rvcap/internal/fpga"
+)
+
+// Footprint is the fabric shape a module needs: Rows consecutive clock
+// regions tall and one column of each kind in Kinds, left to right,
+// plus the resource demand the synthesised logic actually uses. A
+// footprint can be placed at any anchor whose column-kind sequence
+// matches Kinds positionally — that positional match is exactly the
+// condition under which FAR-shifting a compiled bitstream is valid.
+type Footprint struct {
+	Rows  int
+	Kinds []fpga.ColumnKind
+	// Demand is the module's resource requirement; it must fit within
+	// the footprint span (Span) or the footprint is rejected at Alloc.
+	Demand fpga.Resources
+}
+
+// CLBCols returns a footprint of cols CLB columns by rows clock regions
+// — the shape of the image-filter modules, which use no BRAM or DSP
+// columns of their own.
+func CLBCols(rows, cols int, demand fpga.Resources) Footprint {
+	kinds := make([]fpga.ColumnKind, cols)
+	for i := range kinds {
+		kinds[i] = fpga.ColCLB
+	}
+	return Footprint{Rows: rows, Kinds: kinds, Demand: demand}
+}
+
+// Width returns the footprint's column count.
+func (fp Footprint) Width() int { return len(fp.Kinds) }
+
+// NumFrames returns the configuration frames a placed instance covers.
+func (fp Footprint) NumFrames() int {
+	n := 0
+	for _, k := range fp.Kinds {
+		n += k.FramesPerColumn()
+	}
+	return n * fp.Rows
+}
+
+// Span returns the fabric resources any placement of the footprint
+// physically covers.
+func (fp Footprint) Span() fpga.Resources {
+	var res fpga.Resources
+	for _, k := range fp.Kinds {
+		colRes := k.ColumnResources()
+		for r := 0; r < fp.Rows; r++ {
+			res = res.Add(colRes)
+		}
+	}
+	return res
+}
+
+func (fp Footprint) validate() error {
+	if fp.Rows < 1 || len(fp.Kinds) == 0 {
+		return fmt.Errorf("place: footprint %dx%d is empty", fp.Rows, len(fp.Kinds))
+	}
+	if !fp.Demand.FitsIn(fp.Span()) {
+		return fmt.Errorf("place: demand (%v) exceeds footprint span (%v)", fp.Demand, fp.Span())
+	}
+	return nil
+}
+
+// Region is a placed footprint: a reconfigurable partition created at
+// runtime, anchored at clock region Row, column Col.
+type Region struct {
+	Name string
+	Row  int
+	Col  int
+	FP   Footprint
+	Part *fpga.Partition
+}

@@ -1,0 +1,293 @@
+package place
+
+import (
+	"errors"
+	"testing"
+
+	"rvcap/internal/fpga"
+)
+
+// The Kintex7 window used throughout: clock region 0, columns 0-12.
+// Column 6 is a BRAM column, so a CLB footprint sees two six-column
+// runs (0-5 and 7-12) — the geometry that makes fragmentation real.
+func testWindow() Window { return Window{Row0: 0, Row1: 0, Col0: 0, Col1: 12} }
+
+func newAlloc(t *testing.T, pol Policy) *Allocator {
+	t.Helper()
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	a, err := New(fab, testWindow(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustAlloc(t *testing.T, a *Allocator, name string, cols int) *Region {
+	t.Helper()
+	r, err := a.Alloc(name, CLBCols(1, cols, fpga.Resources{}))
+	if err != nil {
+		t.Fatalf("alloc %s (%d cols): %v", name, cols, err)
+	}
+	return r
+}
+
+func TestFootprint(t *testing.T) {
+	fp := CLBCols(2, 3, fpga.Resources{LUT: 100})
+	if fp.Width() != 3 || fp.Rows != 2 {
+		t.Fatalf("CLBCols shape: %dx%d", fp.Rows, fp.Width())
+	}
+	if got, want := fp.NumFrames(), 2*3*36; got != want {
+		t.Fatalf("NumFrames = %d, want %d", got, want)
+	}
+	if got := fp.Span(); got.LUT != 2*3*400 || got.FF != 2*3*800 {
+		t.Fatalf("Span = %v", got)
+	}
+	if err := fp.validate(); err != nil {
+		t.Fatal(err)
+	}
+	greedy := CLBCols(1, 1, fpga.Resources{LUT: 500})
+	if err := greedy.validate(); err == nil {
+		t.Fatal("demand exceeding span accepted")
+	}
+	if err := (Footprint{}).validate(); err == nil {
+		t.Fatal("empty footprint accepted")
+	}
+}
+
+func TestFirstFitSkipsKindMismatch(t *testing.T) {
+	a := newAlloc(t, FirstFit)
+	want := [][2]int{{0, 3}, {3, 3}, {7, 4}, {11, 2}} // {col, width}
+	var regions []*Region
+	for i, w := range want {
+		r := mustAlloc(t, a, string(rune('A'+i)), w[1])
+		if r.Col != w[0] {
+			t.Fatalf("region %d (width %d) at col %d, want %d", i, w[1], r.Col, w[0])
+		}
+		regions = append(regions, r)
+	}
+	// Window is full for CLB shapes (only the BRAM column is free).
+	if _, err := a.Alloc("E", CLBCols(1, 1, fpga.Resources{})); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("full window: err = %v, want ErrNoSpace", err)
+	}
+	m := a.Metrics()
+	if m.Placements != 4 || m.FailedPlacements != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Freeing releases the frames and the fabric partition.
+	if err := a.Free(regions[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Regions()); got != 3 {
+		t.Fatalf("%d regions after free", got)
+	}
+	r := mustAlloc(t, a, "B2", 3)
+	if r.Col != 3 {
+		t.Fatalf("reused gap at col %d, want 3", r.Col)
+	}
+	if err := a.Free(regions[1]); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestBestFitPrefersTightGap(t *testing.T) {
+	// Fill both runs with small regions, then open a wide gap early and
+	// a tight gap late: best-fit must take the tight one, first-fit the
+	// early wide one.
+	for _, pol := range []Policy{FirstFit, BestFit} {
+		a := newAlloc(t, pol)
+		big := mustAlloc(t, a, "big", 6) // cols 0-5
+		mustAlloc(t, a, "b", 2)          // cols 7-8
+		tight := mustAlloc(t, a, "c", 2) // cols 9-10
+		mustAlloc(t, a, "d", 2)          // cols 11-12
+		if err := a.Free(big); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(tight); err != nil {
+			t.Fatal(err)
+		}
+		r := mustAlloc(t, a, "probe", 2)
+		want := 0 // first-fit: leftmost
+		if pol == BestFit {
+			want = 9 // the slack-free gap
+		}
+		if r.Col != want {
+			t.Fatalf("%v placed probe at col %d, want %d", pol, r.Col, want)
+		}
+	}
+}
+
+func TestAlignedAnchorsOnGrid(t *testing.T) {
+	a := newAlloc(t, Aligned)
+	// Width-3 grid anchors are cols 0, 3, 6, 9, 12; 6 is BRAM and 12
+	// overruns the window, so exactly three placements fit.
+	cols := []int{0, 3, 9}
+	for i, want := range cols {
+		r := mustAlloc(t, a, string(rune('A'+i)), 3)
+		if r.Col != want {
+			t.Fatalf("aligned region %d at col %d, want %d", i, r.Col, want)
+		}
+	}
+	if _, err := a.Alloc("D", CLBCols(1, 3, fpga.Resources{})); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("off-grid space was used: %v", err)
+	}
+}
+
+func TestShapeEverFits(t *testing.T) {
+	a := newAlloc(t, FirstFit)
+	if !a.ShapeEverFits(CLBCols(1, 6, fpga.Resources{})) {
+		t.Fatal("6 CLB cols should fit the window")
+	}
+	if a.ShapeEverFits(CLBCols(1, 7, fpga.Resources{})) {
+		t.Fatal("7 CLB cols cannot fit either run")
+	}
+	if a.ShapeEverFits(CLBCols(2, 1, fpga.Resources{})) {
+		t.Fatal("two-row footprint cannot fit a one-row window")
+	}
+	// A BRAM-bearing footprint fits when its kind sequence matches the
+	// device pattern (...CLB CLB BRAM CLB CLB...).
+	mixed := Footprint{Rows: 1, Kinds: []fpga.ColumnKind{fpga.ColCLB, fpga.ColBRAM, fpga.ColCLB}}
+	if !a.ShapeEverFits(mixed) {
+		t.Fatal("CLB-BRAM-CLB footprint should anchor at col 5")
+	}
+	r, err := a.Alloc("M", mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Col != 5 {
+		t.Fatalf("mixed footprint at col %d, want 5", r.Col)
+	}
+}
+
+func TestExternalFragPct(t *testing.T) {
+	a := newAlloc(t, FirstFit)
+	if got := a.ExternalFragPct(); got != 0 {
+		t.Fatalf("empty window frag = %v, want 0", got)
+	}
+	// Checkerboard the window, then free alternating regions.
+	var rs []*Region
+	for i := 0; i < 6; i++ {
+		rs = append(rs, mustAlloc(t, a, string(rune('A'+i)), 2))
+	}
+	// Occupied: 0-1, 2-3, 4-5, 7-8, 9-10, 11-12. Only the BRAM column
+	// is free: one run, zero external fragmentation.
+	if got := a.ExternalFragPct(); got != 0 {
+		t.Fatalf("packed window frag = %v, want 0", got)
+	}
+	for i := 0; i < 6; i += 2 {
+		if err := a.Free(rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free columns: 0-1, 4-5, 6 (BRAM), 9-10 — runs 2, 3, 2; total 7.
+	got := a.ExternalFragPct()
+	want := 100 * (1 - 3.0/7.0)
+	if diff := got - want; diff < -0.01 || diff > 0.01 {
+		t.Fatalf("frag = %v, want %v", got, want)
+	}
+	if a.FreeCols() != 7 {
+		t.Fatalf("FreeCols = %d, want 7", a.FreeCols())
+	}
+}
+
+func TestDefragCompactsAndUnblocks(t *testing.T) {
+	a := newAlloc(t, FirstFit)
+	var rs []*Region
+	for i := 0; i < 6; i++ {
+		rs = append(rs, mustAlloc(t, a, string(rune('A'+i)), 2))
+	}
+	for _, i := range []int{1, 3, 5} { // free B (2-3), D (7-8), F (11-12)
+		if err := a.Free(rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free CLB runs are all width 2: a 4-wide footprint is blocked by
+	// pure external fragmentation.
+	wide := CLBCols(1, 4, fpga.Resources{})
+	if _, err := a.Alloc("wide", wide); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("fragmented alloc: err = %v, want ErrNoSpace", err)
+	}
+	before := a.ExternalFragPct()
+
+	var applied []Move
+	moves, err := a.Defrag(nil, func(m Move) error {
+		applied = append(applied, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 || len(applied) != 2 {
+		t.Fatalf("defrag made %d moves (%d applied), want 2", len(moves), len(applied))
+	}
+	// C slides 4->2, E slides 9->4; A stays at 0.
+	if m := moves[0]; m.Region != rs[2] || m.OldCol != 4 || m.Region.Col != 2 {
+		t.Fatalf("move 0 = %+v", moves[0])
+	}
+	if m := moves[1]; m.Region != rs[4] || m.OldCol != 9 || m.Region.Col != 4 {
+		t.Fatalf("move 1 = %+v", moves[1])
+	}
+	after := a.ExternalFragPct()
+	if after >= before {
+		t.Fatalf("defrag did not lower fragmentation: %v -> %v", before, after)
+	}
+	// The blocked footprint now fits.
+	if _, err := a.Alloc("wide", wide); err != nil {
+		t.Fatalf("post-defrag alloc: %v", err)
+	}
+	m := a.Metrics()
+	if m.Defrags != 1 || m.Relocations != 2 || m.FramesMoved != 2*2*36 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestDefragOverlappingMove(t *testing.T) {
+	a := newAlloc(t, FirstFit)
+	pad := mustAlloc(t, a, "pad", 2) // cols 0-1
+	g := mustAlloc(t, a, "G", 4)     // cols 2-5
+	if err := a.Free(pad); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := a.Defrag(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G slides 2->0 into a gap narrower than itself: spans overlap.
+	if len(moves) != 1 || g.Col != 0 {
+		t.Fatalf("moves = %v, G at col %d", moves, g.Col)
+	}
+	vac := moves[0].VacatedFrames()
+	if len(vac) != 2*36 {
+		t.Fatalf("vacated %d frames, want %d (cols 4-5)", len(vac), 2*36)
+	}
+	for _, idx := range vac {
+		if g.Part.Contains(idx) {
+			t.Fatalf("vacated frame %d still owned by G", idx)
+		}
+	}
+	// An immovable region stays put.
+	if moves, err := a.Defrag(func(*Region) bool { return false }, nil); err != nil || len(moves) != 0 {
+		t.Fatalf("frozen defrag: moves = %v, err = %v", moves, err)
+	}
+}
+
+func TestNewRejectsBadWindow(t *testing.T) {
+	fab := fpga.NewFabric(fpga.NewKintex7())
+	if _, err := New(fab, Window{Row0: 0, Row1: 99, Col0: 0, Col1: 3}, FirstFit); err == nil {
+		t.Fatal("out-of-device window accepted")
+	}
+	if _, err := New(fab, Window{Row0: 1, Row1: 0, Col0: 0, Col1: 3}, FirstFit); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, pol := range []Policy{FirstFit, BestFit, Aligned} {
+		got, err := ParsePolicy(pol.String())
+		if err != nil || got != pol {
+			t.Fatalf("round trip %v: got %v, err %v", pol, got, err)
+		}
+	}
+	if _, err := ParsePolicy("worst-fit"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package place
+
+import (
+	"fmt"
+
+	"rvcap/internal/bitstream"
+	"rvcap/internal/fpga"
+)
+
+// Shift returns the FAR rewriter translating a bitstream compiled at
+// anchor (srcRow, srcCol) to anchor (dstRow, dstCol): every address
+// keeps its offset within the footprint, (r, c, m) becomes
+// (r - srcRow + dstRow, c - srcCol + dstCol, m). The rewrite refuses to
+// move a frame onto a column of a different kind — the minor spaces
+// would not line up — so only kind-matching anchors (which the
+// allocator guarantees) relocate cleanly.
+func Shift(dev *fpga.Device, srcRow, srcCol, dstRow, dstCol int) func(uint32) (uint32, error) {
+	return func(far uint32) (uint32, error) {
+		r, c, m := dev.UnpackFAR(far)
+		nr, nc := r-srcRow+dstRow, c-srcCol+dstCol
+		if _, err := dev.FrameIndex(nr, nc, m); err != nil {
+			return 0, err
+		}
+		if dev.Cols[c] != dev.Cols[nc] {
+			return 0, fmt.Errorf("place: column kind mismatch: col %d is %v, col %d is %v",
+				c, dev.Cols[c], nc, dev.Cols[nc])
+		}
+		return dev.PackFAR(nr, nc, m), nil
+	}
+}
+
+// PrototypeAnchor returns the first (row, col) on dev whose column-kind
+// sequence matches fp — the canonical anchor prototype bitstreams are
+// compiled at. One prototype per (module, footprint) serves every
+// placement via relocation.
+func PrototypeAnchor(dev *fpga.Device, fp Footprint) (int, int, error) {
+	for r := 0; r+fp.Rows <= dev.Rows; r++ {
+		for c := 0; c+fp.Width() <= len(dev.Cols); c++ {
+			ok := true
+			for k, kind := range fp.Kinds {
+				if dev.Cols[c+k] != kind {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return r, c, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("place: no anchor on %s matches footprint %dx%d", dev.Name, fp.Rows, fp.Width())
+}
+
+// Prototype compiles module's partial bitstream for fp at the prototype
+// anchor, on a throwaway fabric. The returned image's signature is
+// content-derived, so it identifies the module wherever the image is
+// later relocated — register it once per (module, footprint).
+func Prototype(dev *fpga.Device, fp Footprint, module string, opts bitstream.Options) (*bitstream.Image, int, int, error) {
+	row, col, err := PrototypeAnchor(dev, fp)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	fab := fpga.NewFabric(dev)
+	part, err := fpga.NewSpanPartition(fab, "PROTO:"+module,
+		row, row+fp.Rows-1, col, col+fp.Width()-1, fp.Demand)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	im, err := bitstream.Partial(dev, part, module, opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return im, row, col, nil
+}
+
+// Retarget relocates a prototype image (compiled at srcRow, srcCol) to
+// region r. The frame contents and signature are untouched; only the
+// FAR packets move.
+func Retarget(dev *fpga.Device, im *bitstream.Image, srcRow, srcCol int, r *Region) (*bitstream.Image, error) {
+	return bitstream.RelocateImage(im, r.Name, Shift(dev, srcRow, srcCol, r.Row, r.Col))
+}

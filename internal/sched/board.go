@@ -49,7 +49,13 @@ func (b *Board) Config() Config { return b.cfg }
 // the cluster dispatcher can fail fast on a bad board template before
 // generating or routing any workload.
 func (c Config) validate() error {
-	if c.RPs < 1 || c.RPs > len(rpColumnPairs) {
+	if c.Amorphous {
+		// Slots are bounded by the window's CLB capacity over the
+		// narrowest footprint (12 columns / 2 per Sobel region).
+		if c.RPs < 1 || c.RPs > 6 {
+			return fmt.Errorf("sched: amorphous RPs = %d outside [1,6]", c.RPs)
+		}
+	} else if c.RPs < 1 || c.RPs > len(rpColumnPairs) {
 		return fmt.Errorf("sched: RPs = %d outside [1,%d]", c.RPs, len(rpColumnPairs))
 	}
 	if c.CacheSlots < 2 {
@@ -123,36 +129,46 @@ func (b *Board) Run(jobs []*Job) (*Report, error) {
 		}
 	}
 
-	// Partitions and their per-module partial bitstreams. Partitions
-	// have disjoint frame spans, so each (partition, module) pair is a
-	// distinct image with its own signature.
-	for i := 0; i < cfg.RPs; i++ {
-		cols := rpColumnPairs[i]
-		part, _, err := s.AddPartition(fmt.Sprintf("SRP%d", i), 0, 0, cols[0], cols[1], fpga.DefaultRPReserve)
-		if err != nil {
+	if cfg.Amorphous {
+		// Region slots, the placement allocator and one relocatable
+		// prototype image per module.
+		if err := r.setupAmorphous(k); err != nil {
 			return nil, err
 		}
-		r.rps = append(r.rps, &rpState{
-			part:  part,
-			start: sim.NewSignal(k, part.Name+".start"),
-		})
-		natural := 0
-		for _, module := range accel.Filters {
-			if natural == 0 {
-				probe, err := bitstream.Partial(s.Fabric.Dev, part, module, bitstream.Options{})
-				if err != nil {
-					return nil, err
-				}
-				natural = probe.SizeBytes()
-			}
-			num, den := padFactor(module)
-			im, err := bitstream.Partial(s.Fabric.Dev, part, module,
-				bitstream.Options{PadToBytes: (natural*num/den + 3) &^ 3})
+	} else {
+		// Fixed pre-cut partitions and their per-module partial
+		// bitstreams. Partitions have disjoint frame spans, so each
+		// (partition, module) pair is a distinct image with its own
+		// signature.
+		for i := 0; i < cfg.RPs; i++ {
+			cols := rpColumnPairs[i]
+			part, _, err := s.AddPartition(fmt.Sprintf("SRP%d", i), 0, 0, cols[0], cols[1], fpga.DefaultRPReserve)
 			if err != nil {
 				return nil, err
 			}
-			bitstream.Register(s.Fabric, im)
-			r.images[imgKey{rp: i, module: module}] = im
+			r.rps = append(r.rps, &rpState{
+				name:  part.Name,
+				part:  part,
+				start: sim.NewSignal(k, part.Name+".start"),
+			})
+			natural := 0
+			for _, module := range accel.Filters {
+				if natural == 0 {
+					probe, err := bitstream.Partial(s.Fabric.Dev, part, module, bitstream.Options{})
+					if err != nil {
+						return nil, err
+					}
+					natural = probe.SizeBytes()
+				}
+				num, den := padFactor(module)
+				im, err := bitstream.Partial(s.Fabric.Dev, part, module,
+					bitstream.Options{PadToBytes: (natural*num/den + 3) &^ 3})
+				if err != nil {
+					return nil, err
+				}
+				bitstream.Register(s.Fabric, im)
+				r.images[imgKey{rp: i, module: module}] = im
+			}
 		}
 	}
 
@@ -170,7 +186,7 @@ func (b *Board) Run(jobs []*Job) (*Report, error) {
 	k.Go("sched.fetch", func(p *sim.Proc) { r.cache.runFetcher(p, r.stop) })
 	for i := range r.rps {
 		i := i
-		k.Go(r.rps[i].part.Name, func(p *sim.Proc) { r.runRP(p, i) })
+		k.Go(r.rps[i].name, func(p *sim.Proc) { r.runRP(p, i) })
 	}
 	var runErr error
 	k.Go("sched.cpu", func(p *sim.Proc) { runErr = r.runDispatcher(p) })

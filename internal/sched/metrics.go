@@ -84,6 +84,27 @@ type Report struct {
 	// the service-level throughput that degraded operation erodes.
 	GoodputJobsPerMs float64 `json:"goodput_jobs_per_ms"`
 
+	// Amorphous-placement gauges (all zero for fixed partitions).
+	// Placements/FailedPlacements are the allocator's raw Alloc
+	// outcomes (a failed attempt retried after a defrag counts again);
+	// PlaceWaits counts dispatches that had to requeue for a busy slot
+	// to drain. Defrags/Relocations/FramesMoved account the compaction
+	// passes. MeanFragPct averages the external-fragmentation gauge
+	// sampled after every placement; DefragFragBeforePct/AfterPct
+	// average the gauge around the defrag passes that moved something.
+	Amorphous           bool    `json:"amorphous,omitempty"`
+	PlacePolicy         string  `json:"place_policy,omitempty"`
+	Placements          int     `json:"placements,omitempty"`
+	FailedPlacements    int     `json:"failed_placements,omitempty"`
+	PlaceWaits          int     `json:"place_waits,omitempty"`
+	Defrags             int     `json:"defrags,omitempty"`
+	Relocations         int     `json:"relocations,omitempty"`
+	FramesMoved         int     `json:"frames_moved,omitempty"`
+	MeanFragPct         float64 `json:"mean_frag_pct,omitempty"`
+	FinalFragPct        float64 `json:"final_frag_pct,omitempty"`
+	DefragFragBeforePct float64 `json:"defrag_frag_before_pct,omitempty"`
+	DefragFragAfterPct  float64 `json:"defrag_frag_after_pct,omitempty"`
+
 	// KernelEvents is the number of simulation events the board's kernel
 	// fired for the whole scenario — the denominator-free measure fleet
 	// throughput (aggregate events/sec) is built on.
@@ -168,7 +189,7 @@ func (r *Runtime) buildReport() *Report {
 	var busy, reconf float64
 	for _, rp := range r.rps {
 		st := RPStat{
-			Name:           rp.part.Name,
+			Name:           rp.name,
 			Jobs:           rp.jobsServed,
 			Reconfigs:      rp.reconfigs,
 			BusyMicros:     sim.Micros(rp.busyCycles),
@@ -189,6 +210,35 @@ func (r *Runtime) buildReport() *Report {
 	if busy+reconf > 0 {
 		rep.ReconfigOverheadRatio = reconf / (busy + reconf)
 	}
+
+	if r.cfg.Amorphous {
+		rep.Amorphous = true
+		rep.PlacePolicy = r.cfg.PlacePolicy.String()
+		m := r.alloc.Metrics()
+		rep.Placements = m.Placements
+		rep.FailedPlacements = m.FailedPlacements
+		rep.PlaceWaits = r.placeWaits
+		rep.Defrags = m.Defrags
+		rep.Relocations = m.Relocations
+		rep.FramesMoved = m.FramesMoved
+		rep.FinalFragPct = r.alloc.ExternalFragPct()
+		if len(r.fragSamples) > 0 {
+			var sum float64
+			for _, f := range r.fragSamples {
+				sum += f
+			}
+			rep.MeanFragPct = sum / float64(len(r.fragSamples))
+		}
+		if len(r.defragDrops) > 0 {
+			var before, after float64
+			for _, d := range r.defragDrops {
+				before += d[0]
+				after += d[1]
+			}
+			rep.DefragFragBeforePct = before / float64(len(r.defragDrops))
+			rep.DefragFragAfterPct = after / float64(len(r.defragDrops))
+		}
+	}
 	return rep
 }
 
@@ -202,6 +252,11 @@ func (rep *Report) String() string {
 	fmt.Fprintf(&b, "  reconfigs=%d resident-hits=%d overhead-ratio=%.3f cache-hit-rate=%.2f (hits %d, misses %d, prefetches %d, evictions %d)\n",
 		rep.Reconfigs, rep.ResidentHits, rep.ReconfigOverheadRatio,
 		rep.CacheHitRate, rep.CacheHits, rep.CacheMisses, rep.Prefetches, rep.Evictions)
+	if rep.Amorphous {
+		fmt.Fprintf(&b, "  placement: policy=%s placed=%d failed=%d waits=%d defrags=%d relocations=%d frames-moved=%d frag mean/final=%.1f/%.1f%%\n",
+			rep.PlacePolicy, rep.Placements, rep.FailedPlacements, rep.PlaceWaits,
+			rep.Defrags, rep.Relocations, rep.FramesMoved, rep.MeanFragPct, rep.FinalFragPct)
+	}
 	if rep.FailedLoads+rep.LoadRetries+rep.StageRetries+rep.Quarantines > 0 {
 		fmt.Fprintf(&b, "  faults: failed-loads=%d load-retries=%d stage-retries=%d quarantined=%d goodput=%.2f jobs/ms\n",
 			rep.FailedLoads, rep.LoadRetries, rep.StageRetries, rep.Quarantines, rep.GoodputJobsPerMs)

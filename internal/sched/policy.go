@@ -73,7 +73,7 @@ func (r *Runtime) pick() (int, int) {
 	case Affinity:
 		for qi := 0; qi < window; qi++ {
 			for pi, rp := range r.rps {
-				if !rp.busy && !rp.quarantined && rp.part.Active() == r.queue[qi].Module {
+				if !rp.busy && !rp.quarantined && rp.active() == r.queue[qi].Module {
 					return qi, pi
 				}
 			}
@@ -106,10 +106,10 @@ func (r *Runtime) pick() (int, int) {
 // otherwise the partial bitstream size plus the SD staging still ahead
 // of it when the image is not yet DDR-resident.
 func (r *Runtime) switchCost(module string, pi int) int {
-	if r.rps[pi].part.Active() == module {
+	if r.rps[pi].active() == module {
 		return 0
 	}
-	key := imgKey{rp: pi, module: module}
+	key := r.imageKey(pi, module)
 	cost := r.images[key].SizeBytes()
 	if e, ok := r.cache.entries[key]; !ok || e.state != statePresent {
 		cost += r.images[key].SizeBytes() // staging is the same byte count again

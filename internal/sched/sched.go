@@ -38,6 +38,7 @@ import (
 	"rvcap/internal/driver"
 	"rvcap/internal/fault"
 	"rvcap/internal/fpga"
+	"rvcap/internal/place"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
 )
@@ -67,6 +68,17 @@ type Config struct {
 	ReorderWindow int
 	// NoPrefetch disables staging a job's bitstream at arrival time.
 	NoPrefetch bool
+
+	// Amorphous switches the runtime from fixed pre-cut partitions to
+	// frame-granular placement: RPs becomes the number of concurrent
+	// region slots, each module declares its own footprint, one staged
+	// prototype bitstream per module is relocated to whichever region
+	// the allocator assigns, and the load path defragments — then
+	// reclaims idle regions — before waiting on a busy slot.
+	Amorphous bool
+	// PlacePolicy selects the placement policy in amorphous mode
+	// (first-fit when zero).
+	PlacePolicy place.Policy
 
 	// FaultRate, when nonzero, injects faults across the datapath (SD
 	// staging errors, DMA transfer errors and stalls, bitstream
@@ -173,13 +185,22 @@ func padFactor(module string) (num, den int) {
 	return 1, 1
 }
 
-// rpState is the runtime view of one partition.
+// rpState is the runtime view of one partition — or, in amorphous
+// mode, of one region slot, whose partition is created and destroyed at
+// runtime as regions are placed and reclaimed.
 type rpState struct {
+	name        string
 	part        *fpga.Partition
 	start       *sim.Signal
 	busy        bool
 	quarantined bool
 	job         *Job
+
+	// region is the slot's current placement (amorphous mode only);
+	// resident names the module last successfully loaded into it, which
+	// the defragmenter reloads at the region's new anchor.
+	region   *place.Region
+	resident string
 
 	jobsServed int
 	// reconfigs counts every module load attempt actually driven through
@@ -191,6 +212,15 @@ type rpState struct {
 	loadsOK        int
 	busyCycles     sim.Time
 	reconfigCycles sim.Time
+}
+
+// active returns the slot's resident module, or "" when the slot has no
+// partition yet (an amorphous slot before its first placement).
+func (rp *rpState) active() string {
+	if rp.part == nil {
+		return ""
+	}
+	return rp.part.Active()
 }
 
 // Runtime is one scenario in flight on one Board. Construct with
@@ -209,6 +239,15 @@ type Runtime struct {
 
 	wake *sim.Signal // pulses on arrival / completion / fetch-done
 	stop *sim.Signal // latched end-of-scenario
+
+	// Amorphous-mode state: the frame-granular allocator, the prototype
+	// anchor of each module's compiled image, and the placement gauges.
+	alloc       *place.Allocator
+	protoAnchor map[string][2]int
+	placeSeq    int
+	placeWaits  int
+	fragSamples []float64
+	defragDrops [][2]float64 // {before, after} external-frag % per defrag
 
 	// plan, when set, schedules the injected faults; killArmed is true
 	// while the dispatcher is loading the hard-failed partition.
@@ -263,7 +302,7 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 				}
 				r.cfg.onPrefetch(rp, q)
 			}
-			r.cache.request(imgKey{rp: rp, module: job.Module}, true)
+			r.cache.request(r.imageKey(rp, job.Module), true)
 		}
 		r.wake.Fire()
 	}
@@ -279,7 +318,7 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 func (r *Runtime) predictRP(job *Job) int {
 	alive := 0
 	for i, rp := range r.rps {
-		if !rp.quarantined && rp.part.Active() == job.Module {
+		if !rp.quarantined && rp.active() == job.Module {
 			return i
 		}
 		if !rp.quarantined {
@@ -362,9 +401,18 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 	job.Dispatch = p.Now()
 	job.RP = pi
 
-	if rp.part.Active() != job.Module {
-		key := imgKey{rp: pi, module: job.Module}
+	if rp.active() != job.Module {
+		key := r.imageKey(pi, job.Module)
 		t0 := p.Now()
+		if r.cfg.Amorphous {
+			ok, err := r.ensurePlaced(p, rp, pi, job)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // window full: job requeued, waiting for a drain
+			}
+		}
 		err := r.loadModule(p, rp, pi, key)
 		if isLoadFault(err) {
 			return r.quarantine(p, pi, job)
@@ -374,6 +422,7 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 		}
 		rp.reconfigCycles += p.Now() - t0
 		rp.loadsOK++
+		rp.resident = job.Module
 		job.Reconfigured = true
 	}
 
@@ -491,11 +540,19 @@ func (r *Runtime) reconfigure(p *sim.Proc, rp *rpState, key imgKey, e *cacheEntr
 	if err := r.d.SelectICAP(p, true); err != nil {
 		return err
 	}
+	addr, size := e.addr, uint32(e.bytes)
+	if r.cfg.Amorphous {
+		var err error
+		addr, size, err = r.stageRelocated(p, rp, key, e)
+		if err != nil {
+			return err
+		}
+	}
 	m := &driver.ReconfigModule{
 		BitstreamName: key.module + ".bin",
 		Function:      key.module,
-		StartAddress:  e.addr,
-		PbitSize:      uint32(e.bytes),
+		StartAddress:  addr,
+		PbitSize:      size,
 	}
 	if err := r.d.ReconfigureRP(p, m, driver.NonBlocking); err != nil {
 		return err

@@ -7,11 +7,77 @@ import (
 	"rvcap/internal/fpga"
 )
 
+// rpSlot is one extra-RP attachment point: a decouple bit of the RV-CAP
+// RP control interface plus the memory-mapped isolator it drives. Slots
+// outlive the partitions wired into them — the placement layer creates
+// and destroys regions at runtime, and a released slot is reused by the
+// next WirePartition rather than burning a fresh decouple bit.
+type rpSlot struct {
+	part *fpga.Partition
+	iso  *axi.Isolator
+}
+
+// WirePartition attaches an existing fabric partition to the lowest
+// free decouple bit — bit 0 is the primary partition, bit 1 the first
+// extra slot, and so on — and returns the isolator that bit toggles
+// together with the bit number. The partition may have been created by
+// fpga.NewSpanPartition at build time or carved out by the placement
+// allocator at runtime.
+func (s *SoC) WirePartition(part *fpga.Partition) (*axi.Isolator, int, error) {
+	if part == nil {
+		return nil, 0, fmt.Errorf("soc: wiring nil partition")
+	}
+	if part == s.RP || s.DecoupleBit(part) > 0 {
+		return nil, 0, fmt.Errorf("soc: partition %s already wired", part.Name)
+	}
+	at := -1
+	for i, sl := range s.extraRPs {
+		if sl.part == nil {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		at = len(s.extraRPs)
+		if at+1 > 31 {
+			return nil, 0, fmt.Errorf("soc: decouple register exhausted (%d partitions)", at+1)
+		}
+		// The decouple hook is registered once per slot and reads the
+		// slot's current occupant, so rewiring needs no new hook.
+		bit := at + 1
+		s.extraRPs = append(s.extraRPs, &rpSlot{})
+		s.RVCAP.OnDecouple = append(s.RVCAP.OnDecouple, func(rp int, d bool) {
+			if rp != bit {
+				return
+			}
+			if sl := s.extraRPs[bit-1]; sl.iso != nil {
+				sl.iso.SetDecoupled(d)
+			}
+		})
+	}
+	iso := axi.NewIsolator(nil)
+	s.extraRPs[at].part = part
+	s.extraRPs[at].iso = iso
+	return iso, at + 1, nil
+}
+
+// ReleasePartition detaches part from its decouple bit, freeing the
+// slot for reuse. The partition itself is untouched — destroying it on
+// the fabric (fpga.Fabric.RemovePartition) is the caller's move.
+func (s *SoC) ReleasePartition(part *fpga.Partition) error {
+	for _, sl := range s.extraRPs {
+		if sl.part == part && part != nil {
+			sl.part, sl.iso = nil, nil
+			return nil
+		}
+	}
+	return fmt.Errorf("soc: partition not wired to any slot")
+}
+
 // AddPartition places an additional reconfigurable partition on the
 // fabric (the multi-RP extension: "One or more RPs can be created to
-// host different RMs", paper §III-A) and wires a memory-mapped isolator
-// to the next free decouple bit of the RV-CAP RP control interface —
-// bit 0 is the primary partition, bit 1 the first added one, and so on.
+// host different RMs", paper §III-A) and wires it to the next free
+// decouple bit of the RV-CAP RP control interface.
 //
 // The AXI-Stream acceleration path serves the primary partition only
 // (the controller has one stream switch, as in the paper); additional
@@ -22,37 +88,36 @@ func (s *SoC) AddPartition(name string, row0, row1, col0, col1 int, reserve fpga
 	if err != nil {
 		return nil, nil, err
 	}
-	bit := len(s.extraRPs) + 1
-	if bit > 31 {
-		return nil, nil, fmt.Errorf("soc: decouple register exhausted (%d partitions)", bit)
+	iso, _, err := s.WirePartition(part)
+	if err != nil {
+		return nil, nil, err
 	}
-	iso := axi.NewIsolator(nil)
-	s.extraRPs = append(s.extraRPs, part)
-	s.RVCAP.OnDecouple = append(s.RVCAP.OnDecouple, func(rp int, d bool) {
-		if rp == bit {
-			iso.SetDecoupled(d)
-		}
-	})
 	return part, iso, nil
 }
 
-// Partitions returns the primary partition followed by the added ones.
+// Partitions returns the primary partition followed by the wired extra
+// ones in slot order.
 func (s *SoC) Partitions() []*fpga.Partition {
 	var out []*fpga.Partition
 	if s.RP != nil {
 		out = append(out, s.RP)
 	}
-	return append(out, s.extraRPs...)
+	for _, sl := range s.extraRPs {
+		if sl.part != nil {
+			out = append(out, sl.part)
+		}
+	}
+	return out
 }
 
 // DecoupleBit returns the RP control interface bit controlling the
 // given partition, or -1 if it is not wired.
 func (s *SoC) DecoupleBit(part *fpga.Partition) int {
-	if part == s.RP {
+	if part == s.RP && part != nil {
 		return 0
 	}
-	for i, p := range s.extraRPs {
-		if p == part {
+	for i, sl := range s.extraRPs {
+		if sl.part == part && part != nil {
 			return i + 1
 		}
 	}

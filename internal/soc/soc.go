@@ -94,7 +94,7 @@ type SoC struct {
 	rmFactories map[string]RMFactory
 	activeIn    *axi.Stream
 	activeOut   *axi.Stream
-	extraRPs    []*fpga.Partition
+	extraRPs    []*rpSlot
 }
 
 // New builds the SoC.

@@ -246,3 +246,63 @@ func TestAddPartitionWiresDecoupleBit(t *testing.T) {
 	}
 	_ = k
 }
+
+func TestWirePartitionReusesReleasedSlot(t *testing.T) {
+	_, s := newSoC(t, Config{})
+	p1, _, err := s.AddPartition("DYN1", 0, 0, 0, 2, fpga.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := s.AddPartition("DYN2", 0, 0, 3, 5, fpga.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecoupleBit(p1) != 1 || s.DecoupleBit(p2) != 2 {
+		t.Fatalf("bits = %d, %d", s.DecoupleBit(p1), s.DecoupleBit(p2))
+	}
+	// Release the first slot and destroy its partition, as the
+	// placement runtime does when a region is reclaimed.
+	if err := s.ReleasePartition(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fabric.RemovePartition(p1); err != nil {
+		t.Fatal(err)
+	}
+	if s.DecoupleBit(p1) != -1 {
+		t.Fatal("released partition still wired")
+	}
+	if got := len(s.Partitions()); got != 2 { // RP0 + DYN2
+		t.Fatalf("partitions = %d", got)
+	}
+	// The freed bit is reused — on a different span, proving slots are
+	// attachment points, not regions.
+	p3, err := fpga.NewSpanPartition(s.Fabric, "DYN3", 0, 0, 7, 9, fpga.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso3, bit, err := s.WirePartition(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bit != 1 || s.DecoupleBit(p3) != 1 {
+		t.Fatalf("reused bit = %d, want 1", bit)
+	}
+	if s.DecoupleBit(p2) != 2 {
+		t.Fatal("release disturbed the other slot")
+	}
+	// The slot's pre-registered decouple hook drives the new isolator.
+	s.Run("sw", func(p *sim.Proc) {
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0b010)
+		if !iso3.Decoupled() {
+			t.Error("reused bit does not reach the rewired isolator")
+		}
+		axi.WriteU32(p, s.Bus, RVCAPBase+0, 0)
+	})
+	// Double-wire and double-release are refused.
+	if _, _, err := s.WirePartition(p3); err == nil {
+		t.Fatal("double wire accepted")
+	}
+	if err := s.ReleasePartition(p1); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
