@@ -10,50 +10,73 @@
 //     per-board report digests match — the fleet's parallel-determinism
 //     proof (the file carries wall times, so a byte-level compare of two
 //     invocations cannot gate it; the equality check lives inside one
-//     invocation and this tool enforces that it held).
+//     invocation and this tool enforces that it held). Rungs with more
+//     boards than the recording host had cores cannot show multi-core
+//     scaling; those scaling assertions are downgraded to an annotated
+//     skip (printed, not silently dropped). A file that does not say
+//     how many cores recorded it is refused.
 //   - amorphous-frag (BENCH_7.json, from -fragjson): the placement
 //     sweep's headline claims — at least one module mix the fixed
 //     pre-cut slots reject that amorphous placement serves with zero
 //     failures, amorphous never failing more than fixed on any row,
 //     and every defrag pass that moved regions having lowered the
 //     external-fragmentation gauge.
+//   - kernel-cascade (BENCH_8.json, from -cascadejson): the
+//     second-round kernel record — queue equivalence as in
+//     kernel-fastpath, a per-core events/sec improvement over the
+//     BENCH_5 baseline of at least -min-ratio (recomputed from the
+//     file's own numbers, and cross-checked against the committed
+//     baseline when -baseline is given), and the fleet aggregate
+//     floor -aggregate-floor (skipped with an annotation when the
+//     recording host had fewer cores than fleet boards).
 //
-// It replaces a fragile grep/tr pipeline that only counted duplicated
-// "events" lines and would accept a malformed document.
+// Documentation claims are gated too: every markdown file passed via
+// -claims is scanned for benchclaim annotations of the form
+//
+//	<!-- benchclaim file=BENCH_5.json path=data.speedup_vs_legacy value=1.10 tol=0.10 -->
+//
+// and each annotated value must match the committed JSON (resolved
+// relative to the markdown file) within the relative tolerance. Prose
+// headline numbers next to such an annotation therefore cannot drift
+// from the measurement without failing the gate.
 //
 // Usage:
 //
-//	benchcheck <path/to/BENCH_5.json | path/to/BENCH_6.json | path/to/BENCH_7.json>
+//	benchcheck [-baseline BENCH_5.json] [-min-ratio 3] [-aggregate-floor 1e7] [-claims doc.md]... <BENCH_*.json>...
 //
-// Exits 0 when the document holds, 1 with a diagnostic when it does
-// not, 2 on usage or read errors.
+// Exits 0 when every document and claim holds, 1 with a diagnostic when
+// one does not, 2 on usage or read errors.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 )
 
-// payload mirrors the slices of the BENCH_5/BENCH_6 schemas the gates
-// care about (see cmd/rvcap-bench/benchjson.go and fleetjson.go for
-// the writers). The two documents share the experiment/data envelope;
-// Runs carries the union of both runs' fields and validation dispatches
-// on Experiment.
+// payload mirrors the slices of the BENCH_5/6/7/8 schemas the gates
+// care about (see cmd/rvcap-bench/benchjson.go, fleetjson.go and
+// cascadejson.go for the writers). The documents share the
+// experiment/data envelope; Runs carries the union of the runs' fields
+// and validation dispatches on Experiment.
 type payload struct {
 	Experiment string `json:"experiment"`
 	Data       struct {
 		Benchmark string `json:"benchmark"`
+		HostCores *int   `json:"host_cores"`
 		Runs      []struct {
-			// kernel-fastpath fields.
-			Queue      string `json:"queue"`
-			Iterations int    `json:"iterations"`
-			Events     uint64 `json:"events"`
+			// kernel-fastpath / kernel-cascade fields.
+			Queue        string  `json:"queue"`
+			Iterations   int     `json:"iterations"`
+			Events       uint64  `json:"events"`
+			EventsPerSec float64 `json:"events_per_sec"`
 			// fleet-throughput fields (Events is shared).
-			Boards       int    `json:"boards"`
-			Jobs         int    `json:"jobs"`
-			Digest       string `json:"digest"`
-			DigestsMatch bool   `json:"digests_match"`
+			Boards          int     `json:"boards"`
+			Jobs            int     `json:"jobs"`
+			Digest          string  `json:"digest"`
+			DigestsMatch    bool    `json:"digests_match"`
+			ScaleVsOneBoard float64 `json:"scale_vs_one_board"`
 			// amorphous-frag fields.
 			Mix                 string  `json:"mix"`
 			Policy              string  `json:"policy"`
@@ -67,39 +90,98 @@ type payload struct {
 			DefragFragBeforePct float64 `json:"defrag_frag_before_pct"`
 			DefragFragAfterPct  float64 `json:"defrag_frag_after_pct"`
 		} `json:"runs"`
+		// kernel-cascade fields.
+		Baseline struct {
+			Source               string  `json:"source"`
+			CalendarEventsPerSec float64 `json:"calendar_events_per_sec"`
+		} `json:"baseline"`
+		PerCoreImprovement float64 `json:"per_core_improvement_vs_baseline"`
+		Fleet              struct {
+			Boards                int     `json:"boards"`
+			Jobs                  int     `json:"jobs"`
+			Events                uint64  `json:"events"`
+			AggregateEventsPerSec float64 `json:"aggregate_events_per_sec"`
+			DigestsMatch          bool    `json:"digests_match"`
+		} `json:"fleet"`
 	} `json:"data"`
+}
+
+// opts carries the gate thresholds and cross-file references.
+type opts struct {
+	baseline       string  // committed BENCH_5.json to cross-check cascade baselines against
+	minRatio       float64 // per-core improvement floor for kernel-cascade
+	aggregateFloor float64 // fleet aggregate events/sec floor for kernel-cascade
 }
 
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// claimsFlag collects repeated -claims markdown paths.
+type claimsFlag []string
+
+func (c *claimsFlag) String() string     { return fmt.Sprint([]string(*c)) }
+func (c *claimsFlag) Set(v string) error { *c = append(*c, v); return nil }
+
 func run(args []string) int {
-	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_5.json|BENCH_6.json>")
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var claims claimsFlag
+	var o opts
+	fs.StringVar(&o.baseline, "baseline", "",
+		"committed BENCH_5.json to cross-check kernel-cascade baseline figures against")
+	fs.Float64Var(&o.minRatio, "min-ratio", 3.0,
+		"kernel-cascade: minimum per-core events/sec improvement over the BENCH_5 baseline")
+	fs.Float64Var(&o.aggregateFloor, "aggregate-floor", 1e7,
+		"kernel-cascade: minimum fleet aggregate events/sec (skipped with a note when host cores < fleet boards)")
+	fs.Var(&claims, "claims",
+		"markdown file whose benchclaim annotations must match the committed JSON (repeatable)")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	raw, err := os.ReadFile(args[0])
+	files := fs.Args()
+	if len(files) == 0 && len(claims) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [flags] <BENCH_*.json>...")
+		return 2
+	}
+	for _, doc := range claims {
+		n, err := checkClaims(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", doc, err)
+			return 1
+		}
+		fmt.Printf("benchcheck: %s ok (%d documented claims match their committed JSON)\n", doc, n)
+	}
+	for _, file := range files {
+		if code := checkFile(file, &o); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+func checkFile(path string, o *opts) int {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		return 2
 	}
 	var p payload
 	if err := json.Unmarshal(raw, &p); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %s: invalid JSON: %v\n", args[0], err)
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: invalid JSON: %v\n", path, err)
 		return 1
 	}
-	if err := validate(&p); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", args[0], err)
+	if err := validate(&p, o); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
 		return 1
 	}
 	switch p.Experiment {
 	case "kernel-fastpath":
-		fmt.Printf("benchcheck: %s ok (%d events on both queues)\n", args[0], p.Data.Runs[0].Events)
+		fmt.Printf("benchcheck: %s ok (%d events on both queues)\n", path, p.Data.Runs[0].Events)
 	case "fleet-throughput":
 		last := p.Data.Runs[len(p.Data.Runs)-1]
 		fmt.Printf("benchcheck: %s ok (%d fleet sizes up to %d boards, all serial/parallel digests match)\n",
-			args[0], len(p.Data.Runs), last.Boards)
+			path, len(p.Data.Runs), last.Boards)
 	case "amorphous-frag":
 		clean := 0
 		for _, r := range p.Data.Runs {
@@ -108,14 +190,17 @@ func run(args []string) int {
 			}
 		}
 		fmt.Printf("benchcheck: %s ok (%d placement rows, %d served amorphously that fixed slots reject)\n",
-			args[0], len(p.Data.Runs), clean)
+			path, len(p.Data.Runs), clean)
+	case "kernel-cascade":
+		fmt.Printf("benchcheck: %s ok (x%.2f per-core vs %s, %d events on both queues)\n",
+			path, p.Data.PerCoreImprovement, p.Data.Baseline.Source, p.Data.Runs[0].Events)
 	}
 	return 0
 }
 
 // validate enforces the gates' contracts on the parsed document,
 // dispatching on the experiment field.
-func validate(p *payload) error {
+func validate(p *payload, o *opts) error {
 	switch p.Experiment {
 	case "kernel-fastpath":
 		return validateFastpath(p)
@@ -123,12 +208,17 @@ func validate(p *payload) error {
 		return validateFleet(p)
 	case "amorphous-frag":
 		return validateFrag(p)
+	case "kernel-cascade":
+		return validateCascade(p, o)
 	}
-	return fmt.Errorf("experiment = %q, want %q, %q or %q",
-		p.Experiment, "kernel-fastpath", "fleet-throughput", "amorphous-frag")
+	return fmt.Errorf("experiment = %q, want %q, %q, %q or %q",
+		p.Experiment, "kernel-fastpath", "fleet-throughput", "amorphous-frag", "kernel-cascade")
 }
 
-func validateFastpath(p *payload) error {
+// validateQueuePair checks the shared kernel-benchmark contract: one
+// run per queue implementation, both non-trivial, both having fired the
+// exact same number of events.
+func validateQueuePair(p *payload) error {
 	runs := p.Data.Runs
 	if len(runs) != 2 {
 		return fmt.Errorf("got %d runs, want exactly 2 (legacy and calendar)", len(runs))
@@ -155,11 +245,19 @@ func validateFastpath(p *payload) error {
 	return nil
 }
 
+func validateFastpath(p *payload) error {
+	return validateQueuePair(p)
+}
+
 func validateFleet(p *payload) error {
 	runs := p.Data.Runs
 	if len(runs) < 2 {
 		return fmt.Errorf("got %d fleet sizes, want at least 2 to show scaling", len(runs))
 	}
+	if p.Data.HostCores == nil || *p.Data.HostCores <= 0 {
+		return fmt.Errorf("document does not say how many host cores recorded it (host_cores missing or <= 0): scaling figures are uninterpretable — re-record with a current rvcap-bench")
+	}
+	cores := *p.Data.HostCores
 	for i, r := range runs {
 		if r.Boards <= 0 {
 			return fmt.Errorf("run %d has %d boards, want > 0", i, r.Boards)
@@ -180,6 +278,17 @@ func validateFleet(p *payload) error {
 		if !r.DigestsMatch {
 			return fmt.Errorf("fleet of %d boards: serial and parallel per-board reports diverge — board runs are not deterministic",
 				r.Boards)
+		}
+		// Weak-scaling assertion: only meaningful when the host could
+		// actually run the boards in parallel.
+		if r.Boards > 1 {
+			if cores < r.Boards {
+				fmt.Printf("benchcheck: note: skipping scaling assertion for %d boards — recorded on a %d-core host, which cannot run them in parallel\n",
+					r.Boards, cores)
+			} else if want := 0.5 * float64(r.Boards); r.ScaleVsOneBoard < want {
+				return fmt.Errorf("fleet of %d boards scaled x%.2f vs 1 board on a %d-core host, want >= x%.1f",
+					r.Boards, r.ScaleVsOneBoard, cores, want)
+			}
 		}
 	}
 	return nil
@@ -221,6 +330,77 @@ func validateFrag(p *payload) error {
 	}
 	if !clean {
 		return fmt.Errorf("no row where fixed slots reject placements (fixed_failed > 0) while amorphous serves all (amorphous_failed == 0)")
+	}
+	return nil
+}
+
+func validateCascade(p *payload, o *opts) error {
+	if err := validateQueuePair(p); err != nil {
+		return err
+	}
+	d := &p.Data
+	if d.HostCores == nil || *d.HostCores <= 0 {
+		return fmt.Errorf("host_cores missing or <= 0")
+	}
+	if d.Baseline.CalendarEventsPerSec <= 0 {
+		return fmt.Errorf("baseline calendar_events_per_sec = %v, want > 0 (baseline source %q)",
+			d.Baseline.CalendarEventsPerSec, d.Baseline.Source)
+	}
+	var calendar float64
+	for _, r := range d.Runs {
+		if r.Queue == "calendar" {
+			calendar = r.EventsPerSec
+		}
+	}
+	// The stated ratio must follow from the file's own numbers...
+	got := calendar / d.Baseline.CalendarEventsPerSec
+	if diff := got - d.PerCoreImprovement; diff > 0.01 || diff < -0.01 {
+		return fmt.Errorf("per_core_improvement_vs_baseline = %.3f but runs/baseline give %.3f — stale or hand-edited",
+			d.PerCoreImprovement, got)
+	}
+	// ...and clear the tentpole floor.
+	if got < o.minRatio {
+		return fmt.Errorf("per-core improvement x%.2f over %s is below the x%.2f floor",
+			got, d.Baseline.Source, o.minRatio)
+	}
+	// Cross-check the quoted baseline against the committed document.
+	if o.baseline != "" {
+		raw, err := os.ReadFile(o.baseline)
+		if err != nil {
+			return fmt.Errorf("-baseline: %v", err)
+		}
+		var b payload
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return fmt.Errorf("-baseline %s: %v", o.baseline, err)
+		}
+		var committed float64
+		for _, r := range b.Data.Runs {
+			if r.Queue == "calendar" {
+				committed = r.EventsPerSec
+			}
+		}
+		if committed <= 0 {
+			return fmt.Errorf("-baseline %s has no calendar events/sec", o.baseline)
+		}
+		if rel := (d.Baseline.CalendarEventsPerSec - committed) / committed; rel > 1e-6 || rel < -1e-6 {
+			return fmt.Errorf("baseline drift: file quotes %.0f calendar events/sec but %s holds %.0f — re-record BENCH_8 against the committed baseline",
+				d.Baseline.CalendarEventsPerSec, o.baseline, committed)
+		}
+	}
+	// Fleet aggregate rung.
+	f := &d.Fleet
+	if f.Boards <= 0 || f.Jobs <= 0 || f.Events == 0 {
+		return fmt.Errorf("fleet rung malformed: boards=%d jobs=%d events=%d", f.Boards, f.Jobs, f.Events)
+	}
+	if !f.DigestsMatch {
+		return fmt.Errorf("fleet of %d boards: serial and parallel per-board reports diverge", f.Boards)
+	}
+	if *d.HostCores < f.Boards {
+		fmt.Printf("benchcheck: note: skipping the %.0f aggregate events/sec floor — %d fleet boards recorded on a %d-core host cannot aggregate across cores\n",
+			o.aggregateFloor, f.Boards, *d.HostCores)
+	} else if f.AggregateEventsPerSec < o.aggregateFloor {
+		return fmt.Errorf("fleet aggregate %.0f events/sec on a %d-core host is below the %.0f floor",
+			f.AggregateEventsPerSec, *d.HostCores, o.aggregateFloor)
 	}
 	return nil
 }

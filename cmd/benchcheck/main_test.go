@@ -6,6 +6,11 @@ import (
 	"testing"
 )
 
+// defaultOpts mirrors the flag defaults run() would hand validate.
+func defaultOpts() *opts {
+	return &opts{minRatio: 3.0, aggregateFloor: 1e7}
+}
+
 // doc builds a payload from a JSON literal, failing the test on bad
 // syntax so the cases below stay honest about what the parser sees.
 func doc(t *testing.T, src string) *payload {
@@ -29,7 +34,7 @@ const goodDoc = `{
 }`
 
 func TestValidateGood(t *testing.T) {
-	if err := validate(doc(t, goodDoc)); err != nil {
+	if err := validate(doc(t, goodDoc), defaultOpts()); err != nil {
 		t.Fatalf("validate(good) = %v", err)
 	}
 }
@@ -76,7 +81,7 @@ func TestValidateRejections(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validate(doc(t, tc.src))
+			err := validate(doc(t, tc.src), defaultOpts())
 			if err == nil {
 				t.Fatal("validate accepted a bad document")
 			}
@@ -91,16 +96,17 @@ const goodFleetDoc = `{
   "experiment": "fleet-throughput",
   "data": {
     "benchmark": "FleetWeakScaling",
+    "host_cores": 4,
     "runs": [
       {"boards": 1, "jobs": 600, "events": 610000, "digest": "aa11", "digests_match": true},
-      {"boards": 2, "jobs": 1200, "events": 1220000, "digest": "bb22", "digests_match": true},
-      {"boards": 4, "jobs": 2400, "events": 2440000, "digest": "cc33", "digests_match": true}
+      {"boards": 2, "jobs": 1200, "events": 1220000, "digest": "bb22", "digests_match": true, "scale_vs_one_board": 1.7},
+      {"boards": 4, "jobs": 2400, "events": 2440000, "digest": "cc33", "digests_match": true, "scale_vs_one_board": 3.1}
     ]
   }
 }`
 
 func TestValidateFleetGood(t *testing.T) {
-	if err := validate(doc(t, goodFleetDoc)); err != nil {
+	if err := validate(doc(t, goodFleetDoc), defaultOpts()); err != nil {
 		t.Fatalf("validate(good fleet) = %v", err)
 	}
 }
@@ -132,14 +138,24 @@ func TestValidateFleetRejections(t *testing.T) {
 		},
 		{
 			"single fleet size",
-			`{"experiment":"fleet-throughput","data":{"runs":[
+			`{"experiment":"fleet-throughput","data":{"host_cores":4,"runs":[
 				{"boards":1,"jobs":600,"events":5,"digest":"aa","digests_match":true}]}}`,
 			"at least 2",
+		},
+		{
+			"missing host cores",
+			strings.Replace(goodFleetDoc, `"host_cores": 4,`, ``, 1),
+			"host_cores missing",
+		},
+		{
+			"poor scaling on a capable host",
+			strings.Replace(goodFleetDoc, `"scale_vs_one_board": 3.1`, `"scale_vs_one_board": 1.2`, 1),
+			"want >=",
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validate(doc(t, tc.src))
+			err := validate(doc(t, tc.src), defaultOpts())
 			if err == nil {
 				t.Fatal("validate accepted a bad fleet document")
 			}
@@ -172,7 +188,7 @@ const goodFragDoc = `{
 }`
 
 func TestValidateFragGood(t *testing.T) {
-	if err := validate(doc(t, goodFragDoc)); err != nil {
+	if err := validate(doc(t, goodFragDoc), defaultOpts()); err != nil {
 		t.Fatalf("validate(good frag) = %v", err)
 	}
 }
@@ -229,9 +245,113 @@ func TestValidateFragRejections(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validate(doc(t, tc.src))
+			err := validate(doc(t, tc.src), defaultOpts())
 			if err == nil {
 				t.Fatal("validate accepted a bad placement document")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A fleet recorded on a host with fewer cores than boards cannot show
+// multi-core scaling; those assertions are downgraded to an annotated
+// skip rather than failing the document.
+func TestValidateFleetCoreStarvedSkipsScaling(t *testing.T) {
+	src := strings.Replace(goodFleetDoc, `"host_cores": 4`, `"host_cores": 1`, 1)
+	src = strings.Replace(src, `"scale_vs_one_board": 1.7`, `"scale_vs_one_board": 0.9`, 1)
+	src = strings.Replace(src, `"scale_vs_one_board": 3.1`, `"scale_vs_one_board": 1.0`, 1)
+	if err := validate(doc(t, src), defaultOpts()); err != nil {
+		t.Fatalf("validate(1-core fleet) = %v, want annotated skip", err)
+	}
+}
+
+const goodCascadeDoc = `{
+  "experiment": "kernel-cascade",
+  "data": {
+    "benchmark": "EndToEndSwapAndCompute",
+    "host_cores": 16,
+    "runs": [
+      {"queue": "legacy", "iterations": 5, "events": 223429, "events_per_sec": 3100000},
+      {"queue": "calendar", "iterations": 5, "events": 223429, "events_per_sec": 4200000}
+    ],
+    "baseline": {"source": "BENCH_5.json", "calendar_events_per_sec": 1200000},
+    "per_core_improvement_vs_baseline": 3.5,
+    "fleet": {"boards": 8, "jobs": 4800, "events": 4880000,
+              "aggregate_events_per_sec": 12000000, "digests_match": true}
+  }
+}`
+
+func TestValidateCascadeGood(t *testing.T) {
+	if err := validate(doc(t, goodCascadeDoc), defaultOpts()); err != nil {
+		t.Fatalf("validate(good cascade) = %v", err)
+	}
+}
+
+// A cascade recorded on a core-starved host skips the aggregate floor
+// with an annotation but still enforces the per-core ratio.
+func TestValidateCascadeCoreStarvedSkipsAggregate(t *testing.T) {
+	src := strings.Replace(goodCascadeDoc, `"host_cores": 16`, `"host_cores": 1`, 1)
+	src = strings.Replace(src, `"aggregate_events_per_sec": 12000000`, `"aggregate_events_per_sec": 900000`, 1)
+	if err := validate(doc(t, src), defaultOpts()); err != nil {
+		t.Fatalf("validate(1-core cascade) = %v, want annotated aggregate skip", err)
+	}
+}
+
+func TestValidateCascadeRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"ratio below floor",
+			strings.Replace(strings.Replace(goodCascadeDoc,
+				`"events_per_sec": 4200000`, `"events_per_sec": 2400000`, 1),
+				`"per_core_improvement_vs_baseline": 3.5`, `"per_core_improvement_vs_baseline": 2`, 1),
+			"below the x3.00 floor",
+		},
+		{
+			"stale stated ratio",
+			strings.Replace(goodCascadeDoc,
+				`"per_core_improvement_vs_baseline": 3.5`, `"per_core_improvement_vs_baseline": 6.6`, 1),
+			"stale or hand-edited",
+		},
+		{
+			"missing host cores",
+			strings.Replace(goodCascadeDoc, `"host_cores": 16,`, ``, 1),
+			"host_cores",
+		},
+		{
+			"missing baseline",
+			strings.Replace(goodCascadeDoc,
+				`"baseline": {"source": "BENCH_5.json", "calendar_events_per_sec": 1200000},`, ``, 1),
+			"baseline",
+		},
+		{
+			"fleet digests diverge",
+			strings.Replace(goodCascadeDoc, `"digests_match": true`, `"digests_match": false`, 1),
+			"diverge",
+		},
+		{
+			"aggregate below floor on a capable host",
+			strings.Replace(strings.Replace(goodCascadeDoc,
+				`"aggregate_events_per_sec": 12000000`, `"aggregate_events_per_sec": 900000`, 1),
+				`"per_core_improvement_vs_baseline": 3.5`, `"per_core_improvement_vs_baseline": 3.5`, 1),
+			"below the 10000000 floor",
+		},
+		{
+			"diverging event counts",
+			strings.Replace(goodCascadeDoc, `"calendar", "iterations": 5, "events": 223429`,
+				`"calendar", "iterations": 5, "events": 223430`, 1),
+			"diverge",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(doc(t, tc.src), defaultOpts())
+			if err == nil {
+				t.Fatal("validate accepted a bad cascade document")
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("error = %q, want substring %q", err, tc.wantErr)

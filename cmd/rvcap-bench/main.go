@@ -12,6 +12,7 @@
 //	rvcap-bench -benchjson -outdir out             # kernel fast-path bench -> BENCH_5.json
 //	rvcap-bench -fleetjson -outdir out             # fleet weak-scaling bench -> BENCH_6.json
 //	rvcap-bench -fragjson -outdir out              # amorphous placement sweep -> BENCH_7.json
+//	rvcap-bench -cascadejson -outdir out           # second-round kernel bench -> BENCH_8.json
 //	rvcap-bench -experiment fleet -parallel 4      # cluster sweep, boards on 4 workers
 //	rvcap-bench -experiment table4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
@@ -219,6 +220,10 @@ func main() {
 	fleetJSON := flag.Bool("fleetjson", false,
 		"run the fleet weak-scaling benchmark (board ladder, serial vs parallel digests) and write BENCH_6.json to -outdir instead of running experiments")
 	fleetJobs := flag.Int("fleetjobs", 600, "jobs per board for -fleetjson")
+	cascadeJSON := flag.Bool("cascadejson", false,
+		"run the second-round kernel benchmark (both queues + fleet aggregate, ratio vs the committed BENCH_5 baseline) and write BENCH_8.json to -outdir instead of running experiments")
+	cascadeBase := flag.String("baseline", "BENCH_5.json",
+		"committed kernel-fastpath baseline for -cascadejson")
 	fragJSON := flag.Bool("fragjson", false,
 		"run the amorphous placement sweep (fixed pre-cut slots vs frame-granular allocator) and write BENCH_7.json to -outdir instead of running experiments")
 	fragReqs := flag.Int("fragreqs", 0, "requests per cell for -fragjson (0 = sweep default)")
@@ -274,6 +279,13 @@ func main() {
 	if *fleetJSON {
 		if err := runFleetJSON(*outDir, *fleetJobs, runtime.NumCPU()); err != nil {
 			fmt.Fprintf(os.Stderr, "rvcap-bench: -fleetjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cascadeJSON {
+		if err := runCascadeJSON(*outDir, *benchIters, *fleetJobs, runtime.NumCPU(), *cascadeBase); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -cascadejson: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -308,3 +308,28 @@ func TestFilterIdempotenceProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFilterRowMatchesNaiveReference holds the row-sliced fast path
+// (filterRow, used by Apply and the engine's row pipeline) byte-identical
+// to the naive 9-tap At formulation (kernel3x3 over the *Pix functions)
+// on images exercising every border and both odd and even widths.
+func TestFilterRowMatchesNaiveReference(t *testing.T) {
+	refs := map[string]func(n *[9]byte) byte{
+		Sobel:    sobelPix,
+		Median:   medianPix,
+		Gaussian: gaussianPix,
+	}
+	for _, dim := range [][2]int{{8, 8}, {16, 3}, {9, 7}, {64, 64}, {1, 1}, {2, 5}} {
+		src := TestPattern(dim[0], dim[1])
+		for name, ref := range refs {
+			want := kernel3x3(src, ref)
+			got := NewImage(src.W, src.H)
+			for y := 0; y < src.H; y++ {
+				filterRow(name, src, y, got.Pix[y*src.W:(y+1)*src.W])
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s %dx%d: row fast path diverges from naive reference", name, dim[0], dim[1])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"rvcap/internal/axi"
@@ -73,7 +74,7 @@ func NewEngine(k *sim.Kernel, name string, w, h int) (*Engine, error) {
 		iiDen:       spec.iiDen,
 		fillLatency: spec.fill,
 	}
-	k.Go("rm."+name, func(p *sim.Proc) { e.run(p) })
+	e.start(k)
 	return e, nil
 }
 
@@ -96,101 +97,141 @@ type outRow struct {
 	last bool
 }
 
-// computeRow applies the filter kernel to row y of src.
-func (e *Engine) computeRow(src *Image, y int) []byte {
-	pix := make([]byte, e.w)
-	for x := 0; x < e.w; x++ {
-		var n [9]byte
-		n[0], n[1], n[2] = src.At(x-1, y-1), src.At(x, y-1), src.At(x+1, y-1)
-		n[3], n[4], n[5] = src.At(x-1, y), src.At(x, y), src.At(x+1, y)
-		n[6], n[7], n[8] = src.At(x-1, y+1), src.At(x, y+1), src.At(x+1, y+1)
-		switch e.name {
-		case Sobel:
-			pix[x] = sobelPix(&n)
-		case Median:
-			pix[x] = medianPix(&n)
-		case Gaussian:
-			pix[x] = gaussianPix(&n)
-		}
-	}
-	return pix
-}
 
-// run is the streaming engine's input/compute side: consume one image
-// per pass, handing each output row to the concurrent write-back side as
-// soon as its lower neighbour row has arrived (dataflow between the
-// window pipeline and the output FIFO stage, as HLS generates it). The
-// write-back process pushes beats against the S2MM back-pressure without
-// stalling the input side.
-func (e *Engine) run(p *sim.Proc) {
-	k := p.Kernel()
+// start launches the engine's two continuation state machines: the
+// input/compute side consumes one image per pass, handing each output
+// row to the concurrent write-back side as soon as its lower neighbour
+// row has arrived (dataflow between the window pipeline and the output
+// FIFO stage, as HLS generates it). The write-back machine pushes beats
+// against the S2MM back-pressure without stalling the input side. Every
+// pause point of the former process pair (pacing sleep, fill latency,
+// blocked pop/push, row handoff) is one scheduled event at the same
+// cycle, so the cycle accounting is unchanged — only the coroutine
+// switches are gone.
+func (e *Engine) start(k *sim.Kernel) {
 	var queue []outRow
 	avail := sim.NewSignal(k, e.name+".rows")
-	k.Go("rm."+e.name+".wb", func(wp *sim.Proc) {
-		rowBeats := make([]axi.Beat, 0, e.w/8)
-		for {
-			for len(queue) == 0 {
-				//lint:ignore wait-graph ready/valid stream flow control: waits re-check FIFO occupancy in a loop and every fire follows a push/pop, so the static cycle is the designed handshake, not a deadlock
-				wp.Wait(avail)
-			}
-			row := queue[0]
-			queue = queue[1:]
-			rowBeats = rowBeats[:0]
-			for b := 0; b < len(row.pix); b += 8 {
-				var beat axi.Beat
-				for i := 0; i < 8; i++ {
-					beat.Data |= uint64(row.pix[b+i]) << (8 * i)
-				}
-				beat.Keep = axi.FullKeep
-				beat.Last = row.last && b+8 >= len(row.pix)
-				rowBeats = append(rowBeats, beat)
-			}
-			// A whole pixel row per handoff against S2MM back-pressure.
-			e.out.PushBurst(wp, rowBeats)
-			e.beatsOut += uint64(len(rowBeats))
+
+	// Computed rows cycle through a free list: a row buffer is reclaimed
+	// as soon as the write-back side has packed it into beats, so the
+	// steady state allocates nothing per row.
+	var rowPool [][]byte
+
+	// Write-back side.
+	rowBeats := make([]axi.Beat, 0, e.w/8)
+	var wbStep func()
+	var afterPush func()
+	wbStep = func() {
+		if len(queue) == 0 {
+			//lint:ignore wait-graph ready/valid stream flow control: waits re-check FIFO occupancy and every fire follows a push/pop, so the static cycle is the designed handshake, not a deadlock
+			avail.OnFire(wbStep)
+			return
 		}
-	})
+		row := queue[0]
+		queue = queue[1:]
+		rowBeats = rowBeats[:0]
+		for b := 0; b < len(row.pix); b += 8 {
+			beat := axi.Beat{
+				Data: binary.LittleEndian.Uint64(row.pix[b:]),
+				Keep: axi.FullKeep,
+				Last: row.last && b+8 >= len(row.pix),
+			}
+			rowBeats = append(rowBeats, beat)
+		}
+		rowPool = append(rowPool, row.pix)
+		// A whole pixel row per handoff against S2MM back-pressure.
+		e.out.PushBurstAsync(rowBeats, afterPush)
+	}
+	afterPush = func() {
+		e.beatsOut += uint64(len(rowBeats))
+		wbStep()
+	}
+
 	emit := func(row []byte, last bool) {
 		queue = append(queue, outRow{pix: row, last: last})
 		avail.Fire()
 	}
 
+	// Input/compute side.
 	beatsPerRow := e.w / 8
 	inBuf := make([]axi.Beat, e.in.Cap())
-	for {
-		src := NewImage(e.w, e.h)
-		credit := 0
-		for row := 0; row < e.h; row++ {
-			for b := 0; b < beatsPerRow; {
-				want := beatsPerRow - b
-				if want > len(inBuf) {
-					want = len(inBuf)
-				}
-				got := e.in.PopBurst(p, inBuf[:want])
-				for j, beat := range inBuf[:got] {
-					for i := 0; i < 8; i++ {
-						src.Set((b+j)*8+i, row, byte(beat.Data>>(8*i)))
-					}
-				}
-				e.beatsIn += uint64(got)
-				b += got
-				// Credit-based pacing, charged per burst: the cycle
-				// total is identical to charging each beat in turn.
-				credit += got * e.iiNum
-				if credit >= e.iiDen {
-					p.Sleep(sim.Time(credit / e.iiDen))
-					credit %= e.iiDen
-				}
-			}
-			if row == 1 {
-				p.Sleep(e.fillLatency)
-			}
-			// Row r-1 becomes computable once row r is complete.
-			if row >= 1 {
-				emit(e.computeRow(src, row-1), false)
-			}
+	src := NewImage(e.w, e.h)
+	credit, row, b := 0, 0, 0
+	var popStep func()
+	var afterPop func(int)
+	var advance func()
+	var rowEmit func()
+	popStep = func() {
+		want := beatsPerRow - b
+		if want > len(inBuf) {
+			want = len(inBuf)
 		}
-		// The final row uses edge replication below; emit it with TLAST.
-		emit(e.computeRow(src, e.h-1), true)
+		e.in.PopBurstAsync(inBuf[:want], afterPop)
 	}
+	afterPop = func(got int) {
+		base := row*e.w + b*8
+		for j, beat := range inBuf[:got] {
+			binary.LittleEndian.PutUint64(src.Pix[base+j*8:], beat.Data)
+		}
+		e.beatsIn += uint64(got)
+		b += got
+		// Credit-based pacing, charged per burst: the cycle total is
+		// identical to charging each beat in turn.
+		credit += got * e.iiNum
+		if credit >= e.iiDen {
+			d := sim.Time(credit / e.iiDen)
+			credit %= e.iiDen
+			k.Schedule(d, advance)
+			return
+		}
+		advance()
+	}
+	advance = func() {
+		if b < beatsPerRow {
+			popStep()
+			return
+		}
+		b = 0
+		// The pipeline-depth fill is charged once, after row 1 lands.
+		if row == 1 {
+			k.Schedule(e.fillLatency, rowEmit)
+			return
+		}
+		rowEmit()
+	}
+	compute := func(y int) []byte {
+		var pix []byte
+		if n := len(rowPool); n > 0 {
+			pix = rowPool[n-1]
+			rowPool = rowPool[:n-1]
+		} else {
+			pix = make([]byte, e.w)
+		}
+		filterRow(e.name, src, y, pix)
+		return pix
+	}
+	rowEmit = func() {
+		// Row r-1 becomes computable once row r is complete.
+		if row >= 1 {
+			emit(compute(row-1), false)
+		}
+		row++
+		if row < e.h {
+			popStep()
+			return
+		}
+		// The final row uses edge replication; emit it with TLAST.
+		// Every pixel of src is rewritten by the next image's beats, so
+		// the buffer is reused as-is.
+		emit(compute(e.h-1), true)
+		credit, row = 0, 0
+		popStep()
+	}
+
+	// Mirror the former k.Go pair: one start event for the input side,
+	// which in turn seeds the write-back side at the same cycle.
+	k.Schedule(0, func() {
+		k.Schedule(0, wbStep)
+		popStep()
+	})
 }

@@ -29,6 +29,17 @@ type Slave interface {
 	Write(p *sim.Proc, addr uint64, data []byte) error
 }
 
+// AsyncSlave is the continuation-style counterpart of Slave, implemented
+// by slaves on the DMA datapath so a whole burst can traverse the fabric
+// as scheduled continuations instead of coroutine wakes. done(err) runs
+// once the transaction completes, after the same simulated cycles the
+// blocking call would have consumed. Slaves that only serve software
+// drivers (register files, the boot BRAM) need not implement it.
+type AsyncSlave interface {
+	ReadAsync(addr uint64, buf []byte, done func(error))
+	WriteAsync(addr uint64, data []byte, done func(error))
+}
+
 // ErrDecode is returned when no crossbar region matches the address
 // (AXI DECERR).
 var ErrDecode = errors.New("axi: address decode error (DECERR)")

@@ -28,6 +28,9 @@ type Crossbar struct {
 	// Latency is the cycles charged per transaction for address decode
 	// and routing (address phase + response routing).
 	Latency sim.Time
+
+	// ops is the free list of pooled async transactions (see xbarOp).
+	ops []*xbarOp
 }
 
 // NewCrossbar returns an empty crossbar with the default 2-cycle routing
@@ -88,4 +91,74 @@ func (x *Crossbar) Write(p *sim.Proc, addr uint64, data []byte) error {
 	return r.Dev.Write(p, addr-r.Base, data)
 }
 
+// xbarOp is a pooled in-flight routed transaction; its forwarding
+// continuation is bound once so repeat traffic routes without
+// allocating.
+type xbarOp struct {
+	x       *Crossbar
+	write   bool
+	r       *Region
+	addr    uint64 // base-stripped slave offset
+	buf     []byte
+	done    func(error)
+	forward func()
+}
+
+func (x *Crossbar) getOp(write bool) *xbarOp {
+	if n := len(x.ops); n > 0 {
+		op := x.ops[n-1]
+		x.ops = x.ops[:n-1]
+		op.write = write
+		return op
+	}
+	op := &xbarOp{x: x, write: write}
+	op.forward = func() {
+		r, addr, buf, done, write := op.r, op.addr, op.buf, op.done, op.write
+		op.r, op.buf, op.done = nil, nil, nil
+		op.x.ops = append(op.x.ops, op)
+		if dev, ok := r.Dev.(AsyncSlave); ok {
+			if write {
+				dev.WriteAsync(addr, buf, done)
+			} else {
+				dev.ReadAsync(addr, buf, done)
+			}
+			return
+		}
+		if write {
+			op.x.k.Go(op.x.name+".wr-bridge", func(p *sim.Proc) { done(r.Dev.Write(p, addr, buf)) })
+			return
+		}
+		op.x.k.Go(op.x.name+".rd-bridge", func(p *sim.Proc) { done(r.Dev.Read(p, addr, buf)) })
+	}
+	return op
+}
+
+// ReadAsync routes a read burst as a scheduled continuation: the
+// routing latency is charged by the event delay, then the transaction
+// continues on the slave's async path (or, for a slave without one, on
+// a bridging process).
+func (x *Crossbar) ReadAsync(addr uint64, buf []byte, done func(error)) {
+	r, err := x.decode(addr, len(buf))
+	if err != nil {
+		done(&AccessError{Op: "read", Addr: addr, Err: err})
+		return
+	}
+	op := x.getOp(false)
+	op.r, op.addr, op.buf, op.done = r, addr-r.Base, buf, done
+	x.k.Schedule(x.Latency, op.forward)
+}
+
+// WriteAsync routes a write burst as a scheduled continuation.
+func (x *Crossbar) WriteAsync(addr uint64, data []byte, done func(error)) {
+	r, err := x.decode(addr, len(data))
+	if err != nil {
+		done(&AccessError{Op: "write", Addr: addr, Err: err})
+		return
+	}
+	op := x.getOp(true)
+	op.r, op.addr, op.buf, op.done = r, addr-r.Base, data, done
+	x.k.Schedule(x.Latency, op.forward)
+}
+
 var _ Slave = (*Crossbar)(nil)
+var _ AsyncSlave = (*Crossbar)(nil)

@@ -130,6 +130,75 @@ func (s *Stream) PopBurst(p *sim.Proc, dst []Beat) int {
 	return n
 }
 
+// PushBurstAsync is the continuation-style PushBurst: it deposits the
+// burst with beat-identical back-pressure semantics and calls done once
+// the final beat is buffered. When the FIFO never fills, done runs
+// synchronously (as PushBurst returns without yielding); when it does,
+// the retry resumes at the exact event-queue position a process parked
+// in Wait(notFull) would have. The caller must not reuse beats until
+// done runs.
+func (s *Stream) PushBurstAsync(beats []Beat, done func()) {
+	for len(beats) > 0 {
+		if s.count == s.capacity {
+			s.pushRetry(beats, done)
+			return
+		}
+		n := s.capacity - s.count
+		if n > len(beats) {
+			n = len(beats)
+		}
+		for _, b := range beats[:n] {
+			s.buf[(s.head+s.count)%s.capacity] = b
+			s.count++
+		}
+		s.pushed += uint64(n)
+		beats = beats[n:]
+		s.notEmpty.Fire()
+	}
+	done()
+}
+
+// PopBurstAsync is the continuation-style PopBurst: done(n) receives
+// the drained beat count, synchronously when beats are already buffered
+// and as a same-cycle wake after notEmpty otherwise — cycle accounting
+// identical to a process blocked in PopBurst.
+func (s *Stream) PopBurstAsync(dst []Beat, done func(n int)) {
+	if len(dst) == 0 {
+		done(0)
+		return
+	}
+	if s.count == 0 {
+		s.popRetry(dst, done)
+		return
+	}
+	n := 0
+	for n < len(dst) && s.count > 0 {
+		b := s.buf[s.head]
+		s.head = (s.head + 1) % s.capacity
+		s.count--
+		dst[n] = b
+		n++
+		if b.Last {
+			break
+		}
+	}
+	s.popped += uint64(n)
+	s.notFull.Fire()
+	done(n)
+}
+
+// pushRetry and popRetry carry the blocked-path closures. Keeping the
+// captures out of the hot functions lets the fast path keep its
+// arguments on the stack: only a burst that actually blocks allocates
+// its continuation.
+func (s *Stream) pushRetry(beats []Beat, done func()) {
+	s.notFull.OnFire(func() { s.PushBurstAsync(beats, done) })
+}
+
+func (s *Stream) popRetry(dst []Beat, done func(n int)) {
+	s.notEmpty.OnFire(func() { s.PopBurstAsync(dst, done) })
+}
+
 // TryPush enqueues a beat if space is available, without blocking.
 func (s *Stream) TryPush(b Beat) bool {
 	if s.count == s.capacity {
@@ -176,6 +245,10 @@ func (s *Stream) TryPop() (Beat, bool) {
 type StreamSink interface {
 	Push(p *sim.Proc, b Beat)
 	PushBurst(p *sim.Proc, beats []Beat)
+	// PushBurstAsync is the continuation-style PushBurst used by the
+	// state-machine device engines: same back-pressure, done called
+	// when the final beat is buffered.
+	PushBurstAsync(beats []Beat, done func())
 }
 
 // StreamSource is anything beats can be popped from. PopBurst drains up
@@ -183,6 +256,9 @@ type StreamSink interface {
 type StreamSource interface {
 	Pop(p *sim.Proc) Beat
 	PopBurst(p *sim.Proc, dst []Beat) int
+	// PopBurstAsync is the continuation-style PopBurst: done(n)
+	// receives the drained count once at least one beat is available.
+	PopBurstAsync(dst []Beat, done func(n int))
 }
 
 var (
@@ -253,6 +329,11 @@ func (sw *StreamSwitch) PushBurst(p *sim.Proc, beats []Beat) {
 	sw.outs[sw.sel].PushBurst(p, beats)
 }
 
+// PushBurstAsync forwards the whole burst to the selected output.
+func (sw *StreamSwitch) PushBurstAsync(beats []Beat, done func()) {
+	sw.outs[sw.sel].PushBurstAsync(beats, done)
+}
+
 var _ StreamSink = (*StreamSwitch)(nil)
 
 // StreamIsolator is the AXI-Stream side of a PR decoupler: while
@@ -298,6 +379,18 @@ func (g *StreamIsolator) PushBurst(p *sim.Proc, beats []Beat) {
 		return
 	}
 	g.Next.PushBurst(p, beats)
+}
+
+// PushBurstAsync forwards or swallows the whole burst depending on the
+// gate state; a swallowed burst completes immediately, as the blocking
+// path returns without yielding.
+func (g *StreamIsolator) PushBurstAsync(beats []Beat, done func()) {
+	if g.decoupled {
+		g.dropped += uint64(len(beats))
+		done()
+		return
+	}
+	g.Next.PushBurstAsync(beats, done)
 }
 
 var _ StreamSink = (*StreamIsolator)(nil)

@@ -94,8 +94,9 @@ func frameContent(partition, module string, frameIdx int) []uint32 {
 // builder accumulates a configuration word stream while tracking the CRC
 // exactly as the fpga.ICAP engine computes it.
 type builder struct {
-	words []uint32
-	crc   uint32
+	words  []uint32
+	crc    uint32
+	crcBuf []byte // per-frame scratch for batched CRC folding
 }
 
 func (b *builder) raw(ws ...uint32) { b.words = append(b.words, ws...) }
@@ -125,10 +126,14 @@ func (b *builder) fdriType2(frames [][]uint32) {
 	}
 	b.raw(fpga.Type2Write(n))
 	for _, f := range frames {
+		b.words = append(b.words, f...)
+		// Fold the frame's CRC bytes in one batched call (the byte run
+		// UpdateCRC would produce word by word).
+		b.crcBuf = b.crcBuf[:0]
 		for _, w := range f {
-			b.raw(w)
-			b.crc = fpga.UpdateCRC(b.crc, fpga.RegFDRI, w)
+			b.crcBuf = append(b.crcBuf, fpga.RegFDRI, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
 		}
+		b.crc = fpga.UpdateCRCBytes(b.crc, b.crcBuf)
 	}
 }
 

@@ -17,6 +17,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"rvcap/internal/axi"
 	"rvcap/internal/dma"
 	"rvcap/internal/fpga"
@@ -169,13 +171,31 @@ func (c *Controller) status() uint32 {
 // are big-endian on the wire, so the first word of a beat comes from its
 // low-address bytes interpreted most-significant-byte first.
 func (c *Controller) startConverter() {
-	c.k.Go("rvcap.axis2icap", func(p *sim.Proc) {
-		burst := make([]axi.Beat, dma.DefaultBurstBeats)
-		for {
-			got := c.icapIn.PopBurst(p, burst)
-			words := 0
-			last := false
-			for _, beat := range burst[:got] {
+	// Continuation state machine replacing the converter process: each
+	// burst pop, word-pacing delay and TLAST pulse is one scheduled event
+	// at the cycle the process implementation woke on, so the datapath
+	// traverses the converter without coroutine switches.
+	burst := make([]axi.Beat, dma.DefaultBurstBeats)
+	var step func()
+	var afterPop func(int)
+	var fireStep func()
+	step = func() { c.icapIn.PopBurstAsync(burst, afterPop) }
+	fireStep = func() {
+		//lint:ignore wait-graph icapDone is the public completion pulse exposed via ICAPDone(); its waiters live outside the non-test module surface (driver tests and API consumers)
+		c.icapDone.Fire()
+		step()
+	}
+	afterPop = func(got int) {
+		words := 0
+		last := false
+		for _, beat := range burst[:got] {
+			if beat.Keep == axi.FullKeep {
+				// Both halves valid: big-endian word = byte-swapped
+				// little-endian half.
+				c.icap.WriteWord(bits.ReverseBytes32(uint32(beat.Data)))
+				c.icap.WriteWord(bits.ReverseBytes32(uint32(beat.Data >> 32)))
+				words += 2
+			} else {
 				for half := 0; half < 2; half++ {
 					var w uint32
 					valid := false
@@ -192,22 +212,26 @@ func (c *Controller) startConverter() {
 					c.icap.WriteWord(w)
 					words++
 				}
-				if beat.Last {
-					last = true
-				}
 			}
-			// One cycle per 32-bit word, charged in a single sleep; the
-			// TLAST pulse lands on the same absolute cycle as with
-			// per-word pacing.
-			if words > 0 {
-				p.Sleep(sim.Time(words))
-			}
-			if last {
-				//lint:ignore wait-graph icapDone is the public completion pulse exposed via ICAPDone(); its waiters live outside the non-test module surface (driver tests and API consumers)
-				c.icapDone.Fire()
+			if beat.Last {
+				last = true
 			}
 		}
-	})
+		// One cycle per 32-bit word, charged in a single delay; the
+		// TLAST pulse lands on the same absolute cycle as with
+		// per-word pacing.
+		switch {
+		case words > 0 && last:
+			c.k.Schedule(sim.Time(words), fireStep)
+		case words > 0:
+			c.k.Schedule(sim.Time(words), step)
+		case last:
+			fireStep()
+		default:
+			step()
+		}
+	}
+	c.k.Schedule(0, step)
 }
 
 // ICAPWordsDelivered returns the words the converter has written to the

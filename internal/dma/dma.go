@@ -8,6 +8,7 @@
 package dma
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"rvcap/internal/axi"
@@ -182,6 +183,93 @@ func (d *DMA) complete(c *channel, irq func(bool)) {
 	}
 }
 
+// asyncMem returns the master port's continuation interface. The DMA
+// engines are continuation state machines (a whole burst traverses
+// memory, stream fabric and consumers as scheduled continuations), so
+// the port must support async transactions; every fabric model does.
+func (d *DMA) asyncMem() axi.AsyncSlave {
+	mem, ok := d.Mem.(axi.AsyncSlave)
+	if !ok {
+		panic(fmt.Sprintf("dma: %s: master port %T does not implement axi.AsyncSlave", d.name, d.Mem))
+	}
+	return mem
+}
+
+// mm2sXfer is one read-channel transfer running as a continuation state
+// machine: DDR burst read → beat packing → stream burst push, repeated
+// until the payload is out, with every pause point a scheduled event at
+// the same cycle the process implementation yielded on. The callbacks
+// are bound once per transfer so the steady-state burst loop allocates
+// nothing.
+type mm2sXfer struct {
+	d         *DMA
+	c         *channel
+	mem       axi.AsyncSlave
+	addr      uint64
+	remaining int
+	n         int // bytes in the burst currently in flight
+	fail      bool
+	buf       []byte
+	beats     []axi.Beat
+	readBurst func()
+	afterRead func(error)
+	afterPush func()
+}
+
+func (m *mm2sXfer) run() {
+	burstBytes := m.d.BurstBeats * 8
+	m.readBurst = func() {
+		m.n = burstBytes
+		if m.n > m.remaining {
+			m.n = m.remaining
+		}
+		m.mem.ReadAsync(m.addr, m.buf[:m.n], m.afterRead)
+	}
+	m.afterRead = func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("dma: %s read %#x: %v", m.c.name, m.addr, err))
+		}
+		n := m.n
+		m.beats = m.beats[:0]
+		last := m.remaining == n
+		off := 0
+		// Full 8-byte beats take the word-at-a-time fast path.
+		for ; off+8 <= n; off += 8 {
+			m.beats = append(m.beats, axi.Beat{
+				Data: binary.LittleEndian.Uint64(m.buf[off:]),
+				Keep: axi.FullKeep,
+				Last: last && off+8 == n,
+			})
+		}
+		if off < n {
+			var beat axi.Beat
+			for i := 0; off+i < n; i++ {
+				beat.Data |= uint64(m.buf[off+i]) << (8 * i)
+				beat.Keep |= 1 << i
+			}
+			beat.Last = last
+			m.beats = append(m.beats, beat)
+		}
+		// One scheduled continuation per AXI burst, matching how the
+		// bus actually moves the data.
+		m.d.MM2SOut.PushBurstAsync(m.beats, m.afterPush)
+	}
+	m.afterPush = func() {
+		m.addr += uint64(m.n)
+		m.remaining -= m.n
+		m.c.bytes += uint64(m.n)
+		if m.remaining > 0 {
+			m.readBurst()
+			return
+		}
+		if m.fail {
+			m.c.sr |= SRDMAIntErr
+		}
+		m.d.complete(m.c, m.d.OnMM2SIrq)
+	}
+	m.readBurst()
+}
+
 // startMM2S launches the read channel: fetch length bytes from DDR in
 // bursts and push them as 64-bit beats into MM2SOut. Writing LENGTH
 // while halted or mid-transfer is ignored, as on the real IP.
@@ -194,56 +282,137 @@ func (d *DMA) startMM2S(length uint32) {
 	c.busy = true
 	c.sr &^= SRIdle
 	c.started++
-	addr := c.addr
 	var fault Fault
 	if d.Inject != nil {
 		fault = d.Inject(c.started - 1)
 	}
-	d.k.Go(c.name, func(p *sim.Proc) {
+	remaining := int(length)
+	if fault.Fail {
+		// The transfer dies mid-stream: move a beat-aligned half of
+		// the payload, then report the error.
+		if remaining = int(length) / 2 &^ 7; remaining == 0 {
+			remaining = 8
+		}
+	}
+	m := &mm2sXfer{
+		d:         d,
+		c:         c,
+		mem:       d.asyncMem(),
+		addr:      c.addr,
+		remaining: remaining,
+		fail:      fault.Fail,
+		buf:       make([]byte, d.BurstBeats*8),
+		beats:     make([]axi.Beat, 0, d.BurstBeats),
+	}
+	// The engine starts later this cycle (as the process version did);
+	// an injected arbitration stall defers the first burst.
+	d.k.Schedule(0, func() {
 		if fault.Stall > 0 {
-			p.Sleep(fault.Stall)
+			d.k.Schedule(fault.Stall, m.run)
+			return
 		}
-		burstBytes := d.BurstBeats * 8
-		remaining := int(length)
-		if fault.Fail {
-			// The transfer dies mid-stream: move a beat-aligned half of
-			// the payload, then report the error.
-			if remaining = int(length) / 2 &^ 7; remaining == 0 {
-				remaining = 8
-			}
-		}
-		buf := make([]byte, burstBytes)
-		beats := make([]axi.Beat, 0, d.BurstBeats)
-		for remaining > 0 {
-			n := burstBytes
-			if n > remaining {
-				n = remaining
-			}
-			if err := d.Mem.Read(p, addr, buf[:n]); err != nil {
-				panic(fmt.Sprintf("dma: %s read %#x: %v", c.name, addr, err))
-			}
-			beats = beats[:0]
-			for off := 0; off < n; off += 8 {
-				var beat axi.Beat
-				for i := 0; i < 8 && off+i < n; i++ {
-					beat.Data |= uint64(buf[off+i]) << (8 * i)
-					beat.Keep |= 1 << i
-				}
-				beat.Last = remaining == n && off+8 >= n
-				beats = append(beats, beat)
-			}
-			// One kernel handoff per AXI burst, matching how the bus
-			// actually moves the data.
-			d.MM2SOut.PushBurst(p, beats)
-			addr += uint64(n)
-			remaining -= n
-			c.bytes += uint64(n)
-		}
-		if fault.Fail {
-			c.sr |= SRDMAIntErr
-		}
-		d.complete(c, d.OnMM2SIrq)
+		m.run()
 	})
+}
+
+// s2mmXfer is one write-channel transfer as a continuation state
+// machine: stream burst pop → byte unpacking → buffered DDR burst
+// writes, mirroring the process implementation's pause points (a flush
+// suspends beat processing exactly where the blocking Write did).
+type s2mmXfer struct {
+	d        *DMA
+	c        *channel
+	mem      axi.AsyncSlave
+	addr     uint64
+	length   int
+	total    int
+	done     bool
+	markDone bool // current beat carried TLAST; set done after its flush
+	buf      []byte
+	beats    []axi.Beat
+	pending  []axi.Beat // beats popped but not yet unpacked
+	step       func()
+	afterPop   func(int)
+	afterFlush func(error)
+}
+
+func (m *s2mmXfer) run() {
+	burstBytes := m.d.BurstBeats * 8
+	m.step = func() {
+		for {
+			if len(m.pending) == 0 {
+				if m.done || m.total >= m.length {
+					m.finish()
+					return
+				}
+				// Cap the pop at the beats the remaining byte count can
+				// need, so beats past the programmed length stay in the
+				// stream for the next consumer — as with per-beat pops.
+				maxBeats := (m.length - m.total + 7) / 8
+				if maxBeats > len(m.beats) {
+					maxBeats = len(m.beats)
+				}
+				m.d.S2MMIn.PopBurstAsync(m.beats[:maxBeats], m.afterPop)
+				return
+			}
+			beat := m.pending[0]
+			m.pending = m.pending[1:]
+			for i := 0; i < 8 && m.total < m.length; i++ {
+				if beat.Keep&(1<<i) == 0 {
+					continue
+				}
+				m.buf = append(m.buf, byte(beat.Data>>(8*i)))
+				m.total++
+			}
+			if beat.Last {
+				m.markDone = true
+				m.pending = nil
+			}
+			if len(m.buf) >= burstBytes {
+				m.mem.WriteAsync(m.addr, m.buf, m.afterFlush)
+				return
+			}
+			if m.markDone {
+				m.done = true
+				m.markDone = false
+			}
+		}
+	}
+	m.afterPop = func(got int) {
+		m.pending = m.beats[:got]
+		m.step()
+	}
+	m.afterFlush = func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("dma: %s write %#x: %v", m.c.name, m.addr, err))
+		}
+		m.addr += uint64(len(m.buf))
+		m.c.bytes += uint64(len(m.buf))
+		m.buf = m.buf[:0]
+		if m.markDone {
+			m.done = true
+			m.markDone = false
+		}
+		m.step()
+	}
+	m.step()
+}
+
+func (m *s2mmXfer) finish() {
+	if len(m.buf) > 0 {
+		m.mem.WriteAsync(m.addr, m.buf, func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("dma: %s write %#x: %v", m.c.name, m.addr, err))
+			}
+			m.addr += uint64(len(m.buf))
+			m.c.bytes += uint64(len(m.buf))
+			m.buf = m.buf[:0]
+			m.finish()
+		})
+		return
+	}
+	m.c.length = uint32(m.total)
+	m.d.complete(m.c, m.d.OnS2MMIrq)
 }
 
 // startS2MM launches the write channel: absorb beats from S2MMIn until
@@ -258,54 +427,17 @@ func (d *DMA) startS2MM(length uint32) {
 	c.busy = true
 	c.sr &^= SRIdle
 	c.started++
-	addr := c.addr
-	d.k.Go(c.name, func(p *sim.Proc) {
-		burstBytes := d.BurstBeats * 8
-		buf := make([]byte, 0, burstBytes)
-		total := 0
-		flush := func() {
-			if len(buf) == 0 {
-				return
-			}
-			if err := d.Mem.Write(p, addr, buf); err != nil {
-				panic(fmt.Sprintf("dma: %s write %#x: %v", c.name, addr, err))
-			}
-			addr += uint64(len(buf))
-			c.bytes += uint64(len(buf))
-			buf = buf[:0]
-		}
-		beats := make([]axi.Beat, d.BurstBeats)
-		done := false
-		for !done && total < int(length) {
-			// Cap the pop at the beats the remaining byte count can
-			// need, so beats past the programmed length stay in the
-			// stream for the next consumer — as with per-beat pops.
-			maxBeats := (int(length) - total + 7) / 8
-			if maxBeats > len(beats) {
-				maxBeats = len(beats)
-			}
-			got := d.S2MMIn.PopBurst(p, beats[:maxBeats])
-			for _, beat := range beats[:got] {
-				for i := 0; i < 8 && total < int(length); i++ {
-					if beat.Keep&(1<<i) == 0 {
-						continue
-					}
-					buf = append(buf, byte(beat.Data>>(8*i)))
-					total++
-				}
-				if len(buf) >= burstBytes {
-					flush()
-				}
-				if beat.Last {
-					done = true
-					break
-				}
-			}
-		}
-		flush()
-		c.length = uint32(total)
-		d.complete(c, d.OnS2MMIrq)
-	})
+	m := &s2mmXfer{
+		d:      d,
+		c:      c,
+		mem:    d.asyncMem(),
+		addr:   c.addr,
+		length: int(length),
+		buf:    make([]byte, 0, d.BurstBeats*8),
+		beats:  make([]axi.Beat, d.BurstBeats),
+	}
+	// The engine starts later this cycle, as the process version did.
+	d.k.Schedule(0, m.run)
 }
 
 // MM2SBusy reports whether the read channel has a transfer in flight.

@@ -2,7 +2,6 @@ package fpga
 
 import (
 	"fmt"
-	"hash/fnv"
 )
 
 // ConfigMemory is the device's configuration memory: one 101-word frame
@@ -76,8 +75,15 @@ func (m *ConfigMemory) TakeDirty() map[int]bool {
 // else does not. The bitstream builder uses the same function to compute
 // the signature its generated image will produce.
 func HashFrames(get func(idx int) []uint32, frames []int) uint64 {
-	h := fnv.New64a()
-	var b [4]byte
+	// FNV-1a 64, inlined over the little-endian bytes of each word:
+	// bit-identical to hashing through hash/fnv, without the interface
+	// dispatch and per-word Write buffering (this runs once per frame
+	// word on every reconfiguration).
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, idx := range frames {
 		f := get(idx)
 		for w := 0; w < FrameWords; w++ {
@@ -85,11 +91,13 @@ func HashFrames(get func(idx int) []uint32, frames []int) uint64 {
 			if f != nil {
 				v = f[w]
 			}
-			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-			h.Write(b[:])
+			h = (h ^ uint64(v&0xff)) * prime64
+			h = (h ^ uint64((v>>8)&0xff)) * prime64
+			h = (h ^ uint64((v>>16)&0xff)) * prime64
+			h = (h ^ uint64(v>>24)) * prime64
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // signature hashes the current contents of the given frames.

@@ -103,6 +103,7 @@ type ICAP struct {
 	farIdx  int  // linear frame index for the next committed frame
 	farOK   bool // farIdx valid
 	crc     uint32
+	crcPend []byte // serialised (reg,word) bytes awaiting a batched CRC fold
 	lastReg uint32
 	lastOp  uint32
 
@@ -146,7 +147,7 @@ func (ic *ICAP) Abort() {
 	ic.wcfg = false
 	ic.abort = false
 	ic.err = nil
-	ic.crc = 0
+	ic.resetCRC()
 	ic.readQ = nil
 	ic.dropPipeline()
 }
@@ -189,20 +190,47 @@ func (ic *ICAP) fail(err error) {
 // at the CRC check. The bitstream writer uses the same function, so
 // generated streams always carry the value the engine will compute.
 func UpdateCRC(crc uint32, reg, w uint32) uint32 {
-	// Equivalent to crc32.Update over the 5 bytes {reg, w LSB-first},
-	// unrolled so the argument bytes never escape to the heap — this
-	// runs once per configuration word on the reconfiguration hot path.
-	crc = ^crc
-	crc = crcTable[byte(crc)^byte(reg)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(w)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(w>>8)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(w>>16)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(w>>24)] ^ (crc >> 8)
-	return ^crc
+	// crc32.Update over the 5 bytes {reg, w LSB-first}: MakeTable
+	// (Castagnoli) hands back the table the stdlib recognises, so this
+	// dispatches to the hardware CRC32-C instruction where available.
+	b := [5]byte{byte(reg), byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	return crc32.Update(crc, crcTable, b[:])
 }
 
+// UpdateCRCBytes folds an already-serialised run of (reg, word) bytes —
+// produced in UpdateCRC's order, 5 bytes per word — into the running
+// CRC. Batching whole frames through one call lets the stdlib use its
+// wide hardware CRC path instead of word-at-a-time updates.
+func UpdateCRCBytes(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, crcTable, p)
+}
+
+// crcFlushLen bounds the lazily-buffered CRC byte run (about one frame).
+const crcFlushLen = 505
+
 func (ic *ICAP) crcUpdate(reg uint32, w uint32) {
-	ic.crc = UpdateCRC(ic.crc, reg, w)
+	// The running CRC is folded lazily: bytes accumulate here and are
+	// batched through one hardware-CRC call per ~frame, or on demand
+	// when the CRC register is checked. Observable values are identical
+	// to per-word folding.
+	ic.crcPend = append(ic.crcPend, byte(reg), byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	if len(ic.crcPend) >= crcFlushLen {
+		ic.flushCRC()
+	}
+}
+
+func (ic *ICAP) flushCRC() {
+	if len(ic.crcPend) > 0 {
+		ic.crc = crc32.Update(ic.crc, crcTable, ic.crcPend)
+		ic.crcPend = ic.crcPend[:0]
+	}
+}
+
+// resetCRC clears the running CRC, discarding any lazily-buffered run
+// (the fold of those bytes is dead either way).
+func (ic *ICAP) resetCRC() {
+	ic.crc = 0
+	ic.crcPend = ic.crcPend[:0]
 }
 
 // WriteWord feeds one 32-bit word into the configuration engine.
@@ -349,10 +377,11 @@ func (ic *ICAP) regWrite(reg uint32, w uint32) {
 			ic.fail(fmt.Errorf("%w: stream %#08x, device %#08x", ErrIDCode, w, ic.fab.Dev.IDCode))
 		}
 	case RegCRC:
+		ic.flushCRC()
 		if w != ic.crc {
 			ic.fail(fmt.Errorf("%w: stream %#08x, computed %#08x", ErrCRC, w, ic.crc))
 		}
-		ic.crc = 0
+		ic.resetCRC()
 	}
 	if reg < uint32(len(ic.regs)) {
 		ic.regs[reg] = w
@@ -363,7 +392,7 @@ func (ic *ICAP) command(w uint32) {
 	ic.cmd = w & 0x1F
 	switch ic.cmd {
 	case CmdRCRC:
-		ic.crc = 0
+		ic.resetCRC()
 	case CmdWCFG:
 		ic.wcfg = true
 	case CmdNull, CmdLFRM, CmdStart, CmdAGHigh, CmdRCFG:

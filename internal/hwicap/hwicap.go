@@ -176,22 +176,28 @@ func (h *HWICAP) popRF() uint32 {
 func (h *HWICAP) startReadback() {
 	h.busy = true
 	h.busyOp = CRRead
-	h.k.Go("hwicap.readback", func(p *sim.Proc) {
-		for n := uint32(0); n < h.size; n++ {
-			w, ok := h.icap.ReadWord()
-			if !ok {
-				break // stream exhausted: stop short, RFO reveals it
+	// Continuation state machine: one scheduled event per word, at the
+	// cycles the process implementation woke on.
+	n := uint32(0)
+	var step func()
+	step = func() {
+		if n < h.size {
+			if w, ok := h.icap.ReadWord(); ok {
+				h.readFIFO = append(h.readFIFO, w)
+				h.rdWords++
+				n++
+				h.k.Schedule(1, step)
+				return
 			}
-			h.readFIFO = append(h.readFIFO, w)
-			h.rdWords++
-			p.Sleep(1)
+			// Stream exhausted: stop short, RFO reveals it.
 		}
 		h.busy = false
 		h.isr |= IntrDone
 		if h.OnIrq != nil && h.irqEnabled() {
 			h.OnIrq(true)
 		}
-	})
+	}
+	h.k.Schedule(0, step)
 }
 
 // ReadWords returns the total words read back from the ICAP.
@@ -203,13 +209,17 @@ func (h *HWICAP) ReadWords() uint64 { return h.rdWords }
 func (h *HWICAP) startDrain() {
 	h.busy = true
 	h.busyOp = CRWrite
-	h.k.Go("hwicap.drain", func(p *sim.Proc) {
-		for len(h.fifo) > 0 {
-			// Drain in chunks, charging one cycle per word in a single
-			// sleep: the FIFO level as seen by concurrent software polls
-			// of WFV differs transiently by at most the chunk size, and
-			// the driver writes against the vacancy it reads, so no
-			// words are lost and the per-word throughput is unchanged.
+	// Continuation state machine with the process version's exact
+	// pacing: drain in chunks, charging one cycle per word in a single
+	// scheduled delay. The FIFO level as seen by concurrent software
+	// polls of WFV differs transiently by at most the chunk size, and
+	// the driver writes against the vacancy it reads, so no words are
+	// lost and the per-word throughput is unchanged. Words arriving
+	// mid-drain are included, which is how the keyhole interface
+	// behaves.
+	var step func()
+	step = func() {
+		if len(h.fifo) > 0 {
 			n := len(h.fifo)
 			if n > 16 {
 				n = 16
@@ -219,14 +229,16 @@ func (h *HWICAP) startDrain() {
 			}
 			h.fifo = h.fifo[n:]
 			h.words += uint64(n)
-			p.Sleep(sim.Time(n))
+			h.k.Schedule(sim.Time(n), step)
+			return
 		}
 		h.busy = false
 		h.isr |= IntrDone
 		if h.OnIrq != nil && h.irqEnabled() {
 			h.OnIrq(true)
 		}
-	})
+	}
+	h.k.Schedule(0, step)
 }
 
 // Busy reports whether the transfer engine is draining.

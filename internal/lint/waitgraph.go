@@ -38,7 +38,7 @@ import (
 var waitGraph = &Rule{
 	Name: "wait-graph",
 	Doc: "interprocedural: builds the cross-process wait-for graph over sim.Signal " +
-		"and sim.Resource (Wait/WaitAny/Join/Acquire block, Fire/Release wake) and " +
+		"and sim.Resource (Wait/WaitAny/Join/OnFire/Acquire/AcquireAsync block, Fire/Release wake) and " +
 		"flags wait-for cycles between processes (static deadlock candidates) and " +
 		"non-latched signals that are fired but never waited on (lost wakeups)",
 	Run: func(c *Context) { reportInterproc(c, "wait-graph") },
@@ -554,6 +554,13 @@ func collectWaitOps(n *funcNode, simPath string) []waitOp {
 			if len(call.Args) >= 1 {
 				add(opWait, call.Args[0], call.Pos())
 			}
+		case "OnFire":
+			// Continuation-style waiter: subscribes a callback at the
+			// same queue position a parked process would occupy, so it
+			// satisfies a Fire exactly like a Wait does.
+			if sel != nil {
+				add(opWait, sel.X, call.Pos())
+			}
 		case "WaitAny":
 			if call.Ellipsis.IsValid() {
 				break // sigs... slice: object identity unknown
@@ -569,7 +576,7 @@ func collectWaitOps(n *funcNode, simPath string) []waitOp {
 			if sel != nil {
 				add(opFire, sel.X, call.Pos())
 			}
-		case "Acquire":
+		case "Acquire", "AcquireAsync":
 			if sel != nil {
 				add(opAcquire, sel.X, call.Pos())
 			}

@@ -42,6 +42,10 @@ type DDR struct {
 
 	bytesRead    uint64
 	bytesWritten uint64
+
+	// Free lists of async transaction continuations (see ddrOp).
+	readOps  []*ddrOp
+	writeOps []*ddrOp
 }
 
 // DefaultDDRLatency is the calibrated first-beat latency in cycles.
@@ -127,7 +131,89 @@ func (d *DDR) Peek(addr uint64, n int) []byte {
 	return out
 }
 
+// ddrOp is a pooled in-flight async transaction. Its three continuation
+// closures are bound once when the op is first allocated and survive
+// reuse through the free list, so steady-state DMA traffic schedules
+// bursts without allocating.
+type ddrOp struct {
+	d     *DDR
+	write bool
+	addr  uint64
+	buf   []byte
+	done  func(error)
+
+	afterLatency func() // latency paid: contend for the port
+	afterPort    func() // port granted: pay the beat cycles
+	afterBeats   func() // data moved: release and complete
+}
+
+func (d *DDR) getOp(write bool) *ddrOp {
+	pool := &d.readOps
+	if write {
+		pool = &d.writeOps
+	}
+	if n := len(*pool); n > 0 {
+		op := (*pool)[n-1]
+		*pool = (*pool)[:n-1]
+		return op
+	}
+	op := &ddrOp{d: d, write: write}
+	port := d.readPort
+	if write {
+		port = d.writePort
+	}
+	op.afterLatency = func() { port.AcquireAsync(op.afterPort) }
+	op.afterPort = func() { op.d.k.Schedule(op.d.beats(len(op.buf)), op.afterBeats) }
+	op.afterBeats = func() {
+		dd := op.d
+		if op.write {
+			copy(dd.data[op.addr:], op.buf)
+			dd.bytesWritten += uint64(len(op.buf))
+		} else {
+			copy(op.buf, dd.data[op.addr:])
+			dd.bytesRead += uint64(len(op.buf))
+		}
+		port.Release()
+		done := op.done
+		op.buf, op.done = nil, nil
+		if op.write {
+			dd.writeOps = append(dd.writeOps, op)
+		} else {
+			dd.readOps = append(dd.readOps, op)
+		}
+		done(nil)
+	}
+	return op
+}
+
+// ReadAsync serves a read burst continuation-style: the same latency,
+// port arbitration and beat cycles as Read, charged through scheduled
+// events instead of process sleeps, with done(nil) running at the exact
+// cycle Read would have returned.
+func (d *DDR) ReadAsync(addr uint64, buf []byte, done func(error)) {
+	if err := d.bounds("read", addr, len(buf)); err != nil {
+		done(err)
+		return
+	}
+	op := d.getOp(false)
+	op.addr, op.buf, op.done = addr, buf, done
+	d.k.Schedule(d.Latency, op.afterLatency)
+}
+
+// WriteAsync absorbs a write burst continuation-style on the shared
+// write port, with Write's exact cycle accounting.
+func (d *DDR) WriteAsync(addr uint64, data []byte, done func(error)) {
+	if err := d.bounds("write", addr, len(data)); err != nil {
+		done(err)
+		return
+	}
+	op := d.getOp(true)
+	op.addr, op.buf, op.done = addr, data, done
+	d.k.Schedule(d.Latency, op.afterLatency)
+}
+
 var _ axi.Slave = (*DDR)(nil)
+var _ axi.AsyncSlave = (*DDR)(nil)
 
 // BRAM models on-chip block-RAM memory (the SoC boot memory): one-cycle
 // access, one beat per cycle, no port contention beyond the single port.

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"iter"
+	"runtime"
 	"runtime/debug"
 )
 
@@ -34,17 +36,20 @@ func (e *PanicError) Unwrap() error {
 	return nil
 }
 
-// Proc is a cooperative simulation process: a goroutine that runs device
+// Proc is a cooperative simulation process: a coroutine that runs device
 // engines or software drivers as ordinary sequential code, interleaved
 // deterministically with the event queue. Exactly one of {kernel, some
-// process} executes at any moment; control transfers are synchronous
-// channel handoffs, so the simulation stays single-threaded in effect and
-// fully reproducible.
+// process} executes at any moment; control transfers are direct
+// coroutine switches (iter.Pull's runtime coroswitch), which hand
+// control goroutine-to-goroutine without a trip through the Go
+// scheduler — several times cheaper than the channel ping-pong they
+// replace — so the simulation stays single-threaded in effect and fully
+// reproducible.
 type Proc struct {
 	k      *Kernel
 	name   string
-	resume chan struct{}
-	yield  chan struct{}
+	next   func() (struct{}, bool)
+	yield  func(struct{}) bool
 	done   bool
 	panicv *PanicError
 
@@ -62,23 +67,17 @@ type Proc struct {
 // current cycle (after pending same-cycle events). The returned Proc can
 // be waited on via its Done signal semantics through Join.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		k:      k,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-	}
-	go func() {
-		<-p.resume
+	p := &Proc{k: k, name: name}
+	p.next, _ = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
 		defer func() {
 			if r := recover(); r != nil {
 				p.panicv = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
 			}
 			p.done = true
-			p.yield <- struct{}{}
 		}()
 		fn(p)
-	}()
+	})
 	k.push(k.now, entry{proc: p})
 	return p
 }
@@ -88,8 +87,7 @@ func (k *Kernel) dispatch(p *Proc) {
 	if p.done {
 		return
 	}
-	p.resume <- struct{}{}
-	<-p.yield
+	p.next()
 	if p.panicv != nil {
 		panic(p.panicv)
 	}
@@ -97,8 +95,11 @@ func (k *Kernel) dispatch(p *Proc) {
 
 // pause yields control back to the kernel until something re-dispatches p.
 func (p *Proc) pause() {
-	p.yield <- struct{}{}
-	<-p.resume
+	if !p.yield(struct{}{}) {
+		// The pull was stopped out from under us; nothing will ever
+		// resume this process, so unwind its goroutine.
+		runtime.Goexit()
+	}
 }
 
 // Kernel returns the kernel this process runs on.
@@ -169,13 +170,17 @@ func (p *Proc) Join(other *Proc, done *Signal) {
 	}
 }
 
-// waiter is one subscription on a Signal. Storing the process and its
-// wait generation (instead of a per-call closure) keeps Wait/WaitAny
+// waiter is one subscription on a Signal: either a process (Wait /
+// WaitAny) or a continuation callback (OnFire). Storing the process and
+// its wait generation (instead of a per-call closure) keeps Wait/WaitAny
 // and Fire allocation-free on the steady state and lets Fire detect
-// stale WaitAny subscriptions without running them.
+// stale WaitAny subscriptions without running them. Proc and callback
+// subscriptions share one FIFO list, so a mixed population wakes in
+// exact subscription order.
 type waiter struct {
 	p   *Proc
 	gen uint64
+	fn  func()
 }
 
 // Signal is a broadcast wake-up: processes Wait on it, Fire wakes all
@@ -211,6 +216,21 @@ func (s *Signal) sweep(p *Proc, gen uint64) {
 	}
 }
 
+// OnFire subscribes a one-shot continuation: fn is scheduled as a fresh
+// same-cycle event when the signal next fires, at the exact queue
+// position a process parked in Wait would have woken at. If the signal
+// is already latched, fn runs synchronously — mirroring Wait's
+// immediate return. This is the callback half of the continuation-style
+// device engines: a state machine resumes where a coroutine would have
+// been re-dispatched, with identical cycle accounting.
+func (s *Signal) OnFire(fn func()) {
+	if s.latched {
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, waiter{fn: fn})
+}
+
 // Fire wakes every current waiter (each as a fresh same-cycle event) and,
 // for latched signals, sets the latch. Stale subscriptions — waiters
 // whose process was already woken by another signal of a WaitAny set —
@@ -222,6 +242,10 @@ func (s *Signal) Fire() {
 	ws := s.waiters
 	s.waiters = s.waiters[:0]
 	for _, w := range ws {
+		if w.p == nil {
+			s.k.push(s.k.now, entry{fn: w.fn})
+			continue
+		}
 		if w.gen != w.p.waitGen {
 			continue
 		}
@@ -237,13 +261,21 @@ func (s *Signal) Set() bool { return s.latched }
 // Reset rearms a latched signal.
 func (s *Signal) Reset() { s.latched = false }
 
+// resWaiter is one queued grant request: a parked process or a
+// continuation callback. Both kinds share the FIFO so grant order is
+// strictly arrival order regardless of caller style.
+type resWaiter struct {
+	p  *Proc
+	fn func()
+}
+
 // Resource is a FIFO-fair exclusive resource (e.g. the DDR port or a bus
 // grant). Acquire blocks the calling process until the resource is free.
 type Resource struct {
 	k     *Kernel
 	name  string
 	busy  bool
-	queue []*Proc
+	queue []resWaiter
 }
 
 // NewResource returns an idle resource.
@@ -258,9 +290,23 @@ func (r *Resource) Acquire(p *Proc) {
 		r.busy = true
 		return
 	}
-	r.queue = append(r.queue, p)
+	r.queue = append(r.queue, resWaiter{p: p})
 	p.pause()
 	// Ownership was transferred to us by Release before the wake-up.
+}
+
+// AcquireAsync takes the resource for a continuation-style caller: fn
+// runs with ownership held. A free resource grants synchronously
+// (matching Acquire's no-yield fast path); a busy one queues fn in the
+// same FIFO as process waiters, and Release schedules it as a fresh
+// same-cycle event exactly where the process wake would have landed.
+func (r *Resource) AcquireAsync(fn func()) {
+	if !r.busy {
+		r.busy = true
+		fn()
+		return
+	}
+	r.queue = append(r.queue, resWaiter{fn: fn})
 }
 
 // Release frees the resource, handing it to the oldest waiter if any.
@@ -276,7 +322,11 @@ func (r *Resource) Release() {
 	copy(r.queue, r.queue[1:])
 	r.queue = r.queue[:len(r.queue)-1]
 	// Stay busy: the waiter inherits ownership.
-	r.k.push(r.k.now, entry{proc: next})
+	if next.p != nil {
+		r.k.push(r.k.now, entry{proc: next.p})
+	} else {
+		r.k.push(r.k.now, entry{fn: next.fn})
+	}
 }
 
 // Busy reports whether the resource is currently held.

@@ -70,12 +70,26 @@ func (k *Kernel) bucketPut(t Time, e entry) {
 
 // setBase advances the window start to b and migrates every far event
 // the new window covers into its bucket, preserving (at, seq) order.
+//
+// The heap pops in (at, seq) order, so consecutive pops with the same
+// cycle form a ready-sorted run; each run lands in its bucket as one
+// batched append with a single occupancy-bitmap update, instead of a
+// full bucketPut per event. The far heap's backing array shrinks in
+// place and keeps its capacity, so migration storms recycle the same
+// arena instead of reallocating it.
 func (k *Kernel) setBase(b Time) {
 	k.base = b
 	horizon := b + ringSize
 	for len(k.far) > 0 && k.far[0].at < horizon {
-		fe := k.farPop()
-		k.bucketPut(fe.at, fe.e)
+		at := k.far[0].at
+		i := at & ringMask
+		bucket := k.ring[i]
+		for len(k.far) > 0 && k.far[0].at == at {
+			bucket = append(bucket, k.farPop().e)
+			k.ringN++
+		}
+		k.ring[i] = bucket
+		k.occ[i>>6] |= 1 << (i & 63)
 	}
 }
 
@@ -148,6 +162,40 @@ func (k *Kernel) position(limit Time) bool {
 			continue
 		}
 		return false
+	}
+}
+
+// drain runs every entry of the current cycle's bucket — including
+// same-cycle cascade appends — in one pass, advancing time once and
+// re-checking nothing but the bucket length per event. position() pays
+// the window bookkeeping per *cycle*; drain() makes each event inside
+// the cycle cost a slice index, a counter, and the dispatch. The
+// dead-prefix compaction is folded into the loop so a long cascade
+// (events perpetually appending to the bucket being drained) stays in
+// bounded memory, exactly as position() would have kept it. Returns
+// when the bucket is exhausted or Halt was called mid-cascade.
+//
+// Callers must have established via position() that ring[base&ringMask]
+// holds the earliest pending event.
+func (k *Kernel) drain() {
+	b := &k.ring[k.base&ringMask]
+	k.now = k.base
+	for k.pos < len(*b) && !k.halt {
+		if k.pos >= 64 && k.pos >= len(*b)-k.pos {
+			n := copy(*b, (*b)[k.pos:])
+			tail := (*b)[n:]
+			for j := range tail {
+				tail[j] = entry{}
+			}
+			*b = (*b)[:n]
+			k.pos = 0
+		}
+		e := (*b)[k.pos]
+		(*b)[k.pos] = entry{} // drop references so recycled slots don't pin closures
+		k.pos++
+		k.ringN--
+		k.fired++
+		e.run(k)
 	}
 }
 

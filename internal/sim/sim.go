@@ -188,10 +188,19 @@ func (k *Kernel) Step() bool {
 // Halt makes Run and RunUntil return after the current event completes.
 func (k *Kernel) Halt() { k.halt = true }
 
-// Run executes events until the queue drains or Halt is called.
+// Run executes events until the queue drains or Halt is called. On the
+// calendar queue the loop positions the window once per occupied cycle
+// and drains that cycle's whole bucket (cascade appends included) in a
+// single batched pass.
 func (k *Kernel) Run() {
 	k.halt = false
-	for !k.halt && k.Step() {
+	if k.legacy {
+		for !k.halt && k.Step() {
+		}
+		return
+	}
+	for !k.halt && k.position(Forever) {
+		k.drain()
 	}
 }
 
@@ -205,7 +214,7 @@ func (k *Kernel) RunUntil(t Time) {
 		}
 	} else {
 		for !k.halt && k.position(t) {
-			k.fire()
+			k.drain()
 		}
 	}
 	if !k.halt && k.now < t {
