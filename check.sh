@@ -93,6 +93,21 @@ go run ./cmd/benchcheck -baseline BENCH_5.json BENCH_8.json
 "$tmp/rvcap-bench" -cascadejson -benchiters 2 -outdir "$tmp/b8" > /dev/null
 go run ./cmd/benchcheck -baseline BENCH_5.json -min-ratio 1.5 "$tmp/b8/BENCH_8.json"
 
+echo '== rvcap-bench -steadyjson smoke (BENCH_9.json)'
+# The steady-state benchmark streams the job ladder through pooled
+# board runtimes and proves bounded memory (peak heap flat across a
+# 10x job step), replay determinism and the end-to-end allocs/op
+# ceiling. The committed record must hold the full gates; the smoke
+# run shrinks the ladder (-steadyscale) and runs one benchmark
+# iteration, so its one-time setup is amortised over far fewer jobs —
+# it uses a relaxed allocs ceiling and a relaxed heap ratio (tiny
+# rungs sit on the GC ramp, not at the steady-state asymptote) while
+# still catching a broken histogram, a lost digest match or a
+# regressed kernel.
+go run ./cmd/benchcheck -baseline BENCH_8.json BENCH_9.json
+"$tmp/rvcap-bench" -steadyjson -steadyscale 100 -benchiters 1 -steadybaseline BENCH_8.json -outdir "$tmp/b9" > /dev/null
+go run ./cmd/benchcheck -baseline BENCH_8.json -steady-allocs-ceiling 6000 -steady-heap-ratio 2.0 -steady-min-ratio 0.5 "$tmp/b9/BENCH_9.json"
+
 echo '== benchcheck -claims (doc headline numbers vs committed JSON)'
 # Every benchclaim-annotated number in the docs must match the committed
 # benchmark JSON it cites, so perf prose cannot drift from measurements.

@@ -90,9 +90,10 @@ type payload struct {
 			DefragFragBeforePct float64 `json:"defrag_frag_before_pct"`
 			DefragFragAfterPct  float64 `json:"defrag_frag_after_pct"`
 		} `json:"runs"`
-		// kernel-cascade fields.
+		// kernel-cascade / runtime-steady fields.
 		Baseline struct {
 			Source               string  `json:"source"`
+			CalendarAllocsPerOp  uint64  `json:"calendar_allocs_per_op"`
 			CalendarEventsPerSec float64 `json:"calendar_events_per_sec"`
 		} `json:"baseline"`
 		PerCoreImprovement float64 `json:"per_core_improvement_vs_baseline"`
@@ -103,14 +104,37 @@ type payload struct {
 			AggregateEventsPerSec float64 `json:"aggregate_events_per_sec"`
 			DigestsMatch          bool    `json:"digests_match"`
 		} `json:"fleet"`
+		// runtime-steady fields (BENCH_9.json, from -steadyjson).
+		Ladder []struct {
+			Jobs          int     `json:"jobs"`
+			Events        uint64  `json:"events"`
+			EventsPerSec  float64 `json:"events_per_sec"`
+			AllocsPerJob  float64 `json:"allocs_per_job"`
+			PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+			P99Micros     float64 `json:"p99_micros"`
+			Digest        string  `json:"digest"`
+		} `json:"ladder"`
+		PeakHeapRatio      float64 `json:"peak_heap_ratio_largest_vs_prev"`
+		ReplayDigestsMatch bool    `json:"replay_digests_match"`
+		EndToEnd           struct {
+			Queue        string  `json:"queue"`
+			Iterations   int     `json:"iterations"`
+			AllocsPerOp  uint64  `json:"allocs_per_op"`
+			Events       uint64  `json:"events"`
+			EventsPerSec float64 `json:"events_per_sec"`
+		} `json:"end_to_end"`
+		EventsPerSecVsBaseline float64 `json:"events_per_sec_vs_baseline"`
 	} `json:"data"`
 }
 
 // opts carries the gate thresholds and cross-file references.
 type opts struct {
-	baseline       string  // committed BENCH_5.json to cross-check cascade baselines against
+	baseline       string  // committed baseline JSON: BENCH_5 for kernel-cascade, BENCH_8 for runtime-steady
 	minRatio       float64 // per-core improvement floor for kernel-cascade
-	aggregateFloor float64 // fleet aggregate events/sec floor for kernel-cascade
+	aggregateFloor float64 // fleet aggregate events/sec floor for kernel-cascade / runtime-steady
+	allocsCeiling  uint64  // runtime-steady: end-to-end allocs/op ceiling
+	heapRatio      float64 // runtime-steady: largest-vs-previous peak-heap ratio ceiling
+	steadyMinRatio float64 // runtime-steady: events/sec floor as a ratio over the BENCH_8 baseline
 }
 
 func main() {
@@ -134,6 +158,12 @@ func run(args []string) int {
 		"kernel-cascade: minimum per-core events/sec improvement over the BENCH_5 baseline")
 	fs.Float64Var(&o.aggregateFloor, "aggregate-floor", 1e7,
 		"kernel-cascade: minimum fleet aggregate events/sec (skipped with a note when host cores < fleet boards)")
+	fs.Uint64Var(&o.allocsCeiling, "steady-allocs-ceiling", 2000,
+		"runtime-steady: maximum end-to-end calendar allocs/op")
+	fs.Float64Var(&o.heapRatio, "steady-heap-ratio", 1.25,
+		"runtime-steady: maximum peak-heap ratio between the largest ladder rung and the one before it")
+	fs.Float64Var(&o.steadyMinRatio, "steady-min-ratio", 1.0,
+		"runtime-steady: minimum end-to-end events/sec as a ratio over the BENCH_8 baseline")
 	fs.Var(&claims, "claims",
 		"markdown file whose benchclaim annotations must match the committed JSON (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -194,6 +224,11 @@ func checkFile(path string, o *opts) int {
 	case "kernel-cascade":
 		fmt.Printf("benchcheck: %s ok (x%.2f per-core vs %s, %d events on both queues)\n",
 			path, p.Data.PerCoreImprovement, p.Data.Baseline.Source, p.Data.Runs[0].Events)
+	case "runtime-steady":
+		last := p.Data.Ladder[len(p.Data.Ladder)-1]
+		fmt.Printf("benchcheck: %s ok (%d-rung ladder to %d jobs, peak heap x%.3f, %d end-to-end allocs/op, x%.2f events/sec vs %s)\n",
+			path, len(p.Data.Ladder), last.Jobs, p.Data.PeakHeapRatio,
+			p.Data.EndToEnd.AllocsPerOp, p.Data.EventsPerSecVsBaseline, p.Data.Baseline.Source)
 	}
 	return 0
 }
@@ -210,9 +245,11 @@ func validate(p *payload, o *opts) error {
 		return validateFrag(p)
 	case "kernel-cascade":
 		return validateCascade(p, o)
+	case "runtime-steady":
+		return validateSteady(p, o)
 	}
-	return fmt.Errorf("experiment = %q, want %q, %q, %q or %q",
-		p.Experiment, "kernel-fastpath", "fleet-throughput", "amorphous-frag", "kernel-cascade")
+	return fmt.Errorf("experiment = %q, want %q, %q, %q, %q or %q",
+		p.Experiment, "kernel-fastpath", "fleet-throughput", "amorphous-frag", "kernel-cascade", "runtime-steady")
 }
 
 // validateQueuePair checks the shared kernel-benchmark contract: one
@@ -388,6 +425,134 @@ func validateCascade(p *payload, o *opts) error {
 		}
 	}
 	// Fleet aggregate rung.
+	f := &d.Fleet
+	if f.Boards <= 0 || f.Jobs <= 0 || f.Events == 0 {
+		return fmt.Errorf("fleet rung malformed: boards=%d jobs=%d events=%d", f.Boards, f.Jobs, f.Events)
+	}
+	if !f.DigestsMatch {
+		return fmt.Errorf("fleet of %d boards: serial and parallel per-board reports diverge", f.Boards)
+	}
+	if *d.HostCores < f.Boards {
+		fmt.Printf("benchcheck: note: skipping the %.0f aggregate events/sec floor — %d fleet boards recorded on a %d-core host cannot aggregate across cores\n",
+			o.aggregateFloor, f.Boards, *d.HostCores)
+	} else if f.AggregateEventsPerSec < o.aggregateFloor {
+		return fmt.Errorf("fleet aggregate %.0f events/sec on a %d-core host is below the %.0f floor",
+			f.AggregateEventsPerSec, *d.HostCores, o.aggregateFloor)
+	}
+	return nil
+}
+
+// validateSteady gates the BENCH_9 steady-state record: a growing
+// streaming ladder whose last 10x job step must not move peak heap
+// (bounded memory), a replay-digest determinism proof, the end-to-end
+// allocs/op ceiling, the events/sec no-regression ratio against the
+// committed BENCH_8 calendar figure, and the >= 1M-job fleet rung's
+// serial-vs-parallel digest match.
+func validateSteady(p *payload, o *opts) error {
+	d := &p.Data
+	if d.HostCores == nil || *d.HostCores <= 0 {
+		return fmt.Errorf("host_cores missing or <= 0")
+	}
+	if len(d.Ladder) < 2 {
+		return fmt.Errorf("got %d ladder rungs, want at least 2 to show bounded memory", len(d.Ladder))
+	}
+	for i, r := range d.Ladder {
+		if r.Jobs <= 0 {
+			return fmt.Errorf("ladder rung %d ran %d jobs, want > 0", i, r.Jobs)
+		}
+		if i > 0 && r.Jobs <= d.Ladder[i-1].Jobs {
+			return fmt.Errorf("ladder not strictly increasing: rung %d has %d jobs after %d",
+				i, r.Jobs, d.Ladder[i-1].Jobs)
+		}
+		if r.Events == 0 {
+			return fmt.Errorf("ladder rung of %d jobs fired 0 kernel events", r.Jobs)
+		}
+		if r.EventsPerSec <= 0 {
+			return fmt.Errorf("ladder rung of %d jobs has events/sec %v, want > 0", r.Jobs, r.EventsPerSec)
+		}
+		if r.PeakHeapBytes == 0 {
+			return fmt.Errorf("ladder rung of %d jobs sampled no peak heap", r.Jobs)
+		}
+		if r.P99Micros <= 0 {
+			return fmt.Errorf("ladder rung of %d jobs reports p99 %v us — the latency histogram is not feeding the record", r.Jobs, r.P99Micros)
+		}
+		if r.Digest == "" {
+			return fmt.Errorf("ladder rung of %d jobs has no report digest", r.Jobs)
+		}
+	}
+	last, prev := d.Ladder[len(d.Ladder)-1], d.Ladder[len(d.Ladder)-2]
+	// Amortisation must show: a 10x-longer stream cannot cost more
+	// allocations per job than the shorter one (pooled records mean the
+	// per-job tail is ~0 and setup amortises away).
+	if last.AllocsPerJob > prev.AllocsPerJob {
+		return fmt.Errorf("allocs/job grew along the ladder: %.2f at %d jobs vs %.2f at %d jobs — per-job state is not pooled",
+			last.AllocsPerJob, last.Jobs, prev.AllocsPerJob, prev.Jobs)
+	}
+	// The stated heap ratio must follow from the rungs' own numbers...
+	got := float64(last.PeakHeapBytes) / float64(prev.PeakHeapBytes)
+	if diff := got - d.PeakHeapRatio; diff > 0.01 || diff < -0.01 {
+		return fmt.Errorf("peak_heap_ratio_largest_vs_prev = %.3f but the rungs give %.3f — stale or hand-edited",
+			d.PeakHeapRatio, got)
+	}
+	// ...and clear the bounded-memory ceiling.
+	if got > o.heapRatio {
+		return fmt.Errorf("peak heap grew x%.3f from %d to %d jobs, ceiling x%.2f — memory is not bounded over the stream",
+			got, prev.Jobs, last.Jobs, o.heapRatio)
+	}
+	if !d.ReplayDigestsMatch {
+		return fmt.Errorf("replay of the first rung produced a different report digest — the runtime is not deterministic")
+	}
+	// End-to-end calendar rung: the allocs/op ceiling and the events/sec
+	// no-regression ratio.
+	e := &d.EndToEnd
+	if e.Queue != "calendar" {
+		return fmt.Errorf("end-to-end queue %q, want calendar", e.Queue)
+	}
+	if e.Iterations <= 0 || e.Events == 0 {
+		return fmt.Errorf("end-to-end rung malformed: iterations=%d events=%d", e.Iterations, e.Events)
+	}
+	if e.AllocsPerOp > o.allocsCeiling {
+		return fmt.Errorf("end-to-end %d allocs/op is above the %d ceiling", e.AllocsPerOp, o.allocsCeiling)
+	}
+	if d.Baseline.CalendarEventsPerSec <= 0 {
+		return fmt.Errorf("baseline calendar_events_per_sec = %v, want > 0 (baseline source %q)",
+			d.Baseline.CalendarEventsPerSec, d.Baseline.Source)
+	}
+	ratio := e.EventsPerSec / d.Baseline.CalendarEventsPerSec
+	if diff := ratio - d.EventsPerSecVsBaseline; diff > 0.01 || diff < -0.01 {
+		return fmt.Errorf("events_per_sec_vs_baseline = %.3f but end_to_end/baseline give %.3f — stale or hand-edited",
+			d.EventsPerSecVsBaseline, ratio)
+	}
+	if ratio < o.steadyMinRatio {
+		return fmt.Errorf("end-to-end events/sec is x%.3f of the %s calendar figure, floor x%.2f — steady-state work regressed the kernel",
+			ratio, d.Baseline.Source, o.steadyMinRatio)
+	}
+	// Cross-check the quoted baseline against the committed BENCH_8.
+	if o.baseline != "" {
+		raw, err := os.ReadFile(o.baseline)
+		if err != nil {
+			return fmt.Errorf("-baseline: %v", err)
+		}
+		var b payload
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return fmt.Errorf("-baseline %s: %v", o.baseline, err)
+		}
+		var committed float64
+		for _, r := range b.Data.Runs {
+			if r.Queue == "calendar" {
+				committed = r.EventsPerSec
+			}
+		}
+		if committed <= 0 {
+			return fmt.Errorf("-baseline %s has no calendar events/sec", o.baseline)
+		}
+		if rel := (d.Baseline.CalendarEventsPerSec - committed) / committed; rel > 1e-6 || rel < -1e-6 {
+			return fmt.Errorf("baseline drift: file quotes %.0f calendar events/sec but %s holds %.0f — re-record BENCH_9 against the committed baseline",
+				d.Baseline.CalendarEventsPerSec, o.baseline, committed)
+		}
+	}
+	// Fleet rung: the merged-histogram path at fleet scale, with the
+	// serial-vs-parallel digest proof.
 	f := &d.Fleet
 	if f.Boards <= 0 || f.Jobs <= 0 || f.Events == 0 {
 		return fmt.Errorf("fleet rung malformed: boards=%d jobs=%d events=%d", f.Boards, f.Jobs, f.Events)

@@ -8,7 +8,8 @@ import (
 
 // defaultOpts mirrors the flag defaults run() would hand validate.
 func defaultOpts() *opts {
-	return &opts{minRatio: 3.0, aggregateFloor: 1e7}
+	return &opts{minRatio: 3.0, aggregateFloor: 1e7,
+		allocsCeiling: 2000, heapRatio: 1.25, steadyMinRatio: 1.0}
 }
 
 // doc builds a payload from a JSON literal, failing the test on bad
@@ -352,6 +353,132 @@ func TestValidateCascadeRejections(t *testing.T) {
 			err := validate(doc(t, tc.src), defaultOpts())
 			if err == nil {
 				t.Fatal("validate accepted a bad cascade document")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+const goodSteadyDoc = `{
+  "experiment": "runtime-steady",
+  "data": {
+    "benchmark": "SteadyStateStreaming",
+    "host_cores": 1,
+    "ladder": [
+      {"jobs": 100000, "events": 48000000, "events_per_sec": 5500000,
+       "allocs_per_job": 4.1, "peak_heap_bytes": 120000000,
+       "p99_micros": 5242, "digest": "aaa"},
+      {"jobs": 1000000, "events": 480000000, "events_per_sec": 6000000,
+       "allocs_per_job": 0.5, "peak_heap_bytes": 126000000,
+       "p99_micros": 5242, "digest": "bbb"}
+    ],
+    "peak_heap_ratio_largest_vs_prev": 1.05,
+    "replay_digests_match": true,
+    "end_to_end": {"queue": "calendar", "iterations": 3, "allocs_per_op": 1675,
+                   "events": 223429, "events_per_sec": 4110000},
+    "baseline": {"source": "BENCH_8.json", "calendar_events_per_sec": 4080000},
+    "events_per_sec_vs_baseline": 1.007,
+    "fleet": {"boards": 8, "jobs": 1000000, "events": 480000000,
+              "aggregate_events_per_sec": 5200000, "digests_match": true}
+  }
+}`
+
+func TestValidateSteadyGood(t *testing.T) {
+	if err := validate(doc(t, goodSteadyDoc), defaultOpts()); err != nil {
+		t.Fatalf("validate(good steady) = %v", err)
+	}
+}
+
+func TestValidateSteadyRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"heap ratio above ceiling",
+			strings.Replace(strings.Replace(goodSteadyDoc,
+				`"peak_heap_bytes": 126000000`, `"peak_heap_bytes": 240000000`, 1),
+				`"peak_heap_ratio_largest_vs_prev": 1.05`, `"peak_heap_ratio_largest_vs_prev": 2.0`, 1),
+			"memory is not bounded",
+		},
+		{
+			"stale stated heap ratio",
+			strings.Replace(goodSteadyDoc,
+				`"peak_heap_ratio_largest_vs_prev": 1.05`, `"peak_heap_ratio_largest_vs_prev": 1.2`, 1),
+			"stale or hand-edited",
+		},
+		{
+			"allocs/job growing along the ladder",
+			strings.Replace(goodSteadyDoc, `"allocs_per_job": 0.5`, `"allocs_per_job": 9.9`, 1),
+			"not pooled",
+		},
+		{
+			"replay digests diverge",
+			strings.Replace(goodSteadyDoc, `"replay_digests_match": true`, `"replay_digests_match": false`, 1),
+			"not deterministic",
+		},
+		{
+			"allocs/op above ceiling",
+			strings.Replace(goodSteadyDoc, `"allocs_per_op": 1675`, `"allocs_per_op": 2390`, 1),
+			"above the 2000 ceiling",
+		},
+		{
+			"events/sec regression",
+			strings.Replace(strings.Replace(goodSteadyDoc,
+				`"events_per_sec": 4110000`, `"events_per_sec": 3000000`, 2),
+				`"events_per_sec_vs_baseline": 1.007`, `"events_per_sec_vs_baseline": 0.735`, 1),
+			"regressed the kernel",
+		},
+		{
+			"stale stated baseline ratio",
+			strings.Replace(goodSteadyDoc,
+				`"events_per_sec_vs_baseline": 1.007`, `"events_per_sec_vs_baseline": 1.4`, 1),
+			"stale or hand-edited",
+		},
+		{
+			"ladder too short",
+			strings.Replace(goodSteadyDoc,
+				`{"jobs": 100000, "events": 48000000, "events_per_sec": 5500000,
+       "allocs_per_job": 4.1, "peak_heap_bytes": 120000000,
+       "p99_micros": 5242, "digest": "aaa"},`, ``, 1),
+			"at least 2",
+		},
+		{
+			"ladder not increasing",
+			strings.Replace(goodSteadyDoc, `"jobs": 1000000, "events": 480000000, "events_per_sec": 6000000`,
+				`"jobs": 100000, "events": 480000000, "events_per_sec": 6000000`, 1),
+			"strictly increasing",
+		},
+		{
+			"histogram not feeding the record",
+			strings.Replace(goodSteadyDoc, `"p99_micros": 5242, "digest": "bbb"`,
+				`"p99_micros": 0, "digest": "bbb"`, 1),
+			"histogram",
+		},
+		{
+			"missing host cores",
+			strings.Replace(goodSteadyDoc, `"host_cores": 1,`, ``, 1),
+			"host_cores",
+		},
+		{
+			"wrong end-to-end queue",
+			strings.Replace(goodSteadyDoc, `"queue": "calendar"`, `"queue": "legacy"`, 1),
+			"want calendar",
+		},
+		{
+			"fleet digests diverge",
+			strings.Replace(goodSteadyDoc,
+				`"aggregate_events_per_sec": 5200000, "digests_match": true`,
+				`"aggregate_events_per_sec": 5200000, "digests_match": false`, 1),
+			"diverge",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(doc(t, tc.src), defaultOpts())
+			if err == nil {
+				t.Fatal("validate accepted a bad steady document")
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("error = %q, want substring %q", err, tc.wantErr)

@@ -224,6 +224,12 @@ func main() {
 		"run the second-round kernel benchmark (both queues + fleet aggregate, ratio vs the committed BENCH_5 baseline) and write BENCH_8.json to -outdir instead of running experiments")
 	cascadeBase := flag.String("baseline", "BENCH_5.json",
 		"committed kernel-fastpath baseline for -cascadejson")
+	steadyJSON := flag.Bool("steadyjson", false,
+		"run the steady-state streaming benchmark (single-board job ladder + end-to-end + >=1M-job fleet rung, vs the committed BENCH_8 baseline) and write BENCH_9.json to -outdir instead of running experiments")
+	steadyBase := flag.String("steadybaseline", "BENCH_8.json",
+		"committed kernel-cascade baseline for -steadyjson")
+	steadyScale := flag.Int("steadyscale", 1,
+		"divide every -steadyjson ladder rung by this factor (smoke runs; the committed record uses 1)")
 	fragJSON := flag.Bool("fragjson", false,
 		"run the amorphous placement sweep (fixed pre-cut slots vs frame-granular allocator) and write BENCH_7.json to -outdir instead of running experiments")
 	fragReqs := flag.Int("fragreqs", 0, "requests per cell for -fragjson (0 = sweep default)")
@@ -286,6 +292,13 @@ func main() {
 	if *cascadeJSON {
 		if err := runCascadeJSON(*outDir, *benchIters, *fleetJobs, runtime.NumCPU(), *cascadeBase); err != nil {
 			fmt.Fprintf(os.Stderr, "rvcap-bench: -cascadejson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *steadyJSON {
+		if err := runSteadyJSON(*outDir, *benchIters, runtime.NumCPU(), *steadyScale, *steadyBase); err != nil {
+			fmt.Fprintf(os.Stderr, "rvcap-bench: -steadyjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -153,6 +153,12 @@ func filterPatterns(finds []lint.Finding, patterns []string) []lint.Finding {
 	match := func(file string) bool {
 		for _, p := range patterns {
 			p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+			// The go tool accepts "./x/" for "./x"; without this a
+			// trailing slash silently matches nothing and the gate
+			// exits clean on a typo'd pattern.
+			if p != "" && p != "/" {
+				p = strings.TrimSuffix(p, "/")
+			}
 			switch {
 			case p == "..." || p == "":
 				return true

@@ -284,4 +284,11 @@ func Fine() int { return 1 }
 	if code := run([]string{"-root", root, "./internal/a/..."}, &stdout, &stderr); code != 1 {
 		t.Fatalf("exit filtered to dirty subtree = %d, want 1", code)
 	}
+	// The go tool accepts a trailing slash on a package dir; the filter
+	// must too, or a typo'd pattern silently gates nothing.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "./internal/a/"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit filtered to dirty dir with trailing slash = %d, want 1", code)
+	}
 }

@@ -109,7 +109,11 @@ type outRow struct {
 // cycle, so the cycle accounting is unchanged — only the coroutine
 // switches are gone.
 func (e *Engine) start(k *sim.Kernel) {
+	// Row queue drained from qHead so the backing array is reused: a
+	// slid-forward slice (queue = queue[1:]) loses its front capacity
+	// and reallocates on every wrap of the producer/consumer cycle.
 	var queue []outRow
+	qHead := 0
 	avail := sim.NewSignal(k, e.name+".rows")
 
 	// Computed rows cycle through a free list: a row buffer is reclaimed
@@ -122,13 +126,15 @@ func (e *Engine) start(k *sim.Kernel) {
 	var wbStep func()
 	var afterPush func()
 	wbStep = func() {
-		if len(queue) == 0 {
+		if qHead == len(queue) {
+			queue, qHead = queue[:0], 0
 			//lint:ignore wait-graph ready/valid stream flow control: waits re-check FIFO occupancy and every fire follows a push/pop, so the static cycle is the designed handshake, not a deadlock
 			avail.OnFire(wbStep)
 			return
 		}
-		row := queue[0]
-		queue = queue[1:]
+		row := queue[qHead]
+		queue[qHead] = outRow{} // release the row reference
+		qHead++
 		rowBeats = rowBeats[:0]
 		for b := 0; b < len(row.pix); b += 8 {
 			beat := axi.Beat{

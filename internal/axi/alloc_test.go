@@ -1,0 +1,69 @@
+package axi
+
+import (
+	"testing"
+
+	"rvcap/internal/sim"
+)
+
+// The blocked-path allocation contract: a burst that parks on a full
+// (push) or empty (pop) FIFO goes through the stream's pending slot and
+// its pre-bound resume closure, so the steady state allocates nothing
+// per blocked burst. This is the structural fix behind the BENCH_8
+// pushRetry-closure hotspot (~8,900 allocs/op before the slot).
+
+// TestPushBurstAsyncBlockedZeroAlloc parks a push on a full stream and
+// releases it with a pop each round.
+func TestPushBurstAsyncBlockedZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewStream(k, "s", 4)
+	beats := make([]Beat, 8)
+	dst := make([]Beat, 8)
+	pushes, pops := 0, 0
+	pushDone := func() { pushes++ }
+	popDone := func(n int) { pops += n }
+	round := func() {
+		s.PushBurstAsync(beats, pushDone) // fills 4, parks 4 in the slot
+		s.PopBurstAsync(dst, popDone)     // drains 4, notFull resumes the push
+		k.Run()
+		s.PopBurstAsync(dst, popDone) // drain the resumed half
+		k.Run()
+	}
+	round() // warm-up
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Fatalf("blocked PushBurstAsync allocates %.1f allocs per round, want 0", n)
+	}
+	if pushes == 0 || pops == 0 {
+		t.Fatal("bursts never completed")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("stream not drained: %d beats left", s.Len())
+	}
+}
+
+// TestPopBurstAsyncBlockedZeroAlloc parks a pop on an empty stream and
+// releases it with a push each round.
+func TestPopBurstAsyncBlockedZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewStream(k, "s", 4)
+	beats := make([]Beat, 4)
+	dst := make([]Beat, 4)
+	pushes, pops := 0, 0
+	pushDone := func() { pushes++ }
+	popDone := func(n int) { pops += n }
+	round := func() {
+		s.PopBurstAsync(dst, popDone)     // empty: parks in the slot
+		s.PushBurstAsync(beats, pushDone) // notEmpty resumes the pop
+		k.Run()
+	}
+	round() // warm-up
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Fatalf("blocked PopBurstAsync allocates %.1f allocs per round, want 0", n)
+	}
+	if pushes == 0 || pops == 0 {
+		t.Fatal("bursts never completed")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("stream not drained: %d beats left", s.Len())
+	}
+}

@@ -60,10 +60,17 @@ func (e *AccessError) Error() string {
 
 func (e *AccessError) Unwrap() error { return e.Err }
 
+// The word helpers stage through the process's Scratch buffer instead
+// of a local array: passing a stack array through the Slave interface
+// makes it escape, and register accesses are the reconfiguration hot
+// path. The buffer is free here by construction — a process runs one
+// blocking bus call at a time, and slave handlers never issue process
+// calls of their own.
+
 // ReadU32 reads a little-endian 32-bit word.
 func ReadU32(p *sim.Proc, s Slave, addr uint64) (uint32, error) {
-	var b [4]byte
-	if err := s.Read(p, addr, b[:]); err != nil {
+	b := p.Scratch[:4]
+	if err := s.Read(p, addr, b); err != nil {
 		return 0, err
 	}
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
@@ -71,14 +78,15 @@ func ReadU32(p *sim.Proc, s Slave, addr uint64) (uint32, error) {
 
 // WriteU32 writes a little-endian 32-bit word.
 func WriteU32(p *sim.Proc, s Slave, addr uint64, v uint32) error {
-	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
-	return s.Write(p, addr, b[:])
+	b := p.Scratch[:4]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return s.Write(p, addr, b)
 }
 
 // ReadU64 reads a little-endian 64-bit word.
 func ReadU64(p *sim.Proc, s Slave, addr uint64) (uint64, error) {
-	var b [8]byte
-	if err := s.Read(p, addr, b[:]); err != nil {
+	b := p.Scratch[:8]
+	if err := s.Read(p, addr, b); err != nil {
 		return 0, err
 	}
 	var v uint64
@@ -90,9 +98,9 @@ func ReadU64(p *sim.Proc, s Slave, addr uint64) (uint64, error) {
 
 // WriteU64 writes a little-endian 64-bit word.
 func WriteU64(p *sim.Proc, s Slave, addr uint64, v uint64) error {
-	var b [8]byte
+	b := p.Scratch[:8]
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))
 	}
-	return s.Write(p, addr, b[:])
+	return s.Write(p, addr, b)
 }

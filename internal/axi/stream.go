@@ -33,6 +33,20 @@ type Stream struct {
 	notFull  *sim.Signal
 	pushed   uint64
 	popped   uint64
+
+	// Blocked-burst pending slots. The SoC's channels are single
+	// producer / single consumer, so at most one push and one pop park
+	// at a time: their arguments go into these slots and the resume
+	// closures (bound once in NewStream) are re-armed on the signal,
+	// so the steady-state blocked path allocates nothing. A second
+	// concurrent parker (none exists today) falls back to an allocated
+	// capture, keeping the semantics general.
+	pendPushBeats []Beat
+	pendPushDone  func()
+	pushResume    func()
+	pendPopDst    []Beat
+	pendPopDone   func(n int)
+	popResume     func()
 }
 
 // NewStream returns a stream whose internal FIFO holds capacity beats
@@ -41,7 +55,7 @@ func NewStream(k *sim.Kernel, name string, capacity int) *Stream {
 	if capacity <= 0 {
 		panic("axi: stream capacity must be positive: " + name)
 	}
-	return &Stream{
+	s := &Stream{
 		k:        k,
 		name:     name,
 		capacity: capacity,
@@ -49,6 +63,17 @@ func NewStream(k *sim.Kernel, name string, capacity int) *Stream {
 		notEmpty: sim.NewSignal(k, name+".notEmpty"),
 		notFull:  sim.NewSignal(k, name+".notFull"),
 	}
+	s.pushResume = func() {
+		beats, done := s.pendPushBeats, s.pendPushDone
+		s.pendPushBeats, s.pendPushDone = nil, nil
+		s.PushBurstAsync(beats, done)
+	}
+	s.popResume = func() {
+		dst, done := s.pendPopDst, s.pendPopDone
+		s.pendPopDst, s.pendPopDone = nil, nil
+		s.PopBurstAsync(dst, done)
+	}
+	return s
 }
 
 // Name returns the channel name.
@@ -187,15 +212,26 @@ func (s *Stream) PopBurstAsync(dst []Beat, done func(n int)) {
 	done(n)
 }
 
-// pushRetry and popRetry carry the blocked-path closures. Keeping the
-// captures out of the hot functions lets the fast path keep its
-// arguments on the stack: only a burst that actually blocks allocates
-// its continuation.
+// pushRetry and popRetry park the blocked-path continuations. The
+// arguments go into the stream's pending slot and the pre-bound resume
+// closure is re-armed on the signal — zero allocations per blocked
+// burst. Keeping them out of the hot functions also lets the fast path
+// keep its arguments on the stack.
 func (s *Stream) pushRetry(beats []Beat, done func()) {
+	if s.pendPushDone == nil {
+		s.pendPushBeats, s.pendPushDone = beats, done
+		s.notFull.OnFire(s.pushResume)
+		return
+	}
 	s.notFull.OnFire(func() { s.PushBurstAsync(beats, done) })
 }
 
 func (s *Stream) popRetry(dst []Beat, done func(n int)) {
+	if s.pendPopDone == nil {
+		s.pendPopDst, s.pendPopDone = dst, done
+		s.notEmpty.OnFire(s.popResume)
+		return
+	}
 	s.notEmpty.OnFire(func() { s.PopBurstAsync(dst, done) })
 }
 

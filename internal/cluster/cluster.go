@@ -30,8 +30,8 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
+	"rvcap/internal/hist"
 	"rvcap/internal/runner"
 	"rvcap/internal/sched"
 	"rvcap/internal/sim"
@@ -147,6 +147,12 @@ type Result struct {
 	// so this struct stays byte-deterministic).
 	KernelEvents uint64 `json:"kernel_events"`
 
+	// Latency is the fleet-wide latency histogram: the exact bucketwise
+	// merge of every board's snapshot, identical to what one recorder
+	// over the union stream would have produced. The fleet quantiles
+	// above are computed from it — no per-job copy exists at this layer.
+	Latency *hist.Snapshot `json:"latency_hist,omitempty"`
+
 	PerBoard []BoardStat `json:"per_board"`
 }
 
@@ -226,34 +232,29 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	lat := make([]float64, 0, len(jobs))
-	var sum float64
-	var last sim.Time
-	for _, j := range jobs {
-		l := j.LatencyMicros()
-		lat = append(lat, l)
-		sum += l
-		if j.Completion > last {
-			last = j.Completion
-		}
-	}
-	sort.Float64s(lat)
-	res.MakespanMicros = sim.Micros(last)
-	res.P50Micros = sched.Percentile(lat, 0.50)
-	res.P95Micros = sched.Percentile(lat, 0.95)
-	res.P99Micros = sched.Percentile(lat, 0.99)
-	res.MaxMicros = sched.Percentile(lat, 1.00)
-	if len(lat) > 0 {
-		res.MeanMicros = sum / float64(len(lat))
-	}
-	if res.MakespanMicros > 0 {
-		res.GoodputJobsPerMs = float64(len(jobs)) / (res.MakespanMicros / 1000)
-	}
+	// Fleet latency: merge the per-board histogram snapshots. The merge
+	// is an exact bucketwise sum, so the fleet quantiles are precisely
+	// what a single recorder over the union of all boards' jobs would
+	// report — without this layer ever copying a per-job latency.
+	fleet := hist.New()
 	for i, rep := range reports {
+		fleet.MergeSnapshot(rep.Latency)
+		if rep.MakespanMicros > res.MakespanMicros {
+			res.MakespanMicros = rep.MakespanMicros
+		}
 		stats[i].Report = rep
 		res.Reconfigs += rep.Reconfigs
 		res.KernelEvents += rep.KernelEvents
 		res.PerBoard = append(res.PerBoard, stats[i])
+	}
+	res.P50Micros = float64(fleet.Quantile(0.50)) / sim.CyclesPerMicrosecond
+	res.P95Micros = float64(fleet.Quantile(0.95)) / sim.CyclesPerMicrosecond
+	res.P99Micros = float64(fleet.Quantile(0.99)) / sim.CyclesPerMicrosecond
+	res.MaxMicros = float64(fleet.Max()) / sim.CyclesPerMicrosecond
+	res.MeanMicros = fleet.Mean() / sim.CyclesPerMicrosecond
+	res.Latency = fleet.Snapshot()
+	if res.MakespanMicros > 0 {
+		res.GoodputJobsPerMs = float64(len(jobs)) / (res.MakespanMicros / 1000)
 	}
 	return res, nil
 }

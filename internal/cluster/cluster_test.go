@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
+	"rvcap/internal/hist"
+	"rvcap/internal/runner"
 	"rvcap/internal/sched"
 )
 
@@ -207,5 +210,81 @@ func TestSingleBoardFleet(t *testing.T) {
 	}
 	if res.PerBoard[0].Routed != cfg.Jobs {
 		t.Errorf("B0 routed %d jobs, want all %d", res.PerBoard[0].Routed, cfg.Jobs)
+	}
+}
+
+// TestFleetHistogramMergeExact is the property test behind the
+// histogram fleet report: the bucketwise merge of the per-board
+// latency snapshots must equal — same buckets, same quantiles — the
+// histogram a single recorder over every board's jobs would have
+// produced, at every worker count. This is what licenses dropping the
+// fleet-wide per-job latency copy.
+func TestFleetHistogramMergeExact(t *testing.T) {
+	cfg := testConfig(t).withDefaults()
+	for _, policy := range Policies {
+		for _, workers := range []int{1, 2, 4, 0} {
+			boards := make([]*sched.Board, cfg.Boards)
+			for i := range boards {
+				bcfg := cfg.Board
+				bcfg.Seed = cfg.Seed + int64(i)
+				b, err := sched.NewBoard(fmt.Sprintf("B%d", i), bcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				boards[i] = b
+			}
+			jobs, err := FleetWorkload{
+				Seed: cfg.Seed, Tenants: cfg.Tenants, Jobs: cfg.Jobs,
+				Load: cfg.Load, Locality: cfg.Locality,
+				Boards: cfg.Boards, BoardRPs: boards[0].Config().RPs,
+			}.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ro := newRouter(policy, cfg.Boards, boards[0].Config().RPs, boards[0].Config().CacheSlots)
+			perBoard := make([][]*sched.Job, cfg.Boards)
+			for _, job := range jobs {
+				d := ro.route(job)
+				perBoard[d.board] = append(perBoard[d.board], job)
+			}
+			reports, err := runner.Map(workers, cfg.Boards, func(i int) (*sched.Report, error) {
+				return boards[i].Run(perBoard[i])
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Whole-run recorder over the union of every board's jobs
+			// (Board.Run mutates the job records in place).
+			whole := hist.New()
+			for _, j := range jobs {
+				whole.Record(uint64(j.Completion - j.Arrival))
+			}
+			merged := hist.New()
+			for _, rep := range reports {
+				merged.MergeSnapshot(rep.Latency)
+			}
+			if !reflect.DeepEqual(merged.Snapshot(), whole.Snapshot()) {
+				t.Fatalf("%v workers=%d: merged per-board snapshots differ from whole-run histogram", policy, workers)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+				if merged.Quantile(q) != whole.Quantile(q) {
+					t.Fatalf("%v workers=%d q=%v: merged %d != whole %d",
+						policy, workers, q, merged.Quantile(q), whole.Quantile(q))
+				}
+			}
+
+			// And the public fleet entry point reports exactly the merge.
+			fcfg := cfg
+			fcfg.Policy = policy
+			fcfg.Workers = workers
+			res, err := Run(fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Latency, whole.Snapshot()) {
+				t.Fatalf("%v workers=%d: Result.Latency differs from whole-run snapshot", policy, workers)
+			}
+		}
 	}
 }

@@ -73,18 +73,20 @@ var (
 
 // boardModel is the router's deterministic view of one board: the
 // modelled backlog and LRU models of the partitions' resident modules
-// and the DDR bitstream cache. Both models mirror the board runtime's
-// real structures in capacity only; they are intentionally coarse —
-// a mismodel costs a cache miss on the board, never correctness.
+// and the DDR bitstream cache, both held as module intern IDs (see
+// sched.Modules) so the per-job route never compares strings. Both
+// models mirror the board runtime's real structures in capacity only;
+// they are intentionally coarse — a mismodel costs a cache miss on the
+// board, never correctness.
 type boardModel struct {
 	backlog  sim.Time
-	resident []string // most-recent last, capacity = board RPs
-	cached   []string // most-recent last, capacity = board CacheSlots
+	resident []int // most-recent last, capacity = board RPs
+	cached   []int // most-recent last, capacity = board CacheSlots
 }
 
 // touchLRU appends m as the most recent entry of set (capacity cap),
 // deduplicating and evicting the oldest entry on overflow.
-func touchLRU(set []string, m string, capacity int) []string {
+func touchLRU(set []int, m int, capacity int) []int {
 	for i, s := range set {
 		if s == m {
 			return append(append(set[:i:i], set[i+1:]...), m)
@@ -97,7 +99,7 @@ func touchLRU(set []string, m string, capacity int) []string {
 	return set
 }
 
-func contains(set []string, m string) bool {
+func contains(set []int, m int) bool {
 	for _, s := range set {
 		if s == m {
 			return true
@@ -113,16 +115,15 @@ type router struct {
 	policy     Policy
 	rps, slots int
 	boards     []boardModel
-	lastBoard  map[string]int // module -> board of its previous job
+	lastBoard  []int // module ID -> board of its previous job (-1 none)
 }
 
 func newRouter(policy Policy, boards, rps, slots int) *router {
 	return &router{
-		policy:    policy,
-		rps:       rps,
-		slots:     slots,
-		boards:    make([]boardModel, boards),
-		lastBoard: make(map[string]int),
+		policy: policy,
+		rps:    rps,
+		slots:  slots,
+		boards: make([]boardModel, boards),
 	}
 }
 
@@ -135,17 +136,22 @@ type decision struct {
 	crossBoard  bool // module's previous job ran on a different board
 }
 
-// route assigns job to a board and updates the models.
+// route assigns job to a board and updates the models. The job's
+// ModuleID (interned by the fleet workload generator) keys every model
+// lookup.
+//
+//lint:hot
 func (ro *router) route(job *sched.Job) decision {
+	mod := job.ModuleID
 	pick := -1
 	switch ro.policy {
 	case BitstreamLocality:
-		pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.cached, job.Module) })
+		pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.cached, mod) })
 		if pick < 0 {
-			pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.resident, job.Module) })
+			pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.resident, mod) })
 		}
 	case ModuleAffinity:
-		pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.resident, job.Module) })
+		pick = ro.leastLoadedWhere(func(b *boardModel) bool { return contains(b.resident, mod) })
 	}
 	if pick < 0 {
 		pick = ro.leastLoadedWhere(func(*boardModel) bool { return true })
@@ -154,13 +160,16 @@ func (ro *router) route(job *sched.Job) decision {
 	b := &ro.boards[pick]
 	d := decision{
 		board:       pick,
-		localityHit: contains(b.cached, job.Module),
-		affinityHit: contains(b.resident, job.Module),
+		localityHit: contains(b.cached, mod),
+		affinityHit: contains(b.resident, mod),
 	}
-	if prev, ok := ro.lastBoard[job.Module]; ok && prev != pick {
+	for len(ro.lastBoard) <= mod {
+		ro.lastBoard = append(ro.lastBoard, -1)
+	}
+	if prev := ro.lastBoard[mod]; prev >= 0 && prev != pick {
 		d.crossBoard = true
 	}
-	ro.lastBoard[job.Module] = pick
+	ro.lastBoard[mod] = pick
 
 	// Charge the modelled cost and teach the models the new state.
 	cost := job.Service
@@ -171,8 +180,8 @@ func (ro *router) route(job *sched.Job) decision {
 		}
 	}
 	b.backlog += cost
-	b.resident = touchLRU(b.resident, job.Module, ro.rps)
-	b.cached = touchLRU(b.cached, job.Module, ro.slots)
+	b.resident = touchLRU(b.resident, mod, ro.rps)
+	b.cached = touchLRU(b.cached, mod, ro.slots)
 	return d
 }
 

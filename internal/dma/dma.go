@@ -105,6 +105,13 @@ type DMA struct {
 
 	mm2s channel
 	s2mm channel
+
+	// One pooled transfer state machine per channel: the busy flag
+	// serialises transfers within a direction, so each channel reuses a
+	// single xfer record (buffers and continuation closures bound once)
+	// and the steady state allocates nothing per transfer.
+	mm2sX *mm2sXfer
+	s2mmX *s2mmXfer
 }
 
 // New returns a DMA whose master port and stream endpoints are wired by
@@ -208,18 +215,33 @@ type mm2sXfer struct {
 	addr      uint64
 	remaining int
 	n         int // bytes in the burst currently in flight
+	stall     sim.Time
 	fail      bool
 	buf       []byte
 	beats     []axi.Beat
+	start     func()
+	runFn     func()
 	readBurst func()
 	afterRead func(error)
 	afterPush func()
 }
 
-func (m *mm2sXfer) run() {
-	burstBytes := m.d.BurstBeats * 8
+// bind allocates the transfer's buffers and continuation closures once;
+// every subsequent transfer on the channel reuses them.
+func (m *mm2sXfer) bind() {
+	m.buf = make([]byte, m.d.BurstBeats*8)
+	m.beats = make([]axi.Beat, 0, m.d.BurstBeats)
+	m.runFn = m.run
+	m.start = func() {
+		// An injected arbitration stall defers the first burst.
+		if m.stall > 0 {
+			m.d.k.Schedule(m.stall, m.runFn)
+			return
+		}
+		m.run()
+	}
 	m.readBurst = func() {
-		m.n = burstBytes
+		m.n = m.d.BurstBeats * 8
 		if m.n > m.remaining {
 			m.n = m.remaining
 		}
@@ -267,8 +289,9 @@ func (m *mm2sXfer) run() {
 		}
 		m.d.complete(m.c, m.d.OnMM2SIrq)
 	}
-	m.readBurst()
 }
+
+func (m *mm2sXfer) run() { m.readBurst() }
 
 // startMM2S launches the read channel: fetch length bytes from DDR in
 // bursts and push them as 64-bit beats into MM2SOut. Writing LENGTH
@@ -294,25 +317,20 @@ func (d *DMA) startMM2S(length uint32) {
 			remaining = 8
 		}
 	}
-	m := &mm2sXfer{
-		d:         d,
-		c:         c,
-		mem:       d.asyncMem(),
-		addr:      c.addr,
-		remaining: remaining,
-		fail:      fault.Fail,
-		buf:       make([]byte, d.BurstBeats*8),
-		beats:     make([]axi.Beat, 0, d.BurstBeats),
+	m := d.mm2sX
+	if m == nil {
+		m = &mm2sXfer{d: d, c: c}
+		m.bind()
+		d.mm2sX = m
 	}
-	// The engine starts later this cycle (as the process version did);
-	// an injected arbitration stall defers the first burst.
-	d.k.Schedule(0, func() {
-		if fault.Stall > 0 {
-			d.k.Schedule(fault.Stall, m.run)
-			return
-		}
-		m.run()
-	})
+	m.mem = d.asyncMem()
+	m.addr = c.addr
+	m.remaining = remaining
+	m.n = 0
+	m.stall = fault.Stall
+	m.fail = fault.Fail
+	// The engine starts later this cycle, as the process version did.
+	d.k.Schedule(0, m.start)
 }
 
 // s2mmXfer is one write-channel transfer as a continuation state
@@ -320,23 +338,30 @@ func (d *DMA) startMM2S(length uint32) {
 // writes, mirroring the process implementation's pause points (a flush
 // suspends beat processing exactly where the blocking Write did).
 type s2mmXfer struct {
-	d        *DMA
-	c        *channel
-	mem      axi.AsyncSlave
-	addr     uint64
-	length   int
-	total    int
-	done     bool
-	markDone bool // current beat carried TLAST; set done after its flush
-	buf      []byte
-	beats    []axi.Beat
-	pending  []axi.Beat // beats popped but not yet unpacked
-	step       func()
-	afterPop   func(int)
-	afterFlush func(error)
+	d           *DMA
+	c           *channel
+	mem         axi.AsyncSlave
+	addr        uint64
+	length      int
+	total       int
+	done        bool
+	markDone    bool // current beat carried TLAST; set done after its flush
+	buf         []byte
+	beats       []axi.Beat
+	pending     []axi.Beat // beats popped but not yet unpacked
+	runFn       func()
+	step        func()
+	afterPop    func(int)
+	afterFlush  func(error)
+	finishFlush func(error)
 }
 
-func (m *s2mmXfer) run() {
+// bind allocates the transfer's buffers and continuation closures once;
+// every subsequent transfer on the channel reuses them.
+func (m *s2mmXfer) bind() {
+	m.buf = make([]byte, 0, m.d.BurstBeats*8)
+	m.beats = make([]axi.Beat, m.d.BurstBeats)
+	m.runFn = m.run
 	burstBytes := m.d.BurstBeats * 8
 	m.step = func() {
 		for {
@@ -395,20 +420,22 @@ func (m *s2mmXfer) run() {
 		}
 		m.step()
 	}
-	m.step()
+	m.finishFlush = func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("dma: %s write %#x: %v", m.c.name, m.addr, err))
+		}
+		m.addr += uint64(len(m.buf))
+		m.c.bytes += uint64(len(m.buf))
+		m.buf = m.buf[:0]
+		m.finish()
+	}
 }
+
+func (m *s2mmXfer) run() { m.step() }
 
 func (m *s2mmXfer) finish() {
 	if len(m.buf) > 0 {
-		m.mem.WriteAsync(m.addr, m.buf, func(err error) {
-			if err != nil {
-				panic(fmt.Sprintf("dma: %s write %#x: %v", m.c.name, m.addr, err))
-			}
-			m.addr += uint64(len(m.buf))
-			m.c.bytes += uint64(len(m.buf))
-			m.buf = m.buf[:0]
-			m.finish()
-		})
+		m.mem.WriteAsync(m.addr, m.buf, m.finishFlush)
 		return
 	}
 	m.c.length = uint32(m.total)
@@ -427,17 +454,22 @@ func (d *DMA) startS2MM(length uint32) {
 	c.busy = true
 	c.sr &^= SRIdle
 	c.started++
-	m := &s2mmXfer{
-		d:      d,
-		c:      c,
-		mem:    d.asyncMem(),
-		addr:   c.addr,
-		length: int(length),
-		buf:    make([]byte, 0, d.BurstBeats*8),
-		beats:  make([]axi.Beat, d.BurstBeats),
+	m := d.s2mmX
+	if m == nil {
+		m = &s2mmXfer{d: d, c: c}
+		m.bind()
+		d.s2mmX = m
 	}
+	m.mem = d.asyncMem()
+	m.addr = c.addr
+	m.length = int(length)
+	m.total = 0
+	m.done = false
+	m.markDone = false
+	m.buf = m.buf[:0]
+	m.pending = nil
 	// The engine starts later this cycle, as the process version did.
-	d.k.Schedule(0, m.run)
+	d.k.Schedule(0, m.runFn)
 }
 
 // MM2SBusy reports whether the read channel has a transfer in flight.

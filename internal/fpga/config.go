@@ -10,16 +10,22 @@ import (
 type ConfigMemory struct {
 	dev    *Device
 	frames [][]uint32 // lazily allocated; nil = never configured
-	dirty  map[int]bool
-	writes uint64
+	// Dirty tracking as a mark array plus an index list: a frame write
+	// is a bool test and at most one append, and TakeDirty hands back
+	// the list without building a map — a reconfiguration-rate hot path
+	// that must not allocate per frame.
+	dirtyMark  []bool
+	dirtyList  []int
+	spareDirty []int // previous list, recycled on the next TakeDirty
+	writes     uint64
 }
 
 // NewConfigMemory returns an all-unconfigured configuration memory.
 func NewConfigMemory(dev *Device) *ConfigMemory {
 	return &ConfigMemory{
-		dev:    dev,
-		frames: make([][]uint32, dev.TotalFrames()),
-		dirty:  make(map[int]bool),
+		dev:       dev,
+		frames:    make([][]uint32, dev.TotalFrames()),
+		dirtyMark: make([]bool, dev.TotalFrames()),
 	}
 }
 
@@ -35,7 +41,10 @@ func (m *ConfigMemory) WriteFrame(idx int, words []uint32) error {
 		m.frames[idx] = make([]uint32, FrameWords)
 	}
 	copy(m.frames[idx], words)
-	m.dirty[idx] = true
+	if !m.dirtyMark[idx] {
+		m.dirtyMark[idx] = true
+		m.dirtyList = append(m.dirtyList, idx)
+	}
 	m.writes++
 	return nil
 }
@@ -59,12 +68,18 @@ func (m *ConfigMemory) Configured(idx int) bool {
 // FrameWrites returns the total number of frame writes performed.
 func (m *ConfigMemory) FrameWrites() uint64 { return m.writes }
 
-// TakeDirty returns the set of frames written since the last call and
-// resets the tracking. The fabric uses it to re-evaluate partitions at
-// the end of a configuration sequence.
-func (m *ConfigMemory) TakeDirty() map[int]bool {
-	d := m.dirty
-	m.dirty = make(map[int]bool)
+// TakeDirty returns the frames written since the last call, in first-
+// write order, and resets the tracking. The fabric uses it to
+// re-evaluate partitions at the end of a configuration sequence. The
+// returned slice is valid until the call after next: the two index
+// lists alternate so the steady state allocates nothing.
+func (m *ConfigMemory) TakeDirty() []int {
+	d := m.dirtyList
+	for _, idx := range d {
+		m.dirtyMark[idx] = false
+	}
+	m.dirtyList = m.spareDirty[:0]
+	m.spareDirty = d
 	return d
 }
 

@@ -141,7 +141,7 @@ func TestConfigMemoryFrames(t *testing.T) {
 		t.Error("short frame accepted")
 	}
 	dirty := m.TakeDirty()
-	if len(dirty) != 1 || !dirty[3] {
+	if len(dirty) != 1 || dirty[0] != 3 {
 		t.Errorf("dirty = %v", dirty)
 	}
 	if len(m.TakeDirty()) != 0 {

@@ -115,6 +115,7 @@ type ICAP struct {
 	preg    uint32
 	cur     []uint32
 	pend    []uint32
+	spare   []uint32 // recycled frame buffer (pend dropped by a FAR write)
 
 	// Readback: a type-1 read of FDRO (after CMD=RCFG and a FAR write)
 	// queues frame words here; ReadWord drains them.
@@ -349,7 +350,10 @@ func (ic *ICAP) ReadPending() int { return len(ic.readQ) }
 
 func (ic *ICAP) dropPipeline() {
 	ic.cur = ic.cur[:0]
-	ic.pend = nil
+	if ic.pend != nil {
+		ic.spare = ic.pend[:0] // keep the storage for the next pipeline fill
+		ic.pend = nil
+	}
 }
 
 func (ic *ICAP) regWrite(reg uint32, w uint32) {
@@ -423,12 +427,22 @@ func (ic *ICAP) fdriWord(w uint32) {
 		return
 	}
 	// A frame is complete: commit the previous one (if any) and hold
-	// this one in the pipeline.
-	if ic.pend != nil {
+	// this one in the pipeline. The committed frame's storage is
+	// recycled as the next collection buffer (WriteFrame copies), so
+	// the steady-state frame flow ping-pongs two buffers instead of
+	// allocating one per frame.
+	full := ic.cur
+	switch {
+	case ic.pend != nil:
 		ic.commit(ic.pend)
+		ic.cur = ic.pend[:0]
+	case ic.spare != nil:
+		ic.cur = ic.spare
+		ic.spare = nil
+	default:
+		ic.cur = make([]uint32, 0, FrameWords)
 	}
-	ic.pend = ic.cur
-	ic.cur = make([]uint32, 0, FrameWords)
+	ic.pend = full
 }
 
 func (ic *ICAP) commit(frame []uint32) {

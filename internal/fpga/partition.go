@@ -20,6 +20,7 @@ type Partition struct {
 	frameSet map[int]struct{}
 	active   string
 	loads    uint64
+	touched  bool // scratch for endOfSequence's dirty-frame sweep
 }
 
 // Frames returns the partition's sorted linear frame indices.
@@ -181,16 +182,16 @@ func (f *Fabric) OnModuleLoaded(fn func(p *Partition, module string)) {
 // endOfSequence is called by the ICAP engine on DESYNC.
 func (f *Fabric) endOfSequence() {
 	dirty := f.Mem.TakeDirty()
-	touched := make(map[*Partition]bool)
-	for idx := range dirty {
+	for _, idx := range dirty {
 		if p := f.byIdx[idx]; p != nil {
-			touched[p] = true
+			p.touched = true
 		}
 	}
 	for _, p := range f.parts { // deterministic order
-		if !touched[p] {
+		if !p.touched {
 			continue
 		}
+		p.touched = false
 		f.evaluate(p)
 	}
 }

@@ -1,0 +1,299 @@
+// Package hist provides the fixed-bucket log-linear latency histogram
+// the runtime layers record into on the steady state. It exists so a
+// million-job run can report latency quantiles in bounded memory:
+// Record is O(1) with zero allocations, the footprint is O(buckets)
+// regardless of how many values were recorded, and Merge is an exact
+// bucketwise sum, so per-shard histograms combine into precisely the
+// histogram a single recorder would have produced.
+//
+// # Bucket layout
+//
+// Values are non-negative integers (the runtime records latencies in
+// clock cycles). The bucket map is HDR-style log-linear with
+// subBits = 7:
+//
+//   - values in [0, 128) land in 128 width-1 buckets (exact);
+//   - values in [128<<s, 256<<s) for shift s >= 0 land in 128 buckets
+//     of width 2^s each (octave s, 128 sub-buckets).
+//
+// Octave 0 (shift 0) is also exact, so every value below 256 is stored
+// without error. (65-subBits)*2^subBits = 7424 buckets cover the whole
+// uint64 range in about 58 KiB of counters.
+//
+// # Error bound
+//
+// Quantile reports the inclusive upper bound of the bucket holding the
+// nearest-rank element, clamped to the recorded maximum. The exact
+// element v lies in a bucket whose width is at most v/128, so the
+// estimate e satisfies
+//
+//	v <= e < v * (1 + 2^-7)    (relative overshoot < 0.79%)
+//
+// and is exact for v < 256 and at every recorded maximum. The rank is
+// ceil(q*n) computed in integer arithmetic with the same 1/10000
+// snapping as sched.Percentile, so on small runs the two agree up to
+// the bucket rounding above (exactly, below 256 cycles).
+//
+// # Determinism
+//
+// Record, Merge and Quantile use only integer arithmetic on the value
+// stream; no wall clock, no map iteration, no floating-point
+// accumulation. Two runs that record the same multiset of values in
+// any order produce bit-identical histogram state, which is what the
+// serial-vs-parallel fleet digest proofs rely on.
+package hist
+
+import "math"
+
+const (
+	// subBits sets the resolution: 2^subBits sub-buckets per octave.
+	subBits  = 7
+	subCount = 1 << subBits
+
+	// NumBuckets spans all of uint64: the linear range plus one
+	// 128-bucket octave per shift value 0..57.
+	NumBuckets = (65 - subBits) * subCount
+
+	// quantileDenom mirrors sched.percentileDenom: quantiles snap to
+	// 1/10000 so p50..p99.99 are exact ranks.
+	quantileDenom = 10000
+)
+
+// RelErrorBound is the documented worst-case relative overshoot of
+// Quantile versus the exact nearest-rank element: 2^-subBits.
+const RelErrorBound = 1.0 / subCount
+
+// Hist is one log-linear histogram. The zero value is NOT ready to
+// use; call New (the empty-minimum sentinel needs initialising).
+type Hist struct {
+	counts [NumBuckets]uint64
+	n      uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// New returns an empty histogram.
+func New() *Hist {
+	return &Hist{min: math.MaxUint64}
+}
+
+// bucketIndex maps a value to its bucket. O(1), no branches beyond the
+// linear-range test.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	// Highest set bit without math/bits: the value is >= subCount, so
+	// bits.Len64(v)-1 >= subBits. Using math/bits keeps this a single
+	// LZCNT on amd64/arm64.
+	msb := 63 - leadingZeros(v)
+	shift := msb - subBits // octave
+	sub := v >> uint(shift)
+	return (shift+1)*subCount + int(sub) - subCount
+}
+
+// leadingZeros is math/bits.LeadingZeros64, kept local so the hot
+// Record path has no cross-package inlining dependency.
+func leadingZeros(v uint64) int {
+	n := 0
+	if v&0xFFFFFFFF00000000 == 0 {
+		n += 32
+		v <<= 32
+	}
+	if v&0xFFFF000000000000 == 0 {
+		n += 16
+		v <<= 16
+	}
+	if v&0xFF00000000000000 == 0 {
+		n += 8
+		v <<= 8
+	}
+	if v&0xF000000000000000 == 0 {
+		n += 4
+		v <<= 4
+	}
+	if v&0xC000000000000000 == 0 {
+		n += 2
+		v <<= 2
+	}
+	if v&0x8000000000000000 == 0 {
+		n++
+	}
+	return n
+}
+
+// bucketUpper returns the largest value mapping into bucket idx.
+func bucketUpper(idx int) uint64 {
+	if idx < 2*subCount {
+		return uint64(idx) // width-1 buckets: linear range and octave 0
+	}
+	shift := uint(idx/subCount - 1)
+	sub := uint64(idx%subCount + subCount)
+	return (sub+1)<<shift - 1
+}
+
+// Record adds one value. O(1), allocation-free.
+//
+//lint:hot
+func (h *Hist) Record(v uint64) {
+	h.counts[bucketIndex(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of recorded values.
+func (h *Hist) N() uint64 { return h.n }
+
+// Sum returns the exact sum of recorded values.
+func (h *Hist) Sum() uint64 { return h.sum }
+
+// Min returns the exact minimum recorded value (0 when empty).
+func (h *Hist) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum recorded value.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the estimate for quantile q in (0, 1]: the upper
+// bound of the bucket holding the rank-ceil(q*n) element, clamped to
+// the recorded min/max. See the package comment for the error bound.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	num := uint64(math.Round(q * quantileDenom))
+	rank := (num*h.n + quantileDenom - 1) / quantileDenom // ceil(q*n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			e := bucketUpper(i)
+			if e > h.max {
+				e = h.max
+			}
+			if e < h.min {
+				e = h.min
+			}
+			return e
+		}
+	}
+	return h.max // unreachable: cum reaches n
+}
+
+// Merge adds o's recorded population into h. Bucketwise sum: merging
+// per-shard histograms yields exactly the histogram of the combined
+// value stream (same counts, same quantiles).
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// MergeSnapshot adds a compact snapshot's population into h — the
+// fleet-report path merges per-board snapshots without rebuilding a
+// full histogram per board. Same exact bucketwise-sum law as Merge.
+func (h *Hist) MergeSnapshot(s *Snapshot) {
+	if s == nil || s.N == 0 {
+		return
+	}
+	for _, b := range s.Buckets {
+		if b.Index >= 0 && b.Index < NumBuckets {
+			h.counts[b.Index] += b.Count
+		}
+	}
+	h.n += s.N
+	h.sum += s.Sum
+	if s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+}
+
+// Bucket is one occupied bucket of a Snapshot.
+type Bucket struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"c"`
+}
+
+// Snapshot is the compact serialisable histogram state: only occupied
+// buckets, in index order, so the encoding is deterministic and its
+// size tracks the number of distinct latency magnitudes, not the job
+// count.
+type Snapshot struct {
+	N       uint64   `json:"n"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot returns the compact state of h.
+func (h *Hist) Snapshot() *Snapshot {
+	s := &Snapshot{N: h.n, Sum: h.sum, Min: h.Min(), Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Index: i, Count: c})
+		}
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a histogram from its compact state.
+func FromSnapshot(s *Snapshot) *Hist {
+	h := New()
+	if s == nil {
+		return h
+	}
+	for _, b := range s.Buckets {
+		if b.Index >= 0 && b.Index < NumBuckets {
+			h.counts[b.Index] += b.Count
+		}
+	}
+	h.n = s.N
+	h.sum = s.Sum
+	if s.N > 0 {
+		h.min = s.Min
+	}
+	h.max = s.Max
+	return h
+}

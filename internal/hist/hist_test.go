@@ -1,0 +1,241 @@
+package hist_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rvcap/internal/hist"
+	"rvcap/internal/sched"
+)
+
+// exactRank returns the nearest-rank quantile of sorted using the same
+// integer rank arithmetic as hist.Quantile and sched.Percentile.
+func exactRank(sorted []uint64, q float64) uint64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	num := int(q*10000 + 0.5)
+	rank := (num*n + 9999) / 10000
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// randValues draws n latencies spread over the magnitudes the runtime
+// actually records (tens to tens of millions of cycles).
+func randValues(rng *rand.Rand, n int) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		scale := uint(rng.Intn(25)) // up to ~3e7
+		vals[i] = rng.Uint64() % (1 << (scale + 4))
+	}
+	return vals
+}
+
+var quantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0}
+
+// TestQuantileVsExactNearestRank is the property test of the
+// documented error bound: for random populations at every scale, the
+// histogram estimate is >= the exact nearest-rank element and
+// overshoots by less than RelErrorBound.
+func TestQuantileVsExactNearestRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(3000)
+		vals := randValues(rng, n)
+		h := hist.New()
+		for _, v := range vals {
+			h.Record(v)
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range quantiles {
+			exact := exactRank(sorted, q)
+			est := h.Quantile(q)
+			if est < exact {
+				t.Fatalf("trial %d q=%v: estimate %d below exact %d", trial, q, est, exact)
+			}
+			bound := float64(exact) * (1 + hist.RelErrorBound)
+			if float64(est) > bound {
+				t.Fatalf("trial %d q=%v: estimate %d exceeds bound %.1f (exact %d)", trial, q, est, bound, exact)
+			}
+		}
+	}
+}
+
+// TestQuantileVsSchedPercentile cross-checks against the runtime's
+// exact float64 nearest-rank Percentile through the cycles->micros
+// conversion the reports use: the conversion is monotone, so the
+// histogram estimate divided by the clock rate must bracket the exact
+// microsecond percentile within the same relative bound.
+func TestQuantileVsSchedPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := randValues(rng, n)
+		h := hist.New()
+		micros := make([]float64, n)
+		for i, v := range vals {
+			h.Record(v)
+			micros[i] = float64(v) / 100
+		}
+		sort.Float64s(micros)
+		for _, q := range quantiles {
+			exact := sched.Percentile(micros, q)
+			est := float64(h.Quantile(q)) / 100
+			if est < exact {
+				t.Fatalf("trial %d q=%v: estimate %g below exact %g", trial, q, est, exact)
+			}
+			if est > exact*(1+hist.RelErrorBound) {
+				t.Fatalf("trial %d q=%v: estimate %g exceeds bound (exact %g)", trial, q, est, exact)
+			}
+		}
+	}
+}
+
+// TestExactBelowLinearRange: every value below 256 (the linear range
+// plus octave 0) is stored in a width-1 bucket, so quantiles there are
+// exact, not just bounded.
+func TestExactBelowLinearRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := hist.New()
+	var vals []uint64
+	for i := 0; i < 1000; i++ {
+		v := uint64(rng.Intn(256))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range quantiles {
+		if got, want := h.Quantile(q), exactRank(vals, q); got != want {
+			t.Fatalf("q=%v: got %d want exact %d", q, got, want)
+		}
+	}
+}
+
+// TestMergeLaw: merging shard histograms equals the histogram of the
+// combined stream exactly — same state, same quantiles — however the
+// values are distributed across shards.
+func TestMergeLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		vals := randValues(rng, 1+rng.Intn(4000))
+		shards := 1 + rng.Intn(8)
+		parts := make([]*hist.Hist, shards)
+		for i := range parts {
+			parts[i] = hist.New()
+		}
+		whole := hist.New()
+		for _, v := range vals {
+			whole.Record(v)
+			parts[rng.Intn(shards)].Record(v)
+		}
+		merged := hist.New()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if !reflect.DeepEqual(merged.Snapshot(), whole.Snapshot()) {
+			t.Fatalf("trial %d: merged snapshot differs from whole-run snapshot", trial)
+		}
+		for _, q := range quantiles {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("trial %d q=%v: merged %d != whole %d", trial, q, merged.Quantile(q), whole.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTrip: FromSnapshot(Snapshot()) reproduces the
+// histogram state bit for bit.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := hist.New()
+	for _, v := range randValues(rng, 2500) {
+		h.Record(v)
+	}
+	rt := hist.FromSnapshot(h.Snapshot())
+	if !reflect.DeepEqual(rt.Snapshot(), h.Snapshot()) {
+		t.Fatal("snapshot round trip changed histogram state")
+	}
+	if rt.N() != h.N() || rt.Sum() != h.Sum() || rt.Min() != h.Min() || rt.Max() != h.Max() {
+		t.Fatal("snapshot round trip changed summary stats")
+	}
+}
+
+// TestOrderIndependence: the histogram state is a pure function of the
+// recorded multiset — recording in any order yields identical state.
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := randValues(rng, 3000)
+	a := hist.New()
+	for _, v := range vals {
+		a.Record(v)
+	}
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	b := hist.New()
+	for _, v := range vals {
+		b.Record(v)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("histogram state depends on recording order")
+	}
+}
+
+// TestEmptyAndEdges pins the degenerate cases.
+func TestEmptyAndEdges(t *testing.T) {
+	h := hist.New()
+	if h.Quantile(0.99) != 0 || h.N() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(0)
+	if h.Quantile(1.0) != 0 || h.Min() != 0 || h.N() != 1 {
+		t.Fatal("zero-value recording broken")
+	}
+	h2 := hist.New()
+	h2.Record(1<<40 + 12345)
+	if q := h2.Quantile(0.5); q < 1<<40+12345 {
+		t.Fatalf("single huge value: quantile %d below recorded value", q)
+	}
+	if h2.Max() != 1<<40+12345 {
+		t.Fatal("max not exact")
+	}
+	// Power-of-two boundaries land in the right buckets.
+	h3 := hist.New()
+	for _, v := range []uint64{127, 128, 255, 256, 257, 1 << 20, 1<<20 - 1} {
+		h3.Record(v)
+	}
+	if h3.N() != 7 || h3.Min() != 127 || h3.Max() != 1<<20 {
+		t.Fatal("boundary recording broken")
+	}
+}
+
+// TestRecordZeroAlloc pins the hot path to zero allocations.
+func TestRecordZeroAlloc(t *testing.T) {
+	h := hist.New()
+	v := uint64(777)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = v*2862933555777941757 + 3037000493 // vary the bucket
+	}); n != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", n)
+	}
+}
+
+// TestMergeZeroAlloc: merging into an existing histogram does not
+// allocate either (the fleet report path runs it per board).
+func TestMergeZeroAlloc(t *testing.T) {
+	a, b := hist.New(), hist.New()
+	for i := uint64(0); i < 100; i++ {
+		b.Record(i * 1000)
+	}
+	if n := testing.AllocsPerRun(100, func() { a.Merge(b) }); n != 0 {
+		t.Fatalf("Merge allocates %v per call, want 0", n)
+	}
+}

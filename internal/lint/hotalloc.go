@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hot-path-alloc guards the functions the steady-state benchmark
+// proved allocation-free. A function annotated with a //lint:hot
+// comment in its doc block is a per-job (or per-event) hot path: the
+// BENCH_9 bounded-memory record depends on it staying free of
+// per-call heap garbage. The rule flags the two regressions that
+// repeatedly crept in during the pooling work:
+//
+//  1. a func literal that captures enclosing-function state and
+//     escapes the hot function — handed to another package (the sim
+//     kernel and the axi fabric enqueue every callback they are
+//     given), stored into a field, slice, map or channel, appended,
+//     or returned. Each such literal is a fresh heap closure per
+//     call; bind the closure once at construction time instead (the
+//     continuation state machines in internal/dma show the pattern).
+//     A literal passed to a resolvable same-package function is
+//     trusted not to store it — that is a synchronous predicate (the
+//     router's leastLoadedWhere calls), which escape analysis keeps
+//     on the stack.
+//
+//  2. x = append(x, ...) inside a loop where x is a local of the hot
+//     function: the backing array grows and dies on every call.
+//     Appends to fields or captured state are amortised long-lived
+//     buffers and stay legal.
+//
+// The annotation is deliberate and narrow — the rule inspects only
+// annotated functions, so it costs nothing to the rest of the tree
+// and a finding is always about a function someone declared hot.
+var hotPathAlloc = &Rule{
+	Name: "hot-path-alloc",
+	Doc: "flags, inside functions annotated //lint:hot, closures that capture local " +
+		"state and escape (cross-package call argument, stored, appended, sent or " +
+		"returned — one heap allocation per call) and per-iteration append growth " +
+		"of function-local slices — both break the steady state's allocation-free " +
+		"guarantee",
+	Run: func(c *Context) {
+		for _, file := range c.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hotAnnotated(fd) {
+					continue
+				}
+				c.checkHotEscapes(fd)
+				c.checkHotAppends(fd)
+			}
+		}
+	},
+}
+
+// hotAnnotated reports whether the function's doc block carries a
+// //lint:hot line.
+func hotAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, cm := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(cm.Text, "//")) == "lint:hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotEscapes flags capturing func literals at their escape sites.
+func (c *Context) checkHotEscapes(fd *ast.FuncDecl) {
+	info := c.Pkg.Info
+
+	// captures reports whether lit uses a variable declared in the
+	// enclosing function before the literal (receiver and parameters
+	// included). Literals without captures compile to a shared static
+	// function value and never allocate.
+	captures := func(lit *ast.FuncLit) bool {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			if v.Pos() >= fd.Pos() && v.Pos() < lit.Pos() {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	lit := func(e ast.Expr) *ast.FuncLit {
+		l, _ := ast.Unparen(e).(*ast.FuncLit)
+		return l
+	}
+	flag := func(e ast.Expr, how string) {
+		if l := lit(e); l != nil && captures(l) {
+			c.Reportf(l.Pos(), "closure capturing local state %s in a //lint:hot function: one heap allocation per call; bind the closure once outside the hot path (see the pooled continuation state machines in internal/dma)", how)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, a := range n.Args[1:] {
+						flag(a, "appended to a slice")
+					}
+					return true
+				}
+			}
+			f := callee(info, n.Fun)
+			for _, a := range n.Args {
+				switch {
+				case lit(a) == nil:
+				case f == nil:
+					flag(a, "passed to a function value the analyzer cannot resolve")
+				case pkgPath(f) != c.Pkg.ImportPath:
+					flag(a, "passed to "+pkgPath(f)+"."+f.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || lit(rhs) == nil {
+					continue
+				}
+				// Assignment to a plain local keeps the literal in the
+				// function; anything else (field, index, deref) stores it.
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					if v, ok := info.Defs[id].(*types.Var); ok && v.Pos() >= fd.Pos() {
+						continue
+					}
+					if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() && v.Pos() >= fd.Pos() && v.Pos() <= fd.End() {
+						continue
+					}
+				}
+				flag(rhs, "stored outside the function")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				flag(r, "returned")
+			}
+		case *ast.SendStmt:
+			flag(n.Value, "sent on a channel")
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				flag(el, "stored in a composite literal")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotAppends flags per-iteration growth of function-local slices.
+func (c *Context) checkHotAppends(fd *ast.FuncDecl) {
+	info := c.Pkg.Info
+	checkLoopBody := func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			// A nested literal's allocations are the closure check's
+			// business; its loop bodies are scanned when the outer walk
+			// reaches them.
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				dst, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := info.Uses[dst].(*types.Var)
+				if !ok {
+					v, ok = info.Defs[dst].(*types.Var)
+				}
+				if !ok || v.IsField() {
+					continue
+				}
+				// Only locals of the hot function itself: appends to
+				// fields or captured state grow a long-lived buffer whose
+				// cost amortises away.
+				if v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+					continue
+				}
+				c.Reportf(call.Pos(), "per-iteration append to local %q in a //lint:hot function grows (and discards) a backing array on every call; reuse a long-lived buffer or build the slice outside the hot path", dst.Name)
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			checkLoopBody(n.Body)
+		case *ast.RangeStmt:
+			checkLoopBody(n.Body)
+		}
+		return true
+	})
+}

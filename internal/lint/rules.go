@@ -21,6 +21,7 @@ func AllRules() []*Rule {
 		cycleAccounting,
 		burstAccounting,
 		errorDiscipline,
+		hotPathAlloc,
 		determinismTaint,
 		mapOrderFlow,
 		waitGraph,

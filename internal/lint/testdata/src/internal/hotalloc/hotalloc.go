@@ -1,0 +1,106 @@
+// Package hotalloc exercises the hot-path-alloc rule: functions
+// annotated //lint:hot must not build capturing closures that escape,
+// nor grow function-local slices inside their loops.
+package hotalloc
+
+import "rvcap/internal/sim"
+
+// engine mimics a pooled device state machine: long-lived buffers and
+// a pre-bound continuation closure.
+type engine struct {
+	k     *sim.Kernel
+	queue []int
+	cont  func()
+	subs  []func()
+}
+
+// drain hands per-item continuations to the kernel — each literal
+// captures item and escapes into the kernel's event queue: one heap
+// closure per iteration.
+//
+//lint:hot
+func (e *engine) drain(items []int) {
+	for _, item := range items {
+		it := item
+		e.k.Schedule(0, func() { e.queue = append(e.queue, it) }) // want "hot-path-alloc"
+	}
+}
+
+// stash stores a capturing literal into a field and a subscription
+// list — both escapes, both per-call allocations.
+//
+//lint:hot
+func (e *engine) stash(n int) {
+	e.cont = func() { e.queue = append(e.queue, n) } // want "hot-path-alloc"
+	e.subs = append(e.subs, func() { _ = n })        // want "hot-path-alloc"
+	twice := func() int { return n * 2 }()           // immediately invoked: never escapes
+	_ = twice
+}
+
+// handler returns a capturing closure — the caller keeps it, so every
+// call allocates one.
+//
+//lint:hot
+func (e *engine) handler(n int) func() {
+	return func() { e.queue = append(e.queue, n) } // want "hot-path-alloc"
+}
+
+// collect grows a function-local slice once per iteration: the backing
+// array is rebuilt and discarded on every call.
+//
+//lint:hot
+func (e *engine) collect(items []int) int {
+	var picked []int
+	for _, it := range items {
+		if it > 0 {
+			picked = append(picked, it) // want "hot-path-alloc"
+		}
+	}
+	return len(picked)
+}
+
+// bind is the sanctioned pattern: not annotated, so it may allocate
+// the closure once at construction time.
+func (e *engine) bind() {
+	e.cont = func() { e.queue = e.queue[:0] }
+}
+
+// serve mirrors the real hot paths the rule must stay quiet on: an
+// append to a long-lived field inside the loop (amortised growth, as
+// in the arrival queue), a capturing predicate passed to a resolvable
+// same-package helper (kept on the stack, as in the router), and a
+// capture-free literal handed across packages (a static function
+// value, no per-call allocation).
+//
+//lint:hot
+func (e *engine) serve(items []int) int {
+	hits := 0
+	for _, it := range items {
+		e.queue = append(e.queue, it)
+		if pick(e, func(v int) bool { return v == it }) {
+			hits++
+		}
+	}
+	e.k.Schedule(0, func() {})
+	return hits
+}
+
+// pick is a synchronous same-package predicate consumer.
+func pick(e *engine, ok func(int) bool) bool {
+	for _, v := range e.queue {
+		if ok(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// coldCollect is the same shape as collect but carries no //lint:hot
+// annotation, so the rule must ignore it.
+func coldCollect(items []int) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}

@@ -65,7 +65,7 @@ func (r *Runtime) setupAmorphous(k *sim.Kernel) error {
 		return err
 	}
 	r.alloc = alloc
-	r.protoAnchor = make(map[string][2]int, len(accel.Filters))
+	r.protoAnchor = make([][2]int, Modules.Len())
 	for _, module := range accel.Filters {
 		fp := moduleFootprint(module)
 		if !alloc.ShapeEverFits(fp) {
@@ -82,26 +82,28 @@ func (r *Runtime) setupAmorphous(k *sim.Kernel) error {
 			return err
 		}
 		bitstream.Register(r.s.Fabric, im)
-		r.images[imgKey{rp: 0, module: module}] = im
-		r.protoAnchor[module] = [2]int{pr, pc}
+		id := Modules.Intern(module)
+		r.images[imgKey{rp: 0, mod: id}] = im
+		r.protoAnchor[id] = [2]int{pr, pc}
 	}
 	for i := 0; i < r.cfg.RPs; i++ {
 		name := fmt.Sprintf("SRP%d", i)
 		r.rps = append(r.rps, &rpState{
-			name:  name,
-			start: sim.NewSignal(k, name+".start"),
+			name:       name,
+			start:      sim.NewSignal(k, name+".start"),
+			residentID: -1,
 		})
 	}
 	return nil
 }
 
-// imageKey maps a (slot, module) pair to the image the cache stages: in
-// amorphous mode every slot shares the module's one prototype.
-func (r *Runtime) imageKey(pi int, module string) imgKey {
+// imageKey maps a (slot, module-ID) pair to the image the cache stages:
+// in amorphous mode every slot shares the module's one prototype.
+func (r *Runtime) imageKey(pi int, mod int) imgKey {
 	if r.cfg.Amorphous {
-		return imgKey{rp: 0, module: module}
+		return imgKey{rp: 0, mod: mod}
 	}
-	return imgKey{rp: pi, module: module}
+	return imgKey{rp: pi, mod: mod}
 }
 
 // slotOf returns the slot currently holding reg, or nil.
@@ -119,7 +121,7 @@ func (r *Runtime) slotOf(reg *place.Region) *rpState {
 // carry along.
 func (r *Runtime) movableRegion(reg *place.Region) bool {
 	rp := r.slotOf(reg)
-	return rp != nil && !rp.busy && !rp.quarantined && rp.resident != ""
+	return rp != nil && !rp.busy && !rp.quarantined && rp.residentID >= 0
 }
 
 // icapLoad drives a maintenance bitstream (defrag relocation or span
@@ -145,8 +147,8 @@ func (r *Runtime) applyMove(p *sim.Proc, m place.Move) error {
 	if rp == nil {
 		return fmt.Errorf("sched: defrag moved unowned region %s", m.Region.Name)
 	}
-	im := r.images[imgKey{rp: 0, module: rp.resident}]
-	anchor := r.protoAnchor[rp.resident]
+	im := r.images[imgKey{rp: 0, mod: rp.residentID}]
+	anchor := r.protoAnchor[rp.residentID]
 	rel, err := place.Retarget(r.s.Fabric.Dev, im, anchor[0], anchor[1], m.Region)
 	if err != nil {
 		return err
@@ -187,7 +189,7 @@ func (r *Runtime) releaseRegion(p *sim.Proc, rp *rpState) error {
 	if err := r.alloc.Free(rp.region); err != nil {
 		return err
 	}
-	rp.region, rp.part, rp.resident = nil, nil, ""
+	rp.region, rp.part, rp.residentID = nil, nil, -1
 	blank, err := bitstream.BlankFrames(r.s.Fabric.Dev, frames, bitstream.Options{})
 	if err != nil {
 		return err
@@ -204,7 +206,9 @@ func (r *Runtime) defragPass(p *sim.Proc) error {
 		return err
 	}
 	if len(moves) > 0 {
-		r.defragDrops = append(r.defragDrops, [2]float64{before, r.alloc.ExternalFragPct()})
+		r.defragPre += before
+		r.defragPost += r.alloc.ExternalFragPct()
+		r.defragN++
 	}
 	return nil
 }
@@ -255,7 +259,8 @@ func (r *Runtime) placeRegion(p *sim.Proc, rp *rpState, pi int, module string) e
 		return err
 	}
 	rp.region, rp.part = reg, reg.Part
-	r.fragSamples = append(r.fragSamples, r.alloc.ExternalFragPct())
+	r.fragSum += r.alloc.ExternalFragPct()
+	r.fragN++
 	return nil
 }
 
@@ -298,13 +303,13 @@ func (r *Runtime) ensurePlaced(p *sim.Proc, rp *rpState, pi int, job *Job) (bool
 func (r *Runtime) stageRelocated(p *sim.Proc, rp *rpState, key imgKey, e *cacheEntry) (uint64, uint32, error) {
 	words, err := bitstream.BytesToWords(r.s.DDR.Peek(e.addr, e.bytes))
 	if err != nil {
-		return 0, 0, fmt.Errorf("%w: staged %s: %v", errLoadFaulty, key.module, err)
+		return 0, 0, fmt.Errorf("%w: staged %s: %v", errLoadFaulty, key.moduleName(), err)
 	}
-	anchor := r.protoAnchor[key.module]
+	anchor := r.protoAnchor[key.mod]
 	shifted, err := bitstream.Relocate(words,
 		place.Shift(r.s.Fabric.Dev, anchor[0], anchor[1], rp.region.Row, rp.region.Col))
 	if err != nil {
-		return 0, 0, fmt.Errorf("%w: relocating %s to %s: %v", errLoadFaulty, key.module, rp.region.Name, err)
+		return 0, 0, fmt.Errorf("%w: relocating %s to %s: %v", errLoadFaulty, key.moduleName(), rp.region.Name, err)
 	}
 	p.Sleep(sim.Time(len(words) / relocWordsPerCycle))
 	r.s.DDR.Load(relocBase, bitstream.WordsToBytes(shifted))

@@ -9,6 +9,7 @@ import (
 	"rvcap/internal/dma"
 	"rvcap/internal/fault"
 	"rvcap/internal/fpga"
+	"rvcap/internal/hist"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
 )
@@ -70,16 +71,41 @@ func (c Config) validate() error {
 	return nil
 }
 
+// JobSource feeds a runtime its jobs one at a time, in arrival order.
+// Next returns nil when the stream is exhausted; Total is the overall
+// stream length, known up front. *WorkloadStream implements it for the
+// bounded-memory path, sliceSource wraps a materialised []*Job.
+type JobSource interface {
+	Next() *Job
+	Total() int
+}
+
+// sliceSource adapts a materialised job slice to JobSource.
+type sliceSource struct {
+	jobs []*Job
+	i    int
+}
+
+func (s *sliceSource) Next() *Job {
+	if s.i >= len(s.jobs) {
+		return nil
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j
+}
+
+func (s *sliceSource) Total() int { return len(s.jobs) }
+
 // Run plays the supplied job stream to completion on a fresh kernel and
 // returns the board's service-level report. jobs must be sorted by
 // arrival cycle (the workload generators and the cluster router both
 // preserve that order); job IDs may be arbitrary — in a fleet they are
 // the global arrival indices, which keeps the prefetch spread
 // deterministic per board. The job structs are mutated in place
-// (Dispatch/Completion/RP/Reconfigured), which is how the cluster
-// layer recovers per-job latencies for fleet-wide percentiles.
+// (Dispatch/Completion/RP/Reconfigured) and are never recycled on this
+// path, so callers keep their records after the run.
 func (b *Board) Run(jobs []*Job) (*Report, error) {
-	cfg := b.cfg
 	for i, job := range jobs {
 		if job == nil {
 			return nil, fmt.Errorf("sched: board %s: job %d is nil", b.Name, i)
@@ -88,22 +114,46 @@ func (b *Board) Run(jobs []*Job) (*Report, error) {
 			return nil, fmt.Errorf("sched: board %s: job %d arrives at %d, before job %d at %d",
 				b.Name, i, job.Arrival, i-1, jobs[i-1].Arrival)
 		}
+		// Hand-built jobs may carry only the module name; the runtime
+		// keys every hot path on the intern ID, so make it authoritative.
+		job.ModuleID = Modules.Intern(job.Module)
 	}
+	return b.run(&sliceSource{jobs: jobs}, nil)
+}
 
+// RunStream plays a streaming job source to completion, recycling each
+// completed job record back into the source when it implements
+// Recycle(*Job) — the bounded-memory path: however long the run, only
+// the in-flight jobs are live. Jobs from the source must carry their
+// ModuleID (the workload generators do).
+func (b *Board) RunStream(src JobSource) (*Report, error) {
+	recycler, _ := src.(interface{ Recycle(*Job) })
+	var recycle func(*Job)
+	if recycler != nil {
+		recycle = recycler.Recycle
+	}
+	return b.run(src, recycle)
+}
+
+func (b *Board) run(src JobSource, recycle func(*Job)) (*Report, error) {
+	cfg := b.cfg
 	k := sim.NewKernel()
 	s, err := soc.New(k, soc.Config{SkipDefaultPartition: true})
 	if err != nil {
 		return nil, err
 	}
 	r := &Runtime{
-		board:  b,
-		cfg:    cfg,
-		s:      s,
-		d:      driver.NewRVCAP(s),
-		jobs:   jobs,
-		images: make(map[imgKey]*bitstream.Image),
-		wake:   sim.NewSignal(k, "sched.wake"),
-		stop:   sim.NewLatchedSignal(k, "sched.stop"),
+		board:     b,
+		cfg:       cfg,
+		s:         s,
+		d:         driver.NewRVCAP(s),
+		src:       src,
+		totalJobs: src.Total(),
+		recycle:   recycle,
+		lat:       hist.New(),
+		images:    make(map[imgKey]*bitstream.Image),
+		wake:      sim.NewSignal(k, "sched.wake"),
+		stop:      sim.NewLatchedSignal(k, "sched.stop"),
 	}
 
 	if cfg.FaultRate > 0 {
@@ -147,9 +197,10 @@ func (b *Board) Run(jobs []*Job) (*Report, error) {
 				return nil, err
 			}
 			r.rps = append(r.rps, &rpState{
-				name:  part.Name,
-				part:  part,
-				start: sim.NewSignal(k, part.Name+".start"),
+				name:       part.Name,
+				part:       part,
+				start:      sim.NewSignal(k, part.Name+".start"),
+				residentID: -1,
 			})
 			natural := 0
 			for _, module := range accel.Filters {
@@ -167,7 +218,7 @@ func (b *Board) Run(jobs []*Job) (*Report, error) {
 					return nil, err
 				}
 				bitstream.Register(s.Fabric, im)
-				r.images[imgKey{rp: i, module: module}] = im
+				r.images[imgKey{rp: i, mod: Modules.Intern(module)}] = im
 			}
 		}
 	}
@@ -195,8 +246,8 @@ func (b *Board) Run(jobs []*Job) (*Report, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
-	if r.completed != len(r.jobs) {
-		return nil, fmt.Errorf("sched: board %s: only %d of %d jobs completed", b.Name, r.completed, len(r.jobs))
+	if r.completed != r.totalJobs {
+		return nil, fmt.Errorf("sched: board %s: only %d of %d jobs completed", b.Name, r.completed, r.totalJobs)
 	}
 	r.kernelEvents = k.Events()
 	return r.buildReport(), nil

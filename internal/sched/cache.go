@@ -12,10 +12,16 @@ import (
 
 // imgKey identifies one partial bitstream: partitions have disjoint
 // frame spans, so every (partition, module) pair is a distinct image.
+// The module is its dense intern ID in the package Modules table, so
+// the per-dispatch cache and image lookups hash two ints instead of a
+// string.
 type imgKey struct {
-	rp     int
-	module string
+	rp  int
+	mod int
 }
+
+// moduleName resolves a key's module name for error messages.
+func (k imgKey) moduleName() string { return Modules.Name(k.mod) }
 
 // sdBytesPerCycle is the modelled SD→DDR staging bandwidth: 1 byte per
 // 100 MHz cycle = 100 MB/s (a fast SDHC read stream). A cache miss
@@ -40,7 +46,11 @@ const (
 	statePresent
 )
 
-// cacheEntry is one occupied cache slot.
+// cacheEntry is one occupied cache slot. Records are pooled: gen
+// increments every time a record is reused, so a dispatcher that
+// parked on an entry can tell a recycled record apart from the one it
+// pinned even when the pool hands the same pointer back for the same
+// key (the pointer-equality drop check alone would alias).
 type cacheEntry struct {
 	key     imgKey
 	state   cacheState
@@ -48,6 +58,7 @@ type cacheEntry struct {
 	bytes   int
 	lastUse uint64 // LRU clock (unique per touch)
 	pinned  int    // >0 while the dispatcher needs the image in place
+	gen     uint64 // reuse generation, survives the pooled reset
 }
 
 // bitCache is the DDR-resident bitstream cache: a fixed number of
@@ -62,7 +73,16 @@ type bitCache struct {
 	entries map[imgKey]*cacheEntry
 	free    []uint64 // unused slot base addresses, ascending
 
-	queue    []imgKey // FIFO of images awaiting the fetcher
+	// entryPool recycles evicted/invalidated cacheEntry records so the
+	// steady-state miss path reuses instead of allocating.
+	entryPool []*cacheEntry
+
+	// queue is the FIFO of images awaiting the fetcher, drained from
+	// qHead so the backing array is reused instead of sliding away (a
+	// slid-forward slice loses its front capacity and reallocates on
+	// every wrap).
+	queue    []imgKey
+	qHead    int
 	fetchSig *sim.Signal
 	wake     *sim.Signal // the runtime's dispatcher wake-up
 
@@ -133,9 +153,20 @@ func (c *bitCache) request(key imgKey, prefetch bool) bool {
 	if !ok {
 		return false
 	}
-	e := &cacheEntry{key: key, state: stateFetching, addr: addr, bytes: c.images[key].SizeBytes()}
+	var e *cacheEntry
+	if n := len(c.entryPool); n > 0 {
+		e = c.entryPool[n-1]
+		c.entryPool = c.entryPool[:n-1]
+	} else {
+		e = new(cacheEntry)
+	}
+	*e = cacheEntry{key: key, state: stateFetching, addr: addr, bytes: c.images[key].SizeBytes(), gen: e.gen + 1}
 	c.touch(e)
 	c.entries[key] = e
+	if c.qHead == len(c.queue) {
+		// Fully drained: rewind so the backing array is reused.
+		c.queue, c.qHead = c.queue[:0], 0
+	}
 	c.queue = append(c.queue, key)
 	if prefetch {
 		c.prefetches++
@@ -167,6 +198,7 @@ func (c *bitCache) allocSlot() (uint64, bool) {
 		return 0, false
 	}
 	delete(c.entries, victim.key)
+	c.entryPool = append(c.entryPool, victim)
 	c.evictions++
 	return victim.addr, true
 }
@@ -177,7 +209,7 @@ func (c *bitCache) allocSlot() (uint64, bool) {
 // a configuration error, not a hang.
 func (c *bitCache) ensure(p *sim.Proc, key imgKey) (*cacheEntry, error) {
 	if _, ok := c.images[key]; !ok {
-		return nil, fmt.Errorf("sched: no image for module %q on partition %d", key.module, key.rp)
+		return nil, fmt.Errorf("sched: no image for module %q on partition %d", key.moduleName(), key.rp)
 	}
 	if e, ok := c.entries[key]; ok && e.state == statePresent {
 		c.hits++
@@ -191,15 +223,18 @@ func (c *bitCache) ensure(p *sim.Proc, key imgKey) (*cacheEntry, error) {
 			// Pin through the fetch so a concurrent prefetch cannot
 			// evict the image between completion and use.
 			e.pinned++
+			gen := e.gen
 			dropped := false
 			for e.state != statePresent {
 				// The wake heartbeat cycle this wait participates in is
 				// suppressed at its anchor, the sched.fetch spawn in
 				// Board.Run (board.go).
 				p.Wait(c.wake)
-				if c.entries[key] != e {
+				if c.entries[key] != e || e.gen != gen {
 					// The fetcher dropped the entry after exhausting
-					// its staging retries; request it afresh.
+					// its staging retries (and the pooled record may
+					// already be serving a fresh fetch of the same
+					// key); request it afresh.
 					dropped = true
 					break
 				}
@@ -221,7 +256,7 @@ func (c *bitCache) ensure(p *sim.Proc, key imgKey) (*cacheEntry, error) {
 // silently disable eviction protection, so underflow panics.
 func (c *bitCache) unpin(e *cacheEntry) {
 	if e.pinned <= 0 {
-		panic(fmt.Sprintf("sched: unpin underflow on %s/rp%d", e.key.module, e.key.rp))
+		panic(fmt.Sprintf("sched: unpin underflow on %s/rp%d", e.key.moduleName(), e.key.rp))
 	}
 	e.pinned--
 }
@@ -237,6 +272,7 @@ func (c *bitCache) invalidate(key imgKey) {
 	}
 	delete(c.entries, key)
 	c.freeSlot(e.addr)
+	c.entryPool = append(c.entryPool, e)
 }
 
 // freeSlot returns a slot to the free list, keeping it sorted so slot
@@ -254,14 +290,16 @@ func (c *bitCache) freeSlot(addr uint64) {
 // the entry is dropped) or deliver a corrupted image.
 func (c *bitCache) runFetcher(p *sim.Proc, stop *sim.Signal) {
 	for {
-		if len(c.queue) == 0 {
+		if c.qHead == len(c.queue) {
+			// Fully drained: rewind so the backing array is reused.
+			c.queue, c.qHead = c.queue[:0], 0
 			if p.WaitAny(c.fetchSig, stop) == 1 {
 				return
 			}
 			continue
 		}
-		key := c.queue[0]
-		c.queue = c.queue[1:]
+		key := c.queue[c.qHead]
+		c.qHead++
 		e, ok := c.entries[key]
 		if !ok || e.state != stateFetching {
 			// Stale queue entry: evicted or re-requested while queued.
@@ -281,6 +319,7 @@ func (c *bitCache) runFetcher(p *sim.Proc, stop *sim.Signal) {
 			e.pinned = 0
 			delete(c.entries, key)
 			c.freeSlot(e.addr)
+			c.entryPool = append(c.entryPool, e)
 			c.wake.Fire()
 			continue
 		}

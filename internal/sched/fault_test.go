@@ -60,7 +60,7 @@ func cacheFixture(t *testing.T, slots int) (*sim.Kernel, *bitCache, imgKey) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := imgKey{rp: 0, module: accel.Sobel}
+	key := imgKey{rp: 0, mod: Modules.Intern(accel.Sobel)}
 	c, err := newBitCache(s.DDR, slots, map[imgKey]*bitstream.Image{key: im},
 		sim.NewSignal(k, "t.fetch"), sim.NewSignal(k, "t.wake"))
 	if err != nil {
@@ -92,7 +92,7 @@ func TestCacheConstructionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	images := map[imgKey]*bitstream.Image{{rp: 0, module: accel.Sobel}: im}
+	images := map[imgKey]*bitstream.Image{{rp: 0, mod: Modules.Intern(accel.Sobel)}: im}
 	if _, err := newBitCache(s.DDR, 1, images, fetch, wake); err == nil {
 		t.Error("single-slot cache accepted")
 	}
@@ -100,7 +100,7 @@ func TestCacheConstructionValidation(t *testing.T) {
 
 func TestUnpinUnderflowPanics(t *testing.T) {
 	_, c, _ := cacheFixture(t, 2)
-	e := &cacheEntry{key: imgKey{rp: 0, module: accel.Sobel}}
+	e := &cacheEntry{key: imgKey{rp: 0, mod: Modules.Intern(accel.Sobel)}}
 	defer func() {
 		if recover() == nil {
 			t.Error("unpin on an unpinned entry did not panic")
@@ -304,6 +304,7 @@ func TestDropReleasesPinnedWaiters(t *testing.T) {
 		t.Fatal("request refused with free slots")
 	}
 	first := c.entries[key]
+	firstGen := first.gen
 
 	stop := sim.NewLatchedSignal(k, "t.stop")
 	var got *cacheEntry
@@ -330,7 +331,7 @@ func TestDropReleasesPinnedWaiters(t *testing.T) {
 	if got == nil {
 		t.Fatal("dispatcher never obtained the image")
 	}
-	if got == first {
+	if got == first && got.gen == firstGen {
 		t.Error("dispatcher was handed the dropped entry")
 	}
 	if got.state != statePresent {

@@ -3,9 +3,9 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
+	"rvcap/internal/hist"
 	"rvcap/internal/sim"
 )
 
@@ -110,6 +110,12 @@ type Report struct {
 	// throughput (aggregate events/sec) is built on.
 	KernelEvents uint64 `json:"kernel_events"`
 
+	// Latency is the sparse snapshot of the run's cycle-domain latency
+	// histogram — O(buckets) however long the run. The cluster layer
+	// merges these per-board snapshots into exact fleet quantiles
+	// without ever touching per-job records.
+	Latency *hist.Snapshot `json:"latency_hist,omitempty"`
+
 	PerRP []RPStat `json:"per_rp"`
 }
 
@@ -139,14 +145,18 @@ func Percentile(sorted []float64, q float64) float64 {
 	return sorted[rank-1]
 }
 
-// buildReport assembles the scenario report from the completed jobs and
-// partition accounting.
+// buildReport assembles the scenario report from the incrementally
+// maintained run metrics — the latency histogram, the running makespan
+// and reuse counters, the cache and partition accounting. Nothing here
+// walks the jobs, so the report costs the same for 24 jobs or a
+// million.
 func (r *Runtime) buildReport() *Report {
 	rep := &Report{
 		Board:        r.board.Name,
 		Policy:       r.cfg.Policy.String(),
 		RPs:          r.cfg.RPs,
-		Jobs:         len(r.jobs),
+		Jobs:         r.totalJobs,
+		ResidentHits: r.residentHits,
 		CacheHits:    r.cache.hits,
 		CacheMisses:  r.cache.misses,
 		Prefetches:   r.cache.prefetches,
@@ -159,31 +169,18 @@ func (r *Runtime) buildReport() *Report {
 	}
 	rep.CacheHitRate = r.cache.hitRate()
 
-	lat := make([]float64, 0, len(r.jobs))
-	var last sim.Time
-	var sum float64
-	for _, j := range r.jobs {
-		l := j.LatencyMicros()
-		lat = append(lat, l)
-		sum += l
-		if j.Completion > last {
-			last = j.Completion
-		}
-		if !j.Reconfigured {
-			rep.ResidentHits++
-		}
-	}
-	sort.Float64s(lat)
-	rep.MakespanMicros = sim.Micros(last)
-	rep.P50Micros = Percentile(lat, 0.50)
-	rep.P95Micros = Percentile(lat, 0.95)
-	rep.P99Micros = Percentile(lat, 0.99)
-	rep.MaxMicros = Percentile(lat, 1.00)
-	if len(lat) > 0 {
-		rep.MeanMicros = sum / float64(len(lat))
-	}
+	rep.MakespanMicros = sim.Micros(r.lastCompletion)
+	// Quantiles come from the cycle-domain histogram; cycles→µs is a
+	// monotone division by the clock rate, so the conversion preserves
+	// the documented hist.RelErrorBound. Mean and max are exact.
+	rep.P50Micros = float64(r.lat.Quantile(0.50)) / sim.CyclesPerMicrosecond
+	rep.P95Micros = float64(r.lat.Quantile(0.95)) / sim.CyclesPerMicrosecond
+	rep.P99Micros = float64(r.lat.Quantile(0.99)) / sim.CyclesPerMicrosecond
+	rep.MaxMicros = float64(r.lat.Max()) / sim.CyclesPerMicrosecond
+	rep.MeanMicros = r.lat.Mean() / sim.CyclesPerMicrosecond
+	rep.Latency = r.lat.Snapshot()
 	if rep.MakespanMicros > 0 {
-		rep.GoodputJobsPerMs = float64(len(r.jobs)) / (rep.MakespanMicros / 1000)
+		rep.GoodputJobsPerMs = float64(r.totalJobs) / (rep.MakespanMicros / 1000)
 	}
 
 	var busy, reconf float64
@@ -222,21 +219,12 @@ func (r *Runtime) buildReport() *Report {
 		rep.Relocations = m.Relocations
 		rep.FramesMoved = m.FramesMoved
 		rep.FinalFragPct = r.alloc.ExternalFragPct()
-		if len(r.fragSamples) > 0 {
-			var sum float64
-			for _, f := range r.fragSamples {
-				sum += f
-			}
-			rep.MeanFragPct = sum / float64(len(r.fragSamples))
+		if r.fragN > 0 {
+			rep.MeanFragPct = r.fragSum / float64(r.fragN)
 		}
-		if len(r.defragDrops) > 0 {
-			var before, after float64
-			for _, d := range r.defragDrops {
-				before += d[0]
-				after += d[1]
-			}
-			rep.DefragFragBeforePct = before / float64(len(r.defragDrops))
-			rep.DefragFragAfterPct = after / float64(len(r.defragDrops))
+		if r.defragN > 0 {
+			rep.DefragFragBeforePct = r.defragPre / float64(r.defragN)
+			rep.DefragFragAfterPct = r.defragPost / float64(r.defragN)
 		}
 	}
 	return rep

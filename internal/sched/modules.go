@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"sync"
+
+	"rvcap/internal/accel"
+)
+
+// ModuleTable interns module/bitstream names into dense integer IDs so
+// the hot scheduling paths (policy scans, residency checks, router
+// models, placement anchors) compare and index by int instead of
+// hashing strings. IDs are assigned in first-Intern order, so a table
+// seeded the same way yields the same IDs on every run and host.
+//
+// The table is safe for concurrent use: a fleet's boards intern while
+// running on separate goroutines. Lookups after the working set is
+// interned take only a read lock; the steady-state runtime paths never
+// call Intern at all — jobs carry their ModuleID from the generator.
+type ModuleTable struct {
+	mu    sync.RWMutex
+	ids   map[string]int
+	names []string
+	bins  []string // precomputed "<name>.bin" bitstream file names
+}
+
+// NewModuleTable returns an empty table.
+func NewModuleTable() *ModuleTable {
+	return &ModuleTable{ids: make(map[string]int)}
+}
+
+// Intern returns name's ID, assigning the next dense ID on first use.
+func (t *ModuleTable) Intern(name string) int {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id = len(t.names)
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	t.bins = append(t.bins, name+".bin")
+	return id
+}
+
+// Lookup returns name's ID without interning.
+func (t *ModuleTable) Lookup(name string) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Name returns the name behind id ("" when out of range).
+func (t *ModuleTable) Name(id int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= len(t.names) {
+		return ""
+	}
+	return t.names[id]
+}
+
+// BinName returns the precomputed "<name>.bin" bitstream file name for
+// id, so the reconfiguration path does not concatenate strings per
+// load.
+func (t *ModuleTable) BinName(id int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= len(t.bins) {
+		return ""
+	}
+	return t.bins[id]
+}
+
+// Len returns the number of interned modules.
+func (t *ModuleTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
+
+// Modules is the process-wide module table, pre-seeded with the filter
+// modules in accel.Filters order so their IDs are fixed (and identical
+// across boards, runs and hosts) before any workload is generated.
+var Modules = func() *ModuleTable {
+	t := NewModuleTable()
+	for _, m := range accel.Filters {
+		t.Intern(m)
+	}
+	return t
+}()

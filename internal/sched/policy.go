@@ -73,7 +73,7 @@ func (r *Runtime) pick() (int, int) {
 	case Affinity:
 		for qi := 0; qi < window; qi++ {
 			for pi, rp := range r.rps {
-				if !rp.busy && !rp.quarantined && rp.active() == r.queue[qi].Module {
+				if !rp.busy && !rp.quarantined && rp.residentID == r.queue[qi].ModuleID {
 					return qi, pi
 				}
 			}
@@ -88,7 +88,7 @@ func (r *Runtime) pick() (int, int) {
 				if rp.busy || rp.quarantined {
 					continue
 				}
-				cost := r.switchCost(job.Module, pi)
+				cost := r.switchCost(job.ModuleID, pi)
 				if cost < bestCost {
 					bestQ, bestP, bestCost = qi, pi, cost
 				}
@@ -102,14 +102,14 @@ func (r *Runtime) pick() (int, int) {
 }
 
 // switchCost estimates the configuration-switch cost (in bytes still to
-// move) of running module on partition pi: zero when resident,
+// move) of running the module on partition pi: zero when resident,
 // otherwise the partial bitstream size plus the SD staging still ahead
 // of it when the image is not yet DDR-resident.
-func (r *Runtime) switchCost(module string, pi int) int {
-	if r.rps[pi].active() == module {
+func (r *Runtime) switchCost(moduleID int, pi int) int {
+	if r.rps[pi].residentID == moduleID {
 		return 0
 	}
-	key := r.imageKey(pi, module)
+	key := r.imageKey(pi, moduleID)
 	cost := r.images[key].SizeBytes()
 	if e, ok := r.cache.entries[key]; !ok || e.state != statePresent {
 		cost += r.images[key].SizeBytes() // staging is the same byte count again

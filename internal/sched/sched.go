@@ -38,6 +38,7 @@ import (
 	"rvcap/internal/driver"
 	"rvcap/internal/fault"
 	"rvcap/internal/fpga"
+	"rvcap/internal/hist"
 	"rvcap/internal/place"
 	"rvcap/internal/sim"
 	"rvcap/internal/soc"
@@ -197,10 +198,12 @@ type rpState struct {
 	job         *Job
 
 	// region is the slot's current placement (amorphous mode only);
-	// resident names the module last successfully loaded into it, which
-	// the defragmenter reloads at the region's new anchor.
-	region   *place.Region
-	resident string
+	// residentID is the intern ID of the module last successfully
+	// loaded into the slot (-1 when none) — the policy scans and the
+	// defragmenter's reload both key on it, so the hot paths compare
+	// ints, never strings.
+	region     *place.Region
+	residentID int
 
 	jobsServed int
 	// reconfigs counts every module load attempt actually driven through
@@ -214,14 +217,6 @@ type rpState struct {
 	reconfigCycles sim.Time
 }
 
-// active returns the slot's resident module, or "" when the slot has no
-// partition yet (an amorphous slot before its first placement).
-func (rp *rpState) active() string {
-	if rp.part == nil {
-		return ""
-	}
-	return rp.part.Active()
-}
 
 // Runtime is one scenario in flight on one Board. Construct with
 // Board.Run (or the package-level Run convenience wrapper).
@@ -231,7 +226,15 @@ type Runtime struct {
 	s     *soc.SoC
 	d     *driver.RVCAP
 
-	jobs   []*Job
+	// src feeds jobs in arrival order; totalJobs is the stream length,
+	// known up front. recycle, when non-nil, returns completed job
+	// records to the source's pool (the streaming path) — the
+	// materialised Board.Run path leaves it nil so callers keep their
+	// job structs.
+	src       JobSource
+	totalJobs int
+	recycle   func(*Job)
+
 	queue  []*Job
 	rps    []*rpState
 	images map[imgKey]*bitstream.Image
@@ -240,14 +243,32 @@ type Runtime struct {
 	wake *sim.Signal // pulses on arrival / completion / fetch-done
 	stop *sim.Signal // latched end-of-scenario
 
+	// Latency accounting: every completion records its
+	// queue-to-completion cycles into lat (O(1), bounded memory), so a
+	// report costs O(buckets) however long the run was. lastCompletion
+	// tracks the makespan incrementally; residentHits counts
+	// configuration-reuse dispatches.
+	lat            *hist.Hist
+	lastCompletion sim.Time
+	residentHits   int
+
+	// reconfigMod is the reused driver record of the in-flight load
+	// (one load at a time: the dispatcher serialises on the hart).
+	reconfigMod driver.ReconfigModule
+
 	// Amorphous-mode state: the frame-granular allocator, the prototype
-	// anchor of each module's compiled image, and the placement gauges.
+	// anchor of each module's compiled image (indexed by module intern
+	// ID), and the placement gauges — running sums, so the gauges are
+	// O(1) memory however many placements the run performs.
 	alloc       *place.Allocator
-	protoAnchor map[string][2]int
+	protoAnchor [][2]int
 	placeSeq    int
 	placeWaits  int
-	fragSamples []float64
-	defragDrops [][2]float64 // {before, after} external-frag % per defrag
+	fragSum     float64
+	fragN       int
+	defragPre   float64 // Σ external-frag % before effective defrags
+	defragPost  float64 // Σ external-frag % after effective defrags
+	defragN     int
 
 	// plan, when set, schedules the injected faults; killArmed is true
 	// while the dispatcher is loading the hard-failed partition.
@@ -286,9 +307,17 @@ func Run(cfg Config) (*Report, error) {
 
 // runArrivals releases jobs into the queue at their generated arrival
 // cycles and, unless disabled, prefetches each job's bitstream for the
-// partition it will most plausibly land on.
+// partition it will most plausibly land on. Jobs are pulled from the
+// source one at a time, so a streaming source keeps only the in-flight
+// jobs alive.
+//
+//lint:hot
 func (r *Runtime) runArrivals(p *sim.Proc) {
-	for _, job := range r.jobs {
+	for {
+		job := r.src.Next()
+		if job == nil {
+			return
+		}
 		if job.Arrival > p.Now() {
 			p.Sleep(job.Arrival - p.Now())
 		}
@@ -302,7 +331,7 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 				}
 				r.cfg.onPrefetch(rp, q)
 			}
-			r.cache.request(r.imageKey(rp, job.Module), true)
+			r.cache.request(r.imageKey(rp, job.ModuleID), true)
 		}
 		r.wake.Fire()
 	}
@@ -318,7 +347,7 @@ func (r *Runtime) runArrivals(p *sim.Proc) {
 func (r *Runtime) predictRP(job *Job) int {
 	alive := 0
 	for i, rp := range r.rps {
-		if !rp.quarantined && rp.active() == job.Module {
+		if !rp.quarantined && rp.residentID == job.ModuleID {
 			return i
 		}
 		if !rp.quarantined {
@@ -344,7 +373,12 @@ func (r *Runtime) predictRP(job *Job) int {
 }
 
 // runRP is one partition server: it idles until the dispatcher hands it
-// a job, charges the compute time, and reports completion.
+// a job, charges the compute time, and reports completion. Completion is
+// where the run's metrics are folded in — latency into the histogram,
+// makespan and reuse counters incrementally — so the report never needs
+// the job records again and a streaming source can recycle them.
+//
+//lint:hot
 func (r *Runtime) runRP(p *sim.Proc, pi int) {
 	rp := r.rps[pi]
 	for {
@@ -361,6 +395,16 @@ func (r *Runtime) runRP(p *sim.Proc, pi int) {
 		rp.job = nil
 		rp.busy = false
 		r.completed++
+		r.lat.Record(uint64(job.Completion - job.Arrival))
+		if job.Completion > r.lastCompletion {
+			r.lastCompletion = job.Completion
+		}
+		if !job.Reconfigured {
+			r.residentHits++
+		}
+		if r.recycle != nil {
+			r.recycle(job)
+		}
 		r.wake.Fire()
 	}
 }
@@ -373,7 +417,7 @@ func (r *Runtime) runDispatcher(p *sim.Proc) error {
 	if err := r.d.SetupPLIC(p); err != nil {
 		return err
 	}
-	for r.completed < len(r.jobs) {
+	for r.completed < r.totalJobs {
 		qi, pi := r.pick()
 		if qi < 0 {
 			p.Wait(r.wake)
@@ -401,8 +445,8 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 	job.Dispatch = p.Now()
 	job.RP = pi
 
-	if rp.active() != job.Module {
-		key := r.imageKey(pi, job.Module)
+	if rp.residentID != job.ModuleID {
+		key := r.imageKey(pi, job.ModuleID)
 		t0 := p.Now()
 		if r.cfg.Amorphous {
 			ok, err := r.ensurePlaced(p, rp, pi, job)
@@ -422,7 +466,7 @@ func (r *Runtime) dispatch(p *sim.Proc, qi, pi int) error {
 		}
 		rp.reconfigCycles += p.Now() - t0
 		rp.loadsOK++
-		rp.resident = job.Module
+		rp.residentID = job.ModuleID
 		job.Reconfigured = true
 	}
 
@@ -520,7 +564,7 @@ func (r *Runtime) quarantine(p *sim.Proc, pi int, job *Job) error {
 		}
 	}
 	return fmt.Errorf("sched: all %d partitions quarantined with %d jobs unfinished",
-		len(r.rps), len(r.jobs)-r.completed)
+		len(r.rps), r.totalJobs-r.completed)
 }
 
 // reconfigure loads key's module into rp through the paper's Listing 1
@@ -548,12 +592,14 @@ func (r *Runtime) reconfigure(p *sim.Proc, rp *rpState, key imgKey, e *cacheEntr
 			return err
 		}
 	}
-	m := &driver.ReconfigModule{
-		BitstreamName: key.module + ".bin",
-		Function:      key.module,
-		StartAddress:  addr,
-		PbitSize:      size,
-	}
+	// One load is in flight at a time (the dispatcher serialises on the
+	// hart) and ReconfigureRP consumes the descriptor synchronously, so
+	// the runtime reuses a single record instead of allocating per load.
+	m := &r.reconfigMod
+	m.BitstreamName = Modules.BinName(key.mod)
+	m.Function = Modules.Name(key.mod)
+	m.StartAddress = addr
+	m.PbitSize = size
 	if err := r.d.ReconfigureRP(p, m, driver.NonBlocking); err != nil {
 		return err
 	}
@@ -567,10 +613,10 @@ func (r *Runtime) reconfigure(p *sim.Proc, rp *rpState, key imgKey, e *cacheEntr
 		return err
 	}
 	if err := r.s.ICAP.Err(); err != nil {
-		return fmt.Errorf("%w: %s into %s: %v", errLoadFaulty, key.module, rp.part.Name, err)
+		return fmt.Errorf("%w: %s into %s: %v", errLoadFaulty, key.moduleName(), rp.part.Name, err)
 	}
-	if rp.part.Active() != key.module {
-		return fmt.Errorf("%w: %s not active on %s after load", errLoadFaulty, key.module, rp.part.Name)
+	if rp.part.Active() != key.moduleName() {
+		return fmt.Errorf("%w: %s not active on %s after load", errLoadFaulty, key.moduleName(), rp.part.Name)
 	}
 	return nil
 }

@@ -24,6 +24,11 @@ type Job struct {
 	// Module is the reconfigurable module the job needs (a filter name
 	// from internal/accel).
 	Module string
+	// ModuleID is Module's dense intern ID in the package Modules table
+	// (set by the generators; Board.Run re-interns for hand-built jobs).
+	// The hot scheduling paths compare and index by it instead of the
+	// string.
+	ModuleID int
 	// Arrival is the cycle the job enters the queue.
 	Arrival sim.Time
 	// Service is the accelerator compute time once the module is
@@ -100,41 +105,108 @@ type Workload struct {
 // schedulers), a first-order Markov module sequence with the given
 // locality, and per-job service jitter of ±20 %. Everything is drawn
 // from one rand.New(rand.NewSource(Seed)) stream, so the result is
-// deterministic and host-independent.
+// deterministic and host-independent. Generate materialises the whole
+// stream; Stream yields the identical jobs one at a time in bounded
+// memory.
 func (w Workload) Generate() ([]*Job, error) {
+	s, err := w.Stream()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]*Job, 0, w.Jobs)
+	for {
+		j := s.Next()
+		if j == nil {
+			return jobs, nil
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// WorkloadStream yields a Workload's jobs one at a time, in arrival
+// order, drawing from the same PRNG sequence as Generate — the i-th
+// Next() result is field-identical to Generate()[i]. Completed jobs
+// can be handed back via Recycle, so a million-job run keeps only the
+// in-flight jobs allocated: the steady state allocates nothing per
+// job.
+type WorkloadStream struct {
+	w        Workload
+	rng      *rand.Rand
+	meanGap  float64
+	clock    float64 // arrival time in µs
+	prev     string
+	produced int
+	free     []*Job // recycled records, reused LIFO
+}
+
+// Stream validates the workload and returns its job stream.
+func (w Workload) Stream() (*WorkloadStream, error) {
 	if w.Jobs <= 0 {
 		return nil, fmt.Errorf("sched: workload needs a positive job count (got %d)", w.Jobs)
 	}
 	if w.Load <= 0 || w.RPs <= 0 {
 		return nil, fmt.Errorf("sched: workload load %.2f / RPs %d must be positive", w.Load, w.RPs)
 	}
-	r := rand.New(rand.NewSource(w.Seed))
-	meanGapMicros := meanServiceMicros() / (w.Load * float64(w.RPs))
+	rng := rand.New(rand.NewSource(w.Seed))
+	return &WorkloadStream{
+		w:       w,
+		rng:     rng,
+		meanGap: meanServiceMicros() / (w.Load * float64(w.RPs)),
+		prev:    accel.Filters[rng.Intn(len(accel.Filters))],
+	}, nil
+}
 
-	jobs := make([]*Job, w.Jobs)
-	var clock float64 // arrival time in µs
-	prev := accel.Filters[r.Intn(len(accel.Filters))]
-	for i := range jobs {
-		clock += r.ExpFloat64() * meanGapMicros
-		module := prev
-		if r.Float64() >= w.Locality {
-			// Uniform over the other modules.
-			step := 1 + r.Intn(len(accel.Filters)-1)
-			for j, m := range accel.Filters {
-				if m == prev {
-					module = accel.Filters[(j+step)%len(accel.Filters)]
-					break
-				}
+// Total returns the number of jobs the stream will yield in all.
+func (s *WorkloadStream) Total() int { return s.w.Jobs }
+
+// Next returns the next job in arrival order, or nil when the stream
+// is exhausted. The returned record may be a recycled one; every field
+// is (re)initialised.
+//
+//lint:hot
+func (s *WorkloadStream) Next() *Job {
+	if s.produced >= s.w.Jobs {
+		return nil
+	}
+	r := s.rng
+	s.clock += r.ExpFloat64() * s.meanGap
+	module := s.prev
+	if r.Float64() >= s.w.Locality {
+		// Uniform over the other modules.
+		step := 1 + r.Intn(len(accel.Filters)-1)
+		for j, m := range accel.Filters {
+			if m == s.prev {
+				module = accel.Filters[(j+step)%len(accel.Filters)]
+				break
 			}
 		}
-		prev = module
-		jitter := 0.8 + 0.4*r.Float64()
-		jobs[i] = &Job{
-			ID:      i,
-			Module:  module,
-			Arrival: sim.FromMicros(clock),
-			Service: sim.FromMicros(baseServiceMicros(module) * jitter),
-		}
 	}
-	return jobs, nil
+	s.prev = module
+	jitter := 0.8 + 0.4*r.Float64()
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		j = new(Job)
+	}
+	*j = Job{
+		ID:       s.produced,
+		Module:   module,
+		ModuleID: Modules.Intern(module),
+		Arrival:  sim.FromMicros(s.clock),
+		Service:  sim.FromMicros(baseServiceMicros(module) * jitter),
+	}
+	s.produced++
+	return j
+}
+
+// Recycle hands a completed job record back for reuse. Only the
+// runtime calls this, after the job's latency has been recorded;
+// callers keeping job pointers (the materialised Generate path) simply
+// never recycle.
+func (s *WorkloadStream) Recycle(j *Job) {
+	if j != nil {
+		s.free = append(s.free, j)
+	}
 }

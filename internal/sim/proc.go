@@ -61,6 +61,13 @@ type Proc struct {
 	// wake records which signal won a Wait/WaitAny, so WaitAny can
 	// return the index without allocating a closure per subscription.
 	wake *Signal
+
+	// Scratch is a per-process buffer for leaf transaction helpers
+	// (axi.ReadU32 and friends): a blocking bus call's staging buffer is
+	// live exactly for the call, and a process runs one blocking call at
+	// a time, so sharing the array is safe and spares a heap escape per
+	// register access (the slave interface makes a stack array escape).
+	Scratch [8]byte
 }
 
 // Go starts fn as a simulation process. fn begins executing at the
